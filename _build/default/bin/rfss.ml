@@ -1,0 +1,465 @@
+(* rfss — command-line front end: run any analysis (DC, transient,
+   shooting, harmonic balance, MPDE, envelope following) on the
+   built-in circuits. Outputs are CSV on stdout so they pipe into
+   plotting tools.
+
+     rfss list
+     rfss dcop --circuit rectifier
+     rfss transient --circuit detector --t-stop 2e-4 --steps 4000
+     rfss shooting --circuit rectifier --steps 512
+     rfss hb --circuit rectifier --harmonics 12
+     rfss mpde --circuit balanced-mixer --n1 40 --n2 30 --output envelope
+     rfss envelope --circuit detector --steps 48 *)
+
+module W = Circuit.Waveform
+
+type fixture = {
+  name : string;
+  description : string;
+  build : f_fast:float -> fd:float -> Circuits.built;
+  default_fast : float;
+  default_fd : float;
+  output_node : string;
+  output_node_b : string option;  (** for differential outputs *)
+}
+
+let fixtures =
+  [
+    {
+      name = "rc";
+      description = "RC lowpass driven by two closely spaced tones";
+      build =
+        (fun ~f_fast ~fd ->
+          Circuits.rc_lowpass
+            ~drive:
+              (W.sum
+                 (W.sine ~amplitude:1.0 ~freq:f_fast ())
+                 (W.sine ~amplitude:1.0 ~freq:(f_fast +. fd) ()))
+            ());
+      default_fast = 1e6;
+      default_fd = 1e3;
+      output_node = "out";
+      output_node_b = None;
+    };
+    {
+      name = "rectifier";
+      description = "half-wave diode rectifier, single tone";
+      build =
+        (fun ~f_fast ~fd:_ ->
+          Circuits.diode_rectifier ~drive:(W.sine ~amplitude:2.0 ~freq:f_fast ()) ());
+      default_fast = 1e6;
+      default_fd = 1e4;
+      output_node = "out";
+      output_node_b = None;
+    };
+    {
+      name = "detector";
+      description = "diode envelope detector on a two-tone beat";
+      build =
+        (fun ~f_fast ~fd ->
+          Circuits.envelope_detector ~f1:f_fast ~f2:(f_fast +. fd) ~amplitude:1.0 ());
+      default_fast = 1e6;
+      default_fd = 2e4;
+      output_node = "out";
+      output_node_b = None;
+    };
+    {
+      name = "ideal-mixer";
+      description = "behavioural multiplying mixer (paper §2 ideal mixing)";
+      build =
+        (fun ~f_fast ~fd ->
+          Circuits.ideal_mixer
+            ~lo:(W.cosine ~amplitude:1.0 ~freq:f_fast ())
+            ~rf:(W.cosine ~amplitude:1.0 ~freq:(f_fast -. fd) ())
+            ());
+      default_fast = 1e9;
+      default_fd = 10e3;
+      output_node = "out";
+      output_node_b = None;
+    };
+    {
+      name = "unbalanced-mixer";
+      description = "single-MOSFET switching mixer";
+      build =
+        (fun ~f_fast ~fd ->
+          Circuits.unbalanced_mixer ~f_lo:f_fast
+            ~rf_signal:(W.cosine ~amplitude:1.0 ~freq:(f_fast +. fd) ())
+            ~rf_amplitude:0.05 ());
+      default_fast = 1e6;
+      default_fd = 1e4;
+      output_node = "out";
+      output_node_b = None;
+    };
+    {
+      name = "balanced-mixer";
+      description = "paper §3 balanced LO-doubling mixer, bit-modulated RF";
+      build =
+        (fun ~f_fast ~fd ->
+          let rf_signal, _ = Circuits.paper_rf_bitstream ~f_lo:f_fast ~fd () in
+          Circuits.balanced_mixer ~f_lo:f_fast ~rf_signal ());
+      default_fast = 450e6;
+      default_fd = 15e3;
+      output_node = Circuits.balanced_mixer_nodes.Circuits.out_plus;
+      output_node_b = Some Circuits.balanced_mixer_nodes.Circuits.out_minus;
+    };
+  ]
+
+let find_fixture name =
+  match List.find_opt (fun f -> f.name = name) fixtures with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown circuit %S; try: %s" name
+           (String.concat ", " (List.map (fun f -> f.name) fixtures)))
+
+let output_value fixture mna x =
+  match fixture.output_node_b with
+  | None -> Circuit.Mna.voltage mna x fixture.output_node
+  | Some b -> Circuit.Mna.differential_voltage mna x fixture.output_node b
+
+(* ---------- commands ---------- *)
+
+let list_cmd () =
+  Printf.printf "%-18s %s\n" "name" "description";
+  List.iter (fun f -> Printf.printf "%-18s %s\n" f.name f.description) fixtures;
+  0
+
+let dcop_cmd circuit f_fast fd =
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let report = Circuit.Dcop.solve mna in
+      Printf.printf "# converged=%b strategy=%s newton=%d\n" report.Circuit.Dcop.converged
+        (match report.Circuit.Dcop.strategy with
+        | `Newton -> "newton"
+        | `Gmin_stepping -> "gmin-stepping"
+        | `Source_stepping -> "source-stepping")
+        report.Circuit.Dcop.newton_iterations;
+      let names = Circuit.Mna.unknown_names mna in
+      Array.iteri
+        (fun i name -> Printf.printf "%-16s %+.6e\n" name report.Circuit.Dcop.x.(i))
+        names;
+      if report.Circuit.Dcop.converged then 0 else 1
+
+let transient_cmd circuit f_fast fd t_stop steps =
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let t_stop = Option.value t_stop ~default:(10.0 /. f_fast) in
+      let result = Circuit.Transient.run ~mna ~t_stop ~steps () in
+      Printf.printf "t,v(%s)\n" fixture.output_node;
+      Array.iteri
+        (fun k t ->
+          Printf.printf "%.9e,%.6e\n" t
+            (output_value fixture mna result.Circuit.Transient.trace.Numeric.Integrator.states.(k)))
+        result.Circuit.Transient.trace.Numeric.Integrator.times;
+      0
+
+let shooting_cmd circuit f_fast fd steps =
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let dc = Circuit.Dcop.solve_exn mna in
+      let r =
+        Steady.Shooting.solve ~steps_per_period:steps ~x0:dc ~dae:(Circuit.Mna.dae mna)
+          ~period:(1.0 /. f_fast) ()
+      in
+      Printf.printf "# converged=%b newton=%d residual=%.2e\n" r.Steady.Shooting.converged
+        r.Steady.Shooting.newton_iterations r.Steady.Shooting.residual_norm;
+      Printf.printf "t,v(%s)\n" fixture.output_node;
+      Array.iteri
+        (fun k t ->
+          Printf.printf "%.9e,%.6e\n" t
+            (output_value fixture mna r.Steady.Shooting.trace.Numeric.Integrator.states.(k)))
+        r.Steady.Shooting.trace.Numeric.Integrator.times;
+      if r.Steady.Shooting.converged then 0 else 1
+
+let hb_cmd circuit f_fast fd harmonics =
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let dc = Circuit.Dcop.solve_exn mna in
+      let r =
+        Steady.Hb.solve ~x_init:dc ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. f_fast)
+          ~harmonics ()
+      in
+      Printf.printf "# converged=%b newton=%d residual=%.2e\n" r.Steady.Hb.converged
+        r.Steady.Hb.newton_iterations r.Steady.Hb.residual_norm;
+      Printf.printf "t,v(%s)\n" fixture.output_node;
+      Array.iteri
+        (fun k t ->
+          Printf.printf "%.9e,%.6e\n" t (output_value fixture mna r.Steady.Hb.states.(k)))
+        r.Steady.Hb.times;
+      if r.Steady.Hb.converged then 0 else 1
+
+type mpde_output = Envelope | Surface | Diagonal | Gain
+
+let mpde_cmd circuit f_fast fd n1 n2 output =
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let shear = Mpde.Shear.make ~fast_freq:f_fast ~slow_freq:fd in
+      let sol = Mpde.Solver.solve_mna ~shear ~n1 ~n2 mna in
+      let stats = sol.Mpde.Solver.stats in
+      Printf.printf "# converged=%b newton=%d gmres=%d continuation=%d residual=%.2e wall=%.2fs\n"
+        stats.Mpde.Solver.converged stats.Mpde.Solver.newton_iterations
+        stats.Mpde.Solver.linear_iterations stats.Mpde.Solver.continuation_steps
+        stats.Mpde.Solver.residual_norm stats.Mpde.Solver.wall_seconds;
+      let values =
+        match fixture.output_node_b with
+        | None -> Mpde.Extract.surface_of_node sol mna fixture.output_node
+        | Some b -> Mpde.Extract.differential_surface sol mna fixture.output_node b
+      in
+      (match output with
+      | Envelope ->
+          let env = Mpde.Extract.envelope sol ~values in
+          let times = Mpde.Extract.envelope_times sol in
+          Printf.printf "t2,v\n";
+          Array.iteri (fun j v -> Printf.printf "%.9e,%.6e\n" times.(j) v) env
+      | Surface ->
+          Printf.printf "t1,t2,v\n";
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun j v ->
+                  Printf.printf "%.9e,%.9e,%.6e\n"
+                    (Mpde.Grid.t1_of sol.Mpde.Solver.grid i)
+                    (Mpde.Grid.t2_of sol.Mpde.Solver.grid j)
+                    v)
+                row)
+            values
+      | Diagonal ->
+          let times, series =
+            Mpde.Extract.diagonal sol ~values ~t_start:0.0 ~t_stop:(5.0 /. f_fast)
+              ~samples:200
+          in
+          Printf.printf "t,v\n";
+          Array.iteri (fun k v -> Printf.printf "%.9e,%.6e\n" times.(k) v) series
+      | Gain ->
+          Printf.printf "baseband_amplitude,conversion_gain_db,thd\n";
+          Printf.printf "%.6e,%.3f,%.5f\n"
+            (Mpde.Extract.t2_harmonic_amplitude ~values ~harmonic:1)
+            (Mpde.Extract.conversion_gain_db ~values ~rf_amplitude:1.0 ~harmonic:1)
+            (Mpde.Extract.thd ~values ()));
+      if stats.Mpde.Solver.converged then 0 else 1
+
+let envelope_cmd circuit f_fast fd n1 steps periods =
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let shear = Mpde.Shear.make ~fast_freq:f_fast ~slow_freq:fd in
+      let sys = Mpde.Assemble.of_mna ~shear mna in
+      let seed = Circuit.Dcop.solve_exn mna in
+      let result =
+        Mpde.Envelope_follow.run ~seed ~system:sys ~shear ~n1
+          ~t2_stop:(periods /. fd) ~steps ()
+      in
+      Printf.printf "# converged=%b newton=%d\n" result.Mpde.Envelope_follow.converged
+        result.Mpde.Envelope_follow.newton_iterations;
+      let unknown =
+        match fixture.output_node_b with
+        | None -> Circuit.Mna.node_index mna fixture.output_node
+        | Some _ -> Circuit.Mna.node_index mna fixture.output_node
+      in
+      let env =
+        Mpde.Envelope_follow.envelope_of result ~unknown ~mode:Mpde.Extract.Mean_t1
+      in
+      Printf.printf "t2,v\n";
+      Array.iteri
+        (fun s v -> Printf.printf "%.9e,%.6e\n" result.Mpde.Envelope_follow.t2_values.(s) v)
+        env;
+      if result.Mpde.Envelope_follow.converged then 0 else 1
+
+type deck_analysis = Deck_dcop | Deck_transient | Deck_ac
+
+let deck_cmd file analysis node t_stop steps f_start f_stop =
+  let text =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Circuit.Spice_parser.parse_string text with
+  | exception Circuit.Spice_parser.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" file line message;
+      1
+  | deck ->
+      List.iter
+        (fun w -> Printf.eprintf "warning: %s\n" w)
+        deck.Circuit.Spice_parser.warnings;
+      let mna = Circuit.Mna.build deck.Circuit.Spice_parser.netlist in
+      Printf.printf "# %s (%d devices, %d unknowns)\n"
+        deck.Circuit.Spice_parser.title
+        (List.length (Circuit.Netlist.devices deck.Circuit.Spice_parser.netlist))
+        (Circuit.Mna.size mna);
+      (match analysis with
+      | Deck_dcop ->
+          let report = Circuit.Dcop.solve mna in
+          Printf.printf "# dcop converged=%b\n" report.Circuit.Dcop.converged;
+          Array.iteri
+            (fun i name -> Printf.printf "%-16s %+.6e\n" name report.Circuit.Dcop.x.(i))
+            (Circuit.Mna.unknown_names mna)
+      | Deck_transient ->
+          let result = Circuit.Transient.run ~mna ~t_stop ~steps () in
+          Printf.printf "t,v(%s)\n" node;
+          Array.iteri
+            (fun k t ->
+              Printf.printf "%.9e,%.6e\n" t
+                (Circuit.Mna.voltage mna
+                   result.Circuit.Transient.trace.Numeric.Integrator.states.(k)
+                   node))
+            result.Circuit.Transient.trace.Numeric.Integrator.times
+      | Deck_ac ->
+          let sweep =
+            Circuit.Ac.Decade { f_start; f_stop; points_per_decade = 20 }
+          in
+          let r = Circuit.Ac.analyze mna sweep in
+          let resp = Circuit.Ac.node_response mna r node in
+          let mags = Circuit.Ac.magnitude_db resp in
+          let phases = Circuit.Ac.phase_deg resp in
+          Printf.printf "f,mag_db,phase_deg\n";
+          Array.iteri
+            (fun k f -> Printf.printf "%.6e,%.4f,%.3f\n" f mags.(k) phases.(k))
+            r.Circuit.Ac.freqs);
+      0
+
+(* ---------- cmdliner wiring ---------- *)
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"Built-in circuit name (see $(b,rfss list)).")
+
+let f_fast_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fast" ] ~docv:"HZ" ~doc:"Fast (LO) fundamental frequency.")
+
+let fd_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fd" ] ~docv:"HZ" ~doc:"Difference (slow) frequency.")
+
+let list_term = Term.(const list_cmd $ const ())
+
+let dcop_term = Term.(const dcop_cmd $ circuit_arg $ f_fast_arg $ fd_arg)
+
+let transient_term =
+  let t_stop =
+    Arg.(value & opt (some float) None & info [ "t-stop" ] ~docv:"S" ~doc:"Stop time.")
+  in
+  let steps =
+    Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N" ~doc:"Fixed step count.")
+  in
+  Term.(const transient_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ t_stop $ steps)
+
+let shooting_term =
+  let steps =
+    Arg.(value & opt int 256 & info [ "steps" ] ~docv:"N" ~doc:"Steps per period.")
+  in
+  Term.(const shooting_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ steps)
+
+let hb_term =
+  let harmonics =
+    Arg.(value & opt int 8 & info [ "harmonics" ] ~docv:"K" ~doc:"Harmonic count.")
+  in
+  Term.(const hb_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ harmonics)
+
+let mpde_term =
+  let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
+  let n2 = Arg.(value & opt int 30 & info [ "n2" ] ~docv:"N" ~doc:"Slow-scale points.") in
+  let output =
+    let kind_conv =
+      Arg.enum
+        [ ("envelope", Envelope); ("surface", Surface); ("diagonal", Diagonal); ("gain", Gain) ]
+    in
+    Arg.(value & opt kind_conv Envelope & info [ "output" ] ~docv:"KIND" ~doc:"What to print.")
+  in
+  Term.(const mpde_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ n2 $ output)
+
+let envelope_term =
+  let n1 = Arg.(value & opt int 32 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
+  let steps = Arg.(value & opt int 48 & info [ "steps" ] ~docv:"N" ~doc:"Slow steps.") in
+  let periods =
+    Arg.(value & opt float 2.0 & info [ "periods" ] ~docv:"X" ~doc:"Difference periods to march.")
+  in
+  Term.(const envelope_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ steps $ periods)
+
+let deck_term =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SPICE deck.")
+  in
+  let analysis =
+    let conv_analysis =
+      Arg.enum [ ("dcop", Deck_dcop); ("transient", Deck_transient); ("ac", Deck_ac) ]
+    in
+    Arg.(value & opt conv_analysis Deck_dcop & info [ "analysis" ] ~docv:"KIND" ~doc:"Analysis to run.")
+  in
+  let node =
+    Arg.(value & opt string "out" & info [ "node" ] ~docv:"NAME" ~doc:"Node to report.")
+  in
+  let t_stop = Arg.(value & opt float 1e-3 & info [ "t-stop" ] ~docv:"S" ~doc:"Transient stop time.") in
+  let steps = Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N" ~doc:"Transient steps.") in
+  let f_start = Arg.(value & opt float 1.0 & info [ "f-start" ] ~docv:"HZ" ~doc:"AC sweep start.") in
+  let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~docv:"HZ" ~doc:"AC sweep stop.") in
+  Term.(const deck_cmd $ file $ analysis $ node $ t_stop $ steps $ f_start $ f_stop)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "list" ~doc:"List built-in circuits.") list_term;
+    Cmd.v
+      (Cmd.info "deck" ~doc:"Parse a SPICE deck and run DC / transient / AC analysis.")
+      deck_term;
+    Cmd.v (Cmd.info "dcop" ~doc:"DC operating point.") dcop_term;
+    Cmd.v (Cmd.info "transient" ~doc:"Time-stepping transient analysis (CSV).") transient_term;
+    Cmd.v (Cmd.info "shooting" ~doc:"Single-tone periodic steady state by shooting (CSV).") shooting_term;
+    Cmd.v (Cmd.info "hb" ~doc:"Single-tone harmonic balance (CSV).") hb_term;
+    Cmd.v
+      (Cmd.info "mpde"
+         ~doc:"Bi-periodic MPDE on sheared difference-frequency time scales (CSV).")
+      mpde_term;
+    Cmd.v (Cmd.info "envelope" ~doc:"Envelope-following MPDE along the slow scale (CSV).") envelope_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "rfss" ~version:"1.0.0"
+      ~doc:"Time-domain RF steady state for closely spaced tones (MPDE)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/balanced_mixer.ml: Array Circuits Filename Float List Mpde Numeric Printf String Sys

@@ -1,0 +1,1 @@
+examples/balanced_mixer.mli:

@@ -1,0 +1,1 @@
+examples/conversion_gain.ml: Circuit Circuits List Mpde Printf

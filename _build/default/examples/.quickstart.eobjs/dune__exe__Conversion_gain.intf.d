@@ -1,0 +1,1 @@
+examples/conversion_gain.mli:

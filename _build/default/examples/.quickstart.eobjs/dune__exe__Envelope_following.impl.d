@@ -1,0 +1,1 @@
+examples/envelope_following.ml: Array Circuit Circuits Float Mpde Printf

@@ -1,0 +1,1 @@
+examples/envelope_following.mli:

@@ -1,0 +1,1 @@
+examples/intermodulation.ml: Circuit Circuits Float List Mpde Printf

@@ -1,0 +1,1 @@
+examples/isi_aci.ml: Array Circuit Float List Mpde Printf Rf String

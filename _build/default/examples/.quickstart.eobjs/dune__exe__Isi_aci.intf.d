@@ -1,0 +1,1 @@
+examples/isi_aci.mli:

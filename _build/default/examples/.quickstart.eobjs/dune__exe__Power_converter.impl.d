@@ -1,0 +1,1 @@
+examples/power_converter.ml: Array Circuit Circuits Float Linalg Mpde Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Circuits Mpde Printf

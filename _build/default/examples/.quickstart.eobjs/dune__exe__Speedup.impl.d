@@ -1,0 +1,1 @@
+examples/speedup.ml: Array Circuit Circuits List Mpde Printf Steady Sys

@@ -1,0 +1,53 @@
+(* Envelope-following (initial-value) mode of the MPDE: instead of the
+   bi-periodic steady state, march along the difference-frequency time
+   scale from a quasi-static start. This recovers slow-scale
+   *transients* — e.g. the settling of an envelope detector when a
+   two-tone drive is applied — which a bi-periodic solve cannot
+   represent. We cross-check the final envelope against the bi-periodic
+   MPDE solution of the same circuit.
+
+     dune exec examples/envelope_following.exe *)
+
+let () =
+  let f1 = 1e6 and fd = 20e3 in
+  let f2 = f1 +. fd in
+  let { Circuits.mna; _ } = Circuits.envelope_detector ~f1 ~f2 ~amplitude:1.0 () in
+  let shear = Mpde.Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let seed = Circuit.Dcop.solve_exn mna in
+  let out = Circuit.Mna.node_index mna "out" in
+
+  (* March two difference periods at 24 slow steps per period. *)
+  let t2p = Mpde.Shear.t2_period shear in
+  let result =
+    Mpde.Envelope_follow.run ~seed ~system:sys ~shear ~n1:32 ~t2_stop:(2.0 *. t2p)
+      ~steps:48 ()
+  in
+  Printf.printf "envelope following: converged=%b, %d Newton iterations over 48 steps\n"
+    result.Mpde.Envelope_follow.converged result.Mpde.Envelope_follow.newton_iterations;
+  let env =
+    Mpde.Envelope_follow.envelope_of result ~unknown:out ~mode:Mpde.Extract.Mean_t1
+  in
+  Printf.printf "\ndetector output along t2 (beat envelope at %g kHz):\n" (fd /. 1e3);
+  Array.iteri
+    (fun s v ->
+      if s mod 4 = 0 then
+        Printf.printf "  t2 = %6.2f us  v = %.4f V\n"
+          (1e6 *. result.Mpde.Envelope_follow.t2_values.(s))
+          v)
+    env;
+
+  (* Cross-check the second marched period against the bi-periodic
+     steady state. *)
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:24 mna in
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let steady_env = Mpde.Extract.envelope sol ~values:vout in
+  let worst = ref 0.0 in
+  for j = 0 to 23 do
+    let marched = env.(24 + j) in
+    let diff = Float.abs (marched -. steady_env.(j)) in
+    if diff > !worst then worst := diff
+  done;
+  Printf.printf
+    "\nmax |envelope-following - bi-periodic| over the second period: %.4f V\n" !worst;
+  Printf.printf "(backward-Euler envelope marching: agreement within O(h2) is expected)\n"

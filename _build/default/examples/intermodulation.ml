@@ -1,0 +1,58 @@
+(* Two-tone intermodulation on the balanced mixer: beyond the paper's
+   single-tone gain figure, drive the RF port with TWO tones offset by
+   3·fd and 4·fd from 2·f_LO. Both down-convert onto the same
+   difference time scale, so a single MPDE solve yields the wanted
+   tones (at t2-harmonics 3 and 4) and the third-order intermodulation
+   products (at harmonics 2 and 5: 2·3−4 and 2·4−3) — the classic IM3
+   measurement, obtained without any frequency-domain solver.
+
+     dune exec examples/intermodulation.exe *)
+
+let () =
+  let f_lo = 450e6 and fd = 15e3 in
+  let shear = Mpde.Shear.make ~fast_freq:f_lo ~slow_freq:fd in
+  let tone k amplitude =
+    Circuit.Waveform.cosine ~amplitude ~freq:((2.0 *. f_lo) +. (float_of_int k *. fd)) ()
+  in
+  Printf.printf
+    "Balanced mixer two-tone test: RF tones at 2·f_LO + 3·fd and 2·f_LO + 4·fd\n";
+  Printf.printf "(wanted baseband tones at harmonics 3,4 of fd; IM3 at harmonics 2,5)\n\n";
+  Printf.printf "%-12s %-12s %-12s %-12s %-14s\n" "RF ampl (V)" "H3 (V)" "H4 (V)"
+    "IM3 (V)" "IM3 rel (dBc)";
+  let results =
+    List.map
+      (fun a ->
+        let rf_signal = Circuit.Waveform.sum (tone 3 1.0) (tone 4 1.0) in
+        let { Circuits.mna; _ } =
+          Circuits.balanced_mixer ~f_lo ~rf_amplitude:a ~rf_signal ()
+        in
+        let sol = Mpde.Solver.solve_mna ~shear ~n1:40 ~n2:32 mna in
+        assert sol.Mpde.Solver.stats.converged;
+        let nodes = Circuits.balanced_mixer_nodes in
+        let diff =
+          Mpde.Extract.differential_surface sol mna nodes.Circuits.out_plus
+            nodes.Circuits.out_minus
+        in
+        let h k = Mpde.Extract.t2_harmonic_amplitude ~values:diff ~harmonic:k in
+        let wanted = h 3 and im3 = Float.max (h 2) (h 5) in
+        Printf.printf "%-12.3f %-12.5f %-12.5f %-12.6f %-14.1f\n" a (h 3) (h 4) im3
+          (20.0 *. log10 (im3 /. Float.max wanted 1e-30));
+        (a, wanted, im3))
+      [ 0.02; 0.04; 0.08; 0.16; 0.32 ]
+  in
+  (* IM3 grows ~3 dB per dB of drive (cube law); verify the slope over
+     the small-signal region and extrapolate an input intercept. *)
+  match results with
+  | (a1, w1, i1) :: _ ->
+      let a2, w2, i2 = List.nth results 2 in
+      let slope_wanted = log10 (w2 /. w1) /. log10 (a2 /. a1) in
+      let slope_im3 = log10 (i2 /. i1) /. log10 (a2 /. a1) in
+      Printf.printf
+        "\nsmall-signal slopes (decades/decade): wanted %.2f (expect ~1), IM3 %.2f (expect ~3)\n"
+        slope_wanted slope_im3;
+      (* Input-referred IP3: drive where extrapolated lines meet. *)
+      let iip3 =
+        a1 *. (10.0 ** (log10 (w1 /. i1) /. (slope_im3 -. slope_wanted)))
+      in
+      Printf.printf "extrapolated input IP3 ≈ %.3f V of RF drive\n" iip3
+  | [] -> ()

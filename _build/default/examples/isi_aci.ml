@@ -1,0 +1,101 @@
+(* ISI and adjacent-channel interference (paper conclusion: "The new
+   method is well-suited for estimating effects such as ISI and ACI in
+   communication symbol streams").
+
+   An OOK (on-off-keyed) carrier at 10 MHz carries an 8-bit pattern
+   whose symbol rate ties to the difference-frequency scale; a diode
+   envelope detector recovers the bits. We then:
+
+   1. sweep the detector bandwidth and watch the eye close (ISI);
+   2. add an adjacent-channel interferer and measure the eye penalty
+      together with the drive spectrum's adjacent-channel power ratio.
+
+     dune exec examples/isi_aci.exe *)
+
+let f_c = 10e6
+
+let bits = Rf.Prbs.prbs7 8
+
+let nbits = Array.length bits
+
+let fd = 25e3 (* pattern repetition frequency = slow fundamental *)
+
+let symbol_freq = float_of_int nbits *. fd
+
+let ook_drive ~amplitude =
+  Circuit.Waveform.modulated_carrier ~amplitude ~carrier_freq:f_c ~bits ~symbol_freq ()
+
+let detector_with ~load_c ~extra =
+  let nl = Circuit.Netlist.create () in
+  let drive = match extra with
+    | None -> ook_drive ~amplitude:1.0
+    | Some w -> Circuit.Waveform.sum (ook_drive ~amplitude:1.0) w
+  in
+  Circuit.Netlist.vsource nl "vin" "in" "0" drive;
+  Circuit.Netlist.diode nl "d1" "in" "out" Circuit.Diode.default;
+  Circuit.Netlist.resistor nl "rl" "out" "0" 2e3;
+  Circuit.Netlist.capacitor nl "cl" "out" "0" load_c;
+  Circuit.Mna.build nl
+
+let eye_of mna =
+  let shear = Mpde.Shear.make ~fast_freq:f_c ~slow_freq:fd in
+  let n2 = 8 * nbits in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2 mna in
+  assert sol.Mpde.Solver.stats.converged;
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let env = Mpde.Extract.envelope sol ~values:vout in
+  Rf.Metrics.eye_metrics ~samples_per_symbol:(n2 / nbits) ~bits env
+
+let () =
+  Printf.printf "OOK detector, carrier %.0f MHz, %d bits %s at %.0f kbit/s\n\n"
+    (f_c /. 1e6) nbits
+    (String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") bits)))
+    (symbol_freq /. 1e3);
+
+  Printf.printf "ISI vs detector bandwidth (larger load capacitor = slower detector):\n";
+  Printf.printf "%-12s %-12s %-12s %-12s\n" "load C (nF)" "eye opening" "ISI rms" "levels";
+  List.iter
+    (fun load_c ->
+      let eye = eye_of (detector_with ~load_c ~extra:None) in
+      Printf.printf "%-12.1f %-12.4f %-12.4f %.3f/%.3f\n" (1e9 *. load_c)
+        eye.Rf.Metrics.opening eye.Rf.Metrics.isi_rms eye.Rf.Metrics.level_one
+        eye.Rf.Metrics.level_zero)
+    [ 0.2e-9; 1e-9; 3e-9; 6e-9 ];
+
+  (* Adjacent-channel interference: a second OOK channel 8 symbol rates
+     away (still on the difference-frequency lattice). *)
+  Printf.printf "\nACI: adjacent OOK channel at carrier + %.0f kHz, 8 dB below the wanted signal:\n"
+    (symbol_freq /. 1e3);
+  let interferer =
+    Circuit.Waveform.modulated_carrier ~amplitude:0.4
+      ~carrier_freq:(f_c +. (float_of_int nbits *. fd))
+      ~bits:(Rf.Prbs.prbs7 ~seed:0x2B 8) ~symbol_freq ()
+  in
+  let clean = eye_of (detector_with ~load_c:1e-9 ~extra:None) in
+  let jammed = eye_of (detector_with ~load_c:1e-9 ~extra:(Some interferer)) in
+  Printf.printf "  eye opening clean   : %.4f V\n" clean.Rf.Metrics.opening;
+  Printf.printf "  eye opening with ACI: %.4f V  (penalty %.1f%%)\n"
+    jammed.Rf.Metrics.opening
+    (100.0 *. (1.0 -. (jammed.Rf.Metrics.opening /. Float.max clean.Rf.Metrics.opening 1e-12)));
+
+  (* Spectrum-level ACPR of the composite drive, for reference. *)
+  let fs = 16.0 *. f_c in
+  let n = 1 lsl 15 in
+  let drive =
+    Circuit.Waveform.sum (ook_drive ~amplitude:1.0) interferer
+  in
+  let samples =
+    Array.init n (fun k -> Circuit.Waveform.eval drive (float_of_int k /. fs))
+  in
+  let spectrum = Rf.Spectrum.periodogram ~sample_rate:fs samples in
+  let acpr =
+    Rf.Metrics.adjacent_channel_power_ratio spectrum ~f_centre:f_c
+      ~bandwidth:(2.0 *. symbol_freq)
+      ~spacing:(float_of_int nbits *. fd)
+  in
+  Printf.printf
+    "  drive-spectrum ACPR (adjacent/main): %.1f dB\n\
+    \  (the unfiltered OOK main lobe is 2x the symbol rate wide, so at one\n\
+    \   channel spacing the two spectra overlap — which is exactly why the\n\
+    \   eye penalty above is so large)\n"
+    acpr

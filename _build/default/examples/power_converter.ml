@@ -1,0 +1,52 @@
+(* Power conversion with closely spaced tones (paper conclusion:
+   "the proposed method can be applied generally to other systems
+   featuring closely-spaced tones, such as power conversion
+   circuits"). A full-wave diode bridge is fed by the superposition of
+   two generators at 50 kHz and 50 kHz + 500 Hz — e.g. two imperfectly
+   synchronized inverters. The DC-link voltage then carries a beat
+   ripple at the 500 Hz difference, which the MPDE resolves directly
+   on the difference time scale while the fast axis holds the
+   rectification waveform.
+
+     dune exec examples/power_converter.exe *)
+
+let () =
+  let f1 = 50e3 and fd = 500.0 in
+  let drive =
+    Circuit.Waveform.sum
+      (Circuit.Waveform.sine ~amplitude:10.0 ~freq:f1 ())
+      (Circuit.Waveform.sine ~amplitude:2.0 ~freq:(f1 +. fd) ())
+  in
+  let { Circuits.mna; _ } = Circuits.bridge_rectifier ~load_r:1e3 ~load_c:2e-7 ~drive () in
+  let shear = Mpde.Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:48 ~n2:24 mna in
+  let stats = sol.Mpde.Solver.stats in
+  Printf.printf "bridge MPDE: converged=%b newton=%d continuation=%d wall=%.2fs\n"
+    stats.Mpde.Solver.converged stats.Mpde.Solver.newton_iterations
+    stats.Mpde.Solver.continuation_steps stats.Mpde.Solver.wall_seconds;
+  let load = Mpde.Extract.differential_surface sol mna "p" "n" in
+  let env = Mpde.Extract.envelope sol ~values:load in
+  let times = Mpde.Extract.envelope_times sol in
+  Printf.printf "\nDC-link voltage along the 2 ms difference period (beat ripple):\n";
+  Array.iteri
+    (fun j v -> if j mod 2 = 0 then Printf.printf "  t2 = %6.3f ms  v = %.4f V\n" (1e3 *. times.(j)) v)
+    env;
+  let mean = Linalg.Vec.mean env in
+  let ripple =
+    Array.fold_left Float.max neg_infinity env -. Array.fold_left Float.min infinity env
+  in
+  Printf.printf
+    "\nmean DC-link voltage: %.3f V (peak-detecting bridge: below the |v| peak\n\
+    \ %.1f V - 2 diode drops, discharging between beat maxima)\n"
+    mean 12.0;
+  Printf.printf "beat ripple (peak-to-peak): %.3f V at %g Hz\n" ripple fd;
+  let beat = Mpde.Extract.t2_harmonic_amplitude ~values:load ~harmonic:1 in
+  Printf.printf "difference-tone component: %.4f V\n" beat;
+  (* Cross-check against brute-force transient over two beat periods. *)
+  let steps = int_of_float (2.0 /. fd *. f1 *. 40.0) in
+  let tr = Circuit.Transient.run ~mna ~t_stop:(2.0 /. fd) ~steps () in
+  let w = Circuit.Transient.differential_waveform mna tr "p" "n" in
+  let last_beat = Array.sub w (steps / 2) (steps / 2) in
+  let tmean = Linalg.Vec.mean last_beat in
+  Printf.printf "\ntransient cross-check (%d steps): mean %.3f V (MPDE %.3f V)\n"
+    steps tmean mean

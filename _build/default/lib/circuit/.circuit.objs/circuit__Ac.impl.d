@@ -1,0 +1,1 @@
+lib/circuit/ac.ml: Array Complex Dcop Device Float Linalg List Mna Netlist Numeric Printf Sparse

@@ -1,0 +1,1 @@
+lib/circuit/bjt.ml: Diode

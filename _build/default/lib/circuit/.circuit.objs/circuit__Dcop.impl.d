@@ -1,0 +1,1 @@
+lib/circuit/dcop.ml: Array Linalg Mna Numeric Sparse

@@ -1,0 +1,1 @@
+lib/circuit/dcop.mli: Linalg Mna Numeric

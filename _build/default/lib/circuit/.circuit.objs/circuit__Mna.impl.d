@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Bjt Device Diode List Mosfet Netlist Numeric Printf Sparse Waveform

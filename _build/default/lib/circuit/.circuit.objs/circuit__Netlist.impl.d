@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Device Hashtbl List Printf String

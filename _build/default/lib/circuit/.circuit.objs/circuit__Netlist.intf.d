@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Bjt Device Diode Mosfet Waveform

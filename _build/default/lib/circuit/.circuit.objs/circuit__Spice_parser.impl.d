@@ -1,0 +1,1 @@
+lib/circuit/spice_parser.ml: Bjt Buffer Char Diode Hashtbl List Mosfet Netlist Option Printf String Waveform

@@ -1,0 +1,86 @@
+type sweep =
+  | Linear of { f_start : float; f_stop : float; points : int }
+  | Decade of { f_start : float; f_stop : float; points_per_decade : int }
+
+type result = { freqs : float array; response : Linalg.Cvec.t array }
+
+let frequencies = function
+  | Linear { f_start; f_stop; points } ->
+      if points < 2 then invalid_arg "Ac.frequencies: need at least 2 points";
+      Array.init points (fun k ->
+          f_start +. ((f_stop -. f_start) *. float_of_int k /. float_of_int (points - 1)))
+  | Decade { f_start; f_stop; points_per_decade } ->
+      if f_start <= 0.0 || f_stop <= f_start then
+        invalid_arg "Ac.frequencies: need 0 < f_start < f_stop";
+      let decades = log10 (f_stop /. f_start) in
+      let total = max 2 (int_of_float (Float.round (decades *. float_of_int points_per_decade)) + 1) in
+      Array.init total (fun k ->
+          f_start *. (10.0 ** (decades *. float_of_int k /. float_of_int (total - 1))))
+
+(* Unit-amplitude AC stimulus vector: 1 at each selected V-source branch
+   row, and the usual +/- node pattern for current sources. *)
+let ac_stimulus mna ~ac_sources =
+  let n = Mna.size mna in
+  let b = Array.make n Complex.zero in
+  let selected name =
+    match ac_sources with None -> true | Some names -> List.mem name names
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Device.Voltage_source { name; _ } when selected name ->
+          b.(Mna.branch_index mna name) <- Complex.one
+      | Device.Current_source { name; n_plus; n_minus; _ } when selected name ->
+          if n_plus > 0 then
+            b.(n_plus - 1) <- Complex.sub b.(n_plus - 1) Complex.one;
+          if n_minus > 0 then b.(n_minus - 1) <- Complex.add b.(n_minus - 1) Complex.one
+      | Device.Voltage_source _ | Device.Current_source _ | Device.Resistor _
+      | Device.Capacitor _ | Device.Inductor _ | Device.Diode _ | Device.Mosfet _
+      | Device.Bjt _ | Device.Vccs _ | Device.Multiplier _ ->
+          ())
+    (Netlist.devices (Mna.netlist mna));
+  b
+
+let analyze ?x_op ?ac_sources mna sweep =
+  let x_op =
+    match x_op with
+    | Some x -> x
+    | None -> Dcop.solve_exn mna
+  in
+  let dae = Mna.dae mna in
+  let g, c = dae.Numeric.Dae.jacobians x_op in
+  let n = Mna.size mna in
+  let freqs = frequencies sweep in
+  let b = ac_stimulus mna ~ac_sources in
+  let two_pi = 8.0 *. atan 1.0 in
+  let response =
+    Array.map
+      (fun f ->
+        let w = two_pi *. f in
+        let a = Linalg.Cmat.create n n in
+        for i = 0 to n - 1 do
+          Sparse.Csr.iter_row g i (fun j v ->
+              Linalg.Cmat.add_entry a i j { Complex.re = v; im = 0.0 });
+          Sparse.Csr.iter_row c i (fun j v ->
+              Linalg.Cmat.add_entry a i j { Complex.re = 0.0; im = w *. v })
+        done;
+        Linalg.Cmat.lu_solve a b)
+      freqs
+  in
+  { freqs; response }
+
+let node_response mna result node =
+  match Mna.node_index mna node with
+  | idx -> Array.map (fun x -> x.(idx)) result.response
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "Ac.node_response: unknown node %S" node)
+
+let magnitude_db phasors =
+  Array.map
+    (fun z ->
+      let m = Complex.norm z in
+      if m <= 0.0 then -300.0 else 20.0 *. log10 m)
+    phasors
+
+let phase_deg phasors =
+  Array.map (fun z -> Complex.arg z *. 180.0 /. (4.0 *. atan 1.0)) phasors

@@ -1,0 +1,83 @@
+type polarity = Npn | Pnp
+
+type params = {
+  polarity : polarity;
+  saturation_current : float;
+  beta_forward : float;
+  beta_reverse : float;
+  cbe : float;
+  cbc : float;
+  gmin : float;
+}
+
+let default_npn =
+  {
+    polarity = Npn;
+    saturation_current = 1e-15;
+    beta_forward = 100.0;
+    beta_reverse = 2.0;
+    cbe = 20e-15;
+    cbc = 5e-15;
+    gmin = 1e-12;
+  }
+
+let default_pnp = { default_npn with polarity = Pnp }
+
+type operating_point = {
+  ic : float;
+  ib : float;
+  ie : float;
+  d_ic_d_vbe : float;
+  d_ic_d_vbc : float;
+  d_ib_d_vbe : float;
+  d_ib_d_vbc : float;
+}
+
+let vt = Diode.thermal_voltage
+
+(* Limited exponential, linearly continued above 40·Vt, with its
+   consistent derivative. *)
+let limited_exp v =
+  let vc = 40.0 *. vt in
+  if v <= vc then begin
+    let e = exp (v /. vt) in
+    (e -. 1.0, e /. vt)
+  end
+  else begin
+    let e = exp (vc /. vt) in
+    ((e -. 1.0) +. (e /. vt *. (v -. vc)), e /. vt)
+  end
+
+let evaluate_npn p ~vbe ~vbc =
+  let ef, gf_raw = limited_exp vbe in
+  let er, gr_raw = limited_exp vbc in
+  let i_f = p.saturation_current *. ef and i_r = p.saturation_current *. er in
+  let gf = p.saturation_current *. gf_raw and gr = p.saturation_current *. gr_raw in
+  let kr = 1.0 +. (1.0 /. p.beta_reverse) in
+  let ic = i_f -. (i_r *. kr) +. (p.gmin *. (-.vbc)) in
+  let ib = (i_f /. p.beta_forward) +. (i_r /. p.beta_reverse) +. (p.gmin *. (vbe +. vbc)) in
+  {
+    ic;
+    ib;
+    ie = -.(ic +. ib);
+    d_ic_d_vbe = gf;
+    d_ic_d_vbc = (-.gr *. kr) -. p.gmin;
+    d_ib_d_vbe = (gf /. p.beta_forward) +. p.gmin;
+    d_ib_d_vbc = (gr /. p.beta_reverse) +. p.gmin;
+  }
+
+let evaluate p ~vbe ~vbc =
+  match p.polarity with
+  | Npn -> evaluate_npn p ~vbe ~vbc
+  | Pnp ->
+      (* Mirror: currents and voltages negate; derivatives keep sign. *)
+      let op = evaluate_npn p ~vbe:(-.vbe) ~vbc:(-.vbc) in
+      {
+        ic = -.op.ic;
+        ib = -.op.ib;
+        ie = -.op.ie;
+        d_ic_d_vbe = op.d_ic_d_vbe;
+        d_ic_d_vbc = op.d_ic_d_vbc;
+        d_ib_d_vbe = op.d_ib_d_vbe;
+        d_ib_d_vbc = op.d_ib_d_vbc;
+      }

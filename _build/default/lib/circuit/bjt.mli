@@ -1,0 +1,32 @@
+(** Bipolar junction transistor, Ebers–Moll transport model with
+    overflow-protected junction exponentials and fixed junction
+    capacitances. Extends the substrate beyond MOS switching circuits
+    (e.g. classic diode-ring/BJT Gilbert mixers). *)
+
+type polarity = Npn | Pnp
+
+type params = {
+  polarity : polarity;
+  saturation_current : float;  (** transport saturation current Is *)
+  beta_forward : float;
+  beta_reverse : float;
+  cbe : float;  (** fixed base-emitter capacitance *)
+  cbc : float;
+  gmin : float;  (** parallel conductance on each junction *)
+}
+
+val default_npn : params
+val default_pnp : params
+
+type operating_point = {
+  ic : float;  (** current into the collector *)
+  ib : float;  (** current into the base *)
+  ie : float;  (** current into the emitter ([−(ic+ib)]) *)
+  (* conductances: d i_X / d v_Y with emitter as reference *)
+  d_ic_d_vbe : float;
+  d_ic_d_vbc : float;
+  d_ib_d_vbe : float;
+  d_ib_d_vbc : float;
+}
+
+val evaluate : params -> vbe:float -> vbc:float -> operating_point

@@ -1,0 +1,75 @@
+module Newton = Numeric.Newton
+
+type report = {
+  x : Linalg.Vec.t;
+  converged : bool;
+  strategy : [ `Newton | `Gmin_stepping | `Source_stepping ];
+  newton_iterations : int;
+}
+
+(* DC problem at source scaling [source_scale] with extra gmin loading
+   [extra_gmin] on the node rows. *)
+let dc_problem mna ~source_scale ~extra_gmin =
+  let nodes = Mna.num_nodes mna in
+  let b0 = Mna.source_with mna ~phase_of:(fun _ -> 0.0) in
+  let residual x =
+    let f = (Mna.dae mna).Numeric.Dae.eval_f x in
+    Array.init (Mna.size mna) (fun i ->
+        let load = if i < nodes then extra_gmin *. x.(i) else 0.0 in
+        f.(i) +. load -. (source_scale *. b0.(i)))
+  in
+  let solve_linearized x r =
+    let g, _ = (Mna.dae mna).Numeric.Dae.jacobians x in
+    let n = Mna.size mna in
+    let coo = Sparse.Coo.create ~capacity:(Sparse.Csr.nnz g + n) n n in
+    for i = 0 to n - 1 do
+      Sparse.Csr.iter_row g i (fun j v -> Sparse.Coo.add coo i j v);
+      if i < nodes then Sparse.Coo.add coo i i extra_gmin
+    done;
+    Sparse.Splu.solve (Sparse.Splu.factor (Sparse.Csr.of_coo coo)) r
+  in
+  { Newton.residual; solve_linearized }
+
+let solve ?(newton_options = Newton.default_options) ?x0 mna =
+  let x0 = match x0 with Some x -> x | None -> Array.make (Mna.size mna) 0.0 in
+  let total_iters = ref 0 in
+  let attempt ~source_scale ~extra_gmin guess =
+    let x, stats =
+      Newton.solve ~options:newton_options (dc_problem mna ~source_scale ~extra_gmin) guess
+    in
+    total_iters := !total_iters + stats.Newton.iterations;
+    if Newton.converged stats then Some x else None
+  in
+  match attempt ~source_scale:1.0 ~extra_gmin:0.0 x0 with
+  | Some x ->
+      { x; converged = true; strategy = `Newton; newton_iterations = !total_iters }
+  | None -> begin
+      (* Gmin stepping: decade ladder from strong loading down to none. *)
+      let rec gmin_ladder gmin guess =
+        if gmin < 1e-13 then attempt ~source_scale:1.0 ~extra_gmin:0.0 guess
+        else
+          match attempt ~source_scale:1.0 ~extra_gmin:gmin guess with
+          | Some x -> gmin_ladder (gmin /. 10.0) x
+          | None -> None
+      in
+      match gmin_ladder 1e-2 x0 with
+      | Some x ->
+          { x; converged = true; strategy = `Gmin_stepping; newton_iterations = !total_iters }
+      | None -> begin
+          let problem_at lambda = dc_problem mna ~source_scale:lambda ~extra_gmin:0.0 in
+          let x, stats =
+            Numeric.Continuation.trace ~newton_options ~problem_at ~x0 ()
+          in
+          total_iters := !total_iters + stats.Numeric.Continuation.newton_iterations;
+          {
+            x;
+            converged = stats.Numeric.Continuation.converged;
+            strategy = `Source_stepping;
+            newton_iterations = !total_iters;
+          }
+        end
+    end
+
+let solve_exn ?newton_options ?x0 mna =
+  let r = solve ?newton_options ?x0 mna in
+  if r.converged then r.x else failwith "Dcop.solve_exn: no DC operating point found"

@@ -1,0 +1,16 @@
+(** DC operating point: solves [f(x) = b(0)] (charge terms quiescent)
+    with Newton, falling back to gmin stepping and then source stepping
+    — the standard SPICE convergence ladder, and the circuit-level
+    incarnation of the paper's homotopy/continuation remark. *)
+
+type report = {
+  x : Linalg.Vec.t;
+  converged : bool;
+  strategy : [ `Newton | `Gmin_stepping | `Source_stepping ];
+  newton_iterations : int;
+}
+
+val solve : ?newton_options:Numeric.Newton.options -> ?x0:Linalg.Vec.t -> Mna.t -> report
+
+val solve_exn : ?newton_options:Numeric.Newton.options -> ?x0:Linalg.Vec.t -> Mna.t -> Linalg.Vec.t
+(** @raise Failure when no strategy converges. *)

@@ -1,0 +1,38 @@
+type params = {
+  saturation_current : float;
+  ideality : float;
+  junction_cap : float;
+  gmin : float;
+}
+
+let thermal_voltage = 0.025852
+
+let default =
+  { saturation_current = 1e-14; ideality = 1.0; junction_cap = 0.0; gmin = 1e-12 }
+
+(* Linear continuation above v_crit keeps the exponential bounded while
+   preserving C¹ continuity, the standard SPICE junction treatment. *)
+let v_crit p = p.ideality *. thermal_voltage *. 40.0
+
+let current p v =
+  let vt = p.ideality *. thermal_voltage in
+  let vc = v_crit p in
+  let core =
+    if v <= vc then p.saturation_current *. (exp (v /. vt) -. 1.0)
+    else begin
+      let e = exp (vc /. vt) in
+      p.saturation_current *. ((e -. 1.0) +. (e /. vt *. (v -. vc)))
+    end
+  in
+  core +. (p.gmin *. v)
+
+let conductance p v =
+  let vt = p.ideality *. thermal_voltage in
+  let vc = v_crit p in
+  let core =
+    if v <= vc then p.saturation_current /. vt *. exp (v /. vt)
+    else p.saturation_current /. vt *. exp (vc /. vt)
+  in
+  core +. p.gmin
+
+let charge p v = p.junction_cap *. v

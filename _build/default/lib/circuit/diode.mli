@@ -1,0 +1,25 @@
+(** Shockley diode model with exponential overflow protection and a
+    parallel minimum conductance for Newton robustness. *)
+
+type params = {
+  saturation_current : float;  (** Is, amperes *)
+  ideality : float;  (** emission coefficient n *)
+  junction_cap : float;  (** fixed small-signal capacitance, farads *)
+  gmin : float;  (** parallel leakage conductance *)
+}
+
+val default : params
+(** Is = 1e-14 A, n = 1, cj = 0, gmin = 1e-12. *)
+
+val thermal_voltage : float
+(** kT/q at 300 K. *)
+
+val current : params -> float -> float
+(** [current p v] is the anode-to-cathode current at junction voltage
+    [v]. Above the critical voltage the exponential is continued
+    linearly (first-order Taylor) so Newton never overflows. *)
+
+val conductance : params -> float -> float
+(** d(current)/dv — consistent with {!current}'s linear continuation. *)
+
+val charge : params -> float -> float

@@ -1,0 +1,47 @@
+(** Modified nodal analysis: assembles a {!Numeric.Dae.t} in the
+    charge/conduction form [d/dt q(x) + f(x) = b(t)] (paper eq. (1))
+    from a {!Netlist.t}.
+
+    Unknowns are the non-ground node voltages (indices
+    [0 .. num_nodes−1], node [k]'s voltage at index [k−1]) followed by
+    one branch current per voltage source and inductor. *)
+
+type t
+
+val build : ?gmin:float -> Netlist.t -> t
+(** [gmin] (default [1e-12]) adds a conductance from every non-ground
+    node to ground, in both the residual and the Jacobian (a consistent
+    model modification, as in SPICE). *)
+
+val size : t -> int
+
+val netlist : t -> Netlist.t
+(** The netlist this system was assembled from. *)
+
+val num_nodes : t -> int
+
+val dae : t -> Numeric.Dae.t
+
+val source_with : t -> phase_of:(float -> float) -> Linalg.Vec.t
+(** Excitation vector with each waveform factor of frequency [f]
+    evaluated at phase [phase_of f] — the multi-time hook
+    (see {!Waveform.eval_with}). *)
+
+val source_frequencies : t -> float list
+(** Distinct frequencies appearing in any source waveform. *)
+
+val unknown_names : t -> string array
+(** Human-readable unknown labels: node names then ["i(<device>)"]. *)
+
+val node_index : t -> string -> int
+(** Index into the unknown vector of the named node's voltage.
+    @raise Not_found for ground or unknown names. *)
+
+val branch_index : t -> string -> int
+(** Index of the named device's branch current. @raise Not_found. *)
+
+val voltage : t -> Linalg.Vec.t -> string -> float
+(** [voltage m x "n"] reads node [n]'s voltage from a solution vector
+    (ground reads as [0.]). *)
+
+val differential_voltage : t -> Linalg.Vec.t -> string -> string -> float

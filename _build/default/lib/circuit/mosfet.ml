@@ -1,0 +1,69 @@
+type polarity = Nmos | Pmos
+
+type params = {
+  polarity : polarity;
+  vt0 : float;
+  kp : float;
+  lambda : float;
+  cgs : float;
+  cgd : float;
+  gds_min : float;
+}
+
+let default_nmos =
+  { polarity = Nmos; vt0 = 0.5; kp = 2e-3; lambda = 0.02; cgs = 20e-15; cgd = 5e-15; gds_min = 1e-9 }
+
+let default_pmos = { default_nmos with polarity = Pmos; vt0 = 0.5; kp = 1e-3 }
+
+type operating_point = {
+  ids : float;
+  gm : float;
+  gds : float;
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+(* Square-law NMOS core for vds >= 0. *)
+let nmos_forward p ~vgs ~vds =
+  let vov = vgs -. p.vt0 in
+  if vov <= 0.0 then { ids = 0.0; gm = 0.0; gds = 0.0; region = `Cutoff }
+  else if vds < vov then begin
+    let clm = 1.0 +. (p.lambda *. vds) in
+    let raw = p.kp *. ((vov *. vds) -. (0.5 *. vds *. vds)) in
+    {
+      ids = raw *. clm;
+      gm = p.kp *. vds *. clm;
+      gds = (p.kp *. (vov -. vds) *. clm) +. (raw *. p.lambda);
+      region = `Triode;
+    }
+  end
+  else begin
+    let clm = 1.0 +. (p.lambda *. vds) in
+    let raw = 0.5 *. p.kp *. vov *. vov in
+    {
+      ids = raw *. clm;
+      gm = p.kp *. vov *. clm;
+      gds = raw *. p.lambda;
+      region = `Saturation;
+    }
+  end
+
+(* vds < 0: exchange drain and source. With vgs' = vgs - vds and
+   vds' = -vds, the physical drain current is -f(vgs', vds') and the
+   chain rule gives gm = -gm', gds = gm' + gds'. *)
+let nmos_any p ~vgs ~vds =
+  if vds >= 0.0 then nmos_forward p ~vgs ~vds
+  else begin
+    let op = nmos_forward p ~vgs:(vgs -. vds) ~vds:(-.vds) in
+    { ids = -.op.ids; gm = -.op.gm; gds = op.gm +. op.gds; region = op.region }
+  end
+
+let evaluate p ~vgs ~vds =
+  let op =
+    match p.polarity with
+    | Nmos -> nmos_any p ~vgs ~vds
+    | Pmos ->
+        (* ids_p(vgs, vds) = -ids_n(-vgs, -vds); derivatives keep sign. *)
+        let op = nmos_any p ~vgs:(-.vgs) ~vds:(-.vds) in
+        { op with ids = -.op.ids }
+  in
+  { op with ids = op.ids +. (p.gds_min *. vds); gds = op.gds +. p.gds_min }

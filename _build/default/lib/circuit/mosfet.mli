@@ -1,0 +1,31 @@
+(** Level-1 (Shichman–Hodges) MOSFET with channel-length modulation and
+    fixed gate capacitances; bulk is tied to the source internally.
+    Handles both operation quadrants by drain/source symmetry, the
+    behaviour the paper's switching mixers rely on. *)
+
+type polarity = Nmos | Pmos
+
+type params = {
+  polarity : polarity;
+  vt0 : float;  (** threshold voltage (positive for NMOS) *)
+  kp : float;  (** transconductance [k' · W/L], A/V² *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  cgs : float;  (** fixed gate-source capacitance, F *)
+  cgd : float;  (** fixed gate-drain capacitance, F *)
+  gds_min : float;  (** minimum drain-source conductance *)
+}
+
+val default_nmos : params
+val default_pmos : params
+
+type operating_point = {
+  ids : float;  (** drain current (into the drain) *)
+  gm : float;  (** ∂ids/∂vgs *)
+  gds : float;  (** ∂ids/∂vds *)
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+val evaluate : params -> vgs:float -> vds:float -> operating_point
+(** Large-signal evaluation with consistent derivatives; for [vds < 0]
+    (NMOS) the device is evaluated with drain and source exchanged and
+    the appropriate chain rule applied. *)

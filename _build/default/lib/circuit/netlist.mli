@@ -1,0 +1,56 @@
+(** Netlist builder: interns symbolic node names and accumulates
+    devices. The ground node is ["0"] (or ["gnd"], an alias). *)
+
+type t
+
+val create : unit -> t
+
+val node : t -> string -> Device.node
+(** Look up or create the node named [s]; ["0"] and ["gnd"] intern to
+    the ground node [0]. *)
+
+val add : t -> Device.t -> unit
+(** @raise Invalid_argument on duplicate device names. *)
+
+val devices : t -> Device.t list
+(** In insertion order. *)
+
+val num_nodes : t -> int
+(** Number of non-ground nodes created so far. *)
+
+val node_name : t -> Device.node -> string
+
+val find_node : t -> string -> Device.node option
+
+(** {1 Convenience builders} — each interns its node names and adds the
+    device, returning [()] so netlists read like SPICE decks. *)
+
+val resistor : t -> string -> string -> string -> float -> unit
+
+val capacitor : t -> string -> string -> string -> float -> unit
+
+val inductor : t -> string -> string -> string -> float -> unit
+
+val vsource : t -> string -> string -> string -> Waveform.t -> unit
+
+val isource : t -> string -> string -> string -> Waveform.t -> unit
+
+val diode : t -> string -> string -> string -> Diode.params -> unit
+
+val mosfet : t -> string -> drain:string -> gate:string -> source:string -> Mosfet.params -> unit
+
+val bjt : t -> string -> collector:string -> base:string -> emitter:string -> Bjt.params -> unit
+
+val vccs : t -> string -> out_plus:string -> out_minus:string -> in_plus:string -> in_minus:string -> float -> unit
+
+val multiplier :
+  t ->
+  string ->
+  out_plus:string ->
+  out_minus:string ->
+  a_plus:string ->
+  a_minus:string ->
+  b_plus:string ->
+  b_minus:string ->
+  float ->
+  unit

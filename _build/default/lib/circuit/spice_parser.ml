@@ -1,0 +1,311 @@
+exception Parse_error of { line : int; message : string }
+
+type deck = { title : string; netlist : Netlist.t; warnings : string list }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ---------- lexical helpers ---------- *)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Join continuation lines ('+' in column one) onto their parent,
+   keeping original line numbers for error reporting. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let _, acc =
+    List.fold_left
+      (fun (lineno, acc) raw_line ->
+        let line = strip_comment raw_line in
+        let trimmed = String.trim line in
+        let lineno = lineno + 1 in
+        if trimmed = "" || trimmed.[0] = '*' then (lineno, acc)
+        else if trimmed.[0] = '+' then begin
+          match acc with
+          | [] -> fail lineno "continuation line with nothing to continue"
+          | (n, prev) :: rest ->
+              (lineno, (n, prev ^ " " ^ String.sub trimmed 1 (String.length trimmed - 1)) :: rest)
+        end
+        else (lineno, (lineno, trimmed) :: acc))
+      (0, []) raw
+  in
+  List.rev acc
+
+(* Tokenize, keeping parenthesized groups attached to the preceding
+   keyword: "SIN(0 1 1k)" -> ["SIN"; "("; "0"; "1"; "1k"; ")"]. *)
+let tokenize s =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ' ' | '\t' | ',' | '\r' -> flush ()
+      | '(' | ')' | '=' ->
+          flush ();
+          out := String.make 1 ch :: !out
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+let parse_value token =
+  let token = String.lowercase_ascii token in
+  let n = String.length token in
+  if n = 0 then None
+  else begin
+    (* split numeric prefix from alphabetic suffix *)
+    let is_num c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' in
+    (* 'e' is ambiguous (exponent vs suffix); scan a proper float prefix *)
+    let i = ref 0 in
+    let saw_digit = ref false in
+    let continue_scan = ref true in
+    while !continue_scan && !i < n do
+      let c = token.[!i] in
+      if c >= '0' && c <= '9' then begin
+        saw_digit := true;
+        incr i
+      end
+      else if (c = '.' || c = '-' || c = '+') && is_num c then incr i
+      else if c = 'e' && !saw_digit
+              && !i + 1 < n
+              && (let d = token.[!i + 1] in
+                  (d >= '0' && d <= '9') || d = '-' || d = '+')
+      then incr i
+      else continue_scan := false
+    done;
+    let prefix = String.sub token 0 !i in
+    let suffix = String.sub token !i (n - !i) in
+    match float_of_string_opt prefix with
+    | None -> None
+    | Some base ->
+        let scale =
+          match suffix with
+          | "" -> Some 1.0
+          | "f" -> Some 1e-15
+          | "p" -> Some 1e-12
+          | "n" -> Some 1e-9
+          | "u" -> Some 1e-6
+          | "m" -> Some 1e-3
+          | "k" -> Some 1e3
+          | "meg" -> Some 1e6
+          | "g" -> Some 1e9
+          | "t" -> Some 1e12
+          | s when String.length s > 0 && s.[0] = 'v' -> Some 1.0 (* unit tags: 5v *)
+          | s when String.length s > 0 && s.[0] = 'a' -> Some 1.0
+          | _ -> None
+        in
+        Option.map (fun sc -> base *. sc) scale
+  end
+
+let value_exn line token =
+  match parse_value token with
+  | Some v -> v
+  | None -> fail line "cannot parse value %S" token
+
+(* ---------- model table ---------- *)
+
+type model =
+  | Diode_model of Diode.params
+  | Nmos_model of Mosfet.params
+  | Npn_model of Bjt.params
+
+let model_params line tokens =
+  (* tokens: after '(' up to ')': name = value ... *)
+  let rec go acc = function
+    | [] | ")" :: _ -> acc
+    | name :: "=" :: v :: rest -> go ((String.lowercase_ascii name, value_exn line v) :: acc) rest
+    | t :: _ -> fail line "malformed .model parameter near %S" t
+  in
+  go [] tokens
+
+let build_model line kind params =
+  let find name default = match List.assoc_opt name params with Some v -> v | None -> default in
+  match String.lowercase_ascii kind with
+  | "d" ->
+      Diode_model
+        {
+          Diode.saturation_current = find "is" Diode.default.Diode.saturation_current;
+          ideality = find "n" Diode.default.Diode.ideality;
+          junction_cap = find "cjo" Diode.default.Diode.junction_cap;
+          gmin = find "gmin" Diode.default.Diode.gmin;
+        }
+  | "nmos" | "pmos" ->
+      let base =
+        if String.lowercase_ascii kind = "nmos" then Mosfet.default_nmos
+        else Mosfet.default_pmos
+      in
+      Nmos_model
+        {
+          base with
+          Mosfet.vt0 = find "vto" base.Mosfet.vt0;
+          kp = find "kp" base.Mosfet.kp;
+          lambda = find "lambda" base.Mosfet.lambda;
+          cgs = find "cgs" base.Mosfet.cgs;
+          cgd = find "cgd" base.Mosfet.cgd;
+        }
+  | "npn" | "pnp" ->
+      let base = if String.lowercase_ascii kind = "npn" then Bjt.default_npn else Bjt.default_pnp in
+      Npn_model
+        {
+          base with
+          Bjt.saturation_current = find "is" base.Bjt.saturation_current;
+          beta_forward = find "bf" base.Bjt.beta_forward;
+          beta_reverse = find "br" base.Bjt.beta_reverse;
+          cbe = find "cbe" base.Bjt.cbe;
+          cbc = find "cbc" base.Bjt.cbc;
+        }
+  | other -> fail line "unknown model kind %S" other
+
+(* ---------- source expressions ---------- *)
+
+(* DC v | SIN(voff vamp freq) | PULSE(v1 v2 td tr tf pw per); several
+   clauses may be combined (DC + SIN). *)
+let parse_source line tokens =
+  let rec go wave = function
+    | [] -> wave
+    | "dc" :: v :: rest -> go (Waveform.sum wave (Waveform.dc (value_exn line v))) rest
+    | "sin" :: "(" :: voff :: vamp :: freq :: rest ->
+        let rest = match rest with ")" :: r -> r | r -> r in
+        let w =
+          Waveform.sine ~offset:(value_exn line voff) ~amplitude:(value_exn line vamp)
+            ~freq:(value_exn line freq) ()
+        in
+        go (Waveform.sum wave w) rest
+    | "pulse" :: "(" :: v1 :: v2 :: td :: tr :: tf :: pw :: per :: rest ->
+        let rest = match rest with ")" :: r -> r | r -> r in
+        let period = value_exn line per in
+        if period <= 0.0 then fail line "PULSE needs a positive period";
+        let frac x = value_exn line x /. period in
+        let w =
+          {
+            Waveform.dc = 0.0;
+            terms =
+              [
+                {
+                  Waveform.gain = 1.0;
+                  factors =
+                    [
+                      {
+                        Waveform.shape =
+                          Waveform.Trapezoid
+                            {
+                              low = value_exn line v1;
+                              high = value_exn line v2;
+                              delay_frac = frac td;
+                              rise_frac = frac tr;
+                              high_frac = frac pw;
+                              fall_frac = frac tf;
+                            };
+                        freq = 1.0 /. period;
+                      };
+                    ];
+                };
+              ];
+          }
+        in
+        go (Waveform.sum wave w) rest
+    | [ v ] when parse_value v <> None ->
+        (* bare value = DC *)
+        Waveform.sum wave (Waveform.dc (value_exn line v))
+    | t :: _ -> fail line "unsupported source expression near %S" t
+  in
+  go (Waveform.dc 0.0) (List.map String.lowercase_ascii tokens)
+
+(* ---------- element lines ---------- *)
+
+let parse_deck_lines lines =
+  let netlist = Netlist.create () in
+  let warnings = ref [] in
+  let models : (string, model) Hashtbl.t = Hashtbl.create 8 in
+  (* First pass: models (so elements can reference them regardless of
+     order). *)
+  List.iter
+    (fun (line, text) ->
+      match tokenize text with
+      | directive :: name :: rest when String.lowercase_ascii directive = ".model" -> begin
+          match rest with
+          | kind :: "(" :: params ->
+              Hashtbl.replace models (String.lowercase_ascii name)
+                (build_model line kind (model_params line params))
+          | [ kind ] ->
+              Hashtbl.replace models (String.lowercase_ascii name)
+                (build_model line kind [])
+          | _ -> fail line "malformed .model"
+        end
+      | _ -> ())
+    lines;
+  let diode_model line = function
+    | None -> Diode.default
+    | Some name -> (
+        match Hashtbl.find_opt models (String.lowercase_ascii name) with
+        | Some (Diode_model p) -> p
+        | Some _ -> fail line "model %S is not a diode model" name
+        | None -> fail line "unknown model %S" name)
+  in
+  let mos_model line name =
+    match Hashtbl.find_opt models (String.lowercase_ascii name) with
+    | Some (Nmos_model p) -> p
+    | Some _ -> fail line "model %S is not a MOS model" name
+    | None -> fail line "unknown model %S" name
+  in
+  let bjt_model line name =
+    match Hashtbl.find_opt models (String.lowercase_ascii name) with
+    | Some (Npn_model p) -> p
+    | Some _ -> fail line "model %S is not a BJT model" name
+    | None -> fail line "unknown model %S" name
+  in
+  List.iter
+    (fun (line, text) ->
+      match tokenize text with
+      | [] -> ()
+      | name :: rest -> (
+          let kind = Char.lowercase_ascii name.[0] in
+          match (kind, rest) with
+          | '.', _ -> begin
+              match String.lowercase_ascii name with
+              | ".model" | ".end" -> ()
+              | other -> warnings := Printf.sprintf "line %d: directive %s skipped" line other :: !warnings
+            end
+          | 'r', [ np; nm; v ] -> Netlist.resistor netlist name np nm (value_exn line v)
+          | 'c', [ np; nm; v ] -> Netlist.capacitor netlist name np nm (value_exn line v)
+          | 'l', [ np; nm; v ] -> Netlist.inductor netlist name np nm (value_exn line v)
+          | 'v', np :: nm :: source -> Netlist.vsource netlist name np nm (parse_source line source)
+          | 'i', np :: nm :: source -> Netlist.isource netlist name np nm (parse_source line source)
+          | 'd', [ a; c ] -> Netlist.diode netlist name a c (diode_model line None)
+          | 'd', [ a; c; model ] -> Netlist.diode netlist name a c (diode_model line (Some model))
+          | 'm', [ d; g; s; model ] ->
+              Netlist.mosfet netlist name ~drain:d ~gate:g ~source:s (mos_model line model)
+          | 'm', [ d; g; s; _bulk; model ] ->
+              Netlist.mosfet netlist name ~drain:d ~gate:g ~source:s (mos_model line model)
+          | 'q', [ c; b; e; model ] ->
+              Netlist.bjt netlist name ~collector:c ~base:b ~emitter:e (bjt_model line model)
+          | 'g', [ op; om; ip; im; gm ] ->
+              Netlist.vccs netlist name ~out_plus:op ~out_minus:om ~in_plus:ip ~in_minus:im
+                (value_exn line gm)
+          | ('r' | 'c' | 'l' | 'd' | 'm' | 'q' | 'g'), _ ->
+              fail line "malformed %c-element %S" kind name
+          | _, _ -> fail line "unsupported element %S" name))
+    lines;
+  (netlist, List.rev !warnings)
+
+(* Per SPICE convention the first raw line is always the title, even
+   when it happens to look like an element. Decks that want no title
+   should start with a blank or comment line. *)
+let parse_string text =
+  let title, body_text =
+    match String.index_opt text '\n' with
+    | None -> (String.trim text, "")
+    | Some i ->
+        (String.trim (String.sub text 0 i), String.sub text i (String.length text - i))
+  in
+  let body = logical_lines body_text in
+  let netlist, warnings = parse_deck_lines body in
+  { title; netlist; warnings }

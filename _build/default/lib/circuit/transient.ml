@@ -1,0 +1,36 @@
+type result = {
+  trace : Numeric.Integrator.trace;
+  dc_iterations : int;
+}
+
+let initial_state ?x0 ?newton_options mna =
+  match x0 with
+  | Some x -> (x, 0)
+  | None ->
+      let r = Dcop.solve ?newton_options mna in
+      if not r.Dcop.converged then failwith "Transient: DC operating point failed";
+      (r.Dcop.x, r.Dcop.newton_iterations)
+
+let run ?method_ ?newton_options ?x0 ~mna ~t_stop ~steps () =
+  let x0, dc_iterations = initial_state ?x0 ?newton_options mna in
+  let trace =
+    Numeric.Integrator.transient ?newton_options ?method_ ~dae:(Mna.dae mna) ~x0 ~t0:0.0
+      ~t1:t_stop ~steps ()
+  in
+  { trace; dc_iterations }
+
+let run_adaptive ?method_ ?newton_options ?rel_tol ?x0 ~mna ~t_stop () =
+  let x0, dc_iterations = initial_state ?x0 ?newton_options mna in
+  let trace =
+    Numeric.Integrator.transient_adaptive ?newton_options ?method_ ?rel_tol
+      ~dae:(Mna.dae mna) ~x0 ~t0:0.0 ~t1:t_stop ()
+  in
+  { trace; dc_iterations }
+
+let node_waveform mna result node =
+  Array.map (fun x -> Mna.voltage mna x node) result.trace.Numeric.Integrator.states
+
+let differential_waveform mna result node_a node_b =
+  Array.map
+    (fun x -> Mna.differential_voltage mna x node_a node_b)
+    result.trace.Numeric.Integrator.states

@@ -1,0 +1,35 @@
+(** SPICE-style transient analysis: DC operating point followed by
+    implicit time stepping. The one-time baseline the paper compares
+    against. *)
+
+type result = {
+  trace : Numeric.Integrator.trace;
+  dc_iterations : int;
+}
+
+val run :
+  ?method_:Numeric.Integrator.method_ ->
+  ?newton_options:Numeric.Newton.options ->
+  ?x0:Linalg.Vec.t ->
+  mna:Mna.t ->
+  t_stop:float ->
+  steps:int ->
+  unit ->
+  result
+(** Fixed-step transient from [t = 0] to [t_stop]. When [x0] is absent
+    the DC operating point is computed first. *)
+
+val run_adaptive :
+  ?method_:Numeric.Integrator.method_ ->
+  ?newton_options:Numeric.Newton.options ->
+  ?rel_tol:float ->
+  ?x0:Linalg.Vec.t ->
+  mna:Mna.t ->
+  t_stop:float ->
+  unit ->
+  result
+
+val node_waveform : Mna.t -> result -> string -> float array
+(** Time series of a node voltage. *)
+
+val differential_waveform : Mna.t -> result -> string -> string -> float array

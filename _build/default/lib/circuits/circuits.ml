@@ -1,0 +1,168 @@
+module N = Circuit.Netlist
+module W = Circuit.Waveform
+
+type built = { netlist : Circuit.Netlist.t; mna : Circuit.Mna.t }
+
+let finish netlist = { netlist; mna = Circuit.Mna.build netlist }
+
+let rc_lowpass ?(r = 1e3) ?(c = 100e-12) ~drive () =
+  let nl = N.create () in
+  N.vsource nl "vin" "in" "0" drive;
+  N.resistor nl "r1" "in" "out" r;
+  N.capacitor nl "c1" "out" "0" c;
+  finish nl
+
+let rlc_series ?(r = 50.0) ?(l = 1e-6) ?(c = 1e-9) ~drive () =
+  let nl = N.create () in
+  N.vsource nl "vin" "in" "0" drive;
+  N.resistor nl "r1" "in" "mid" r;
+  N.inductor nl "l1" "mid" "out" l;
+  N.capacitor nl "c1" "out" "0" c;
+  finish nl
+
+let diode_rectifier ?(load_r = 10e3) ?(load_c = 1e-6) ~drive () =
+  let nl = N.create () in
+  N.vsource nl "vin" "in" "0" drive;
+  N.diode nl "d1" "in" "out" Circuit.Diode.default;
+  N.resistor nl "rl" "out" "0" load_r;
+  N.capacitor nl "cl" "out" "0" load_c;
+  finish nl
+
+let bridge_rectifier ?(load_r = 1e3) ?(load_c = 10e-9) ~drive () =
+  let nl = N.create () in
+  N.vsource nl "vin" "in" "0" drive;
+  N.diode nl "d1" "in" "p" Circuit.Diode.default;
+  N.diode nl "d2" "n" "in" Circuit.Diode.default;
+  N.diode nl "d3" "0" "p" Circuit.Diode.default;
+  N.diode nl "d4" "n" "0" Circuit.Diode.default;
+  N.resistor nl "rl" "p" "n" load_r;
+  N.capacitor nl "cl" "p" "n" load_c;
+  finish nl
+
+let envelope_detector ?(load_r = 10e3) ?load_c ~f1 ~f2 ~amplitude () =
+  let fd = Float.abs (f2 -. f1) in
+  (* RC between the carrier and the beat: pass fd, reject f1. *)
+  let load_c =
+    match load_c with
+    | Some c -> c
+    | None -> 1.0 /. (2.0 *. Float.pi *. load_r *. sqrt (f1 *. fd))
+  in
+  let drive =
+    W.sum
+      (W.sine ~amplitude ~freq:f1 ())
+      (W.sine ~amplitude ~freq:f2 ())
+  in
+  diode_rectifier ~load_r ~load_c ~drive ()
+
+let ideal_mixer ?(gain = 1e-3) ?(load_r = 1e3) ?load_c ~lo ~rf () =
+  let nl = N.create () in
+  N.vsource nl "vlo" "lo" "0" lo;
+  N.vsource nl "vrf" "rf" "0" rf;
+  (* i(out → gnd) = gain · v_lo · v_rf, so v_out = gain·R · v_lo·v_rf. *)
+  N.multiplier nl "mix" ~out_plus:"0" ~out_minus:"out" ~a_plus:"lo" ~a_minus:"0"
+    ~b_plus:"rf" ~b_minus:"0" gain;
+  N.resistor nl "rl" "out" "0" load_r;
+  let load_c =
+    match load_c with
+    | Some c -> c
+    | None ->
+        (* Cut off a decade below the lowest LO frequency. *)
+        let f_min =
+          List.fold_left Float.min infinity (W.frequencies lo @ W.frequencies rf)
+        in
+        1.0 /. (2.0 *. Float.pi *. load_r *. (f_min /. 10.0))
+  in
+  N.capacitor nl "cl" "out" "0" load_c;
+  finish nl
+
+type mixer_nodes = {
+  out_plus : string;
+  out_minus : string;
+  source_node : string;
+  lo_plus : string;
+  lo_minus : string;
+}
+
+let balanced_mixer_nodes =
+  { out_plus = "dp"; out_minus = "dm"; source_node = "s"; lo_plus = "lop"; lo_minus = "lom" }
+
+(* Paper §3 / [11]: M1-M2 (gates driven by antiphase LO halves, sources
+   grounded, drains tied at node s) double the LO; M3-M4 (differential
+   pair with source node s, gates carrying the RF) mix against 2·f_lo;
+   resistive loads to VDD develop the differential output. *)
+let balanced_mixer ?(vdd = 3.0) ?(load_r = 2e3) ?(load_c = 8e-12) ?(lo_bias = 0.9)
+    ?(lo_amplitude = 0.45) ?(rf_bias = 1.8) ?(rf_amplitude = 0.1) ~f_lo ~rf_signal () =
+  let nl = N.create () in
+  N.vsource nl "vdd" "vdd" "0" (W.dc vdd);
+  N.vsource nl "vlop" "lop" "0" (W.sine ~offset:lo_bias ~amplitude:lo_amplitude ~freq:f_lo ());
+  N.vsource nl "vlom" "lom" "0"
+    (W.sine ~offset:lo_bias ~amplitude:(-.lo_amplitude) ~freq:f_lo ());
+  N.vsource nl "vrfp" "rfp" "0"
+    (W.sum (W.dc rf_bias) (W.scale rf_amplitude rf_signal));
+  N.vsource nl "vrfm" "rfm" "0"
+    (W.sum (W.dc rf_bias) (W.scale (-.rf_amplitude) rf_signal));
+  let doubler_params = { Circuit.Mosfet.default_nmos with kp = 4e-3; cgs = 15e-15; cgd = 4e-15 } in
+  let pair_params = { Circuit.Mosfet.default_nmos with kp = 4e-3; cgs = 15e-15; cgd = 4e-15 } in
+  N.mosfet nl "m1" ~drain:"s" ~gate:"lop" ~source:"0" doubler_params;
+  N.mosfet nl "m2" ~drain:"s" ~gate:"lom" ~source:"0" doubler_params;
+  N.mosfet nl "m3" ~drain:"dp" ~gate:"rfp" ~source:"s" pair_params;
+  N.mosfet nl "m4" ~drain:"dm" ~gate:"rfm" ~source:"s" pair_params;
+  N.resistor nl "rlp" "vdd" "dp" load_r;
+  N.resistor nl "rlm" "vdd" "dm" load_r;
+  N.capacitor nl "clp" "dp" "0" load_c;
+  N.capacitor nl "clm" "dm" "0" load_c;
+  finish nl
+
+let unbalanced_mixer ?(vdd = 3.0) ?(load_r = 2e3) ?(load_c = 8e-12) ?(lo_bias = 0.7)
+    ?(lo_amplitude = 0.4) ~f_lo ~rf_signal ~rf_amplitude () =
+  let nl = N.create () in
+  N.vsource nl "vdd" "vdd" "0" (W.dc vdd);
+  let gate_drive =
+    W.sum
+      (W.sine ~offset:lo_bias ~amplitude:lo_amplitude ~freq:f_lo ())
+      (W.scale rf_amplitude rf_signal)
+  in
+  N.vsource nl "vg" "g" "0" gate_drive;
+  N.mosfet nl "m1" ~drain:"out" ~gate:"g" ~source:"0"
+    { Circuit.Mosfet.default_nmos with kp = 4e-3 };
+  N.resistor nl "rl" "vdd" "out" load_r;
+  N.capacitor nl "cl" "out" "0" load_c;
+  finish nl
+
+let gilbert_mixer_nodes =
+  { out_plus = "op"; out_minus = "om"; source_node = "e"; lo_plus = "lop"; lo_minus = "lom" }
+
+let gilbert_mixer ?(vcc = 5.0) ?(load_r = 3e3) ?(load_c = 10e-12) ?(lo_bias = 2.8)
+    ?(lo_amplitude = 0.15) ?(rf_bias = 1.4) ?(tail_r = 2e3) ~f_lo ~rf_signal
+    ~rf_amplitude () =
+  let nl = N.create () in
+  N.vsource nl "vcc" "vcc" "0" (W.dc vcc);
+  N.vsource nl "vlop" "lop" "0" (W.sine ~offset:lo_bias ~amplitude:lo_amplitude ~freq:f_lo ());
+  N.vsource nl "vlom" "lom" "0"
+    (W.sine ~offset:lo_bias ~amplitude:(-.lo_amplitude) ~freq:f_lo ());
+  N.vsource nl "vrfp" "rfp" "0" (W.sum (W.dc rf_bias) (W.scale rf_amplitude rf_signal));
+  N.vsource nl "vrfm" "rfm" "0"
+    (W.sum (W.dc rf_bias) (W.scale (-.rf_amplitude) rf_signal));
+  let q = Circuit.Bjt.default_npn in
+  (* lower RF pair with a resistive tail *)
+  N.bjt nl "q1" ~collector:"cp" ~base:"rfp" ~emitter:"e" q;
+  N.bjt nl "q2" ~collector:"cm" ~base:"rfm" ~emitter:"e" q;
+  N.resistor nl "re" "e" "0" tail_r;
+  (* upper commutating quad, cross-coupled *)
+  N.bjt nl "q3" ~collector:"op" ~base:"lop" ~emitter:"cp" q;
+  N.bjt nl "q4" ~collector:"om" ~base:"lom" ~emitter:"cp" q;
+  N.bjt nl "q5" ~collector:"om" ~base:"lop" ~emitter:"cm" q;
+  N.bjt nl "q6" ~collector:"op" ~base:"lom" ~emitter:"cm" q;
+  N.resistor nl "rlp" "vcc" "op" load_r;
+  N.resistor nl "rlm" "vcc" "om" load_r;
+  N.capacitor nl "clp" "op" "0" load_c;
+  N.capacitor nl "clm" "om" "0" load_c;
+  finish nl
+
+let paper_rf_bitstream ?bits ~f_lo ~fd () =
+  let bits = match bits with Some b -> b | None -> Rf.Prbs.prbs7 6 in
+  let nbits = Array.length bits in
+  let carrier_freq = (2.0 *. f_lo) +. fd in
+  let symbol_freq = float_of_int nbits *. fd in
+  ( W.modulated_carrier ~amplitude:1.0 ~carrier_freq ~bits ~symbol_freq (),
+    bits )

@@ -1,0 +1,113 @@
+(** Ready-made example circuits shared by tests, examples and benches.
+    Every builder returns the netlist and its assembled MNA system. *)
+
+type built = { netlist : Circuit.Netlist.t; mna : Circuit.Mna.t }
+
+val rc_lowpass : ?r:float -> ?c:float -> drive:Circuit.Waveform.t -> unit -> built
+(** Series R into shunt C; input node ["in"], output node ["out"]. *)
+
+val rlc_series : ?r:float -> ?l:float -> ?c:float -> drive:Circuit.Waveform.t -> unit -> built
+(** Series RLC; voltage across the capacitor at ["out"]. *)
+
+val diode_rectifier : ?load_r:float -> ?load_c:float -> drive:Circuit.Waveform.t -> unit -> built
+(** Half-wave rectifier: diode into parallel RC; output ["out"]. *)
+
+val bridge_rectifier :
+  ?load_r:float -> ?load_c:float -> drive:Circuit.Waveform.t -> unit -> built
+(** Full-wave diode bridge with a floating RC load between nodes
+    ["p"] and ["n"]: [v(p) − v(n) ≈ |v_in| − 2·v_diode]. With a
+    two-tone drive the load ripple beats at the difference frequency —
+    the paper's “power conversion circuits” application. *)
+
+val envelope_detector :
+  ?load_r:float -> ?load_c:float -> f1:float -> f2:float -> amplitude:float -> unit -> built
+(** Diode detector driven by the sum of two closely spaced tones —
+    the canonical strongly nonlinear circuit whose output rides at the
+    difference frequency. Output ["out"]. *)
+
+val ideal_mixer :
+  ?gain:float ->
+  ?load_r:float ->
+  ?load_c:float ->
+  lo:Circuit.Waveform.t ->
+  rf:Circuit.Waveform.t ->
+  unit ->
+  built
+(** Behavioral multiplying mixer (paper §2's ideal mixing example,
+    eq. (5)) with an RC IF load sized to keep the sum-frequency ripple
+    small; output ["out"]. *)
+
+type mixer_nodes = {
+  out_plus : string;  (** drain of the RF+ device *)
+  out_minus : string;
+  source_node : string;  (** common source of the upper pair — Fig. 5's node *)
+  lo_plus : string;
+  lo_minus : string;
+}
+
+val balanced_mixer_nodes : mixer_nodes
+
+val balanced_mixer :
+  ?vdd:float ->
+  ?load_r:float ->
+  ?load_c:float ->
+  ?lo_bias:float ->
+  ?lo_amplitude:float ->
+  ?rf_bias:float ->
+  ?rf_amplitude:float ->
+  f_lo:float ->
+  rf_signal:Circuit.Waveform.t ->
+  unit ->
+  built
+(** The paper's balanced LO-doubling down-conversion mixer (§3, after
+    Zhang et al. [11]): a lower MOSFET pair driven by antiphase LO
+    halves acts as a frequency doubler whose tail current feeds an
+    upper differential pair carrying the RF signal; mixing against
+    [2·f_lo] down-converts the RF to baseband at the differential
+    drains. [rf_signal] is the *unit-amplitude* RF drive shape (a pure
+    tone or a modulated bit stream); it is scaled by [rf_amplitude] and
+    applied antisymmetrically around [rf_bias] to the two gates. *)
+
+val unbalanced_mixer :
+  ?vdd:float ->
+  ?load_r:float ->
+  ?load_c:float ->
+  ?lo_bias:float ->
+  ?lo_amplitude:float ->
+  f_lo:float ->
+  rf_signal:Circuit.Waveform.t ->
+  rf_amplitude:float ->
+  unit ->
+  built
+(** Single-MOSFET switching mixer: LO and RF summed at the gate, drain
+    loaded with RC; output ["out"]. The simplest of the paper's
+    “unbalanced switching mixer circuits”. *)
+
+val gilbert_mixer_nodes : mixer_nodes
+
+val gilbert_mixer :
+  ?vcc:float ->
+  ?load_r:float ->
+  ?load_c:float ->
+  ?lo_bias:float ->
+  ?lo_amplitude:float ->
+  ?rf_bias:float ->
+  ?tail_r:float ->
+  f_lo:float ->
+  rf_signal:Circuit.Waveform.t ->
+  rf_amplitude:float ->
+  unit ->
+  built
+(** Classic six-BJT double-balanced Gilbert-cell mixer: a lower
+    differential pair carries the RF, the upper cross-coupled quad is
+    commutated by the LO, resistive loads develop the differential IF.
+    Exercises the Ebers–Moll substrate in the MPDE path; the RF drive
+    here sits at [f_lo + fd] (no internal doubling). *)
+
+val paper_rf_bitstream :
+  ?bits:bool array -> f_lo:float -> fd:float -> unit -> Circuit.Waveform.t * bool array
+(** The paper's information-carrying tone (eq. (14)): a unit-amplitude
+    carrier at [2·f_lo + fd] on-off modulated by a bit pattern whose
+    symbol rate is [nbits · fd], so the pattern repeats exactly once
+    per difference period. Returns the waveform and the bit pattern
+    used (default: 6 bits of PRBS-7). *)

@@ -1,0 +1,134 @@
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+exception Singular of int
+
+(* Doolittle LU with partial pivoting on a row-major copy. *)
+let factor ?(pivot_tol = 1e-300) a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Lu.factor: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      Mat.swap_rows lu k !piv;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < pivot_tol then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let size f = f.lu.Mat.rows
+
+let solve_into f b x =
+  let n = size f in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Lu.solve_into: dimension mismatch";
+  (* Apply permutation into a scratch respecting possible aliasing. *)
+  let y = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* Forward substitution with unit L. *)
+  for i = 1 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get f.lu i j *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get f.lu i j *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get f.lu i i
+  done;
+  Array.blit y 0 x 0 n
+
+let solve f b =
+  let x = Array.make (size f) 0.0 in
+  solve_into f b x;
+  x
+
+let solve_transposed f b =
+  let n = size f in
+  if Array.length b <> n then invalid_arg "Lu.solve_transposed: dimension mismatch";
+  let y = Array.copy b in
+  (* Solve Uᵀ z = b (forward). *)
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get f.lu j i *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get f.lu i i
+  done;
+  (* Solve Lᵀ w = z (backward, unit diagonal). *)
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get f.lu j i *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  (* Undo permutation: x.(perm i) = w i. *)
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(f.perm.(i)) <- y.(i)
+  done;
+  x
+
+let solve_mat f b =
+  let n = size f in
+  if b.Mat.rows <> n then invalid_arg "Lu.solve_mat: dimension mismatch";
+  let x = Mat.create n b.Mat.cols in
+  let column = Array.make n 0.0 in
+  for j = 0 to b.Mat.cols - 1 do
+    for i = 0 to n - 1 do
+      column.(i) <- Mat.get b i j
+    done;
+    solve_into f column column;
+    for i = 0 to n - 1 do
+      Mat.set x i j column.(i)
+    done
+  done;
+  x
+
+let det f =
+  let n = size f in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get f.lu i i
+  done;
+  !d
+
+let inverse f = solve_mat f (Mat.identity (size f))
+
+let solve_dense a b = solve (factor a) b
+
+let rcond_estimate f =
+  let n = size f in
+  if n = 0 then 1.0
+  else begin
+    let mn = ref infinity and mx = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = Float.abs (Mat.get f.lu i i) in
+      if d < !mn then mn := d;
+      if d > !mx then mx := d
+    done;
+    if !mx = 0.0 then 0.0 else !mn /. !mx
+  end

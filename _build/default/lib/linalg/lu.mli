@@ -1,0 +1,42 @@
+(** Dense LU factorization with partial pivoting.
+
+    Factors a square matrix [a] as [P a = L U] where [P] is a row
+    permutation, [L] unit lower triangular and [U] upper triangular, both
+    stored packed in a single matrix. *)
+
+type t
+(** A computed factorization. *)
+
+exception Singular of int
+(** Raised with the offending pivot column when the matrix is numerically
+    singular (pivot magnitude below the singularity threshold). *)
+
+val factor : ?pivot_tol:float -> Mat.t -> t
+(** [factor a] computes the factorization of square [a]. [a] is not
+    modified. @raise Singular if a pivot underflows [pivot_tol]
+    (default [1e-300]). @raise Invalid_argument on non-square input. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] returns [x] with [a x = b]. *)
+
+val solve_into : t -> Vec.t -> Vec.t -> unit
+(** [solve_into lu b x] stores the solution in [x]; [b] is left intact.
+    [b] and [x] may be the same array. *)
+
+val solve_transposed : t -> Vec.t -> Vec.t
+(** [solve_transposed lu b] returns [x] with [aᵀ x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Column-wise solve: [solve_mat lu b] returns [x] with [a x = b]. *)
+
+val det : t -> float
+(** Determinant of the factored matrix (sign includes permutation). *)
+
+val inverse : t -> Mat.t
+
+val solve_dense : Mat.t -> Vec.t -> Vec.t
+(** One-shot convenience: factor then solve. *)
+
+val rcond_estimate : t -> float
+(** Cheap reciprocal-condition estimate: [min |u_ii| / max |u_ii|].
+    Zero means singular-to-working-precision. *)

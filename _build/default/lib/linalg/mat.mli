@@ -1,0 +1,70 @@
+(** Dense real matrices in row-major storage.
+
+    A matrix is a record of row count, column count, and a flat
+    [float array] of length [rows * cols]. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** [create r c] is the [r] x [c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Rows given as arrays; raises [Invalid_argument] on ragged input. *)
+
+val to_arrays : t -> float array array
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_entry : t -> int -> int -> float -> unit
+(** [add_entry m i j v] performs [m.(i,j) <- m.(i,j) + v] (stamping). *)
+
+val dims : t -> int * int
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix-matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into a x y] stores [a*x] in [y]. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** Transposed matrix-vector product [aᵀ x]. *)
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val set_row : t -> int -> Vec.t -> unit
+
+val swap_rows : t -> int -> int -> unit
+
+val frobenius_norm : t -> float
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val outer : Vec.t -> Vec.t -> t
+
+val trace : t -> float
+
+val pp : Format.formatter -> t -> unit

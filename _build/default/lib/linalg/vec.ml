@@ -1,0 +1,102 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let fill x v = Array.fill x 0 (Array.length x) v
+let of_list = Array.of_list
+let to_list = Array.to_list
+let map = Array.map
+
+let check_same_dim x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Vec: dimension mismatch"
+
+let map2 f x y =
+  check_same_dim x y;
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+
+let add x y = map2 ( +. ) x y
+let sub x y = map2 ( -. ) x y
+let scale a x = Array.map (fun v -> a *. v) x
+
+let axpy a x y =
+  check_same_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let axpby a x b y =
+  check_same_dim x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. (b *. y.(i)))
+
+let dot x y =
+  check_same_dim x y;
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+
+let norm1 x = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 x
+
+let dist2 x y =
+  check_same_dim x y;
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    s := !s +. (d *. d)
+  done;
+  sqrt !s
+
+let scale_ip a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let add_ip x y =
+  check_same_dim x y;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) +. y.(i)
+  done
+
+let sub_ip x y =
+  check_same_dim x y;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) -. y.(i)
+  done
+
+let neg x = Array.map (fun v -> -.v) x
+
+let max_abs_index x =
+  if Array.length x = 0 then invalid_arg "Vec.max_abs_index: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length x - 1 do
+    if Float.abs x.(i) > Float.abs x.(!best) then best := i
+  done;
+  !best
+
+let mean x =
+  if Array.length x = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 x /. float_of_int (Array.length x)
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if Float.abs (x.(i) -. y.(i)) > tol then ok := false
+  done;
+  !ok
+
+let pp ppf x =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf v -> Format.fprintf ppf "%.6g" v))
+    (Array.to_list x)

@@ -1,0 +1,1 @@
+lib/mpde/assemble.ml: Array Circuit Grid Linalg Numeric Option Shear Sparse

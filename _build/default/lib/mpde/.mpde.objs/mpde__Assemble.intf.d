@@ -1,0 +1,1 @@
+lib/mpde/assemble.mli: Circuit Grid Linalg Numeric Shear Sparse

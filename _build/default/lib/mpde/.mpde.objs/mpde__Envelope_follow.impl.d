@@ -1,0 +1,1 @@
+lib/mpde/envelope_follow.ml: Array Assemble Extract Fast_column Float Linalg Numeric

@@ -1,0 +1,1 @@
+lib/mpde/envelope_follow.mli: Assemble Extract Linalg Shear

@@ -1,0 +1,1 @@
+lib/mpde/extract.ml: Array Circuit Complex Grid Linalg List Numeric Shear Solver

@@ -1,0 +1,1 @@
+lib/mpde/extract.mli: Circuit Solver

@@ -1,0 +1,1 @@
+lib/mpde/fast_column.ml: Array Assemble Numeric Shear Sparse

@@ -1,0 +1,1 @@
+lib/mpde/fast_column.mli: Assemble Linalg Shear

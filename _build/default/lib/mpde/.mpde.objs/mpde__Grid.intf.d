@@ -1,0 +1,1 @@
+lib/mpde/grid.mli: Shear

@@ -1,0 +1,1 @@
+lib/mpde/refine.ml: Array Assemble Float Grid Solver

@@ -1,0 +1,1 @@
+lib/mpde/refine.mli: Assemble Linalg Shear Solver

@@ -1,0 +1,1 @@
+lib/mpde/shear.ml: Circuit Float

@@ -1,0 +1,1 @@
+lib/mpde/solver.ml: Array Assemble Circuit Fast_column Grid Linalg Numeric Printf Shear Sparse Sys

@@ -1,0 +1,1 @@
+lib/mpde/solver.mli: Assemble Circuit Grid Linalg Shear

@@ -1,0 +1,192 @@
+type system = {
+  size : int;
+  eval_f : Linalg.Vec.t -> Linalg.Vec.t;
+  eval_q : Linalg.Vec.t -> Linalg.Vec.t;
+  jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
+  source_at : t1:float -> t2:float -> Linalg.Vec.t;
+}
+
+let of_mna ~shear mna =
+  let dae = Circuit.Mna.dae mna in
+  {
+    size = Circuit.Mna.size mna;
+    eval_f = dae.Numeric.Dae.eval_f;
+    eval_q = dae.Numeric.Dae.eval_q;
+    jacobians = dae.Numeric.Dae.jacobians;
+    source_at =
+      (fun ~t1 ~t2 -> Circuit.Mna.source_with mna ~phase_of:(Shear.phase shear ~t1 ~t2));
+  }
+
+let of_dae ~shear (dae : Numeric.Dae.t) =
+  ignore shear;
+  {
+    size = dae.Numeric.Dae.size;
+    eval_f = dae.Numeric.Dae.eval_f;
+    eval_q = dae.Numeric.Dae.eval_q;
+    jacobians = dae.Numeric.Dae.jacobians;
+    source_at = (fun ~t1 ~t2:_ -> dae.Numeric.Dae.source t1);
+  }
+
+type scheme = Backward | Central_t1 | Spectral_t1 | Spectral_both
+
+let spectral_ok (g : Grid.t) = g.Grid.n1 >= 3 && g.Grid.n1 mod 2 = 1
+
+let spectral_both_ok (g : Grid.t) =
+  spectral_ok g && g.Grid.n2 >= 3 && g.Grid.n2 mod 2 = 1
+
+let diff_matrix_t1 (g : Grid.t) =
+  Numeric.Spectral.diff_matrix g.Grid.n1 (Shear.t1_period g.Grid.shear)
+
+let diff_matrix_t2 (g : Grid.t) =
+  Numeric.Spectral.diff_matrix g.Grid.n2 (Shear.t2_period g.Grid.shear)
+
+let state_of ~size big_x p = Array.sub big_x (p * size) size
+
+let sources_on_grid sys (g : Grid.t) =
+  Array.init (Grid.points g) (fun p ->
+      let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
+      sys.source_at ~t1:(Grid.t1_of g i) ~t2:(Grid.t2_of g j))
+
+let residual scheme sys (g : Grid.t) ~sources big_x =
+  let n = sys.size in
+  let np = Grid.points g in
+  let qs = Array.init np (fun p -> sys.eval_q (state_of ~size:n big_x p)) in
+  let r = Array.make (np * n) 0.0 in
+  let diff_t1 =
+    match scheme with
+    | Spectral_t1 ->
+        if not (spectral_ok g) then
+          invalid_arg "Mpde.Assemble: Spectral_t1 needs odd n1 >= 3";
+        Some (diff_matrix_t1 g)
+    | Spectral_both ->
+        if not (spectral_both_ok g) then
+          invalid_arg "Mpde.Assemble: Spectral_both needs odd n1 and n2 >= 3";
+        Some (diff_matrix_t1 g)
+    | Backward | Central_t1 -> None
+  in
+  let diff_t2 =
+    match scheme with Spectral_both -> Some (diff_matrix_t2 g) | Backward | Central_t1 | Spectral_t1 -> None
+  in
+  for p = 0 to np - 1 do
+    let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
+    let f = sys.eval_f (state_of ~size:n big_x p) in
+    let b = sources.(p) in
+    let q = qs.(p) in
+    let q_jm1 = qs.(Grid.point_index g i (j - 1)) in
+    (match scheme with
+    | Backward ->
+        let q_im1 = qs.(Grid.point_index g (i - 1) j) in
+        for v = 0 to n - 1 do
+          r.((p * n) + v) <-
+            ((q.(v) -. q_im1.(v)) /. g.Grid.h1)
+            +. ((q.(v) -. q_jm1.(v)) /. g.Grid.h2)
+            +. f.(v) -. b.(v)
+        done
+    | Central_t1 ->
+        let q_im1 = qs.(Grid.point_index g (i - 1) j) in
+        let q_ip1 = qs.(Grid.point_index g (i + 1) j) in
+        for v = 0 to n - 1 do
+          r.((p * n) + v) <-
+            ((q_ip1.(v) -. q_im1.(v)) /. (2.0 *. g.Grid.h1))
+            +. ((q.(v) -. q_jm1.(v)) /. g.Grid.h2)
+            +. f.(v) -. b.(v)
+        done
+    | Spectral_t1 ->
+        let d = Option.get diff_t1 in
+        for v = 0 to n - 1 do
+          let dq = ref 0.0 in
+          for l = 0 to g.Grid.n1 - 1 do
+            let dil = Linalg.Mat.get d i l in
+            if dil <> 0.0 then dq := !dq +. (dil *. qs.(Grid.point_index g l j).(v))
+          done;
+          r.((p * n) + v) <-
+            !dq +. ((q.(v) -. q_jm1.(v)) /. g.Grid.h2) +. f.(v) -. b.(v)
+        done
+    | Spectral_both ->
+        let d1 = Option.get diff_t1 and d2 = Option.get diff_t2 in
+        for v = 0 to n - 1 do
+          let dq = ref 0.0 in
+          for l = 0 to g.Grid.n1 - 1 do
+            let dil = Linalg.Mat.get d1 i l in
+            if dil <> 0.0 then dq := !dq +. (dil *. qs.(Grid.point_index g l j).(v))
+          done;
+          for m = 0 to g.Grid.n2 - 1 do
+            let djm = Linalg.Mat.get d2 j m in
+            if djm <> 0.0 then dq := !dq +. (djm *. qs.(Grid.point_index g i m).(v))
+          done;
+          r.((p * n) + v) <- !dq +. f.(v) -. b.(v)
+        done)
+  done;
+  r
+
+let point_jacobians sys (g : Grid.t) big_x =
+  Array.init (Grid.points g) (fun p -> sys.jacobians (state_of ~size:sys.size big_x p))
+
+let add_block coo ~row_base ~col_base ~scale (m : Sparse.Csr.t) =
+  if scale <> 0.0 then
+    for i = 0 to m.Sparse.Csr.rows - 1 do
+      Sparse.Csr.iter_row m i (fun j v ->
+          Sparse.Coo.add coo (row_base + i) (col_base + j) (scale *. v))
+    done
+
+let jacobian_csr scheme (g : Grid.t) ~size ~jacs =
+  let n = size in
+  let np = Grid.points g in
+  let big = np * n in
+  let coo = Sparse.Coo.create ~capacity:(12 * big) big big in
+  let diff_t1 =
+    match scheme with
+    | Spectral_t1 | Spectral_both -> Some (diff_matrix_t1 g)
+    | Backward | Central_t1 -> None
+  in
+  let diff_t2 =
+    match scheme with Spectral_both -> Some (diff_matrix_t2 g) | Backward | Central_t1 | Spectral_t1 -> None
+  in
+  for p = 0 to np - 1 do
+    let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
+    let gp, cp = jacs.(p) in
+    let row_base = p * n in
+    (* t2 coupling: backward difference except for the bi-spectral scheme *)
+    (match scheme with
+    | Backward | Central_t1 | Spectral_t1 ->
+        let p_jm1 = Grid.point_index g i (j - 1) in
+        let _, c_jm1 = jacs.(p_jm1) in
+        add_block coo ~row_base ~col_base:row_base ~scale:(1.0 /. g.Grid.h2) cp;
+        add_block coo ~row_base ~col_base:(p_jm1 * n) ~scale:(-1.0 /. g.Grid.h2) c_jm1
+    | Spectral_both ->
+        let d2 = Option.get diff_t2 in
+        for m = 0 to g.Grid.n2 - 1 do
+          let djm = Linalg.Mat.get d2 j m in
+          if djm <> 0.0 then begin
+            let pm = Grid.point_index g i m in
+            let _, c_m = jacs.(pm) in
+            add_block coo ~row_base ~col_base:(pm * n) ~scale:djm c_m
+          end
+        done);
+    (* conductive part on the diagonal block *)
+    add_block coo ~row_base ~col_base:row_base ~scale:1.0 gp;
+    (match scheme with
+    | Backward ->
+        let p_im1 = Grid.point_index g (i - 1) j in
+        let _, c_im1 = jacs.(p_im1) in
+        add_block coo ~row_base ~col_base:row_base ~scale:(1.0 /. g.Grid.h1) cp;
+        add_block coo ~row_base ~col_base:(p_im1 * n) ~scale:(-1.0 /. g.Grid.h1) c_im1
+    | Central_t1 ->
+        let p_im1 = Grid.point_index g (i - 1) j in
+        let p_ip1 = Grid.point_index g (i + 1) j in
+        let _, c_im1 = jacs.(p_im1) in
+        let _, c_ip1 = jacs.(p_ip1) in
+        add_block coo ~row_base ~col_base:(p_ip1 * n) ~scale:(0.5 /. g.Grid.h1) c_ip1;
+        add_block coo ~row_base ~col_base:(p_im1 * n) ~scale:(-0.5 /. g.Grid.h1) c_im1
+    | Spectral_t1 | Spectral_both ->
+        let d = Option.get diff_t1 in
+        for l = 0 to g.Grid.n1 - 1 do
+          let dil = Linalg.Mat.get d i l in
+          if dil <> 0.0 then begin
+            let pl = Grid.point_index g l j in
+            let _, c_l = jacs.(pl) in
+            add_block coo ~row_base ~col_base:(pl * n) ~scale:dil c_l
+          end
+        done)
+  done;
+  Sparse.Csr.of_coo coo

@@ -1,0 +1,73 @@
+(** Discretization of the MPDE (paper eq. (4))
+
+    [∂q(x̂)/∂t1 + ∂q(x̂)/∂t2 + f(x̂) = b̂(t1, t2)]
+
+    on the bi-periodic grid. The default scheme is fully implicit
+    backward differences in both artificial times (robust for the stiff
+    switching circuits the method targets); a central-difference option
+    along [t1] is provided for the accuracy-order ablation. *)
+
+type system = {
+  size : int;  (** circuit unknowns per grid point *)
+  eval_f : Linalg.Vec.t -> Linalg.Vec.t;
+  eval_q : Linalg.Vec.t -> Linalg.Vec.t;
+  jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
+  source_at : t1:float -> t2:float -> Linalg.Vec.t;  (** [b̂(t1, t2)] *)
+}
+
+val of_mna : shear:Shear.t -> Circuit.Mna.t -> system
+(** Wire a circuit's MNA equations to the sheared excitation. *)
+
+val of_dae : shear:Shear.t -> Numeric.Dae.t -> system
+(** For systems built directly as DAEs: [b̂] is evaluated by warping
+    only through the diagonal convention [b̂(t1,t2) = b(t1)] is NOT
+    assumed — instead the DAE's source is sampled at the sheared
+    equivalent time, which is only valid for single-tone sources on the
+    fast scale. Prefer {!of_mna} for multi-tone excitations. *)
+
+type scheme =
+  | Backward  (** fully implicit backward differences in t1 and t2 (default) *)
+  | Central_t1  (** 2nd-order central differences along t1, backward along t2 *)
+  | Spectral_t1
+      (** exact trigonometric (pseudo-spectral) differentiation along t1 —
+          the mixed frequency-time variant: harmonic-balance accuracy on
+          the fast scale, time-domain backward differences on the slow
+          difference scale. Requires odd [n1]; best with the [Direct]
+          linear solver (the Jacobian couples all fast-scale points). *)
+  | Spectral_both
+      (** pseudo-spectral differentiation along *both* artificial times —
+          algebraically this is two-tone harmonic balance with box
+          truncation over the (f1, fd) lattice, recovered inside the
+          MPDE machinery. Exact for smooth (band-limited) solutions;
+          inherits HB's weakness on sharp switching waveforms, which is
+          precisely the comparison the paper draws. Requires odd [n1]
+          and odd [n2]; use the [Direct] linear solver. *)
+
+val spectral_ok : Grid.t -> bool
+(** Whether the grid's [n1] is acceptable for [Spectral_t1] (odd). *)
+
+val spectral_both_ok : Grid.t -> bool
+(** Whether both grid dimensions are acceptable for [Spectral_both]. *)
+
+val sources_on_grid : system -> Grid.t -> Linalg.Vec.t array
+(** Per-point [b̂] samples in flattened point order (precompute once —
+    the excitation does not depend on the iterate). *)
+
+val residual :
+  scheme -> system -> Grid.t -> sources:Linalg.Vec.t array -> Linalg.Vec.t -> Linalg.Vec.t
+(** Residual of the discretized MPDE at the flattened iterate. *)
+
+val point_jacobians :
+  system -> Grid.t -> Linalg.Vec.t -> (Sparse.Csr.t * Sparse.Csr.t) array
+(** [(G, C)] per grid point, flattened point order. *)
+
+val jacobian_csr :
+  scheme ->
+  Grid.t ->
+  size:int ->
+  jacs:(Sparse.Csr.t * Sparse.Csr.t) array ->
+  Sparse.Csr.t
+(** Global sparse Jacobian from per-point blocks. *)
+
+val state_of : size:int -> Linalg.Vec.t -> int -> Linalg.Vec.t
+(** Extract grid point [p]'s circuit state from the flattened vector. *)

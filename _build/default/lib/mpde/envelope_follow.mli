@@ -1,0 +1,57 @@
+(** Envelope-following (initial-value) mode of the MPDE: instead of
+    bi-periodic boundary conditions, integrate along the slow scale
+    [t2] with backward Euler, solving at each slow step a fast-scale
+    periodic problem. This handles aperiodic slow-scale content (one-
+    shot symbol sequences, start-up transients of the envelope) — the
+    “envelope simulation” capability of the multi-time family the
+    paper's introduction refers to. *)
+
+type result = {
+  t2_values : float array;  (** slow-time instants, [steps + 1] of them *)
+  columns : Linalg.Vec.t array array;
+      (** [columns.(s).(i)] is the circuit state at fast index [i] and
+          slow time [t2_values.(s)] *)
+  newton_iterations : int;
+  converged : bool;
+}
+
+val frozen_column :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?seed:Linalg.Vec.t ->
+  Assemble.system ->
+  n1:int ->
+  shear:Shear.t ->
+  t2:float ->
+  Linalg.Vec.t array
+(** Quasi-static fast-scale periodic steady state with the slow scale
+    frozen at the given [t2] (drops the [∂/∂t2] term). Used to start
+    the envelope march and to build the MPDE solver's quasi-static
+    initial guess. @raise Failure if the fast-scale Newton fails. *)
+
+val initial_column :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?seed:Linalg.Vec.t ->
+  Assemble.system ->
+  n1:int ->
+  shear:Shear.t ->
+  Linalg.Vec.t array
+(** [frozen_column ~t2:0.0]. *)
+
+val run :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?x_init:Linalg.Vec.t array ->
+  ?seed:Linalg.Vec.t ->
+  system:Assemble.system ->
+  shear:Shear.t ->
+  n1:int ->
+  t2_stop:float ->
+  steps:int ->
+  unit ->
+  result
+(** March the envelope from [t2 = 0] to [t2_stop]. [x_init] gives the
+    starting fast-scale column (default {!initial_column}). *)
+
+val envelope_of : result -> unknown:int -> mode:Extract.envelope_mode -> float array

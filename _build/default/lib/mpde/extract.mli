@@ -1,0 +1,63 @@
+(** Post-processing of MPDE solutions: multi-time surfaces (Figs. 3, 5),
+    baseband envelopes along the difference-frequency scale (Fig. 4),
+    one-time waveform reconstruction along the diagonal (Fig. 6), and
+    conversion gain / distortion figures. *)
+
+val surface : Solver.solution -> unknown:int -> float array array
+(** [surface sol ~unknown] is the [n1] x [n2] array of the unknown's
+    values: result.(i).(j) = x̂ at [(t1_i, t2_j)]. *)
+
+val surface_of_node : Solver.solution -> Circuit.Mna.t -> string -> float array array
+
+val differential_surface :
+  Solver.solution -> Circuit.Mna.t -> string -> string -> float array array
+
+type envelope_mode =
+  | At_t1 of float  (** sample at fixed fast-scale fraction [∈ [0,1)] *)
+  | Mean_t1  (** average over the fast scale (baseband component) *)
+  | Peak_t1  (** max over the fast scale (envelope detector view) *)
+
+val envelope : ?mode:envelope_mode -> Solver.solution -> values:float array array -> float array
+(** Length-[n2] baseband waveform along [t2] (default [Mean_t1]). *)
+
+val envelope_times : Solver.solution -> float array
+(** The [t2] sample instants matching {!envelope}. *)
+
+val diagonal :
+  Solver.solution ->
+  values:float array array ->
+  t_start:float ->
+  t_stop:float ->
+  samples:int ->
+  float array * float array
+(** One-time reconstruction [x(t) = x̂(t mod T1, t mod Td)] by periodic
+    bilinear interpolation (paper Fig. 6); returns [(times, values)]. *)
+
+val t2_harmonic_amplitude : values:float array array -> harmonic:int -> float
+(** Amplitude of the given harmonic of the difference frequency in the
+    [Mean_t1] baseband waveform. *)
+
+val conversion_gain_db :
+  values:float array array -> rf_amplitude:float -> harmonic:int -> float
+(** [20·log10 (baseband harmonic amplitude / RF drive amplitude)] —
+    the paper's down-conversion gain figure. *)
+
+val thd : values:float array array -> ?max_harmonic:int -> unit -> float
+(** Total harmonic distortion of the baseband waveform:
+    [sqrt(Σ_{k≥2} A_k²) / A_1] (default [max_harmonic] = [n2/2]). *)
+
+type mixing_product = {
+  k1 : int;  (** harmonic of the fast fundamental, [0 .. n1/2] *)
+  k2 : int;  (** harmonic of the difference frequency, [−n2/2 .. n2/2] *)
+  amplitude : float;
+  frequency : float;  (** the one-time frequency [k1·f1 + k2·fd] *)
+}
+
+val mixing_spectrum :
+  Solver.solution -> values:float array array -> ?top:int -> unit -> mixing_product list
+(** 2-D Fourier analysis of a multi-time surface: every mixing product
+    [k1·f1 + k2·fd] present in the solution, sorted by amplitude
+    (largest first, at most [top] entries, default 12; the DC term is
+    included as [(0, 0)]). This is the map of sum/difference tones the
+    paper's §1 describes HB as expanding in — recovered here from the
+    purely time-domain solution. *)

@@ -1,0 +1,228 @@
+module Vec = Linalg.Vec
+
+type linear_solver =
+  | Direct
+  | Gmres_sweep of { restart : int; max_iter : int; tol : float }
+
+let default_gmres = Gmres_sweep { restart = 60; max_iter = 600; tol = 1e-9 }
+
+type options = {
+  max_newton : int;
+  tol : float;
+  scheme : Assemble.scheme;
+  linear_solver : linear_solver;
+  allow_continuation : bool;
+}
+
+let default_options =
+  {
+    max_newton = 50;
+    tol = 1e-8;
+    scheme = Assemble.Backward;
+    linear_solver = default_gmres;
+    allow_continuation = true;
+  }
+
+type stats = {
+  newton_iterations : int;
+  converged : bool;
+  residual_norm : float;
+  linear_iterations : int;
+  continuation_steps : int;
+  wall_seconds : float;
+}
+
+type solution = {
+  grid : Grid.t;
+  system : Assemble.system;
+  big_x : Vec.t;
+  stats : stats;
+}
+
+(* Block forward-substitution sweep: apply M⁻¹ where M keeps the
+   diagonal blocks D_p = (1/h1 + 1/h2)·C_p + G_p and the two
+   backward-difference neighbour blocks, *dropping the periodic wraps*
+   (i = 0 and j = 0 rows lose their wrapped neighbour). Lexicographic
+   order then makes M block lower-triangular, solvable in one pass with
+   dense per-point LU factors. *)
+let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs =
+  let n = size in
+  let np = Grid.points g in
+  (* The sweep is exact (up to periodic wraps) for the backward scheme;
+     for central/spectral t1 schemes it degrades to a block Gauss-Seidel
+     over the t2 columns (the t1 coupling is left to GMRES). *)
+  let t1_in_diag =
+    match scheme with
+    | Assemble.Backward -> true
+    | Assemble.Central_t1 | Assemble.Spectral_t1 | Assemble.Spectral_both -> false
+  in
+  let diag_factors =
+    Array.init np (fun p ->
+        let gp, cp = jacs.(p) in
+        let d = Linalg.Mat.create n n in
+        let scale_c =
+          (if t1_in_diag then 1.0 /. g.Grid.h1 else 0.0) +. (1.0 /. g.Grid.h2)
+        in
+        for i = 0 to n - 1 do
+          Sparse.Csr.iter_row cp i (fun j v -> Linalg.Mat.add_entry d i j (scale_c *. v));
+          Sparse.Csr.iter_row gp i (fun j v -> Linalg.Mat.add_entry d i j v)
+        done;
+        Linalg.Lu.factor d)
+  in
+  fun (r : Vec.t) ->
+    let x = Array.make (np * n) 0.0 in
+    let rhs = Array.make n 0.0 in
+    let xp = Array.make n 0.0 in
+    for p = 0 to np - 1 do
+      let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
+      Array.blit r (p * n) rhs 0 n;
+      (* Move the lower-neighbour couplings (−C/h) to the right side. *)
+      if t1_in_diag && i > 0 then begin
+        let p_im1 = p - 1 in
+        let _, c = jacs.(p_im1) in
+        for row = 0 to n - 1 do
+          Sparse.Csr.iter_row c row (fun col v ->
+              rhs.(row) <- rhs.(row) +. (v /. g.Grid.h1 *. x.((p_im1 * n) + col)))
+        done
+      end;
+      if j > 0 then begin
+        let p_jm1 = p - g.Grid.n1 in
+        let _, c = jacs.(p_jm1) in
+        for row = 0 to n - 1 do
+          Sparse.Csr.iter_row c row (fun col v ->
+              rhs.(row) <- rhs.(row) +. (v /. g.Grid.h2 *. x.((p_jm1 * n) + col)))
+        done
+      end;
+      Linalg.Lu.solve_into diag_factors.(p) rhs xp;
+      Array.blit xp 0 x (p * n) n
+    done;
+    x
+
+let solve_linear options (g : Grid.t) ~size ~jacs ~rhs ~linear_iters =
+  match options.linear_solver with
+  | Direct ->
+      let jac = Assemble.jacobian_csr options.scheme g ~size ~jacs in
+      Sparse.Splu.solve (Sparse.Splu.factor jac) rhs
+  | Gmres_sweep { restart; max_iter; tol } ->
+      let jac = Assemble.jacobian_csr options.scheme g ~size ~jacs in
+      let precond = make_sweep_preconditioner options.scheme g ~size ~jacs in
+      let result =
+        Sparse.Krylov.gmres ~restart ~max_iter ~tol ~precond
+          (Sparse.Krylov.csr_operator jac) rhs
+      in
+      linear_iters := !linear_iters + result.Sparse.Krylov.iterations;
+      if not result.Sparse.Krylov.converged then
+        failwith
+          (Printf.sprintf "MPDE GMRES stalled (residual %.3e after %d iterations)"
+             result.Sparse.Krylov.residual_norm result.Sparse.Krylov.iterations);
+      result.Sparse.Krylov.x
+
+let newton_problem options sys (g : Grid.t) ~sources ~linear_iters ~source_scale =
+  let scaled_sources =
+    if source_scale = 1.0 then sources
+    else Array.map (Vec.scale source_scale) sources
+  in
+  {
+    Numeric.Newton.residual =
+      (fun big_x -> Assemble.residual options.scheme sys g ~sources:scaled_sources big_x);
+    solve_linearized =
+      (fun big_x r ->
+        let jacs = Assemble.point_jacobians sys g big_x in
+        solve_linear options g ~size:sys.Assemble.size ~jacs ~rhs:r ~linear_iters);
+  }
+
+let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t) =
+  let t_start = Sys.time () in
+  let n = sys.Assemble.size in
+  let np = Grid.points g in
+  let big = np * n in
+  let big_x0 =
+    let x = Array.make big 0.0 in
+    (match seed with
+    | Some s when Array.length s = n ->
+        for p = 0 to np - 1 do
+          Array.blit s 0 x (p * n) n
+        done
+    | Some s when Array.length s = big -> Array.blit s 0 x 0 big
+    | Some _ -> invalid_arg "Mpde.Solver.solve: bad seed size"
+    | None -> ());
+    x
+  in
+  let sources = Assemble.sources_on_grid sys g in
+  let linear_iters = ref 0 in
+  let newton_options =
+    { Numeric.Newton.default_options with max_iterations = options.max_newton; abs_tol = options.tol }
+  in
+  let big_x, stats =
+    Numeric.Newton.solve ~options:newton_options
+      (newton_problem options sys g ~sources ~linear_iters ~source_scale:1.0)
+      big_x0
+  in
+  let newton_iterations = ref stats.Numeric.Newton.iterations in
+  let continuation_steps = ref 0 in
+  let big_x, converged, residual_norm =
+    if Numeric.Newton.converged stats then
+      (big_x, true, stats.Numeric.Newton.residual_norm)
+    else if options.allow_continuation then begin
+      let problem_at lambda =
+        newton_problem options sys g ~sources ~linear_iters ~source_scale:lambda
+      in
+      let x, cstats =
+        Numeric.Continuation.trace ~newton_options ~problem_at ~x0:big_x0 ()
+      in
+      newton_iterations :=
+        !newton_iterations + cstats.Numeric.Continuation.newton_iterations;
+      continuation_steps := cstats.Numeric.Continuation.steps_taken;
+      let r = Assemble.residual options.scheme sys g ~sources x in
+      (x, cstats.Numeric.Continuation.converged, Vec.norm_inf r)
+    end
+    else (big_x, false, stats.Numeric.Newton.residual_norm)
+  in
+  {
+    grid = g;
+    system = sys;
+    big_x;
+    stats =
+      {
+        newton_iterations = !newton_iterations;
+        converged;
+        residual_norm;
+        linear_iterations = !linear_iters;
+        continuation_steps = !continuation_steps;
+        wall_seconds = Sys.time () -. t_start;
+      };
+  }
+
+let solve_mna ?options ~shear ~n1 ~n2 mna =
+  (match Shear.validate_sources shear mna with
+  | Ok () -> ()
+  | Error f -> raise (Shear.Off_lattice f));
+  let grid = Grid.make ~shear ~n1 ~n2 in
+  let sys = Assemble.of_mna ~shear mna in
+  let seed =
+    let r = Circuit.Dcop.solve mna in
+    if r.Circuit.Dcop.converged then Some r.Circuit.Dcop.x else None
+  in
+  solve ?options ?seed sys grid
+
+let state_at sol ~i ~j =
+  let p = Grid.point_index sol.grid i j in
+  Assemble.state_of ~size:sol.system.Assemble.size sol.big_x p
+
+let quasi_static_start ?seed (sys : Assemble.system) (g : Grid.t) =
+  let n = sys.Assemble.size in
+  let n1 = g.Grid.n1 in
+  let big = Array.make (Grid.points g * n) 0.0 in
+  for j = 0 to g.Grid.n2 - 1 do
+    let column =
+      Fast_column.frozen_column ?seed sys ~n1 ~shear:g.Grid.shear ~t2:(Grid.t2_of g j)
+    in
+    Array.iteri
+      (fun i x -> Array.blit x 0 big (Grid.point_index g i j * n) n)
+      column
+  done;
+  big
+
+let residual_norm_check ?(scheme = Assemble.Backward) sol =
+  let sources = Assemble.sources_on_grid sol.system sol.grid in
+  Vec.norm_inf (Assemble.residual scheme sol.system sol.grid ~sources sol.big_x)

@@ -1,0 +1,88 @@
+(** Newton solution of the discretized MPDE.
+
+    Two linear solvers are provided:
+
+    - [Direct]: general sparse LU on the global Jacobian — robust,
+      reasonable for grids up to a few thousand points;
+    - [Gmres_sweep]: GMRES right-preconditioned by a block
+      forward-substitution sweep. With lexicographic ordering the
+      backward-difference Jacobian is block lower-triangular except for
+      the two periodic wrap couplings, so one sweep (factoring only the
+      [n] x [n] diagonal blocks) is a very strong preconditioner — the
+      multi-time analogue of the matrix-free Krylov shooting of the
+      paper's ref. [10].
+
+    When plain Newton fails, {!solve} falls back to source-stepping
+    continuation (paper §3: “using continuation reliably obtained
+    solutions in 10-20m”). *)
+
+type linear_solver =
+  | Direct
+  | Gmres_sweep of { restart : int; max_iter : int; tol : float }
+
+val default_gmres : linear_solver
+
+type options = {
+  max_newton : int;  (** default 50 *)
+  tol : float;  (** residual infinity norm, default 1e-8 *)
+  scheme : Assemble.scheme;
+  linear_solver : linear_solver;
+  allow_continuation : bool;  (** fall back to source stepping, default true *)
+}
+
+val default_options : options
+
+type stats = {
+  newton_iterations : int;
+  converged : bool;
+  residual_norm : float;
+  linear_iterations : int;  (** cumulated GMRES inner iterations (0 for Direct) *)
+  continuation_steps : int;  (** 0 when plain Newton succeeded *)
+  wall_seconds : float;
+}
+
+type solution = {
+  grid : Grid.t;
+  system : Assemble.system;
+  big_x : Linalg.Vec.t;
+  stats : stats;
+}
+
+val solve :
+  ?options:options ->
+  ?seed:Linalg.Vec.t ->
+  Assemble.system ->
+  Grid.t ->
+  solution
+(** [seed] is either a single circuit state, replicated to every grid
+    point (typically the DC operating point), or a full flattened grid
+    state (e.g. from {!quasi_static_start}); default is the zero
+    state. *)
+
+val solve_mna :
+  ?options:options ->
+  shear:Shear.t ->
+  n1:int ->
+  n2:int ->
+  Circuit.Mna.t ->
+  solution
+(** Convenience: validates source frequencies against the shear
+    lattice, computes the DC operating point as seed, and solves.
+    @raise Shear.Off_lattice on inconsistent source frequencies. *)
+
+val state_at : solution -> i:int -> j:int -> Linalg.Vec.t
+(** Circuit state at grid point [(i, j)] (indices wrapped). *)
+
+val quasi_static_start :
+  ?seed:Linalg.Vec.t -> Assemble.system -> Grid.t -> Linalg.Vec.t
+(** Flattened initial guess built by solving, independently for every
+    slow grid line [t2_j], the fast-scale periodic problem with the
+    slow scale frozen (no [∂/∂t2] term). Much closer to the MPDE
+    solution than a replicated DC point when the slow variation is
+    strong; pass the result as [solve]'s full-length [seed].
+    @raise Failure if any column's Newton fails. *)
+
+val residual_norm_check : ?scheme:Assemble.scheme -> solution -> float
+(** Recompute ‖residual‖∞ of the stored solution under the given
+    discretization (default [Backward]) — a defensive check for tests;
+    pass the scheme the solution was computed with. *)

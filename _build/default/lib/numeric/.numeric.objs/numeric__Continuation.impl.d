@@ -1,0 +1,1 @@
+lib/numeric/continuation.ml: Float Newton

@@ -1,0 +1,1 @@
+lib/numeric/continuation.mli: Linalg Newton

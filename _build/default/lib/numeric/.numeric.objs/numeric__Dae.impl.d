@@ -1,0 +1,1 @@
+lib/numeric/dae.ml: Array Linalg Sparse

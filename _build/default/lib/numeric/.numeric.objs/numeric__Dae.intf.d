@@ -1,0 +1,1 @@
+lib/numeric/dae.mli: Linalg Sparse

@@ -1,0 +1,1 @@
+lib/numeric/integrator.ml: Array Dae Float Linalg List Newton Option Sparse

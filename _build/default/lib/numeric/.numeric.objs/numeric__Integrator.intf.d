@@ -1,0 +1,1 @@
+lib/numeric/integrator.mli: Dae Linalg Newton

@@ -1,0 +1,1 @@
+lib/numeric/spectral.ml: Linalg

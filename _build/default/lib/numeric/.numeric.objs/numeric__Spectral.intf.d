@@ -1,0 +1,1 @@
+lib/numeric/spectral.mli: Linalg

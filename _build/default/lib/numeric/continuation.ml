@@ -1,0 +1,51 @@
+type stats = {
+  steps_taken : int;
+  steps_rejected : int;
+  newton_iterations : int;
+  converged : bool;
+}
+
+let trace ?(initial_step = 0.1) ?(min_step = 1e-6) ?(max_step = 0.5)
+    ?(newton_options = Newton.default_options) ~problem_at ~x0 () =
+  let newton_iterations = ref 0 in
+  let steps_taken = ref 0 and steps_rejected = ref 0 in
+  let run lambda guess =
+    let x, stats = Newton.solve ~options:newton_options (problem_at lambda) guess in
+    newton_iterations := !newton_iterations + stats.Newton.iterations;
+    if Newton.converged stats then Some x else None
+  in
+  match run 0.0 x0 with
+  | None ->
+      ( x0,
+        {
+          steps_taken = 0;
+          steps_rejected = 0;
+          newton_iterations = !newton_iterations;
+          converged = false;
+        } )
+  | Some x_start ->
+      let rec go lambda x step easy_streak =
+        if lambda >= 1.0 then (x, true)
+        else if step < min_step then (x, false)
+        else begin
+          let lambda' = Float.min 1.0 (lambda +. step) in
+          match run lambda' x with
+          | Some x' ->
+              incr steps_taken;
+              let step' =
+                if easy_streak >= 1 then Float.min max_step (2.0 *. step) else step
+              in
+              go lambda' x' step' (easy_streak + 1)
+          | None ->
+              incr steps_rejected;
+              go lambda x (step /. 4.0) 0
+        end
+      in
+      let x_final, converged = go 0.0 x_start initial_step 0 in
+      ( x_final,
+        {
+          steps_taken = !steps_taken;
+          steps_rejected = !steps_rejected;
+          newton_iterations = !newton_iterations;
+          converged;
+        } )

@@ -1,0 +1,30 @@
+(** Homotopy/continuation driver (paper §3: “In cases where
+    Newton-Raphson did not converge, using continuation reliably obtained
+    solutions”).
+
+    The user supplies a family of Newton problems parameterized by
+    [lambda ∈ [0, 1]]; the driver tracks the solution path from an easy
+    problem ([lambda = 0], e.g. sources off or heavily gmin-loaded) to
+    the target ([lambda = 1]) with adaptive step control. *)
+
+type stats = {
+  steps_taken : int;  (** accepted continuation steps *)
+  steps_rejected : int;
+  newton_iterations : int;  (** cumulative across all steps *)
+  converged : bool;
+}
+
+val trace :
+  ?initial_step:float ->
+  ?min_step:float ->
+  ?max_step:float ->
+  ?newton_options:Newton.options ->
+  problem_at:(float -> Newton.problem) ->
+  x0:Linalg.Vec.t ->
+  unit ->
+  Linalg.Vec.t * stats
+(** [trace ~problem_at ~x0 ()] starts by solving at [lambda = 0] from
+    [x0]. Steps grow by 2x after easy successes and shrink by 4x on
+    failure. Defaults: [initial_step = 0.1], [min_step = 1e-6],
+    [max_step = 0.5]. Returns the last iterate even on failure
+    ([converged = false]). *)

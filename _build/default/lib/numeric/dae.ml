@@ -1,0 +1,20 @@
+type t = {
+  size : int;
+  eval_f : Linalg.Vec.t -> Linalg.Vec.t;
+  eval_q : Linalg.Vec.t -> Linalg.Vec.t;
+  jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
+  source : float -> Linalg.Vec.t;
+}
+
+let linear ~g ~c ~source =
+  {
+    size = g.Sparse.Csr.rows;
+    eval_f = (fun x -> Sparse.Csr.mul_vec g x);
+    eval_q = (fun x -> Sparse.Csr.mul_vec c x);
+    jacobians = (fun _ -> (g, c));
+    source;
+  }
+
+let residual dae ~x ~qdot ~t_now =
+  let f = dae.eval_f x and b = dae.source t_now in
+  Array.init dae.size (fun i -> qdot.(i) +. f.(i) -. b.(i))

@@ -1,0 +1,24 @@
+(** Differential-algebraic systems in charge/flux form,
+
+    [d/dt q(x) + f(x) = b(t)],
+
+    the canonical circuit-equation shape (paper eq. (1)). Produced by the
+    MNA assembler in [lib/circuit] and consumed by the transient
+    integrators, the single-time steady-state methods, and the MPDE
+    solver. *)
+
+type t = {
+  size : int;
+  eval_f : Linalg.Vec.t -> Linalg.Vec.t;  (** conductive terms [f(x)] *)
+  eval_q : Linalg.Vec.t -> Linalg.Vec.t;  (** charge/flux terms [q(x)] *)
+  jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
+      (** [(G, C) = (∂f/∂x, ∂q/∂x)], both [size] x [size] *)
+  source : float -> Linalg.Vec.t;  (** excitation [b(t)] *)
+}
+
+val linear : g:Sparse.Csr.t -> c:Sparse.Csr.t -> source:(float -> Linalg.Vec.t) -> t
+(** Convenience constructor for linear time-invariant systems. *)
+
+val residual : t -> x:Linalg.Vec.t -> qdot:Linalg.Vec.t -> t_now:float -> Linalg.Vec.t
+(** [residual dae ~x ~qdot ~t_now] is [qdot + f(x) − b(t_now)], useful
+    for verifying solutions computed by any method. *)

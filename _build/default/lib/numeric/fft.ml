@@ -1,0 +1,126 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let pi = 4.0 *. atan 1.0
+
+(* In-place iterative radix-2 Cooley-Tukey; [sign] is -1 for forward. *)
+let radix2_ip (x : Complex.t array) sign =
+  let n = Array.length x in
+  assert (is_power_of_two n);
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = x.(i) in
+      x.(i) <- x.(!j);
+      x.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let angle = sign *. 2.0 *. pi /. float_of_int !len in
+    let wstep = { Complex.re = cos angle; im = sin angle } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = !i to !i + half - 1 do
+        let u = x.(k) and v = Complex.mul !w x.(k + half) in
+        x.(k) <- Complex.add u v;
+        x.(k + half) <- Complex.sub u v;
+        w := Complex.mul !w wstep
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let radix2 x sign =
+  let y = Array.copy x in
+  radix2_ip y sign;
+  y
+
+(* Bluestein chirp-z: express the length-n DFT as a convolution of
+   length 2n-1, evaluated with power-of-two FFTs. *)
+let bluestein x sign =
+  let n = Array.length x in
+  let m =
+    let rec next p = if p >= (2 * n) - 1 then p else next (2 * p) in
+    next 1
+  in
+  let chirp =
+    Array.init n (fun k ->
+        let phase = sign *. pi *. float_of_int (k * k mod (2 * n)) /. float_of_int n in
+        { Complex.re = cos phase; im = sin phase })
+  in
+  let a = Array.make m Complex.zero in
+  for k = 0 to n - 1 do
+    a.(k) <- Complex.mul x.(k) chirp.(k)
+  done;
+  let b = Array.make m Complex.zero in
+  b.(0) <- Complex.conj chirp.(0);
+  for k = 1 to n - 1 do
+    let v = Complex.conj chirp.(k) in
+    b.(k) <- v;
+    b.(m - k) <- v
+  done;
+  radix2_ip a (-1.0);
+  radix2_ip b (-1.0);
+  for k = 0 to m - 1 do
+    a.(k) <- Complex.mul a.(k) b.(k)
+  done;
+  radix2_ip a 1.0;
+  let scale = 1.0 /. float_of_int m in
+  Array.init n (fun k ->
+      Complex.mul chirp.(k)
+        { Complex.re = a.(k).Complex.re *. scale; im = a.(k).Complex.im *. scale })
+
+let transform x sign =
+  let n = Array.length x in
+  if n <= 1 then Array.copy x
+  else if is_power_of_two n then radix2 x sign
+  else bluestein x sign
+
+let fft x = transform x (-1.0)
+
+let ifft x =
+  let n = Array.length x in
+  let y = transform x 1.0 in
+  let scale = 1.0 /. float_of_int (max n 1) in
+  Array.map (fun (z : Complex.t) -> { Complex.re = z.re *. scale; im = z.im *. scale }) y
+
+let dft_naive x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let s = ref Complex.zero in
+      for j = 0 to n - 1 do
+        let phase = -2.0 *. pi *. float_of_int (k * j) /. float_of_int n in
+        s :=
+          Complex.add !s (Complex.mul x.(j) { Complex.re = cos phase; im = sin phase })
+      done;
+      !s)
+
+let rfft x = fft (Linalg.Cvec.of_real x)
+
+let real_harmonics x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let spectrum = rfft x in
+    let half = n / 2 in
+    Array.init (half + 1) (fun k ->
+        if k = 0 then (spectrum.(0).Complex.re /. float_of_int n, 0.0)
+        else
+          let z = spectrum.(k) in
+          (2.0 *. Complex.norm z /. float_of_int n, Complex.arg z))
+  end
+
+let amplitude_at x k =
+  let h = real_harmonics x in
+  if k < 0 || k >= Array.length h then invalid_arg "Fft.amplitude_at: harmonic out of range";
+  if k = 0 then Float.abs (fst h.(0)) else fst h.(k)

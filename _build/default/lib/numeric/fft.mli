@@ -1,0 +1,28 @@
+(** Fast Fourier transforms.
+
+    Radix-2 iterative Cooley–Tukey for power-of-two lengths and
+    Bluestein's chirp-z algorithm for arbitrary lengths. Forward
+    transform uses the engineering sign convention
+    [X_k = Σ_n x_n exp(−2πi kn/N)]; the inverse divides by [N]. *)
+
+val is_power_of_two : int -> bool
+
+val fft : Linalg.Cvec.t -> Linalg.Cvec.t
+(** Forward transform of any length (Bluestein fallback). *)
+
+val ifft : Linalg.Cvec.t -> Linalg.Cvec.t
+
+val dft_naive : Linalg.Cvec.t -> Linalg.Cvec.t
+(** O(n²) reference implementation, for testing. *)
+
+val rfft : Linalg.Vec.t -> Linalg.Cvec.t
+(** Forward transform of a real signal (full spectrum returned). *)
+
+val real_harmonics : Linalg.Vec.t -> (float * float) array
+(** [real_harmonics x] returns [(dc_or_amplitude, phase)] per harmonic
+    [k = 0 .. n/2]: index 0 is the mean; index [k>0] holds the amplitude
+    [2|X_k|/n] and phase of the cosine component at harmonic [k]. *)
+
+val amplitude_at : Linalg.Vec.t -> int -> float
+(** [amplitude_at x k] is the amplitude of harmonic [k] of the periodic
+    sample vector [x] ([k = 0] gives the mean's absolute value). *)

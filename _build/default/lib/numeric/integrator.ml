@@ -1,0 +1,148 @@
+module Vec = Linalg.Vec
+
+type method_ = Backward_euler | Trapezoidal | Bdf2
+
+type step_result = {
+  x : Vec.t;
+  newton_iterations : int;
+  converged : bool;
+}
+
+(* Build the Newton problem for one implicit step. The residual has the
+   generic form  alpha_q-combination of charges + f-combination - source
+   terms;  the Jacobian is  (a/h) C(x) + beta G(x). *)
+let implicit_step ?(newton_options = Newton.default_options) ~method_ ~(dae : Dae.t)
+    ~t_next ~h ~x_prev ?x_prev2 () =
+  let q_prev = dae.Dae.eval_q x_prev in
+  let b_next = dae.Dae.source t_next in
+  let method_ = match (method_, x_prev2) with Bdf2, None -> Backward_euler | m, _ -> m in
+  let residual, jac_scale_c, jac_scale_g =
+    match method_ with
+    | Backward_euler ->
+        let r x =
+          let q = dae.Dae.eval_q x and f = dae.Dae.eval_f x in
+          Array.init dae.Dae.size (fun i ->
+              ((q.(i) -. q_prev.(i)) /. h) +. f.(i) -. b_next.(i))
+        in
+        (r, 1.0 /. h, 1.0)
+    | Trapezoidal ->
+        let f_prev = dae.Dae.eval_f x_prev in
+        let b_prev = dae.Dae.source (t_next -. h) in
+        let r x =
+          let q = dae.Dae.eval_q x and f = dae.Dae.eval_f x in
+          Array.init dae.Dae.size (fun i ->
+              ((q.(i) -. q_prev.(i)) /. h)
+              +. (0.5 *. (f.(i) -. b_next.(i)))
+              +. (0.5 *. (f_prev.(i) -. b_prev.(i))))
+        in
+        (r, 1.0 /. h, 0.5)
+    | Bdf2 ->
+        let x_prev2 = Option.get x_prev2 in
+        let q_prev2 = dae.Dae.eval_q x_prev2 in
+        let r x =
+          let q = dae.Dae.eval_q x and f = dae.Dae.eval_f x in
+          Array.init dae.Dae.size (fun i ->
+              (((1.5 *. q.(i)) -. (2.0 *. q_prev.(i)) +. (0.5 *. q_prev2.(i))) /. h)
+              +. f.(i) -. b_next.(i))
+        in
+        (r, 1.5 /. h, 1.0)
+  in
+  let solve_linearized x r =
+    let g, c = dae.Dae.jacobians x in
+    let n = dae.Dae.size in
+    let coo = Sparse.Coo.create ~capacity:(Sparse.Csr.nnz g + Sparse.Csr.nnz c) n n in
+    for i = 0 to n - 1 do
+      Sparse.Csr.iter_row c i (fun j v -> Sparse.Coo.add coo i j (jac_scale_c *. v));
+      Sparse.Csr.iter_row g i (fun j v -> Sparse.Coo.add coo i j (jac_scale_g *. v))
+    done;
+    let jac = Sparse.Csr.of_coo coo in
+    Sparse.Splu.solve (Sparse.Splu.factor jac) r
+  in
+  let x, stats =
+    Newton.solve ~options:newton_options
+      { Newton.residual; solve_linearized }
+      x_prev
+  in
+  { x; newton_iterations = stats.Newton.iterations; converged = Newton.converged stats }
+
+type trace = { times : float array; states : Vec.t array }
+
+(* One macro-step that recursively halves on Newton failure. *)
+let robust_step ?newton_options ~method_ ~dae ~t_start ~h ~x_prev ?x_prev2 () =
+  let rec attempt ~t_start ~h ~x_prev ~x_prev2 ~depth ~remaining_newton =
+    if depth > 8 then failwith "Integrator: Newton failed at minimum step size";
+    let r =
+      implicit_step ?newton_options ~method_ ~dae ~t_next:(t_start +. h) ~h ~x_prev
+        ?x_prev2 ()
+    in
+    if r.converged then
+      { r with newton_iterations = r.newton_iterations + remaining_newton }
+    else begin
+      let half = h /. 2.0 in
+      let mid =
+        attempt ~t_start ~h:half ~x_prev ~x_prev2 ~depth:(depth + 1)
+          ~remaining_newton:(remaining_newton + r.newton_iterations)
+      in
+      attempt ~t_start:(t_start +. half) ~h:half ~x_prev:mid.x ~x_prev2:(Some x_prev)
+        ~depth:(depth + 1)
+        ~remaining_newton:mid.newton_iterations
+    end
+  in
+  attempt ~t_start ~h ~x_prev ~x_prev2 ~depth:0 ~remaining_newton:0
+
+let transient ?newton_options ?(method_ = Backward_euler) ~dae ~x0 ~t0 ~t1 ~steps () =
+  if steps <= 0 then invalid_arg "Integrator.transient: steps must be positive";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let times = Array.make (steps + 1) t0 in
+  let states = Array.make (steps + 1) x0 in
+  for k = 1 to steps do
+    let t_start = t0 +. (float_of_int (k - 1) *. h) in
+    let x_prev2 = if k >= 2 then Some states.(k - 2) else None in
+    let r = robust_step ?newton_options ~method_ ~dae ~t_start ~h ~x_prev:states.(k - 1) ?x_prev2 () in
+    times.(k) <- t0 +. (float_of_int k *. h);
+    states.(k) <- r.x
+  done;
+  { times; states }
+
+let transient_adaptive ?newton_options ?(method_ = Backward_euler) ?(rel_tol = 1e-4)
+    ?(abs_tol = 1e-9) ?h_init ?h_min ?h_max ~dae ~x0 ~t0 ~t1 () =
+  let span = t1 -. t0 in
+  let h_init = Option.value h_init ~default:(span /. 100.0) in
+  let h_min = Option.value h_min ~default:(span *. 1e-10) in
+  let h_max = Option.value h_max ~default:(span /. 10.0) in
+  let times = ref [ t0 ] and states = ref [ x0 ] in
+  let order = match method_ with Backward_euler -> 1.0 | Trapezoidal | Bdf2 -> 2.0 in
+  let rec advance t x h =
+    if t >= t1 -. (1e-12 *. span) then ()
+    else begin
+      let h = Float.min h (t1 -. t) in
+      let full = robust_step ?newton_options ~method_ ~dae ~t_start:t ~h ~x_prev:x () in
+      let half1 =
+        robust_step ?newton_options ~method_ ~dae ~t_start:t ~h:(h /. 2.0) ~x_prev:x ()
+      in
+      let half2 =
+        robust_step ?newton_options ~method_ ~dae ~t_start:(t +. (h /. 2.0)) ~h:(h /. 2.0)
+          ~x_prev:half1.x ()
+      in
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          let scale = abs_tol +. (rel_tol *. Float.max (Float.abs v) (Float.abs x.(i))) in
+          err := Float.max !err (Float.abs (v -. full.x.(i)) /. scale))
+        half2.x;
+      if !err <= 1.0 || h <= h_min *. 1.0001 then begin
+        times := (t +. h) :: !times;
+        states := half2.x :: !states;
+        let growth = Float.min 4.0 (0.9 *. ((1.0 /. Float.max !err 1e-12) ** (1.0 /. (order +. 1.0)))) in
+        advance (t +. h) half2.x (Float.max h_min (Float.min h_max (h *. Float.max 0.5 growth)))
+      end
+      else advance t x (Float.max h_min (h /. 2.0))
+    end
+  in
+  advance t0 x0 (Float.min h_init h_max);
+  {
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states);
+  }
+
+let sample trace k = Array.map (fun x -> x.(k)) trace.states

@@ -1,0 +1,63 @@
+(** Implicit time-stepping for {!Dae.t} systems: backward Euler,
+    trapezoidal, and fixed-step BDF2, each solved with damped Newton and
+    sparse LU. This is the SPICE-transient substrate and the engine for
+    single-time shooting. *)
+
+type method_ = Backward_euler | Trapezoidal | Bdf2
+
+type step_result = {
+  x : Linalg.Vec.t;
+  newton_iterations : int;
+  converged : bool;
+}
+
+val implicit_step :
+  ?newton_options:Newton.options ->
+  method_:method_ ->
+  dae:Dae.t ->
+  t_next:float ->
+  h:float ->
+  x_prev:Linalg.Vec.t ->
+  ?x_prev2:Linalg.Vec.t ->
+  unit ->
+  step_result
+(** Single implicit step to [t_next] of size [h]. [x_prev2] (the state
+    one step earlier) is required for [Bdf2]; when absent the step falls
+    back to backward Euler. Trapezoidal needs [b] and [f] at the previous
+    time, which it recomputes from [x_prev] and [t_next -. h]. *)
+
+type trace = { times : float array; states : Linalg.Vec.t array }
+
+val transient :
+  ?newton_options:Newton.options ->
+  ?method_:method_ ->
+  dae:Dae.t ->
+  x0:Linalg.Vec.t ->
+  t0:float ->
+  t1:float ->
+  steps:int ->
+  unit ->
+  trace
+(** Fixed-step transient from [t0] to [t1]; the trace includes the
+    initial point, so it has [steps + 1] entries.
+    @raise Failure if a Newton solve fails even after internal step
+    halving (up to 8 levels). *)
+
+val transient_adaptive :
+  ?newton_options:Newton.options ->
+  ?method_:method_ ->
+  ?rel_tol:float ->
+  ?abs_tol:float ->
+  ?h_init:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  dae:Dae.t ->
+  x0:Linalg.Vec.t ->
+  t0:float ->
+  t1:float ->
+  unit ->
+  trace
+(** Adaptive stepping with step-doubling local error control. *)
+
+val sample : trace -> int -> float array
+(** [sample trace k] extracts the time series of unknown [k]. *)

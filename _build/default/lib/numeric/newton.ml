@@ -1,0 +1,117 @@
+module Vec = Linalg.Vec
+
+type problem = {
+  residual : Vec.t -> Vec.t;
+  solve_linearized : Vec.t -> Vec.t -> Vec.t;
+}
+
+type options = {
+  max_iterations : int;
+  abs_tol : float;
+  step_tol : float;
+  max_backtracks : int;
+  min_damping : float;
+}
+
+let default_options =
+  {
+    max_iterations = 50;
+    abs_tol = 1e-9;
+    step_tol = 1e-12;
+    max_backtracks = 12;
+    min_damping = 1.0 /. 4096.0;
+  }
+
+type outcome = Converged | Stalled | Max_iterations | Solver_failure of string
+
+type stats = {
+  outcome : outcome;
+  iterations : int;
+  residual_norm : float;
+  backtracks : int;
+}
+
+let converged s = s.outcome = Converged
+
+let pp_outcome ppf = function
+  | Converged -> Format.fprintf ppf "converged"
+  | Stalled -> Format.fprintf ppf "stalled"
+  | Max_iterations -> Format.fprintf ppf "max-iterations"
+  | Solver_failure msg -> Format.fprintf ppf "solver-failure(%s)" msg
+
+let solve ?(options = default_options) ?on_iteration problem x0 =
+  let x = ref (Array.copy x0) in
+  let r = ref (problem.residual !x) in
+  let rnorm = ref (Vec.norm_inf !r) in
+  let iterations = ref 0 in
+  let total_backtracks = ref 0 in
+  let outcome = ref Max_iterations in
+  (try
+     while !iterations < options.max_iterations do
+       (match on_iteration with
+       | Some f -> f !iterations !x !rnorm
+       | None -> ());
+       if !rnorm <= options.abs_tol then begin
+         outcome := Converged;
+         raise Exit
+       end;
+       let delta =
+         try problem.solve_linearized !x !r
+         with e ->
+           outcome := Solver_failure (Printexc.to_string e);
+           raise Exit
+       in
+       (* Backtracking: accept the first damping that reduces ‖F‖∞, or,
+          failing that, the smallest tried damping (helps escape regions
+          where the residual is momentarily non-monotone). *)
+       let damping = ref 1.0 in
+       let accepted = ref false in
+       let tries = ref 0 in
+       let candidate = ref [||] and candidate_res = ref [||] in
+       while (not !accepted) && !tries <= options.max_backtracks do
+         let trial = Array.copy !x in
+         Vec.axpy (-. !damping) delta trial;
+         let rt = problem.residual trial in
+         let rtnorm = Vec.norm_inf rt in
+         if Float.is_finite rtnorm && rtnorm < !rnorm then begin
+           accepted := true;
+           candidate := trial;
+           candidate_res := rt
+         end
+         else begin
+           if Float.is_finite rtnorm && !tries = options.max_backtracks then begin
+             (* last resort: take the tiny step anyway *)
+             candidate := trial;
+             candidate_res := rt
+           end;
+           damping := !damping /. 2.0;
+           incr tries;
+           incr total_backtracks
+         end
+       done;
+       if Array.length !candidate = 0 || !damping < options.min_damping /. 2.0 then begin
+         outcome := Stalled;
+         raise Exit
+       end;
+       let step_size = !damping *. Vec.norm_inf delta in
+       x := !candidate;
+       r := !candidate_res;
+       rnorm := Vec.norm_inf !r;
+       incr iterations;
+       if !rnorm <= options.abs_tol then begin
+         outcome := Converged;
+         raise Exit
+       end;
+       if step_size <= options.step_tol then begin
+         outcome := (if !rnorm <= options.abs_tol then Converged else Stalled);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  ( !x,
+    {
+      outcome = !outcome;
+      iterations = !iterations;
+      residual_norm = !rnorm;
+      backtracks = !total_backtracks;
+    } )

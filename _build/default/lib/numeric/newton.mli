@@ -1,0 +1,46 @@
+(** Damped Newton–Raphson for nonlinear systems [F(x) = 0].
+
+    The linear algebra is abstracted behind a per-iterate solver closure
+    so that dense LU, sparse LU, or preconditioned Krylov methods can be
+    plugged in. Damping is a simple backtracking line search on the
+    residual norm. *)
+
+type problem = {
+  residual : Linalg.Vec.t -> Linalg.Vec.t;  (** [F(x)] *)
+  solve_linearized : Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t;
+      (** [solve_linearized x r] returns [J(x)⁻¹ r] (an approximation is
+          acceptable — convergence degrades gracefully). *)
+}
+
+type options = {
+  max_iterations : int;  (** default 50 *)
+  abs_tol : float;  (** residual infinity-norm target, default 1e-9 *)
+  step_tol : float;  (** stop when the damped step is this small, default 1e-12 *)
+  max_backtracks : int;  (** line-search halvings, default 12 *)
+  min_damping : float;  (** smallest accepted damping factor, default 1/4096 *)
+}
+
+val default_options : options
+
+type outcome = Converged | Stalled | Max_iterations | Solver_failure of string
+
+type stats = {
+  outcome : outcome;
+  iterations : int;
+  residual_norm : float;  (** infinity norm of the final residual *)
+  backtracks : int;  (** total line-search halvings *)
+}
+
+val converged : stats -> bool
+
+val solve :
+  ?options:options ->
+  ?on_iteration:(int -> Linalg.Vec.t -> float -> unit) ->
+  problem ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t * stats
+(** [solve problem x0] iterates from [x0] (not modified) and returns the
+    final iterate with statistics. Exceptions raised by the solver
+    closure are captured as [Solver_failure]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

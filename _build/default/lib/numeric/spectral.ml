@@ -1,0 +1,16 @@
+let pi = 4.0 *. atan 1.0
+
+(* D_kj = (2π/period) · (−1)^{k−j} / (2 sin(π (k−j)/n)) for k ≠ j,
+   zero on the diagonal; exact for trigonometric polynomials of degree
+   (n−1)/2 when n is odd. *)
+let diff_matrix n period =
+  if n < 3 || n mod 2 = 0 then
+    invalid_arg "Spectral.diff_matrix: n must be odd and at least 3";
+  Linalg.Mat.init n n (fun k j ->
+      if k = j then 0.0
+      else begin
+        let d = k - j in
+        let sign = if (d land 1) = 0 then 1.0 else -1.0 in
+        2.0 *. pi /. period
+        *. (sign /. (2.0 *. sin (pi *. float_of_int d /. float_of_int n)))
+      end)

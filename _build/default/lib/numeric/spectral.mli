@@ -1,0 +1,9 @@
+(** Trigonometric (Fourier) pseudo-spectral differentiation on uniform
+    periodic grids, shared by the harmonic-balance solver and the
+    MPDE's mixed frequency-time scheme. *)
+
+val diff_matrix : int -> float -> Linalg.Mat.t
+(** [diff_matrix n period] is the [n] x [n] matrix that maps samples of
+    a trigonometric interpolant on [n] (odd) uniform points over
+    [[0, period)] to samples of its exact derivative.
+    @raise Invalid_argument if [n] is even or [< 3]. *)

@@ -1,0 +1,1 @@
+lib/rf/metrics.ml: Array Float List Numeric Spectrum

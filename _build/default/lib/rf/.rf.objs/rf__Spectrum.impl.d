@@ -1,0 +1,1 @@
+lib/rf/spectrum.ml: Array Complex Float Numeric

@@ -1,0 +1,1 @@
+lib/sparse/ilu0.ml: Array Csr

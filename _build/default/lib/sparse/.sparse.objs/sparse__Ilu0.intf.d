@@ -1,0 +1,1 @@
+lib/sparse/ilu0.mli: Csr Linalg

@@ -1,0 +1,1 @@
+lib/sparse/krylov.ml: Array Csr Float Linalg

@@ -1,0 +1,1 @@
+lib/sparse/krylov.mli: Csr Linalg

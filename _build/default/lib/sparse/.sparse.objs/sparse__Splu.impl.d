@@ -1,0 +1,1 @@
+lib/sparse/splu.ml: Array Csr Float

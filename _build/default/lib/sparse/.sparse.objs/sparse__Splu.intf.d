@@ -1,0 +1,1 @@
+lib/sparse/splu.mli: Csr Linalg

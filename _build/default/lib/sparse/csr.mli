@@ -1,0 +1,53 @@
+(** Immutable compressed-sparse-row matrices.
+
+    Column indices within a row are sorted and unique. Built from a
+    {!Coo.t} builder (duplicates summed) or from dense matrices. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** length [rows + 1] *)
+  col_idx : int array;  (** length [nnz], sorted within each row *)
+  values : float array;  (** length [nnz] *)
+}
+
+val of_coo : Coo.t -> t
+(** Sums duplicate triplets; drops entries that cancel to exactly [0.]
+    only if they were never inserted (explicit zeros from summation are
+    kept so patterns remain stable across Newton iterations). *)
+
+val of_dense : ?drop_tol:float -> Linalg.Mat.t -> t
+(** Entries with magnitude [<= drop_tol] (default [0.]) are dropped. *)
+
+val to_dense : t -> Linalg.Mat.t
+
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** [get m i j] is the stored entry or [0.]; binary search within row. *)
+
+val mul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+val mul_vec_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+
+val tmul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Transposed product [mᵀ x]. *)
+
+val transpose : t -> t
+
+val diag : t -> Linalg.Vec.t
+(** Main diagonal (zeros where absent). *)
+
+val map_values : (float -> float) -> t -> t
+
+val scale : float -> t -> t
+
+val add : t -> t -> t
+(** Entry-wise sum; patterns are merged. *)
+
+val identity : int -> t
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+val residual_norm : t -> Linalg.Vec.t -> Linalg.Vec.t -> float
+(** [residual_norm a x b] is [‖b − a·x‖₂]. *)

@@ -1,0 +1,73 @@
+(* IKJ-variant ILU(0): in-place elimination restricted to the original
+   pattern. Stored as a modified copy of the CSR values plus the position
+   of each row's diagonal. *)
+
+type t = { m : Csr.t; diag_pos : int array }
+
+exception Zero_pivot of int
+
+let factor (a : Csr.t) =
+  let n = a.Csr.rows in
+  if a.Csr.cols <> n then invalid_arg "Ilu0.factor: matrix not square";
+  let values = Array.copy a.Csr.values in
+  let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
+  let diag_pos = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      if col_idx.(p) = i then diag_pos.(i) <- p
+    done;
+    if diag_pos.(i) < 0 then raise (Zero_pivot i)
+  done;
+  (* Scatter workspace: position of column j in current row, or -1. *)
+  let pos = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      pos.(col_idx.(p)) <- p
+    done;
+    let p = ref row_ptr.(i) in
+    while !p < row_ptr.(i + 1) && col_idx.(!p) < i do
+      let k = col_idx.(!p) in
+      let pivot = values.(diag_pos.(k)) in
+      if pivot = 0.0 then raise (Zero_pivot k);
+      let factor = values.(!p) /. pivot in
+      values.(!p) <- factor;
+      (* Update the rest of row i over the pattern intersection. *)
+      for q = diag_pos.(k) + 1 to row_ptr.(k + 1) - 1 do
+        let j = col_idx.(q) in
+        let dest = pos.(j) in
+        if dest >= 0 then values.(dest) <- values.(dest) -. (factor *. values.(q))
+      done;
+      incr p
+    done;
+    if values.(diag_pos.(i)) = 0.0 then raise (Zero_pivot i);
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      pos.(col_idx.(p)) <- -1
+    done
+  done;
+  { m = { a with Csr.values }; diag_pos }
+
+let apply t r =
+  let n = t.m.Csr.rows in
+  if Array.length r <> n then invalid_arg "Ilu0.apply: dimension mismatch";
+  let row_ptr = t.m.Csr.row_ptr and col_idx = t.m.Csr.col_idx in
+  let values = t.m.Csr.values in
+  let y = Array.copy r in
+  (* Forward solve with unit-diagonal L (strictly-lower entries). *)
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    let p = ref row_ptr.(i) in
+    while !p < row_ptr.(i + 1) && col_idx.(!p) < i do
+      s := !s -. (values.(!p) *. y.(col_idx.(!p)));
+      incr p
+    done;
+    y.(i) <- !s
+  done;
+  (* Backward solve with U (diagonal and above). *)
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for p = t.diag_pos.(i) + 1 to row_ptr.(i + 1) - 1 do
+      s := !s -. (values.(p) *. y.(col_idx.(p)))
+    done;
+    y.(i) <- !s /. values.(t.diag_pos.(i))
+  done;
+  y

@@ -1,0 +1,15 @@
+(** Zero-fill incomplete LU preconditioner on the CSR pattern.
+
+    Produces factors with exactly the sparsity pattern of the input
+    matrix; used as a general-purpose preconditioner for {!Gmres} and
+    {!Bicgstab}. *)
+
+type t
+
+exception Zero_pivot of int
+
+val factor : Csr.t -> t
+(** @raise Zero_pivot when a diagonal entry is absent or vanishes. *)
+
+val apply : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [apply p r] approximates [a⁻¹ r] by [U⁻¹ (L⁻¹ r)]. *)

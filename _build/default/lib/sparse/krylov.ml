@@ -1,0 +1,163 @@
+module Vec = Linalg.Vec
+
+type operator = Vec.t -> Vec.t
+
+type result = {
+  x : Vec.t;
+  converged : bool;
+  iterations : int;
+  residual_norm : float;
+}
+
+let identity v = Array.copy v
+
+(* Restarted GMRES with right preconditioning and Givens-rotation QR of
+   the Hessenberg matrix. *)
+let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
+    ?x0 op b =
+  let n = Array.length b in
+  let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
+  let bnorm = Vec.norm2 b in
+  let target = if bnorm > 0.0 then tol *. bnorm else tol in
+  let total_iters = ref 0 in
+  let final_res = ref infinity in
+  let converged = ref false in
+  (try
+     while (not !converged) && !total_iters < max_iter do
+       let r =
+         if !total_iters = 0 && x0 = None then Array.copy b
+         else Vec.sub b (op x)
+       in
+       let beta = Vec.norm2 r in
+       final_res := beta;
+       if beta <= target then begin
+         converged := true;
+         raise Exit
+       end;
+       let m = min restart (max_iter - !total_iters) in
+       let basis = Array.make (m + 1) [||] in
+       basis.(0) <- Vec.scale (1.0 /. beta) r;
+       (* Hessenberg stored column-wise: h.(j) has length j+2. *)
+       let h = Array.make m [||] in
+       let cs = Array.make m 0.0 and sn = Array.make m 0.0 in
+       let g = Array.make (m + 1) 0.0 in
+       g.(0) <- beta;
+       let k = ref 0 in
+       let inner_done = ref false in
+       while (not !inner_done) && !k < m do
+         let j = !k in
+         let w = op (precond basis.(j)) in
+         let hj = Array.make (j + 2) 0.0 in
+         (* Modified Gram-Schmidt. *)
+         for i = 0 to j do
+           hj.(i) <- Vec.dot basis.(i) w;
+           Vec.axpy (-.hj.(i)) basis.(i) w
+         done;
+         hj.(j + 1) <- Vec.norm2 w;
+         if hj.(j + 1) > 1e-300 then
+           basis.(j + 1) <- Vec.scale (1.0 /. hj.(j + 1)) w
+         else basis.(j + 1) <- Array.make n 0.0;
+         (* Apply previous Givens rotations to the new column. *)
+         for i = 0 to j - 1 do
+           let t = (cs.(i) *. hj.(i)) +. (sn.(i) *. hj.(i + 1)) in
+           hj.(i + 1) <- (-.sn.(i) *. hj.(i)) +. (cs.(i) *. hj.(i + 1));
+           hj.(i) <- t
+         done;
+         (* New rotation to annihilate hj.(j+1). *)
+         let denom = Float.hypot hj.(j) hj.(j + 1) in
+         if denom > 0.0 then begin
+           cs.(j) <- hj.(j) /. denom;
+           sn.(j) <- hj.(j + 1) /. denom
+         end
+         else begin
+           cs.(j) <- 1.0;
+           sn.(j) <- 0.0
+         end;
+         hj.(j) <- denom;
+         hj.(j + 1) <- 0.0;
+         g.(j + 1) <- -.sn.(j) *. g.(j);
+         g.(j) <- cs.(j) *. g.(j);
+         h.(j) <- hj;
+         incr total_iters;
+         incr k;
+         final_res := Float.abs g.(!k);
+         if !final_res <= target then inner_done := true
+       done;
+       (* Solve the triangular system for the Krylov coefficients. *)
+       let k = !k in
+       let y = Array.make k 0.0 in
+       for i = k - 1 downto 0 do
+         let s = ref g.(i) in
+         for j = i + 1 to k - 1 do
+           s := !s -. (h.(j).(i) *. y.(j))
+         done;
+         y.(i) <- !s /. h.(i).(i)
+       done;
+       let update = Array.make n 0.0 in
+       for j = 0 to k - 1 do
+         Vec.axpy y.(j) basis.(j) update
+       done;
+       Vec.add_ip x (precond update);
+       if !final_res <= target then converged := true
+     done
+   with Exit -> ());
+  { x; converged = !converged; iterations = !total_iters; residual_norm = !final_res }
+
+let bicgstab ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity) ?x0 op b =
+  let n = Array.length b in
+  let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
+  let r = if x0 = None then Array.copy b else Vec.sub b (op x) in
+  let r0 = Array.copy r in
+  let bnorm = Vec.norm2 b in
+  let target = if bnorm > 0.0 then tol *. bnorm else tol in
+  let rho = ref 1.0 and alpha = ref 1.0 and omega = ref 1.0 in
+  let v = Array.make n 0.0 and p = Array.make n 0.0 in
+  let iters = ref 0 in
+  let res = ref (Vec.norm2 r) in
+  let broke_down = ref false in
+  while !res > target && !iters < max_iter && not !broke_down do
+    let rho_new = Vec.dot r0 r in
+    if Float.abs rho_new < 1e-300 then broke_down := true
+    else begin
+      let beta = rho_new /. !rho *. (!alpha /. !omega) in
+      rho := rho_new;
+      (* p = r + beta (p - omega v) *)
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
+      done;
+      let phat = precond p in
+      let v' = op phat in
+      Array.blit v' 0 v 0 n;
+      let denom = Vec.dot r0 v in
+      if Float.abs denom < 1e-300 then broke_down := true
+      else begin
+        alpha := rho_new /. denom;
+        let s = Array.copy r in
+        Vec.axpy (-. !alpha) v s;
+        if Vec.norm2 s <= target then begin
+          Vec.axpy 1.0 (Vec.scale !alpha phat) x;
+          Array.blit s 0 r 0 n;
+          res := Vec.norm2 r
+        end
+        else begin
+          let shat = precond s in
+          let t = op shat in
+          let tt = Vec.dot t t in
+          if tt < 1e-300 then broke_down := true
+          else begin
+            omega := Vec.dot t s /. tt;
+            for i = 0 to n - 1 do
+              x.(i) <- x.(i) +. (!alpha *. phat.(i)) +. (!omega *. shat.(i));
+              r.(i) <- s.(i) -. (!omega *. t.(i))
+            done;
+            res := Vec.norm2 r;
+            if Float.abs !omega < 1e-300 then broke_down := true
+          end
+        end
+      end
+    end;
+    incr iters
+  done;
+  { x; converged = !res <= target; iterations = !iters; residual_norm = !res }
+
+let csr_operator m v = Csr.mul_vec m v

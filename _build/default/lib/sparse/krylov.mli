@@ -1,0 +1,39 @@
+(** Matrix-free Krylov solvers: restarted GMRES and BiCGSTAB.
+
+    Both accept the operator and the (right) preconditioner as closures
+    so they can be used with explicit CSR matrices, with the
+    structure-exploiting MPDE block sweep, or fully matrix-free. *)
+
+type operator = Linalg.Vec.t -> Linalg.Vec.t
+
+type result = {
+  x : Linalg.Vec.t;
+  converged : bool;
+  iterations : int;  (** total inner iterations performed *)
+  residual_norm : float;  (** final preconditioned-system residual norm *)
+}
+
+val gmres :
+  ?restart:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?precond:operator ->
+  ?x0:Linalg.Vec.t ->
+  operator ->
+  Linalg.Vec.t ->
+  result
+(** [gmres op b] solves [op x = b] with right preconditioning:
+    the Krylov space is built for [op ∘ precond] and the returned [x]
+    is [precond y]. Defaults: [restart = 50], [max_iter = 500],
+    [tol = 1e-10] (relative to [‖b‖], absolute when [b = 0]). *)
+
+val bicgstab :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?precond:operator ->
+  ?x0:Linalg.Vec.t ->
+  operator ->
+  Linalg.Vec.t ->
+  result
+
+val csr_operator : Csr.t -> operator

@@ -1,0 +1,76 @@
+(* Classic RCM: BFS from a minimum-degree start node, visiting
+   neighbours in increasing-degree order, then reverse the order. *)
+
+let adjacency (a : Csr.t) =
+  let n = a.Csr.rows in
+  if a.Csr.cols <> n then invalid_arg "Rcm: matrix not square";
+  let sym = Csr.add a (Csr.transpose a) in
+  let neighbours = Array.make n [] in
+  for i = 0 to n - 1 do
+    let acc = ref [] in
+    Csr.iter_row sym i (fun j _ -> if j <> i then acc := j :: !acc);
+    neighbours.(i) <- List.rev !acc
+  done;
+  neighbours
+
+let ordering a =
+  let n = a.Csr.rows in
+  let neighbours = adjacency a in
+  let degree = Array.map List.length neighbours in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let push i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  let rec component () =
+    if !count < n then begin
+      (* start from the unvisited node of minimum degree *)
+      let start = ref (-1) in
+      for i = n - 1 downto 0 do
+        if (not visited.(i)) && (!start < 0 || degree.(i) < degree.(!start)) then
+          start := i
+      done;
+      push !start;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        order.(!count) <- v;
+        incr count;
+        let unvisited =
+          List.filter (fun w -> not visited.(w)) neighbours.(v)
+          |> List.sort (fun x y -> compare degree.(x) degree.(y))
+        in
+        List.iter push unvisited
+      done;
+      component ()
+    end
+  in
+  component ();
+  (* reverse for RCM *)
+  Array.init n (fun k -> order.(n - 1 - k))
+
+let inverse perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun new_index old_index -> inv.(old_index) <- new_index) perm;
+  inv
+
+let permute_symmetric a perm =
+  let n = a.Csr.rows in
+  if Array.length perm <> n then invalid_arg "Rcm.permute_symmetric: bad permutation";
+  let inv = inverse perm in
+  let coo = Coo.create ~capacity:(Csr.nnz a) n n in
+  for i = 0 to n - 1 do
+    Csr.iter_row a i (fun j v -> Coo.add coo inv.(i) inv.(j) v)
+  done;
+  Csr.of_coo coo
+
+let bandwidth a =
+  let best = ref 0 in
+  for i = 0 to a.Csr.rows - 1 do
+    Csr.iter_row a i (fun j _ -> best := max !best (abs (i - j)))
+  done;
+  !best

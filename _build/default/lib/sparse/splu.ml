@@ -1,0 +1,207 @@
+(* Left-looking (Gilbert-Peierls) sparse LU closely following CSparse's
+   cs_lu: for each column k, the sparse triangular solve x = L \ A(:,k)
+   is computed over the topologically-ordered reachable set found by DFS
+   on the graph of already-computed L columns; a pivot row is then chosen
+   among the not-yet-pivotal entries of x. *)
+
+type dyn = { mutable len : int; mutable idx : int array; mutable value : float array }
+
+let dyn_create capacity =
+  { len = 0; idx = Array.make (max capacity 4) 0; value = Array.make (max capacity 4) 0.0 }
+
+let dyn_push d i v =
+  if d.len = Array.length d.idx then begin
+    let capacity = 2 * d.len in
+    let idx = Array.make capacity 0 and value = Array.make capacity 0.0 in
+    Array.blit d.idx 0 idx 0 d.len;
+    Array.blit d.value 0 value 0 d.len;
+    d.idx <- idx;
+    d.value <- value
+  end;
+  d.idx.(d.len) <- i;
+  d.value.(d.len) <- v;
+  d.len <- d.len + 1
+
+type t = {
+  n : int;
+  (* L in column-compressed form, unit diagonal stored explicitly first in
+     each column; row indices are in final (pivotal) order. *)
+  l_ptr : int array;
+  l_idx : int array;
+  l_val : float array;
+  (* U in column-compressed form, diagonal stored last in each column. *)
+  u_ptr : int array;
+  u_idx : int array;
+  u_val : float array;
+  pinv : int array; (* pinv.(original_row) = pivotal position *)
+}
+
+exception Singular of int
+
+(* Depth-first search from node [j] over the graph whose node [r]'s
+   out-edges are the row indices of L's column [pinv.(r)] (when row [r]
+   is already pivotal). Pushes the postorder onto [stack] from position
+   [top-1] downwards and returns the new top. *)
+let dfs j ~l_ptr ~l_idx ~pinv ~marked ~mark_gen ~stack ~top ~work_stack ~pos_stack =
+  let top = ref top in
+  let head = ref 0 in
+  work_stack.(0) <- j;
+  while !head >= 0 do
+    let j = work_stack.(!head) in
+    let jnew = pinv.(j) in
+    if marked.(j) <> mark_gen then begin
+      marked.(j) <- mark_gen;
+      pos_stack.(!head) <- (if jnew < 0 then 0 else l_ptr.(jnew))
+    end;
+    let p_end = if jnew < 0 then 0 else l_ptr.(jnew + 1) in
+    let advanced = ref false in
+    let p = ref pos_stack.(!head) in
+    while (not !advanced) && !p < p_end do
+      let i = l_idx.(!p) in
+      if marked.(i) <> mark_gen then begin
+        pos_stack.(!head) <- !p + 1;
+        incr head;
+        work_stack.(!head) <- i;
+        advanced := true
+      end
+      else incr p
+    done;
+    if not !advanced then begin
+      decr head;
+      decr top;
+      stack.(!top) <- j
+    end
+  done;
+  !top
+
+let factor ?(pivot_threshold = 0.1) (a : Csr.t) =
+  let n = a.Csr.rows in
+  if a.Csr.cols <> n then invalid_arg "Splu.factor: matrix not square";
+  (* Column access: work on the CSC of A, i.e. CSR of Aᵀ. *)
+  let at = Csr.transpose a in
+  let acol_ptr = at.Csr.row_ptr and acol_idx = at.Csr.col_idx in
+  let acol_val = at.Csr.values in
+  let l = dyn_create (4 * Csr.nnz a) and u = dyn_create (4 * Csr.nnz a) in
+  let l_ptr = Array.make (n + 1) 0 and u_ptr = Array.make (n + 1) 0 in
+  let pinv = Array.make n (-1) in
+  let x = Array.make n 0.0 in
+  let stack = Array.make n 0 in
+  let work_stack = Array.make n 0 and pos_stack = Array.make n 0 in
+  let marked = Array.make n (-1) in
+  (* [l.idx] holds *original* row indices during factorization; remapped to
+     pivotal order at the end (as in cs_lu). But DFS needs L columns keyed
+     by pivotal position with original-row out-edges, which is exactly what
+     we store. *)
+  for k = 0 to n - 1 do
+    l_ptr.(k) <- l.len;
+    u_ptr.(k) <- u.len;
+    (* Reach: union of DFS from each structural entry of A(:,k). *)
+    let mark_gen = k in
+    let top = ref n in
+    for p = acol_ptr.(k) to acol_ptr.(k + 1) - 1 do
+      let i = acol_idx.(p) in
+      if marked.(i) <> mark_gen then
+        top :=
+          dfs i ~l_ptr ~l_idx:l.idx ~pinv ~marked ~mark_gen ~stack ~top:!top
+            ~work_stack ~pos_stack
+    done;
+    (* Clear x over the reach, scatter A(:,k). *)
+    for p = !top to n - 1 do
+      x.(stack.(p)) <- 0.0
+    done;
+    for p = acol_ptr.(k) to acol_ptr.(k + 1) - 1 do
+      x.(acol_idx.(p)) <- acol_val.(p)
+    done;
+    (* Sparse lower-triangular solve in topological order. *)
+    for p = !top to n - 1 do
+      let j = stack.(p) in
+      let jnew = pinv.(j) in
+      if jnew >= 0 then begin
+        let xj = x.(j) in
+        if xj <> 0.0 then
+          (* Skip the unit diagonal stored first in column jnew. *)
+          for q = l_ptr.(jnew) + 1 to l_ptr.(jnew + 1) - 1 do
+            x.(l.idx.(q)) <- x.(l.idx.(q)) -. (l.value.(q) *. xj)
+          done
+      end
+    done;
+    (* Pivot choice among non-pivotal rows; push pivotal rows into U. *)
+    let ipiv = ref (-1) and best = ref 0.0 in
+    for p = !top to n - 1 do
+      let i = stack.(p) in
+      if pinv.(i) < 0 then begin
+        let t = Float.abs x.(i) in
+        if t > !best then begin
+          best := t;
+          ipiv := i
+        end
+      end
+      else dyn_push u pinv.(i) x.(i)
+    done;
+    if !ipiv < 0 || !best <= 0.0 then raise (Singular k);
+    (* Prefer the diagonal when acceptable under the threshold. *)
+    if pinv.(k) < 0 && Float.abs x.(k) >= pivot_threshold *. !best then ipiv := k;
+    let pivot = x.(!ipiv) in
+    dyn_push u k pivot;
+    pinv.(!ipiv) <- k;
+    dyn_push l !ipiv 1.0;
+    for p = !top to n - 1 do
+      let i = stack.(p) in
+      if pinv.(i) < 0 && x.(i) <> 0.0 then dyn_push l i (x.(i) /. pivot);
+      x.(i) <- 0.0
+    done
+  done;
+  l_ptr.(n) <- l.len;
+  u_ptr.(n) <- u.len;
+  (* Remap L's row indices from original to pivotal order. *)
+  for p = 0 to l.len - 1 do
+    l.idx.(p) <- pinv.(l.idx.(p))
+  done;
+  {
+    n;
+    l_ptr;
+    l_idx = Array.sub l.idx 0 l.len;
+    l_val = Array.sub l.value 0 l.len;
+    u_ptr;
+    u_idx = Array.sub u.idx 0 u.len;
+    u_val = Array.sub u.value 0 u.len;
+    pinv;
+  }
+
+let size f = f.n
+
+let solve_into f b out =
+  let n = f.n in
+  if Array.length b <> n || Array.length out <> n then
+    invalid_arg "Splu.solve_into: dimension mismatch";
+  (* y = P b *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    y.(f.pinv.(i)) <- b.(i)
+  done;
+  (* Forward: L y' = y, columns of L (unit diagonal first). *)
+  for j = 0 to n - 1 do
+    let yj = y.(j) in
+    if yj <> 0.0 then
+      for p = f.l_ptr.(j) + 1 to f.l_ptr.(j + 1) - 1 do
+        y.(f.l_idx.(p)) <- y.(f.l_idx.(p)) -. (f.l_val.(p) *. yj)
+      done
+  done;
+  (* Backward: U x = y', diagonal stored last in each column. *)
+  for j = n - 1 downto 0 do
+    let dpos = f.u_ptr.(j + 1) - 1 in
+    let xj = y.(j) /. f.u_val.(dpos) in
+    y.(j) <- xj;
+    if xj <> 0.0 then
+      for p = f.u_ptr.(j) to dpos - 1 do
+        y.(f.u_idx.(p)) <- y.(f.u_idx.(p)) -. (f.u_val.(p) *. xj)
+      done
+  done;
+  Array.blit y 0 out 0 n
+
+let solve f b =
+  let x = Array.make f.n 0.0 in
+  solve_into f b x;
+  x
+
+let lu_nnz f = (f.l_ptr.(f.n), f.u_ptr.(f.n))

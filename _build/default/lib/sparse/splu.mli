@@ -1,0 +1,27 @@
+(** General sparse LU factorization (left-looking Gilbert–Peierls with
+    threshold partial pivoting), suitable for MNA and small-to-medium
+    MPDE Jacobians.
+
+    Factors square [a] as [P a = L U] with unit-diagonal [L]. Pivoting
+    is threshold-based: within each column a candidate pivot is accepted
+    if its magnitude is at least [pivot_threshold] times the largest
+    candidate, preferring the diagonal entry for sparsity. *)
+
+type t
+
+exception Singular of int
+(** Raised with the offending column when no acceptable pivot exists. *)
+
+val factor : ?pivot_threshold:float -> Csr.t -> t
+(** [factor a] factors square [a]. [pivot_threshold] in (0, 1], default
+    [0.1]. @raise Singular when structurally or numerically singular. *)
+
+val solve : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [solve lu b] returns [x] with [a x = b]. *)
+
+val solve_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+
+val lu_nnz : t -> int * int
+(** [(nnz L, nnz U)] — fill-in diagnostic for the ablation benches. *)
+
+val size : t -> int

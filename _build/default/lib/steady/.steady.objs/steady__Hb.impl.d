@@ -1,0 +1,1 @@
+lib/steady/hb.ml: Array Linalg Numeric Sparse

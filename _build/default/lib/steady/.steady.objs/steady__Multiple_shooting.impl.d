@@ -1,0 +1,1 @@
+lib/steady/multiple_shooting.ml: Array Float Linalg Numeric Shooting Sparse

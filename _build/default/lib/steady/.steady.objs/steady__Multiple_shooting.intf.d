@@ -1,0 +1,1 @@
+lib/steady/multiple_shooting.mli: Linalg Numeric

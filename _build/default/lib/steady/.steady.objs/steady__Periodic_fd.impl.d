@@ -1,0 +1,1 @@
+lib/steady/periodic_fd.ml: Array Linalg Numeric Sparse

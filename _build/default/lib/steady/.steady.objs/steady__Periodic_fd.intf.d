@@ -1,0 +1,1 @@
+lib/steady/periodic_fd.mli: Linalg Numeric

@@ -1,0 +1,1 @@
+lib/steady/shooting.ml: Array Linalg Numeric Sparse

@@ -1,0 +1,1 @@
+lib/steady/shooting.mli: Linalg Numeric

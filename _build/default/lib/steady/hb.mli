@@ -1,0 +1,39 @@
+(** Single-tone harmonic balance in pseudo-spectral (time-collocation)
+    form: states at [N = 2K+1] uniform points over one period are the
+    unknowns and the charge derivative is applied through the exact
+    trigonometric spectral differentiation matrix, which is
+    algebraically equivalent to classical frequency-domain HB with [K]
+    harmonics (paper refs. [3, 4]).
+
+    HB is the method the paper argues is ill-suited to sharp switching
+    waveforms — the [abl_hb_vs_sharpness] bench quantifies that: the
+    harmonic count needed for a given accuracy grows steeply as edges
+    sharpen, while the time-domain methods are insensitive. *)
+
+type result = {
+  times : float array;
+  states : Linalg.Vec.t array;
+  harmonics : int;
+  newton_iterations : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+val solve :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?x_init:Linalg.Vec.t ->
+  dae:Numeric.Dae.t ->
+  period:float ->
+  harmonics:int ->
+  unit ->
+  result
+
+val spectral_diff_matrix : int -> float -> Linalg.Mat.t
+(** [spectral_diff_matrix n period] is the [n] x [n] differentiation
+    matrix for trigonometric interpolants on [n] (odd) uniform points;
+    exposed for tests. @raise Invalid_argument if [n] is even. *)
+
+val harmonic_amplitude : result -> unknown:int -> harmonic:int -> float
+(** Amplitude of harmonic [k] of the given unknown's steady-state
+    waveform. *)

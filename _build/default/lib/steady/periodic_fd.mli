@@ -1,0 +1,27 @@
+(** Periodic steady state by finite-difference collocation over one
+    period (“time-discretization across one period”, paper §3): the
+    states at [N] uniform time points are solved simultaneously with
+    backward-difference coupling and a periodic wrap. This is exactly
+    the one-dimensional specialization of the MPDE grid solver and
+    serves both as a baseline and as a cross-check for it. *)
+
+type result = {
+  times : float array;  (** [N] collocation times over one period *)
+  states : Linalg.Vec.t array;
+  newton_iterations : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+val solve :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?x_init:Linalg.Vec.t ->
+  dae:Numeric.Dae.t ->
+  period:float ->
+  points:int ->
+  unit ->
+  result
+(** [x_init] seeds every collocation point (e.g. the DC operating
+    point). System size is [points * dae.size]; the Jacobian is solved
+    with the general sparse LU. *)

@@ -1,0 +1,107 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type result = {
+  x0 : Vec.t;
+  trace : Numeric.Integrator.trace;
+  newton_iterations : int;
+  total_time_steps : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+(* Integrate one period with backward Euler while propagating the
+   sensitivity S = ∂x(t)/∂x(0). The BE step residual
+   [q(x⁺) − q(x)]/h + f(x⁺) − b = 0 gives S⁺ = J⁻¹ (C/h) S with
+   J = C⁺/h + G⁺ evaluated at the accepted state. *)
+let integrate_with_sensitivity ~(dae : Numeric.Dae.t) ~x0 ~t0 ~duration ~steps =
+  let n = dae.Numeric.Dae.size in
+  let h = duration /. float_of_int steps in
+  let sensitivity = ref (Mat.identity n) in
+  let times = Array.make (steps + 1) t0 in
+  let states = Array.make (steps + 1) x0 in
+  for k = 1 to steps do
+    let x_prev = states.(k - 1) in
+    let t_next = t0 +. (float_of_int k *. h) in
+    let step =
+      Numeric.Integrator.implicit_step ~method_:Numeric.Integrator.Backward_euler ~dae
+        ~t_next ~h ~x_prev ()
+    in
+    if not step.Numeric.Integrator.converged then
+      failwith "Shooting: Newton failed inside period integration";
+    let x_next = step.Numeric.Integrator.x in
+    (* Sensitivity propagation. *)
+    let _, c_prev = dae.Numeric.Dae.jacobians x_prev in
+    let g_next, c_next = dae.Numeric.Dae.jacobians x_next in
+    let jac =
+      let coo = Sparse.Coo.create ~capacity:(Sparse.Csr.nnz g_next + Sparse.Csr.nnz c_next) n n in
+      for i = 0 to n - 1 do
+        Sparse.Csr.iter_row c_next i (fun j v -> Sparse.Coo.add coo i j (v /. h));
+        Sparse.Csr.iter_row g_next i (fun j v -> Sparse.Coo.add coo i j v)
+      done;
+      Sparse.Splu.factor (Sparse.Csr.of_coo coo)
+    in
+    let s = !sensitivity in
+    let s_next = Mat.create n n in
+    let column = Array.make n 0.0 in
+    for j = 0 to n - 1 do
+      (* rhs = (C_prev/h) · S(:,j) *)
+      let sj = Mat.col s j in
+      let rhs = Sparse.Csr.mul_vec c_prev sj in
+      Vec.scale_ip (1.0 /. h) rhs;
+      Sparse.Splu.solve_into jac rhs column;
+      for i = 0 to n - 1 do
+        Mat.set s_next i j column.(i)
+      done
+    done;
+    sensitivity := s_next;
+    times.(k) <- t_next;
+    states.(k) <- x_next
+  done;
+  ({ Numeric.Integrator.times; states }, !sensitivity)
+
+let integrate_period ~dae ~x0 ~period ~steps =
+  integrate_with_sensitivity ~dae ~x0 ~t0:0.0 ~duration:period ~steps
+
+let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?x0 ~dae ~period () =
+  let n = dae.Numeric.Dae.size in
+  let x0 = ref (match x0 with Some x -> Array.copy x | None -> Array.make n 0.0) in
+  let iterations = ref 0 in
+  let total_steps = ref 0 in
+  let converged = ref false in
+  let residual = ref infinity in
+  let last_trace = ref None in
+  while (not !converged) && !iterations < max_newton do
+    let trace, monodromy = integrate_period ~dae ~x0:!x0 ~period ~steps:steps_per_period in
+    total_steps := !total_steps + steps_per_period;
+    last_trace := Some trace;
+    let x_end = trace.Numeric.Integrator.states.(steps_per_period) in
+    let r = Vec.sub x_end !x0 in
+    residual := Vec.norm_inf r;
+    if !residual <= tol then converged := true
+    else begin
+      (* Solve (M − I) δ = −r, update x0 ← x0 + δ. *)
+      let m_minus_i = Mat.sub monodromy (Mat.identity n) in
+      let delta = Linalg.Lu.solve_dense m_minus_i (Vec.neg r) in
+      Vec.add_ip !x0 delta;
+      incr iterations
+    end
+  done;
+  (* Final trace consistent with the solution. *)
+  let trace =
+    if !converged then
+      match !last_trace with Some t -> t | None -> assert false
+    else begin
+      let t, _ = integrate_period ~dae ~x0:!x0 ~period ~steps:steps_per_period in
+      total_steps := !total_steps + steps_per_period;
+      t
+    end
+  in
+  {
+    x0 = !x0;
+    trace;
+    newton_iterations = !iterations;
+    total_time_steps = !total_steps;
+    converged = !converged;
+    residual_norm = !residual;
+  }

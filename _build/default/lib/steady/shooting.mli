@@ -1,0 +1,46 @@
+(** Single-time Newton shooting for periodic steady state (paper
+    refs. [1, 6, 10]): find [x0] with [Φ_T(x0) = x0] where [Φ_T]
+    integrates the circuit over one period.
+
+    The monodromy matrix [∂Φ_T/∂x0] is propagated step-by-step through
+    the backward-Euler sensitivity recursion; the Newton update solves
+    the dense [(M − I)] system. This is the baseline whose cost grows
+    linearly with the number of time steps per period — i.e. linearly
+    with the fast/slow frequency disparity when the period is the
+    difference period (paper §3, “Computational speedup”). *)
+
+type result = {
+  x0 : Linalg.Vec.t;  (** periodic initial state *)
+  trace : Numeric.Integrator.trace;  (** one steady-state period *)
+  newton_iterations : int;
+  total_time_steps : int;  (** integration steps summed over all Newton iterations *)
+  converged : bool;
+  residual_norm : float;  (** ‖Φ(x0) − x0‖∞ at exit *)
+}
+
+val solve :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?steps_per_period:int ->
+  ?x0:Linalg.Vec.t ->
+  dae:Numeric.Dae.t ->
+  period:float ->
+  unit ->
+  result
+(** Defaults: [max_newton = 25], [tol = 1e-8] (infinity norm on the
+    periodicity residual), [steps_per_period = 200]. When [x0] is
+    absent the zero state is used; pass a DC operating point for
+    faster convergence. *)
+
+val integrate_with_sensitivity :
+  dae:Numeric.Dae.t ->
+  x0:Linalg.Vec.t ->
+  t0:float ->
+  duration:float ->
+  steps:int ->
+  Numeric.Integrator.trace * Linalg.Mat.t
+(** Backward-Euler integration over [[t0, t0 + duration]] that also
+    propagates the sensitivity [∂x(t0+duration)/∂x(t0)] (the window
+    monodromy). Building block shared with {!Multiple_shooting}.
+    @raise Failure if an inner Newton solve fails. *)
+

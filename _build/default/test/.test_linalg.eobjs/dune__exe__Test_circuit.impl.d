@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Float Gen List Numeric Printf QCheck QCheck_alcotest Sparse

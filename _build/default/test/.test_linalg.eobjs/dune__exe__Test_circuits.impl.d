@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuit Circuits Float List Mpde

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Circuits Complex Float Linalg List Mpde Numeric Option Printf

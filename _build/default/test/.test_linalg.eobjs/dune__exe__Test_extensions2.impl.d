@@ -1,0 +1,1 @@
+test/test_extensions2.ml: Alcotest Array Circuit Circuits Float Linalg Mpde Numeric Printf Sparse Steady

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Circuit Circuits Float List Mpde Numeric Printf Steady

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Float Gen Linalg List QCheck QCheck_alcotest

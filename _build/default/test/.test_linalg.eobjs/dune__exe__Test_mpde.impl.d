@@ -1,0 +1,1 @@
+test/test_mpde.ml: Alcotest Array Circuit Circuits Float Gen Linalg List Mpde Numeric Printf QCheck QCheck_alcotest Sparse

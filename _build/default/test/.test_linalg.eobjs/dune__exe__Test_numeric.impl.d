@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Complex Float Gen Linalg List Numeric QCheck QCheck_alcotest Sparse

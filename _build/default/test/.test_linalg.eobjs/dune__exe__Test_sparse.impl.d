@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Float Gen Linalg List QCheck QCheck_alcotest Sparse

@@ -1,0 +1,1 @@
+test/test_steady.ml: Alcotest Array Circuit Circuits Float Linalg Numeric Printf Steady

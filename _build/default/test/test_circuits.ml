@@ -1,0 +1,143 @@
+(* Sanity tests for the shared example circuits: structure, DC
+   operating points, and basic physical behaviour. *)
+
+module W = Circuit.Waveform
+
+let drive_1k = W.sine ~amplitude:1.0 ~freq:1e3 ()
+
+let test_rc_lowpass_structure () =
+  let { Circuits.mna; netlist } = Circuits.rc_lowpass ~drive:drive_1k () in
+  Alcotest.(check int) "devices" 3 (List.length (Circuit.Netlist.devices netlist));
+  Alcotest.(check int) "unknowns" 3 (Circuit.Mna.size mna)
+
+let test_rlc_dc_short () =
+  let { Circuits.mna; _ } = Circuits.rlc_series ~drive:(W.dc 2.0) () in
+  let x = Circuit.Dcop.solve_exn mna in
+  (* At DC, L shorts and C blocks: no current, vout = 2 V through R+L. *)
+  Alcotest.(check (float 1e-4)) "vout" 2.0 (Circuit.Mna.voltage mna x "out")
+
+let test_diode_rectifier_dc () =
+  let { Circuits.mna; _ } = Circuits.diode_rectifier ~drive:(W.dc 2.0) () in
+  let x = Circuit.Dcop.solve_exn mna in
+  let vout = Circuit.Mna.voltage mna x "out" in
+  Alcotest.(check bool) "one diode drop" true (vout > 1.2 && vout < 1.7)
+
+let test_envelope_detector_pole_placement () =
+  let f1 = 1e6 and f2 = 1.02e6 in
+  let { Circuits.netlist; _ } = Circuits.envelope_detector ~f1 ~f2 ~amplitude:1.0 () in
+  (* The auto-sized load capacitor must put the RC pole between fd and f1. *)
+  let cap =
+    List.find_map
+      (fun d ->
+        match d with
+        | Circuit.Device.Capacitor { capacitance; _ } -> Some capacitance
+        | _ -> None)
+      (Circuit.Netlist.devices netlist)
+  in
+  match cap with
+  | None -> Alcotest.fail "no load capacitor"
+  | Some c ->
+      let pole = 1.0 /. (2.0 *. Float.pi *. 10e3 *. c) in
+      Alcotest.(check bool) "pole between fd and carrier" true
+        (pole > (f2 -. f1) && pole < f1)
+
+let test_ideal_mixer_nodes () =
+  let lo = W.cosine ~amplitude:1.0 ~freq:1e6 () in
+  let rf = W.cosine ~amplitude:1.0 ~freq:1.001e6 () in
+  let { Circuits.mna; _ } = Circuits.ideal_mixer ~lo ~rf () in
+  (* nodes lo, rf, out + two branch currents *)
+  Alcotest.(check int) "unknowns" 5 (Circuit.Mna.size mna);
+  ignore (Circuit.Mna.node_index mna "out")
+
+let test_balanced_mixer_dc_op () =
+  let rf_signal = W.cosine ~amplitude:1.0 ~freq:900.015e6 () in
+  (* rf_amplitude 0 keeps the t = 0 source snapshot symmetric (the RF
+     cosine is 1 at t = 0, which would legitimately unbalance the DC
+     operating point). *)
+  let { Circuits.mna; _ } =
+    Circuits.balanced_mixer ~f_lo:450e6 ~rf_amplitude:0.0 ~rf_signal ()
+  in
+  let report = Circuit.Dcop.solve mna in
+  Alcotest.(check bool) "dc converges" true report.Circuit.Dcop.converged;
+  let x = report.Circuit.Dcop.x in
+  let nodes = Circuits.balanced_mixer_nodes in
+  let vdp = Circuit.Mna.voltage mna x nodes.Circuits.out_plus in
+  let vdm = Circuit.Mna.voltage mna x nodes.Circuits.out_minus in
+  let vs = Circuit.Mna.voltage mna x nodes.Circuits.source_node in
+  (* Symmetric topology → symmetric DC outputs; source node sits between
+     ground and the gate bias. *)
+  Alcotest.(check (float 1e-6)) "balanced outputs" vdp vdm;
+  Alcotest.(check bool) "outputs below vdd" true (vdp > 0.0 && vdp < 3.0);
+  Alcotest.(check bool) "tail node plausible" true (vs > 0.0 && vs < 1.8)
+
+let test_balanced_mixer_doubler_symmetry () =
+  (* The tail current seen at node s must repeat twice per LO period:
+     compare the first and second half of the fast-scale column of an
+     MPDE solve with a pure-tone RF. *)
+  let f_lo = 450e6 and fd = 15e3 in
+  let rf_signal = W.cosine ~amplitude:1.0 ~freq:((2.0 *. 450e6) +. fd) () in
+  let { Circuits.mna; _ } = Circuits.balanced_mixer ~f_lo ~rf_signal ~rf_amplitude:0.0 () in
+  let shear = Mpde.Shear.make ~fast_freq:f_lo ~slow_freq:fd in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:4 mna in
+  Alcotest.(check bool) "converged" true sol.Mpde.Solver.stats.converged;
+  let vs =
+    Mpde.Extract.surface_of_node sol mna Circuits.balanced_mixer_nodes.Circuits.source_node
+  in
+  let worst = ref 0.0 in
+  for i = 0 to 15 do
+    worst := Float.max !worst (Float.abs (vs.(i).(0) -. vs.(i + 16).(0)))
+  done;
+  Alcotest.(check bool) "2·LO periodicity at the tail" true (!worst < 1e-3)
+
+let test_unbalanced_mixer_dc () =
+  let rf_signal = W.cosine ~amplitude:1.0 ~freq:1.001e6 () in
+  let { Circuits.mna; _ } = Circuits.unbalanced_mixer ~f_lo:1e6 ~rf_signal ~rf_amplitude:0.05 () in
+  let x = Circuit.Dcop.solve_exn mna in
+  let vout = Circuit.Mna.voltage mna x "out" in
+  Alcotest.(check bool) "biased in range" true (vout > 0.2 && vout < 3.0)
+
+let test_paper_rf_bitstream_lattice () =
+  let f_lo = 450e6 and fd = 15e3 in
+  let w, bits = Circuits.paper_rf_bitstream ~f_lo ~fd () in
+  Alcotest.(check int) "default pattern" 6 (Array.length bits);
+  let shear = Mpde.Shear.make ~fast_freq:f_lo ~slow_freq:fd in
+  (* Every frequency in the bitstream drive must be on the shear lattice. *)
+  List.iter
+    (fun f -> ignore (Mpde.Shear.lattice shear f))
+    (W.frequencies w);
+  (* The carrier must be at 2·f_lo + fd. *)
+  Alcotest.(check bool) "carrier on lattice as (2,1)" true
+    (List.exists
+       (fun f -> Mpde.Shear.lattice shear f = (2, 1))
+       (W.frequencies w))
+
+let test_paper_rf_bitstream_custom_bits () =
+  let bits = [| true; false; true |] in
+  let w, bits' = Circuits.paper_rf_bitstream ~bits ~f_lo:450e6 ~fd:15e3 () in
+  Alcotest.(check bool) "bits preserved" true (bits = bits');
+  (* Pattern frequency = symbol_freq / nbits = fd. *)
+  Alcotest.(check bool) "pattern at fd" true (List.mem 15e3 (W.frequencies w))
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "builders",
+        [
+          Alcotest.test_case "rc lowpass" `Quick test_rc_lowpass_structure;
+          Alcotest.test_case "rlc dc" `Quick test_rlc_dc_short;
+          Alcotest.test_case "rectifier dc" `Quick test_diode_rectifier_dc;
+          Alcotest.test_case "detector pole" `Quick test_envelope_detector_pole_placement;
+          Alcotest.test_case "ideal mixer" `Quick test_ideal_mixer_nodes;
+          Alcotest.test_case "unbalanced mixer dc" `Quick test_unbalanced_mixer_dc;
+        ] );
+      ( "balanced mixer",
+        [
+          Alcotest.test_case "dc operating point" `Quick test_balanced_mixer_dc_op;
+          Alcotest.test_case "LO doubling" `Slow test_balanced_mixer_doubler_symmetry;
+        ] );
+      ( "paper bitstream",
+        [
+          Alcotest.test_case "lattice consistency" `Quick test_paper_rf_bitstream_lattice;
+          Alcotest.test_case "custom bits" `Quick test_paper_rf_bitstream_custom_bits;
+        ] );
+    ]

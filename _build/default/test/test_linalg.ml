@@ -1,0 +1,315 @@
+(* Unit and property tests for the dense linear-algebra substrate. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Lu = Linalg.Lu
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Vec ---------- *)
+
+let test_vec_create () =
+  let v = Vec.create 4 in
+  Alcotest.(check int) "dim" 4 (Vec.dim v);
+  check_float "zero" 0.0 v.(2)
+
+let test_vec_init_map () =
+  let v = Vec.init 5 float_of_int in
+  let w = Vec.map (fun x -> 2.0 *. x) v in
+  check_float "map" 6.0 w.(3)
+
+let test_vec_add_sub () =
+  let a = Vec.of_list [ 1.0; 2.0 ] and b = Vec.of_list [ 3.0; 5.0 ] in
+  check_float "add" 7.0 (Vec.add a b).(1);
+  check_float "sub" (-2.0) (Vec.sub a b).(0)
+
+let test_vec_dot_norms () =
+  let v = Vec.of_list [ 3.0; 4.0 ] in
+  check_float "dot" 25.0 (Vec.dot v v);
+  check_float "norm2" 5.0 (Vec.norm2 v);
+  check_float "norm1" 7.0 (Vec.norm1 v);
+  check_float "norm_inf" 4.0 (Vec.norm_inf v)
+
+let test_vec_axpy () =
+  let x = Vec.of_list [ 1.0; 1.0 ] and y = Vec.of_list [ 2.0; 0.0 ] in
+  Vec.axpy 3.0 x y;
+  check_float "axpy" 5.0 y.(0);
+  check_float "axpy" 3.0 y.(1)
+
+let test_vec_axpby () =
+  let x = Vec.of_list [ 1.0; 2.0 ] and y = Vec.of_list [ 10.0; 20.0 ] in
+  let z = Vec.axpby 2.0 x 0.5 y in
+  check_float "axpby" 7.0 z.(0)
+
+let test_vec_dist2 () =
+  let a = Vec.of_list [ 0.0; 0.0 ] and b = Vec.of_list [ 3.0; 4.0 ] in
+  check_float "dist2" 5.0 (Vec.dist2 a b)
+
+let test_vec_mismatch () =
+  let a = Vec.create 2 and b = Vec.create 3 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vec: dimension mismatch") (fun () ->
+      ignore (Vec.dot a b))
+
+let test_vec_max_abs_index () =
+  Alcotest.(check int) "max abs" 1 (Vec.max_abs_index (Vec.of_list [ 2.0; -5.0; 4.0 ]))
+
+let test_vec_mean () =
+  check_float "mean" 2.0 (Vec.mean (Vec.of_list [ 1.0; 2.0; 3.0 ]));
+  check_float "mean empty" 0.0 (Vec.mean [||])
+
+let test_vec_inplace () =
+  let x = Vec.of_list [ 1.0; 2.0 ] in
+  Vec.scale_ip 2.0 x;
+  check_float "scale_ip" 4.0 x.(1);
+  Vec.add_ip x (Vec.of_list [ 1.0; 1.0 ]);
+  check_float "add_ip" 3.0 x.(0);
+  Vec.sub_ip x (Vec.of_list [ 3.0; 5.0 ]);
+  check_float "sub_ip" 0.0 x.(0)
+
+(* ---------- Mat ---------- *)
+
+let test_mat_identity () =
+  let m = Mat.identity 3 in
+  check_float "diag" 1.0 (Mat.get m 1 1);
+  check_float "off" 0.0 (Mat.get m 0 2)
+
+let test_mat_of_arrays () =
+  let m = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check_float "entry" 3.0 (Mat.get m 1 0);
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_arrays: ragged rows")
+    (fun () -> ignore (Mat.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let c = Mat.mul a b in
+  check_float "c00" 2.0 (Mat.get c 0 0);
+  check_float "c01" 1.0 (Mat.get c 0 1);
+  check_float "c10" 4.0 (Mat.get c 1 0)
+
+let test_mat_mul_vec () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Mat.mul_vec a (Vec.of_list [ 1.0; 1.0 ]) in
+  check_float "y0" 3.0 y.(0);
+  check_float "y1" 7.0 y.(1)
+
+let test_mat_tmul_vec () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Mat.tmul_vec a (Vec.of_list [ 1.0; 1.0 ]) in
+  check_float "y0" 4.0 y.(0);
+  check_float "y1" 6.0 y.(1)
+
+let test_mat_transpose () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let t = Mat.transpose a in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Mat.dims t);
+  check_float "entry" 2.0 (Mat.get t 1 0)
+
+let test_mat_rows_cols () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check_float "row" 4.0 (Mat.row a 1).(1);
+  check_float "col" 2.0 (Mat.col a 1).(0);
+  Mat.swap_rows a 0 1;
+  check_float "swapped" 3.0 (Mat.get a 0 0)
+
+let test_mat_norms () =
+  let a = Mat.of_arrays [| [| 3.0; 4.0 |]; [| 0.0; 0.0 |] |] in
+  check_float "frobenius" 5.0 (Mat.frobenius_norm a);
+  check_float "inf" 7.0 (Mat.norm_inf a);
+  check_float "trace" 3.0 (Mat.trace a)
+
+let test_mat_outer () =
+  let m = Mat.outer (Vec.of_list [ 1.0; 2.0 ]) (Vec.of_list [ 3.0; 4.0 ]) in
+  check_float "outer" 8.0 (Mat.get m 1 1)
+
+(* ---------- Lu ---------- *)
+
+let test_lu_solve_2x2 () =
+  let a = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Lu.solve_dense a (Vec.of_list [ 3.0; 5.0 |> fun v -> v ]) in
+  check_float "x0" 0.8 x.(0);
+  check_float "x1" 1.4 x.(1)
+
+let test_lu_needs_pivoting () =
+  (* Zero on the first diagonal forces a row exchange. *)
+  let a = Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Lu.solve_dense a (Vec.of_list [ 2.0; 3.0 ]) in
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+let test_lu_det () =
+  let a = Mat.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  check_float "det" 6.0 (Lu.det (Lu.factor a));
+  let swapped = Mat.of_arrays [| [| 0.0; 3.0 |]; [| 2.0; 0.0 |] |] in
+  check_float "det sign" (-6.0) (Lu.det (Lu.factor swapped))
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Lu.factor a with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_lu_inverse () =
+  let a = Mat.of_arrays [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Lu.inverse (Lu.factor a) in
+  let product = Mat.mul a inv in
+  Alcotest.(check bool) "a·a⁻¹ = I" true (Mat.approx_equal ~tol:1e-12 product (Mat.identity 2))
+
+let test_lu_transposed () =
+  let a = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 0.0; 3.0 |] |] in
+  let b = Vec.of_list [ 4.0; 5.0 ] in
+  let x = Lu.solve_transposed (Lu.factor a) b in
+  let r = Mat.mul_vec (Mat.transpose a) x in
+  Alcotest.(check bool) "aᵀx=b" true (Vec.approx_equal ~tol:1e-12 r b)
+
+let test_lu_rcond () =
+  let well = Lu.factor (Mat.identity 4) in
+  check_float "rcond identity" 1.0 (Lu.rcond_estimate well)
+
+let test_lu_solve_mat () =
+  let a = Mat.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  let x = Lu.solve_mat (Lu.factor a) (Mat.identity 2) in
+  check_float "inv00" 0.5 (Mat.get x 0 0);
+  check_float "inv11" 0.25 (Mat.get x 1 1)
+
+(* ---------- complex ---------- *)
+
+let test_cvec_roundtrip () =
+  let v = Linalg.Cvec.of_real (Vec.of_list [ 1.0; -2.0 ]) in
+  check_float "real part" (-2.0) (Linalg.Cvec.real v).(1);
+  check_float "imag part" 0.0 (Linalg.Cvec.imag v).(0)
+
+let test_cvec_dot_norm () =
+  let i = { Complex.re = 0.0; im = 1.0 } in
+  let v = [| i; Complex.one |] in
+  let d = Linalg.Cvec.dot v v in
+  check_float "‖v‖² real" 2.0 d.Complex.re;
+  check_float "‖v‖² imag" 0.0 d.Complex.im;
+  check_float "norm" (sqrt 2.0) (Linalg.Cvec.norm2 v)
+
+let test_cmat_lu_solve () =
+  let i = { Complex.re = 0.0; im = 1.0 } in
+  let a = Linalg.Cmat.init 2 2 (fun r c ->
+      if r = c then Complex.add Complex.one i else Complex.zero) in
+  let b = [| Complex.one; i |] in
+  let x = Linalg.Cmat.lu_solve a b in
+  let r = Linalg.Cmat.mul_vec a x in
+  Alcotest.(check bool) "ax=b" true (Linalg.Cvec.approx_equal ~tol:1e-12 r b)
+
+let test_cmat_singular () =
+  let a = Linalg.Cmat.create 2 2 in
+  match Linalg.Cmat.lu_solve a [| Complex.one; Complex.one |] with
+  | exception Linalg.Cmat.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+(* ---------- properties ---------- *)
+
+let random_matrix_gen n =
+  QCheck.Gen.(
+    array_size (return (n * n)) (float_range (-10.0) 10.0)
+    |> map (fun data ->
+           (* diagonally boosted to stay comfortably nonsingular *)
+           Mat.init n n (fun i j ->
+               data.((i * n) + j) +. if i = j then 50.0 else 0.0)))
+
+let prop_lu_solves =
+  QCheck.Test.make ~count:100 ~name:"lu: a·(a\\b) = b"
+    QCheck.(
+      make
+        Gen.(
+          pair (random_matrix_gen 5) (array_size (return 5) (float_range (-5.0) 5.0))))
+    (fun (a, b) ->
+      let x = Lu.solve_dense a b in
+      Vec.dist2 (Mat.mul_vec a x) b < 1e-8)
+
+let prop_lu_det_transpose =
+  QCheck.Test.make ~count:60 ~name:"lu: det a = det aᵀ"
+    (QCheck.make (random_matrix_gen 4))
+    (fun a ->
+      let d1 = Lu.det (Lu.factor a) and d2 = Lu.det (Lu.factor (Mat.transpose a)) in
+      Float.abs (d1 -. d2) < 1e-6 *. Float.max 1.0 (Float.abs d1))
+
+let prop_vec_triangle =
+  QCheck.Test.make ~count:200 ~name:"vec: triangle inequality"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (array_size (return 8) (float_range (-100.0) 100.0))
+            (array_size (return 8) (float_range (-100.0) 100.0))))
+    (fun (a, b) -> Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9)
+
+let prop_vec_cauchy_schwarz =
+  QCheck.Test.make ~count:200 ~name:"vec: |⟨a,b⟩| ≤ ‖a‖‖b‖"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (array_size (return 6) (float_range (-50.0) 50.0))
+            (array_size (return 6) (float_range (-50.0) 50.0))))
+    (fun (a, b) -> Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-9)
+
+let prop_mat_mul_assoc =
+  QCheck.Test.make ~count:40 ~name:"mat: (ab)c = a(bc)"
+    QCheck.(
+      make Gen.(triple (random_matrix_gen 3) (random_matrix_gen 3) (random_matrix_gen 3)))
+    (fun (a, b, c) ->
+      Mat.approx_equal ~tol:1e-6 (Mat.mul (Mat.mul a b) c) (Mat.mul a (Mat.mul b c)))
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "create" `Quick test_vec_create;
+          Alcotest.test_case "init/map" `Quick test_vec_init_map;
+          Alcotest.test_case "add/sub" `Quick test_vec_add_sub;
+          Alcotest.test_case "dot/norms" `Quick test_vec_dot_norms;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "axpby" `Quick test_vec_axpby;
+          Alcotest.test_case "dist2" `Quick test_vec_dist2;
+          Alcotest.test_case "mismatch raises" `Quick test_vec_mismatch;
+          Alcotest.test_case "max_abs_index" `Quick test_vec_max_abs_index;
+          Alcotest.test_case "mean" `Quick test_vec_mean;
+          Alcotest.test_case "in-place ops" `Quick test_vec_inplace;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "identity" `Quick test_mat_identity;
+          Alcotest.test_case "of_arrays" `Quick test_mat_of_arrays;
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "mul_vec" `Quick test_mat_mul_vec;
+          Alcotest.test_case "tmul_vec" `Quick test_mat_tmul_vec;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "rows/cols/swap" `Quick test_mat_rows_cols;
+          Alcotest.test_case "norms/trace" `Quick test_mat_norms;
+          Alcotest.test_case "outer" `Quick test_mat_outer;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve 2x2" `Quick test_lu_solve_2x2;
+          Alcotest.test_case "pivoting" `Quick test_lu_needs_pivoting;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "singular detection" `Quick test_lu_singular;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "transposed solve" `Quick test_lu_transposed;
+          Alcotest.test_case "rcond" `Quick test_lu_rcond;
+          Alcotest.test_case "solve_mat" `Quick test_lu_solve_mat;
+        ] );
+      ( "complex",
+        [
+          Alcotest.test_case "cvec roundtrip" `Quick test_cvec_roundtrip;
+          Alcotest.test_case "cvec dot/norm" `Quick test_cvec_dot_norm;
+          Alcotest.test_case "cmat lu solve" `Quick test_cmat_lu_solve;
+          Alcotest.test_case "cmat singular" `Quick test_cmat_singular;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_lu_solves;
+            prop_lu_det_transpose;
+            prop_vec_triangle;
+            prop_vec_cauchy_schwarz;
+            prop_mat_mul_assoc;
+          ] );
+    ]

@@ -1,0 +1,617 @@
+(* Tests for the core contribution: sheared difference-frequency time
+   scales, the bi-periodic MPDE grid solver, extraction, and the
+   envelope-following mode. *)
+
+module W = Circuit.Waveform
+module Shear = Mpde.Shear
+module Grid = Mpde.Grid
+
+let pi = 4.0 *. atan 1.0
+
+(* ---------- Shear ---------- *)
+
+let shear_1g = Shear.make ~fast_freq:1e9 ~slow_freq:10e3
+
+let test_shear_accessors () =
+  Alcotest.(check (float 1e-3)) "fast" 1e9 (Shear.fast_freq shear_1g);
+  Alcotest.(check (float 1e-9)) "t1 period" 1e-9 (Shear.t1_period shear_1g);
+  Alcotest.(check (float 1e-9)) "t2 period" 1e-4 (Shear.t2_period shear_1g);
+  Alcotest.(check (float 1e-3)) "disparity" 1e5 (Shear.disparity shear_1g)
+
+let test_shear_make_validation () =
+  Alcotest.check_raises "slow >= fast"
+    (Invalid_argument "Shear.make: need 0 < slow_freq < fast_freq") (fun () ->
+      ignore (Shear.make ~fast_freq:1.0 ~slow_freq:2.0))
+
+let test_shear_lattice_basic () =
+  Alcotest.(check (pair int int)) "f1" (1, 0) (Shear.lattice shear_1g 1e9);
+  Alcotest.(check (pair int int)) "f1 - fd" (1, -1) (Shear.lattice shear_1g (1e9 -. 10e3));
+  Alcotest.(check (pair int int)) "2f1 + fd" (2, 1) (Shear.lattice shear_1g (2e9 +. 10e3));
+  Alcotest.(check (pair int int)) "pure fd" (0, 1) (Shear.lattice shear_1g 10e3);
+  Alcotest.(check (pair int int)) "dc" (0, 0) (Shear.lattice shear_1g 0.0)
+
+let test_shear_off_lattice () =
+  match Shear.lattice shear_1g (1e9 +. 3333.0) with
+  | exception Shear.Off_lattice _ -> ()
+  | _ -> Alcotest.fail "expected Off_lattice"
+
+let test_shear_phase_diagonal_identity () =
+  (* The defining property: phase(t, t) of frequency f equals f·t. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun t ->
+          let p = Shear.phase shear_1g ~t1:t ~t2:t f in
+          Alcotest.(check bool)
+            (Printf.sprintf "diagonal at f=%g t=%g" f t)
+            true
+            (Float.abs (p -. (f *. t)) <= 1e-6 *. Float.max 1.0 (Float.abs (f *. t))))
+        [ 0.0; 1.234e-9; 5.0e-5 ])
+    [ 1e9; 1e9 +. 10e3; 2e9 -. 20e3; 10e3; 30e3 ]
+
+let test_shear_phase_periodicity () =
+  (* Sheared phase advances by an integer when t1 advances by T1 or t2
+     by Td — the bi-periodicity that makes the grid representation
+     consistent. *)
+  let f = 2e9 +. 10e3 in
+  let t1 = 0.3e-9 and t2 = 2.7e-5 in
+  let p0 = Shear.phase shear_1g ~t1 ~t2 f in
+  let p1 = Shear.phase shear_1g ~t1:(t1 +. 1e-9) ~t2 f in
+  let p2 = Shear.phase shear_1g ~t1 ~t2:(t2 +. 1e-4) f in
+  let is_integer x = Float.abs (x -. Float.round x) < 1e-6 in
+  Alcotest.(check bool) "T1 shift" true (is_integer (p1 -. p0));
+  Alcotest.(check bool) "Td shift" true (is_integer (p2 -. p0))
+
+let test_shear_unsheared_assignment () =
+  (* Unsheared: fast-multiple frequencies ride on t1, others on t2. *)
+  let p_fast = Shear.phase_unsheared shear_1g ~t1:1.0e-9 ~t2:0.0 1e9 in
+  Alcotest.(check (float 1e-9)) "fast on t1" 1.0 p_fast;
+  let f2 = 1e9 -. 10e3 in
+  let p_slow = Shear.phase_unsheared shear_1g ~t1:0.0 ~t2:1.0e-9 f2 in
+  Alcotest.(check (float 1e-6)) "slow on t2" (f2 *. 1.0e-9) p_slow
+
+let test_shear_validate_sources () =
+  let nl = Circuit.Netlist.create () in
+  Circuit.Netlist.vsource nl "v1" "a" "0" (W.sine ~amplitude:1.0 ~freq:1e9 ());
+  Circuit.Netlist.resistor nl "r1" "a" "0" 1.0;
+  let m = Circuit.Mna.build nl in
+  (match Shear.validate_sources shear_1g m with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "on-lattice source rejected");
+  let nl2 = Circuit.Netlist.create () in
+  (* 1 GHz + 5432.1 Hz is not representable as m·1 GHz + k·10 kHz. *)
+  Circuit.Netlist.vsource nl2 "v1" "a" "0" (W.sine ~amplitude:1.0 ~freq:(1e9 +. 5432.1) ());
+  Circuit.Netlist.resistor nl2 "r1" "a" "0" 1.0;
+  let m2 = Circuit.Mna.build nl2 in
+  match Shear.validate_sources shear_1g m2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "off-lattice source accepted"
+
+(* ---------- Grid ---------- *)
+
+let test_grid_geometry () =
+  let g = Grid.make ~shear:shear_1g ~n1:10 ~n2:5 in
+  Alcotest.(check int) "points" 50 (Grid.points g);
+  Alcotest.(check (float 1e-20)) "h1" 1e-10 g.Grid.h1;
+  Alcotest.(check (float 1e-15)) "h2" 2e-5 g.Grid.h2;
+  Alcotest.(check (float 1e-20)) "t1 coordinate" 3e-10 (Grid.t1_of g 3);
+  Alcotest.(check (float 1e-15)) "t2 coordinate" 4e-5 (Grid.t2_of g 2)
+
+let test_grid_wrapping () =
+  let g = Grid.make ~shear:shear_1g ~n1:10 ~n2:5 in
+  Alcotest.(check int) "wrap1 negative" 9 (Grid.wrap1 g (-1));
+  Alcotest.(check int) "wrap2 over" 0 (Grid.wrap2 g 5);
+  Alcotest.(check int) "index" 13 (Grid.point_index g 3 1);
+  Alcotest.(check int) "index wrapped" (Grid.point_index g 3 1) (Grid.point_index g 13 6)
+
+let test_grid_validation () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Grid.make: dimensions must be at least 2") (fun () ->
+      ignore (Grid.make ~shear:shear_1g ~n1:1 ~n2:5))
+
+(* ---------- Assemble ---------- *)
+
+(* A linear scalar DAE solved on the grid must reproduce the analytic
+   quasi-periodic response. Build a one-node RC with two-tone drive. *)
+let two_tone_rc ~f1 ~fd =
+  let f2 = f1 +. fd in
+  Circuits.rc_lowpass ~r:1e3 ~c:(100e-12)
+    ~drive:
+      (W.sum (W.sine ~amplitude:1.0 ~freq:f1 ()) (W.sine ~amplitude:1.0 ~freq:f2 ()))
+    ()
+
+let test_assemble_sources_diagonal_consistency () =
+  (* b̂ on the grid must equal the one-time b along the diagonal at grid
+     coincidence points: when t1 = t2 = t, both evaluate b(t). *)
+  let f1 = 1e6 and fd = 1e3 in
+  let { Circuits.mna; _ } = two_tone_rc ~f1 ~fd in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let dae = Circuit.Mna.dae mna in
+  List.iter
+    (fun t ->
+      let b_hat = sys.Mpde.Assemble.source_at ~t1:t ~t2:t in
+      let b = dae.Numeric.Dae.source t in
+      Alcotest.(check bool)
+        (Printf.sprintf "diagonal at t=%g" t)
+        true
+        (Linalg.Vec.approx_equal ~tol:1e-9 b_hat b))
+    [ 0.0; 1.7e-7; 4.2e-6; 9.9e-4 ]
+
+let test_assemble_residual_zero_for_exact_solution () =
+  (* For C ẋ + x/R = b with b̂ constant, x̂ = R·b̂ is an exact grid
+     solution (all differences vanish). *)
+  let { Circuits.mna; _ } =
+    Circuits.rc_lowpass ~r:2e3 ~c:1e-12 ~drive:(W.dc 1.0) ()
+  in
+  let shear = Shear.make ~fast_freq:1e6 ~slow_freq:1e3 in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let g = Grid.make ~shear ~n1:4 ~n2:4 in
+  let dc = Circuit.Dcop.solve_exn mna in
+  let n = Circuit.Mna.size mna in
+  let big = Array.make (Grid.points g * n) 0.0 in
+  for p = 0 to Grid.points g - 1 do
+    Array.blit dc 0 big (p * n) n
+  done;
+  let sources = Mpde.Assemble.sources_on_grid sys g in
+  let r = Mpde.Assemble.residual Mpde.Assemble.Backward sys g ~sources big in
+  Alcotest.(check bool) "dc solution is exact" true (Linalg.Vec.norm_inf r < 1e-9)
+
+let test_assemble_jacobian_matches_fd () =
+  (* Full finite-difference validation of the global MPDE Jacobian on a
+     small nonlinear grid problem. *)
+  let f1 = 1e6 and fd = 1e4 in
+  let { Circuits.mna; _ } =
+    Circuits.envelope_detector ~f1 ~f2:(f1 +. fd) ~amplitude:0.5 ()
+  in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let g = Grid.make ~shear ~n1:3 ~n2:2 in
+  let n = sys.Mpde.Assemble.size in
+  let big_n = Grid.points g * n in
+  let big = Array.init big_n (fun i -> 0.05 *. sin (float_of_int i)) in
+  let sources = Mpde.Assemble.sources_on_grid sys g in
+  let jacs = Mpde.Assemble.point_jacobians sys g big in
+  let jac = Mpde.Assemble.jacobian_csr Mpde.Assemble.Backward g ~size:n ~jacs in
+  let r0 = Mpde.Assemble.residual Mpde.Assemble.Backward sys g ~sources big in
+  let h = 1e-7 in
+  for j = 0 to big_n - 1 do
+    let xj = Array.copy big in
+    xj.(j) <- xj.(j) +. h;
+    let rj = Mpde.Assemble.residual Mpde.Assemble.Backward sys g ~sources xj in
+    for i = 0 to big_n - 1 do
+      let numeric = (rj.(i) -. r0.(i)) /. h in
+      let stamped = Sparse.Csr.get jac i j in
+      let scale = Float.max 1.0 (Float.abs stamped) in
+      if Float.abs (numeric -. stamped) > 1e-3 *. scale then
+        Alcotest.failf "jacobian mismatch at (%d,%d): fd=%.6g stamped=%.6g" i j numeric
+          stamped
+    done
+  done
+
+(* ---------- Solver ---------- *)
+
+let solve_linear_two_tone ?options () =
+  let f1 = 1e6 and fd = 1e3 in
+  let { Circuits.mna; _ } = two_tone_rc ~f1 ~fd in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  (Mpde.Solver.solve_mna ?options ~shear ~n1:32 ~n2:16 mna, mna)
+
+let linear_rc_response f t =
+  let r = 1e3 and c = 100e-12 in
+  let w = 2.0 *. pi *. f in
+  let gain = 1.0 /. sqrt (1.0 +. ((w *. r *. c) ** 2.0)) in
+  gain *. sin ((w *. t) -. atan (w *. r *. c))
+
+let test_solver_linear_two_tone () =
+  let sol, mna = solve_linear_two_tone () in
+  Alcotest.(check bool) "converged" true sol.Mpde.Solver.stats.converged;
+  (* linear problem: one Newton step *)
+  Alcotest.(check bool) "few newton iterations" true
+    (sol.Mpde.Solver.stats.newton_iterations <= 2);
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let f1 = 1e6 and fd = 1e3 in
+  let _, series =
+    Mpde.Extract.diagonal sol ~values:vout ~t_start:0.0 ~t_stop:(2.0 /. f1) ~samples:50
+  in
+  let times = Array.init 50 (fun k -> 2.0 /. f1 *. float_of_int k /. 49.0) in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k t ->
+      let expected = linear_rc_response f1 t +. linear_rc_response (f1 +. fd) t in
+      worst := Float.max !worst (Float.abs (series.(k) -. expected)))
+    times;
+  (* first-order BE on a 32-point fast grid: ~10% phase error expected *)
+  Alcotest.(check bool) "matches superposition" true (!worst < 0.15)
+
+let test_solver_direct_equals_gmres () =
+  let opts solver = { Mpde.Solver.default_options with linear_solver = solver } in
+  let sol_d, _ = solve_linear_two_tone ~options:(opts Mpde.Solver.Direct) () in
+  let sol_g, _ = solve_linear_two_tone ~options:(opts Mpde.Solver.default_gmres) () in
+  Alcotest.(check bool) "both converged" true
+    (sol_d.Mpde.Solver.stats.converged && sol_g.Mpde.Solver.stats.converged);
+  Alcotest.(check bool) "same solution" true
+    (Linalg.Vec.dist2 sol_d.Mpde.Solver.big_x sol_g.Mpde.Solver.big_x < 1e-5)
+
+let test_solver_residual_check () =
+  let sol, _ = solve_linear_two_tone () in
+  Alcotest.(check bool) "stored solution satisfies the equations" true
+    (Mpde.Solver.residual_norm_check sol < 1e-7)
+
+let test_solver_ideal_mixer_gain () =
+  (* The paper's §2 ideal mixing: product of unit cosines has a
+     difference tone of amplitude exactly 1/2. *)
+  let f1 = 1e9 and fd = 10e3 in
+  let lo = W.cosine ~amplitude:1.0 ~freq:f1 () in
+  let rf = W.cosine ~amplitude:1.0 ~freq:(f1 -. fd) () in
+  let { Circuits.mna; _ } = Circuits.ideal_mixer ~lo ~rf () in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:24 mna in
+  Alcotest.(check bool) "converged" true sol.Mpde.Solver.stats.converged;
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  Alcotest.(check (float 2e-3)) "difference tone = 1/2" 0.5
+    (Mpde.Extract.t2_harmonic_amplitude ~values:vout ~harmonic:1);
+  Alcotest.(check (float 0.05)) "conversion gain −6 dB" (-6.02)
+    (Mpde.Extract.conversion_gain_db ~values:vout ~rf_amplitude:1.0 ~harmonic:1)
+
+let test_solver_off_lattice_raises () =
+  let nl = Circuit.Netlist.create () in
+  (* 1 MHz + 432.1 Hz is off the (1 MHz, 1 kHz) lattice. *)
+  Circuit.Netlist.vsource nl "v1" "a" "0" (W.sine ~amplitude:1.0 ~freq:(1e6 +. 432.1) ());
+  Circuit.Netlist.resistor nl "r1" "a" "0" 1e3;
+  let mna = Circuit.Mna.build nl in
+  let shear = Shear.make ~fast_freq:1e6 ~slow_freq:1e3 in
+  match Mpde.Solver.solve_mna ~shear ~n1:4 ~n2:4 mna with
+  | exception Shear.Off_lattice _ -> ()
+  | _ -> Alcotest.fail "expected Off_lattice"
+
+let test_solver_seed_validation () =
+  let f1 = 1e6 and fd = 1e3 in
+  let { Circuits.mna; _ } = two_tone_rc ~f1 ~fd in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let g = Grid.make ~shear ~n1:4 ~n2:4 in
+  Alcotest.check_raises "bad seed" (Invalid_argument "Mpde.Solver.solve: bad seed size")
+    (fun () -> ignore (Mpde.Solver.solve ~seed:[| 1.0 |] sys g))
+
+let test_solver_nonlinear_detector () =
+  (* Envelope detector: the output's difference-frequency envelope must
+     pulse at fd (a strong nonlinear down-conversion). *)
+  let f1 = 1e6 and fd = 2e4 in
+  let { Circuits.mna; _ } = Circuits.envelope_detector ~f1 ~f2:(f1 +. fd) ~amplitude:1.0 () in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:24 mna in
+  Alcotest.(check bool) "converged" true sol.Mpde.Solver.stats.converged;
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let beat = Mpde.Extract.t2_harmonic_amplitude ~values:vout ~harmonic:1 in
+  Alcotest.(check bool) "beat envelope present" true (beat > 0.1)
+
+let test_solver_grid_refinement_converges () =
+  (* Halving both grid steps should reduce the error vs the analytic
+     linear solution (first-order convergence). *)
+  let f1 = 1e6 and fd = 1e3 in
+  let { Circuits.mna; _ } = two_tone_rc ~f1 ~fd in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let err n1 =
+    let sol = Mpde.Solver.solve_mna ~shear ~n1 ~n2:8 mna in
+    let vout = Mpde.Extract.surface_of_node sol mna "out" in
+    let _, series =
+      Mpde.Extract.diagonal sol ~values:vout ~t_start:0.0 ~t_stop:(1.0 /. f1) ~samples:40
+    in
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun k s ->
+        let t = 1.0 /. f1 *. float_of_int k /. 39.0 in
+        let expected = linear_rc_response f1 t +. linear_rc_response (f1 +. fd) t in
+        worst := Float.max !worst (Float.abs (s -. expected)))
+      series;
+    !worst
+  in
+  let e16 = err 16 and e64 = err 64 in
+  Alcotest.(check bool) "refinement helps" true (e64 < e16 /. 2.0)
+
+let test_solver_central_scheme_more_accurate () =
+  let f1 = 1e6 and fd = 1e3 in
+  let { Circuits.mna; _ } = two_tone_rc ~f1 ~fd in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let err scheme =
+    let options =
+      { Mpde.Solver.default_options with scheme; linear_solver = Mpde.Solver.Direct }
+    in
+    let sol = Mpde.Solver.solve_mna ~options ~shear ~n1:24 ~n2:8 mna in
+    Alcotest.(check bool) "converged" true sol.Mpde.Solver.stats.converged;
+    let vout = Mpde.Extract.surface_of_node sol mna "out" in
+    let _, series =
+      Mpde.Extract.diagonal sol ~values:vout ~t_start:0.0 ~t_stop:(1.0 /. f1) ~samples:40
+    in
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun k s ->
+        let t = 1.0 /. f1 *. float_of_int k /. 39.0 in
+        let expected = linear_rc_response f1 t +. linear_rc_response (f1 +. fd) t in
+        worst := Float.max !worst (Float.abs (s -. expected)))
+      series;
+    !worst
+  in
+  Alcotest.(check bool) "central-in-t1 beats backward" true
+    (err Mpde.Assemble.Central_t1 < err Mpde.Assemble.Backward)
+
+(* ---------- Extract ---------- *)
+
+let test_extract_surface_dims () =
+  let sol, mna = solve_linear_two_tone () in
+  let s = Mpde.Extract.surface_of_node sol mna "out" in
+  Alcotest.(check int) "n1 rows" 32 (Array.length s);
+  Alcotest.(check int) "n2 cols" 16 (Array.length s.(0))
+
+let test_extract_envelope_modes () =
+  let sol, mna = solve_linear_two_tone () in
+  let s = Mpde.Extract.surface_of_node sol mna "out" in
+  let mean = Mpde.Extract.envelope ~mode:Mpde.Extract.Mean_t1 sol ~values:s in
+  let peak = Mpde.Extract.envelope ~mode:Mpde.Extract.Peak_t1 sol ~values:s in
+  let fixed = Mpde.Extract.envelope ~mode:(Mpde.Extract.At_t1 0.25) sol ~values:s in
+  Alcotest.(check int) "lengths" 16 (Array.length mean);
+  Array.iteri
+    (fun j p -> Alcotest.(check bool) "peak ≥ mean" true (p >= mean.(j) -. 1e-12))
+    peak;
+  Alcotest.(check int) "fixed length" 16 (Array.length fixed)
+
+let test_extract_envelope_times () =
+  let sol, _ = solve_linear_two_tone () in
+  let times = Mpde.Extract.envelope_times sol in
+  Alcotest.(check (float 1e-12)) "first" 0.0 times.(0);
+  Alcotest.(check bool) "monotone" true (times.(1) > times.(0))
+
+let test_extract_differential_surface () =
+  let sol, mna = solve_linear_two_tone () in
+  let d = Mpde.Extract.differential_surface sol mna "in" "out" in
+  let si = Mpde.Extract.surface_of_node sol mna "in" in
+  let so = Mpde.Extract.surface_of_node sol mna "out" in
+  Alcotest.(check (float 1e-12)) "difference" (si.(3).(2) -. so.(3).(2)) d.(3).(2)
+
+let test_extract_mixing_spectrum_ideal_mixer () =
+  (* Product of two unit cosines through the IF filter: the dominant
+     mixing products must be the difference tone at (k1, k2) = (0, 1)
+     with amplitude ~1/2 and the (heavily filtered) sum tone at (2, 1). *)
+  let f1 = 1e9 and fd = 10e3 in
+  let lo = W.cosine ~amplitude:1.0 ~freq:f1 () in
+  let rf = W.cosine ~amplitude:1.0 ~freq:(f1 -. fd) () in
+  let { Circuits.mna; _ } = Circuits.ideal_mixer ~lo ~rf () in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:24 mna in
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let products = Mpde.Extract.mixing_spectrum sol ~values:vout () in
+  (match products with
+  | top :: _ ->
+      Alcotest.(check int) "dominant k1" 0 top.Mpde.Extract.k1;
+      Alcotest.(check int) "dominant k2" (-1) (-(abs top.Mpde.Extract.k2));
+      Alcotest.(check bool) "amplitude 1/2" true
+        (Float.abs (top.Mpde.Extract.amplitude -. 0.5) < 5e-3);
+      Alcotest.(check bool) "frequency is fd" true
+        (Float.abs (Float.abs top.Mpde.Extract.frequency -. fd) < 1.0)
+  | [] -> Alcotest.fail "empty spectrum");
+  (* The sum tone (2, ±1) exists but is filtered well below the
+     difference tone. *)
+  let sum_tone =
+    List.find_opt (fun p -> p.Mpde.Extract.k1 = 2) products
+  in
+  (match sum_tone with
+  | Some p ->
+      Alcotest.(check bool) "sum tone filtered" true (p.Mpde.Extract.amplitude < 0.05)
+  | None -> ());
+  Alcotest.(check int) "top limit respected" 12 (List.length products)
+
+let test_extract_mixing_spectrum_parseval_ish () =
+  (* The sum of squared product amplitudes accounts for (almost) all of
+     the surface's AC power. *)
+  let sol, mna = solve_linear_two_tone () in
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let products = Mpde.Extract.mixing_spectrum sol ~values:vout ~top:1000 () in
+  let power_spec =
+    List.fold_left
+      (fun acc p ->
+        if p.Mpde.Extract.k1 = 0 && p.Mpde.Extract.k2 = 0 then acc
+        else acc +. (0.5 *. p.Mpde.Extract.amplitude *. p.Mpde.Extract.amplitude))
+      0.0 products
+  in
+  let mean = ref 0.0 and count = ref 0 in
+  Array.iter (Array.iter (fun v -> mean := !mean +. v; incr count)) vout;
+  let mean = !mean /. float_of_int !count in
+  let power_grid = ref 0.0 in
+  Array.iter
+    (Array.iter (fun v -> power_grid := !power_grid +. ((v -. mean) ** 2.0)))
+    vout;
+  let power_grid = !power_grid /. float_of_int !count in
+  Alcotest.(check bool)
+    (Printf.sprintf "spectral power ≈ grid power (%.5f vs %.5f)" power_spec power_grid)
+    true
+    (Float.abs (power_spec -. power_grid) < 0.02 *. power_grid)
+
+let test_extract_thd_pure_tone () =
+  (* The ideal mixer's baseband is a pure difference tone → tiny THD. *)
+  let f1 = 1e9 and fd = 10e3 in
+  let lo = W.cosine ~amplitude:1.0 ~freq:f1 () in
+  let rf = W.cosine ~amplitude:1.0 ~freq:(f1 -. fd) () in
+  let { Circuits.mna; _ } = Circuits.ideal_mixer ~lo ~rf () in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:24 mna in
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  Alcotest.(check bool) "thd small" true (Mpde.Extract.thd ~values:vout () < 0.02)
+
+(* ---------- Envelope following ---------- *)
+
+let test_envelope_follow_constant_drive () =
+  (* With no slow variation the marched columns must stay put. *)
+  let f1 = 1e6 in
+  let { Circuits.mna; _ } =
+    Circuits.rc_lowpass ~drive:(W.sine ~amplitude:1.0 ~freq:f1 ()) ()
+  in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:1e3 in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let result =
+    Mpde.Envelope_follow.run ~system:sys ~shear ~n1:16 ~t2_stop:5e-4 ~steps:5 ()
+  in
+  Alcotest.(check bool) "converged" true result.Mpde.Envelope_follow.converged;
+  let c0 = result.Mpde.Envelope_follow.columns.(0) in
+  let c5 = result.Mpde.Envelope_follow.columns.(5) in
+  let worst = ref 0.0 in
+  Array.iteri (fun i x -> worst := Float.max !worst (Linalg.Vec.dist2 x c5.(i))) c0;
+  Alcotest.(check bool) "stationary" true (!worst < 1e-6)
+
+let test_envelope_follow_matches_biperiodic () =
+  let f1 = 1e6 and fd = 2e4 in
+  let { Circuits.mna; _ } = Circuits.envelope_detector ~f1 ~f2:(f1 +. fd) ~amplitude:1.0 () in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let seed = Circuit.Dcop.solve_exn mna in
+  let out = Circuit.Mna.node_index mna "out" in
+  let t2p = Shear.t2_period shear in
+  let steps_per_period = 24 in
+  let result =
+    Mpde.Envelope_follow.run ~seed ~system:sys ~shear ~n1:32
+      ~t2_stop:(3.0 *. t2p)
+      ~steps:(3 * steps_per_period) ()
+  in
+  Alcotest.(check bool) "converged" true result.Mpde.Envelope_follow.converged;
+  let env =
+    Mpde.Envelope_follow.envelope_of result ~unknown:out ~mode:Mpde.Extract.Mean_t1
+  in
+  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:steps_per_period mna in
+  let vout = Mpde.Extract.surface_of_node sol mna "out" in
+  let steady = Mpde.Extract.envelope sol ~values:vout in
+  (* Compare the third marched period (transients decayed) pointwise. *)
+  let worst = ref 0.0 in
+  for j = 0 to steps_per_period - 1 do
+    worst :=
+      Float.max !worst (Float.abs (env.((2 * steps_per_period) + j) -. steady.(j)))
+  done;
+  let swing =
+    Array.fold_left Float.max neg_infinity steady
+    -. Array.fold_left Float.min infinity steady
+  in
+  Alcotest.(check bool) "matches bi-periodic steady state" true (!worst < 0.15 *. swing)
+
+let test_envelope_follow_validation () =
+  let f1 = 1e6 in
+  let { Circuits.mna; _ } =
+    Circuits.rc_lowpass ~drive:(W.sine ~amplitude:1.0 ~freq:f1 ()) ()
+  in
+  let shear = Shear.make ~fast_freq:f1 ~slow_freq:1e3 in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  Alcotest.check_raises "steps" (Invalid_argument "Envelope_follow.run: steps must be positive")
+    (fun () ->
+      ignore (Mpde.Envelope_follow.run ~system:sys ~shear ~n1:8 ~t2_stop:1e-4 ~steps:0 ()))
+
+(* ---------- properties ---------- *)
+
+let prop_shear_diagonal =
+  QCheck.Test.make ~count:200 ~name:"shear: phase(t,t) = f·t on the lattice"
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range (-3) 3) (int_range (-20) 20) (float_range 0.0 1e-4)))
+    (fun (m, k, t) ->
+      let f = (float_of_int m *. 1e9) +. (float_of_int k *. 10e3) in
+      if f <= 0.0 then true
+      else begin
+        let p = Shear.phase shear_1g ~t1:t ~t2:t f in
+        Float.abs (p -. (f *. t)) <= 1e-5 *. Float.max 1.0 (Float.abs (f *. t))
+      end)
+
+let prop_shear_lattice_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"shear: lattice(m·f1 + k·fd) = (m, k)"
+    QCheck.(make Gen.(pair (int_range 0 4) (int_range (-40) 40)))
+    (fun (m, k) ->
+      let f = (float_of_int m *. 1e9) +. (float_of_int k *. 10e3) in
+      f <= 0.0 || Shear.lattice shear_1g f = (m, k))
+
+let prop_grid_index_bijective =
+  QCheck.Test.make ~count:200 ~name:"grid: point_index is a bijection on [0,n1)x[0,n2)"
+    QCheck.(make Gen.(pair (int_range 0 9) (int_range 0 4)))
+    (fun (i, j) ->
+      let g = Grid.make ~shear:shear_1g ~n1:10 ~n2:5 in
+      let p = Grid.point_index g i j in
+      p = (j * 10) + i)
+
+let prop_waveform_mt_diagonal =
+  (* For any waveform with lattice frequencies, the sheared multi-time
+     evaluation along the diagonal equals the one-time evaluation —
+     the essence of paper eq. (2)/(11). *)
+  QCheck.Test.make ~count:100 ~name:"assemble: b̂(t,t) = b(t) for random lattice tones"
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 1 3) (int_range (-10) 10) (float_range 0.0 1e-4)))
+    (fun (m, k, t) ->
+      let f = (float_of_int m *. 1e9) +. (float_of_int k *. 10e3) in
+      let w = W.sine ~amplitude:1.0 ~freq:f () in
+      let one_time = W.eval w t in
+      let multi_time = W.eval_with ~phase_of:(Shear.phase shear_1g ~t1:t ~t2:t) w in
+      Float.abs (one_time -. multi_time) < 1e-3)
+
+let () =
+  Alcotest.run "mpde"
+    [
+      ( "shear",
+        [
+          Alcotest.test_case "accessors" `Quick test_shear_accessors;
+          Alcotest.test_case "validation" `Quick test_shear_make_validation;
+          Alcotest.test_case "lattice decomposition" `Quick test_shear_lattice_basic;
+          Alcotest.test_case "off-lattice detection" `Quick test_shear_off_lattice;
+          Alcotest.test_case "diagonal identity" `Quick test_shear_phase_diagonal_identity;
+          Alcotest.test_case "bi-periodicity" `Quick test_shear_phase_periodicity;
+          Alcotest.test_case "unsheared assignment" `Quick test_shear_unsheared_assignment;
+          Alcotest.test_case "source validation" `Quick test_shear_validate_sources;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "geometry" `Quick test_grid_geometry;
+          Alcotest.test_case "wrapping" `Quick test_grid_wrapping;
+          Alcotest.test_case "validation" `Quick test_grid_validation;
+        ] );
+      ( "assemble",
+        [
+          Alcotest.test_case "source diagonal consistency" `Quick
+            test_assemble_sources_diagonal_consistency;
+          Alcotest.test_case "exact solution residual" `Quick
+            test_assemble_residual_zero_for_exact_solution;
+          Alcotest.test_case "jacobian matches finite differences" `Slow
+            test_assemble_jacobian_matches_fd;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "linear two-tone vs analytic" `Quick test_solver_linear_two_tone;
+          Alcotest.test_case "direct = gmres-sweep" `Quick test_solver_direct_equals_gmres;
+          Alcotest.test_case "residual check" `Quick test_solver_residual_check;
+          Alcotest.test_case "ideal mixer -6dB" `Quick test_solver_ideal_mixer_gain;
+          Alcotest.test_case "off-lattice raises" `Quick test_solver_off_lattice_raises;
+          Alcotest.test_case "seed validation" `Quick test_solver_seed_validation;
+          Alcotest.test_case "nonlinear detector" `Quick test_solver_nonlinear_detector;
+          Alcotest.test_case "grid refinement" `Slow test_solver_grid_refinement_converges;
+          Alcotest.test_case "central-t1 accuracy" `Slow test_solver_central_scheme_more_accurate;
+        ] );
+      ( "extract",
+        [
+          Alcotest.test_case "surface dims" `Quick test_extract_surface_dims;
+          Alcotest.test_case "envelope modes" `Quick test_extract_envelope_modes;
+          Alcotest.test_case "envelope times" `Quick test_extract_envelope_times;
+          Alcotest.test_case "differential surface" `Quick test_extract_differential_surface;
+          Alcotest.test_case "mixing spectrum" `Quick test_extract_mixing_spectrum_ideal_mixer;
+          Alcotest.test_case "mixing spectrum power" `Quick test_extract_mixing_spectrum_parseval_ish;
+          Alcotest.test_case "thd pure tone" `Quick test_extract_thd_pure_tone;
+        ] );
+      ( "envelope_follow",
+        [
+          Alcotest.test_case "stationary drive" `Quick test_envelope_follow_constant_drive;
+          Alcotest.test_case "matches bi-periodic" `Slow test_envelope_follow_matches_biperiodic;
+          Alcotest.test_case "validation" `Quick test_envelope_follow_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_shear_diagonal;
+            prop_shear_lattice_roundtrip;
+            prop_grid_index_bijective;
+            prop_waveform_mt_diagonal;
+          ] );
+    ]

@@ -1,0 +1,423 @@
+(* Tests for FFT, Newton, continuation, integrators, interpolation. *)
+
+module Vec = Linalg.Vec
+module Fft = Numeric.Fft
+module Newton = Numeric.Newton
+module Integrator = Numeric.Integrator
+module Interp = Numeric.Interp
+
+let check_float = Alcotest.(check (float 1e-9))
+let pi = 4.0 *. atan 1.0
+
+(* ---------- Fft ---------- *)
+
+let test_fft_pow2_matches_dft () =
+  let x = Linalg.Cvec.init 16 (fun k ->
+      { Complex.re = sin (0.7 *. float_of_int k); im = cos (1.3 *. float_of_int k) }) in
+  Alcotest.(check bool) "radix-2 = naive DFT" true
+    (Linalg.Cvec.approx_equal ~tol:1e-9 (Fft.fft x) (Fft.dft_naive x))
+
+let test_fft_bluestein_matches_dft () =
+  (* Non-power-of-two length exercises the chirp-z path. *)
+  let x = Linalg.Cvec.init 12 (fun k ->
+      { Complex.re = float_of_int (k mod 5); im = -.float_of_int (k mod 3) }) in
+  Alcotest.(check bool) "bluestein = naive DFT" true
+    (Linalg.Cvec.approx_equal ~tol:1e-8 (Fft.fft x) (Fft.dft_naive x))
+
+let test_fft_prime_length () =
+  let x = Linalg.Cvec.init 13 (fun k -> { Complex.re = exp (-0.1 *. float_of_int k); im = 0.0 }) in
+  Alcotest.(check bool) "prime length" true
+    (Linalg.Cvec.approx_equal ~tol:1e-8 (Fft.fft x) (Fft.dft_naive x))
+
+let test_fft_roundtrip () =
+  let x = Linalg.Cvec.init 21 (fun k ->
+      { Complex.re = float_of_int k; im = float_of_int (k * k mod 7) }) in
+  Alcotest.(check bool) "ifft (fft x) = x" true
+    (Linalg.Cvec.approx_equal ~tol:1e-8 (Fft.ifft (Fft.fft x)) x)
+
+let test_fft_impulse () =
+  let x = Linalg.Cvec.create 8 in
+  x.(0) <- Complex.one;
+  let y = Fft.fft x in
+  Array.iter (fun (z : Complex.t) -> check_float "flat spectrum" 1.0 z.Complex.re) y
+
+let test_fft_is_power_of_two () =
+  Alcotest.(check bool) "1" true (Fft.is_power_of_two 1);
+  Alcotest.(check bool) "64" true (Fft.is_power_of_two 64);
+  Alcotest.(check bool) "12" false (Fft.is_power_of_two 12);
+  Alcotest.(check bool) "0" false (Fft.is_power_of_two 0)
+
+let test_real_harmonics_sine () =
+  let n = 64 in
+  let x = Array.init n (fun k ->
+      1.5 +. (2.0 *. sin (2.0 *. pi *. 3.0 *. float_of_int k /. float_of_int n))) in
+  let h = Fft.real_harmonics x in
+  check_float "dc" 1.5 (fst h.(0));
+  Alcotest.(check (float 1e-8)) "harmonic 3 amplitude" 2.0 (fst h.(3));
+  Alcotest.(check bool) "other harmonics tiny" true (fst h.(2) < 1e-9);
+  Alcotest.(check (float 1e-8)) "amplitude_at" 2.0 (Fft.amplitude_at x 3)
+
+let test_fft_parseval () =
+  let n = 32 in
+  let x = Linalg.Cvec.init n (fun k -> { Complex.re = cos (0.3 *. float_of_int k); im = 0.0 }) in
+  let y = Fft.fft x in
+  let energy v = Array.fold_left (fun a z -> a +. (Complex.norm z ** 2.0)) 0.0 v in
+  Alcotest.(check (float 1e-6)) "parseval" (energy x) (energy y /. float_of_int n)
+
+(* ---------- Newton ---------- *)
+
+let scalar_problem f df =
+  {
+    Newton.residual = (fun x -> [| f x.(0) |]);
+    solve_linearized = (fun x r -> [| r.(0) /. df x.(0) |]);
+  }
+
+let test_newton_sqrt () =
+  let problem = scalar_problem (fun x -> (x *. x) -. 2.0) (fun x -> 2.0 *. x) in
+  let x, stats = Newton.solve problem [| 1.0 |] in
+  Alcotest.(check bool) "converged" true (Newton.converged stats);
+  Alcotest.(check (float 1e-8)) "sqrt 2" (sqrt 2.0) x.(0)
+
+let test_newton_quadratic_convergence () =
+  let problem = scalar_problem (fun x -> (x *. x) -. 2.0) (fun x -> 2.0 *. x) in
+  let _, stats = Newton.solve problem [| 1.5 |] in
+  Alcotest.(check bool) "few iterations" true (stats.Newton.iterations <= 6)
+
+let test_newton_damping_rescues () =
+  (* atan has a tiny derivative far out: undamped Newton diverges from
+     x0 = 10, damped Newton must converge. *)
+  let problem = scalar_problem atan (fun x -> 1.0 /. (1.0 +. (x *. x))) in
+  let x, stats = Newton.solve problem [| 10.0 |] in
+  Alcotest.(check bool) "converged" true (Newton.converged stats);
+  Alcotest.(check (float 1e-8)) "root" 0.0 x.(0);
+  Alcotest.(check bool) "used backtracking" true (stats.Newton.backtracks > 0)
+
+let test_newton_2d () =
+  (* x² + y² = 4, x = y → x = y = √2 *)
+  let problem =
+    {
+      Newton.residual =
+        (fun v -> [| (v.(0) *. v.(0)) +. (v.(1) *. v.(1)) -. 4.0; v.(0) -. v.(1) |]);
+      solve_linearized =
+        (fun v r ->
+          let j =
+            Linalg.Mat.of_arrays [| [| 2.0 *. v.(0); 2.0 *. v.(1) |]; [| 1.0; -1.0 |] |]
+          in
+          Linalg.Lu.solve_dense j r);
+    }
+  in
+  let x, stats = Newton.solve problem [| 1.0; 2.0 |] in
+  Alcotest.(check bool) "converged" true (Newton.converged stats);
+  Alcotest.(check (float 1e-7)) "x" (sqrt 2.0) x.(0)
+
+let test_newton_max_iterations () =
+  let problem = scalar_problem (fun x -> exp x) (fun x -> exp x) in
+  (* No root: must stop with a non-converged outcome. *)
+  let _, stats =
+    Newton.solve ~options:{ Newton.default_options with max_iterations = 5 } problem [| 0.0 |]
+  in
+  Alcotest.(check bool) "not converged" true (not (Newton.converged stats))
+
+let test_newton_solver_failure_capture () =
+  let problem =
+    {
+      Newton.residual = (fun x -> [| x.(0) -. 1.0 |]);
+      solve_linearized = (fun _ _ -> failwith "boom");
+    }
+  in
+  let _, stats = Newton.solve problem [| 0.0 |] in
+  (match stats.Newton.outcome with
+  | Newton.Solver_failure _ -> ()
+  | Newton.Converged | Newton.Stalled | Newton.Max_iterations ->
+      Alcotest.fail "expected Solver_failure");
+  Alcotest.(check bool) "not converged" true (not (Newton.converged stats))
+
+let test_newton_already_converged () =
+  let problem = scalar_problem (fun x -> x) (fun _ -> 1.0) in
+  let _, stats = Newton.solve problem [| 0.0 |] in
+  Alcotest.(check int) "zero iterations" 0 stats.Newton.iterations
+
+let test_newton_on_iteration_callback () =
+  let calls = ref 0 in
+  let problem = scalar_problem (fun x -> (x *. x) -. 4.0) (fun x -> 2.0 *. x) in
+  let _ = Newton.solve ~on_iteration:(fun _ _ _ -> incr calls) problem [| 1.0 |] in
+  Alcotest.(check bool) "callback fired" true (!calls > 0)
+
+(* ---------- Continuation ---------- *)
+
+let test_continuation_reaches_target () =
+  (* x³ + x = λ·10: track from the trivial solution to the λ = 1 root 2. *)
+  let problem_at lambda =
+    scalar_problem
+      (fun x -> (x ** 3.0) +. x -. (10.0 *. lambda))
+      (fun x -> (3.0 *. x *. x) +. 1.0)
+  in
+  let x, stats = Numeric.Continuation.trace ~problem_at ~x0:[| 0.0 |] () in
+  Alcotest.(check bool) "converged" true stats.Numeric.Continuation.converged;
+  Alcotest.(check (float 1e-6)) "root" 2.0 x.(0);
+  Alcotest.(check bool) "stepped" true (stats.Numeric.Continuation.steps_taken >= 2)
+
+let test_continuation_adaptive_step () =
+  let problem_at lambda = scalar_problem (fun x -> x -. lambda) (fun _ -> 1.0) in
+  let _, stats =
+    Numeric.Continuation.trace ~initial_step:0.05 ~problem_at ~x0:[| 0.0 |] ()
+  in
+  (* Easy path: steps double, so far fewer than 20 steps are needed. *)
+  Alcotest.(check bool) "step growth" true (stats.Numeric.Continuation.steps_taken < 12)
+
+(* ---------- Dae / Integrator ---------- *)
+
+(* Scalar test DAE: C dx/dt + x/R = b(t). *)
+let rc_dae ~r ~c ~b =
+  Numeric.Dae.linear
+    ~g:(Sparse.Csr.of_coo (Sparse.Coo.of_triplets 1 1 [ (0, 0, 1.0 /. r) ]))
+    ~c:(Sparse.Csr.of_coo (Sparse.Coo.of_triplets 1 1 [ (0, 0, c) ]))
+    ~source:(fun t -> [| b t |])
+
+let test_dae_residual () =
+  let dae = rc_dae ~r:2.0 ~c:1.0 ~b:(fun _ -> 1.0) in
+  let r = Numeric.Dae.residual dae ~x:[| 2.0 |] ~qdot:[| 0.0 |] ~t_now:0.0 in
+  check_float "residual" 0.0 r.(0)
+
+let test_be_step_decay () =
+  (* dx/dt = -x (R=C=1, b=0): BE gives x1 = x0/(1+h). *)
+  let dae = rc_dae ~r:1.0 ~c:1.0 ~b:(fun _ -> 0.0) in
+  let r =
+    Integrator.implicit_step ~method_:Integrator.Backward_euler ~dae ~t_next:0.1 ~h:0.1
+      ~x_prev:[| 1.0 |] ()
+  in
+  Alcotest.(check bool) "converged" true r.Integrator.converged;
+  Alcotest.(check (float 1e-10)) "BE decay" (1.0 /. 1.1) r.Integrator.x.(0)
+
+let test_trap_second_order () =
+  let dae = rc_dae ~r:1.0 ~c:1.0 ~b:(fun _ -> 0.0) in
+  let run method_ steps =
+    let tr = Integrator.transient ~method_ ~dae ~x0:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~steps () in
+    Float.abs (tr.Integrator.states.(steps).(0) -. exp (-1.0))
+  in
+  let be_err = run Integrator.Backward_euler 100 in
+  let tr_err = run Integrator.Trapezoidal 100 in
+  Alcotest.(check bool) "trapezoidal beats BE" true (tr_err < be_err /. 10.0)
+
+let test_bdf2_order () =
+  let dae = rc_dae ~r:1.0 ~c:1.0 ~b:(fun _ -> 0.0) in
+  let err steps =
+    let tr =
+      Integrator.transient ~method_:Integrator.Bdf2 ~dae ~x0:[| 1.0 |] ~t0:0.0 ~t1:1.0
+        ~steps ()
+    in
+    Float.abs (tr.Integrator.states.(steps).(0) -. exp (-1.0))
+  in
+  let e1 = err 50 and e2 = err 100 in
+  (* Second order: halving h divides the error by ~4. *)
+  Alcotest.(check bool) "bdf2 convergence order" true (e1 /. e2 > 3.0)
+
+let test_transient_sine_response () =
+  (* RC driven at the pole frequency: amplitude = 1/√2, phase −45°. *)
+  let rc = 1.0 /. (2.0 *. pi *. 1000.0) in
+  let dae = rc_dae ~r:1.0 ~c:rc ~b:(fun t -> sin (2.0 *. pi *. 1000.0 *. t)) in
+  let tr =
+    Integrator.transient ~method_:Integrator.Trapezoidal ~dae ~x0:[| 0.0 |] ~t0:0.0
+      ~t1:10e-3 ~steps:4000 ()
+  in
+  let k = 3900 in
+  let t = tr.Integrator.times.(k) in
+  let expected = (1.0 /. sqrt 2.0) *. sin ((2.0 *. pi *. 1000.0 *. t) -. (pi /. 4.0)) in
+  Alcotest.(check (float 2e-3)) "steady sine" expected tr.Integrator.states.(k).(0)
+
+let test_transient_adaptive_matches_fixed () =
+  let dae = rc_dae ~r:1.0 ~c:1e-3 ~b:(fun _ -> 1.0) in
+  let tr =
+    Integrator.transient_adaptive ~rel_tol:1e-6 ~dae ~x0:[| 0.0 |] ~t0:0.0 ~t1:5e-3 ()
+  in
+  let final = tr.Integrator.states.(Array.length tr.Integrator.states - 1).(0) in
+  Alcotest.(check (float 1e-4)) "adaptive final value" (1.0 -. exp (-5.0)) final
+
+let test_transient_sample () =
+  let dae = rc_dae ~r:1.0 ~c:1.0 ~b:(fun _ -> 0.0) in
+  let tr = Integrator.transient ~dae ~x0:[| 1.0 |] ~t0:0.0 ~t1:0.5 ~steps:5 () in
+  let s = Integrator.sample tr 0 in
+  Alcotest.(check int) "length" 6 (Array.length s);
+  check_float "initial" 1.0 s.(0)
+
+(* ---------- Interp ---------- *)
+
+let test_linear_uniform () =
+  let s = [| 0.0; 1.0; 4.0 |] in
+  check_float "midpoint" 0.5 (Interp.linear_uniform s 0.25);
+  check_float "clamp low" 0.0 (Interp.linear_uniform s (-1.0));
+  check_float "clamp high" 4.0 (Interp.linear_uniform s 2.0)
+
+let test_linear_periodic_wraps () =
+  let s = [| 0.0; 1.0 |] in
+  check_float "wrap" 0.5 (Interp.linear_periodic s 0.75);
+  check_float "negative phase" 0.5 (Interp.linear_periodic s (-0.25))
+
+let test_linear_periodic_reproduces_samples () =
+  let s = [| 3.0; -1.0; 2.0; 7.0 |] in
+  Array.iteri
+    (fun k v -> check_float "sample" v (Interp.linear_periodic s (float_of_int k /. 4.0)))
+    s
+
+let test_catmull_rom_nodes () =
+  let s = Array.init 8 (fun k -> sin (2.0 *. pi *. float_of_int k /. 8.0)) in
+  Array.iteri
+    (fun k v ->
+      check_float "node" v (Interp.catmull_rom_periodic s (float_of_int k /. 8.0)))
+    s
+
+let test_bilinear_periodic () =
+  let grid = [| [| 0.0; 1.0 |]; [| 2.0; 3.0 |] |] in
+  check_float "node" 0.0 (Interp.bilinear_periodic grid 0.0 0.0);
+  check_float "centre" 1.5 (Interp.bilinear_periodic grid 0.25 0.25);
+  check_float "wrap" 1.5 (Interp.bilinear_periodic grid 0.75 0.75)
+
+let test_nonuniform_linear () =
+  let xs = [| 0.0; 1.0; 10.0 |] and ys = [| 0.0; 2.0; 20.0 |] in
+  check_float "inside" 1.0 (Interp.nonuniform_linear ~xs ~ys 0.5);
+  check_float "second segment" 4.0 (Interp.nonuniform_linear ~xs ~ys 2.0);
+  check_float "clamp" 20.0 (Interp.nonuniform_linear ~xs ~ys 50.0)
+
+let test_resample_periodic () =
+  let s = [| 1.0; 3.0 |] in
+  let r = Interp.resample_periodic s 4 in
+  check_float "kept" 1.0 r.(0);
+  check_float "interpolated" 2.0 r.(1)
+
+(* ---------- properties ---------- *)
+
+let prop_fft_linearity =
+  QCheck.Test.make ~count:50 ~name:"fft: linearity"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (array_size (return 16) (float_range (-5.0) 5.0))
+            (array_size (return 16) (float_range (-5.0) 5.0))))
+    (fun (a, b) ->
+      let ca = Linalg.Cvec.of_real a and cb = Linalg.Cvec.of_real b in
+      let lhs = Fft.fft (Linalg.Cvec.add ca cb) in
+      let rhs = Linalg.Cvec.add (Fft.fft ca) (Fft.fft cb) in
+      Linalg.Cvec.approx_equal ~tol:1e-7 lhs rhs)
+
+let prop_fft_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"fft: ifft ∘ fft = id (arbitrary length)"
+    QCheck.(
+      make Gen.(int_range 2 40 >>= fun n -> array_size (return n) (float_range (-10.0) 10.0)))
+    (fun a ->
+      let c = Linalg.Cvec.of_real a in
+      Linalg.Cvec.approx_equal ~tol:1e-7 (Fft.ifft (Fft.fft c)) c)
+
+let prop_interp_periodic_shift =
+  QCheck.Test.make ~count:100 ~name:"interp: periodic in its argument"
+    QCheck.(
+      make
+        Gen.(pair (array_size (return 7) (float_range (-3.0) 3.0)) (float_range 0.0 1.0)))
+    (fun (s, u) ->
+      Float.abs (Interp.linear_periodic s u -. Interp.linear_periodic s (u +. 1.0)) < 1e-9)
+
+let prop_newton_linear_one_step =
+  QCheck.Test.make ~count:100 ~name:"newton: linear systems solve in one iteration"
+    QCheck.(make Gen.(pair (float_range 0.5 10.0) (float_range (-20.0) 20.0)))
+    (fun (slope, target) ->
+      let problem = scalar_problem (fun x -> (slope *. x) -. target) (fun _ -> slope) in
+      let x, stats = Newton.solve problem [| 5.0 |] in
+      Newton.converged stats
+      && stats.Newton.iterations <= 1
+      && Float.abs (x.(0) -. (target /. slope)) < 1e-6)
+
+let prop_bilinear_reproduces_nodes =
+  QCheck.Test.make ~count:80 ~name:"interp: bilinear reproduces grid nodes"
+    QCheck.(
+      make
+        Gen.(
+          pair (int_range 2 6) (int_range 2 6) >>= fun (n1, n2) ->
+          array_size (return (n1 * n2)) (float_range (-5.0) 5.0) >>= fun data ->
+          return (n1, n2, data)))
+    (fun (n1, n2, data) ->
+      let grid = Array.init n1 (fun i -> Array.init n2 (fun j -> data.((i * n2) + j))) in
+      let ok = ref true in
+      for i = 0 to n1 - 1 do
+        for j = 0 to n2 - 1 do
+          let v =
+            Interp.bilinear_periodic grid
+              (float_of_int i /. float_of_int n1)
+              (float_of_int j /. float_of_int n2)
+          in
+          if Float.abs (v -. grid.(i).(j)) > 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_be_stable_any_step =
+  QCheck.Test.make ~count:60 ~name:"integrator: BE unconditionally stable on decay"
+    QCheck.(make Gen.(float_range 0.01 100.0))
+    (fun h ->
+      let dae = rc_dae ~r:1.0 ~c:1.0 ~b:(fun _ -> 0.0) in
+      let r =
+        Integrator.implicit_step ~method_:Integrator.Backward_euler ~dae ~t_next:h ~h
+          ~x_prev:[| 1.0 |] ()
+      in
+      r.Integrator.converged && Float.abs r.Integrator.x.(0) <= 1.0)
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "pow2 vs DFT" `Quick test_fft_pow2_matches_dft;
+          Alcotest.test_case "bluestein vs DFT" `Quick test_fft_bluestein_matches_dft;
+          Alcotest.test_case "prime length" `Quick test_fft_prime_length;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "is_power_of_two" `Quick test_fft_is_power_of_two;
+          Alcotest.test_case "real harmonics" `Quick test_real_harmonics_sine;
+          Alcotest.test_case "parseval" `Quick test_fft_parseval;
+        ] );
+      ( "newton",
+        [
+          Alcotest.test_case "sqrt(2)" `Quick test_newton_sqrt;
+          Alcotest.test_case "quadratic convergence" `Quick test_newton_quadratic_convergence;
+          Alcotest.test_case "damping rescues atan" `Quick test_newton_damping_rescues;
+          Alcotest.test_case "2-d system" `Quick test_newton_2d;
+          Alcotest.test_case "max iterations" `Quick test_newton_max_iterations;
+          Alcotest.test_case "solver failure capture" `Quick test_newton_solver_failure_capture;
+          Alcotest.test_case "already converged" `Quick test_newton_already_converged;
+          Alcotest.test_case "iteration callback" `Quick test_newton_on_iteration_callback;
+        ] );
+      ( "continuation",
+        [
+          Alcotest.test_case "reaches target" `Quick test_continuation_reaches_target;
+          Alcotest.test_case "adaptive step growth" `Quick test_continuation_adaptive_step;
+        ] );
+      ( "integrator",
+        [
+          Alcotest.test_case "dae residual" `Quick test_dae_residual;
+          Alcotest.test_case "BE single step" `Quick test_be_step_decay;
+          Alcotest.test_case "trapezoidal order" `Quick test_trap_second_order;
+          Alcotest.test_case "bdf2 order" `Quick test_bdf2_order;
+          Alcotest.test_case "sine response" `Quick test_transient_sine_response;
+          Alcotest.test_case "adaptive stepping" `Quick test_transient_adaptive_matches_fixed;
+          Alcotest.test_case "sample" `Quick test_transient_sample;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "linear uniform" `Quick test_linear_uniform;
+          Alcotest.test_case "periodic wrap" `Quick test_linear_periodic_wraps;
+          Alcotest.test_case "reproduces samples" `Quick test_linear_periodic_reproduces_samples;
+          Alcotest.test_case "catmull-rom nodes" `Quick test_catmull_rom_nodes;
+          Alcotest.test_case "bilinear periodic" `Quick test_bilinear_periodic;
+          Alcotest.test_case "nonuniform" `Quick test_nonuniform_linear;
+          Alcotest.test_case "resample" `Quick test_resample_periodic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fft_linearity;
+            prop_fft_roundtrip;
+            prop_interp_periodic_shift;
+            prop_newton_linear_one_step;
+            prop_bilinear_reproduces_nodes;
+            prop_be_stable_any_step;
+          ] );
+    ]

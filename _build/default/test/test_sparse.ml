@@ -1,0 +1,367 @@
+(* Unit and property tests for the sparse-matrix substrate. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Coo = Sparse.Coo
+module Csr = Sparse.Csr
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Coo ---------- *)
+
+let test_coo_basic () =
+  let m = Coo.create 3 3 in
+  Coo.add m 0 0 1.0;
+  Coo.add m 2 1 4.0;
+  Coo.add m 0 0 2.0;
+  Alcotest.(check int) "nnz triplets" 3 (Coo.nnz m);
+  Coo.add m 1 1 0.0;
+  Alcotest.(check int) "zeros skipped" 3 (Coo.nnz m)
+
+let test_coo_bounds () =
+  let m = Coo.create 2 2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Coo.add: index out of range")
+    (fun () -> Coo.add m 2 0 1.0)
+
+let test_coo_clear () =
+  let m = Coo.of_triplets 2 2 [ (0, 0, 1.0); (1, 1, 2.0) ] in
+  Coo.clear m;
+  Alcotest.(check int) "cleared" 0 (Coo.nnz m)
+
+let test_coo_grows () =
+  let m = Coo.create ~capacity:2 4 4 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      Coo.add m i j (float_of_int ((i * 4) + j + 1))
+    done
+  done;
+  Alcotest.(check int) "grown" 16 (Coo.nnz m)
+
+(* ---------- Csr ---------- *)
+
+let test_csr_of_coo_sums_duplicates () =
+  let m = Coo.of_triplets 2 2 [ (0, 0, 1.0); (0, 0, 2.0); (1, 0, 5.0) ] in
+  let c = Csr.of_coo m in
+  check_float "summed" 3.0 (Csr.get c 0 0);
+  check_float "single" 5.0 (Csr.get c 1 0);
+  check_float "absent" 0.0 (Csr.get c 0 1);
+  Alcotest.(check int) "nnz merged" 2 (Csr.nnz c)
+
+let test_csr_sorted_columns () =
+  let m = Coo.of_triplets 1 5 [ (0, 4, 4.0); (0, 1, 1.0); (0, 3, 3.0) ] in
+  let c = Csr.of_coo m in
+  Alcotest.(check (array int)) "sorted" [| 1; 3; 4 |] c.Csr.col_idx
+
+let test_csr_mul_vec () =
+  let c = Csr.of_coo (Coo.of_triplets 2 3 [ (0, 0, 1.0); (0, 2, 2.0); (1, 1, 3.0) ]) in
+  let y = Csr.mul_vec c (Vec.of_list [ 1.0; 2.0; 3.0 ]) in
+  check_float "y0" 7.0 y.(0);
+  check_float "y1" 6.0 y.(1)
+
+let test_csr_tmul_vec () =
+  let c = Csr.of_coo (Coo.of_triplets 2 2 [ (0, 1, 2.0); (1, 0, 3.0) ]) in
+  let y = Csr.tmul_vec c (Vec.of_list [ 1.0; 1.0 ]) in
+  check_float "y0" 3.0 y.(0);
+  check_float "y1" 2.0 y.(1)
+
+let test_csr_transpose_dense_roundtrip () =
+  let d = Mat.of_arrays [| [| 1.0; 0.0; 2.0 |]; [| 0.0; 3.0; 0.0 |] |] in
+  let c = Csr.of_dense d in
+  Alcotest.(check bool) "roundtrip" true (Mat.approx_equal d (Csr.to_dense c));
+  let t = Csr.transpose c in
+  Alcotest.(check bool) "transpose" true
+    (Mat.approx_equal (Mat.transpose d) (Csr.to_dense t))
+
+let test_csr_diag_identity () =
+  let i5 = Csr.identity 5 in
+  Alcotest.(check int) "nnz" 5 (Csr.nnz i5);
+  check_float "diag" 1.0 (Csr.diag i5).(3)
+
+let test_csr_add_scale () =
+  let a = Csr.of_coo (Coo.of_triplets 2 2 [ (0, 0, 1.0) ]) in
+  let b = Csr.of_coo (Coo.of_triplets 2 2 [ (0, 0, 2.0); (1, 1, 4.0) ]) in
+  let s = Csr.add a (Csr.scale 0.5 b) in
+  check_float "sum" 2.0 (Csr.get s 0 0);
+  check_float "other" 2.0 (Csr.get s 1 1)
+
+let test_csr_empty_rows () =
+  let c = Csr.of_coo (Coo.of_triplets 4 4 [ (3, 3, 1.0) ]) in
+  let y = Csr.mul_vec c (Vec.of_list [ 1.0; 1.0; 1.0; 1.0 ]) in
+  check_float "empty row" 0.0 y.(1);
+  check_float "last" 1.0 y.(3)
+
+(* ---------- Splu ---------- *)
+
+let laplacian_1d n =
+  let coo = Coo.create n n in
+  for i = 0 to n - 1 do
+    Coo.add coo i i 2.0;
+    if i > 0 then Coo.add coo i (i - 1) (-1.0);
+    if i < n - 1 then Coo.add coo i (i + 1) (-1.0)
+  done;
+  Csr.of_coo coo
+
+let test_splu_tridiagonal () =
+  let a = laplacian_1d 10 in
+  let b = Array.make 10 1.0 in
+  let x = Sparse.Splu.solve (Sparse.Splu.factor a) b in
+  check_float "residual" 0.0 (Csr.residual_norm a x b)
+
+let test_splu_vs_dense () =
+  let coo = Coo.create 6 6 in
+  let entries =
+    [ (0,0,4.);(0,2,1.);(1,1,5.);(1,3,-2.);(2,0,1.);(2,2,6.);(3,1,-2.);(3,3,7.);
+      (4,4,3.);(4,5,1.);(5,4,1.);(5,5,2.);(0,5,0.5);(5,0,0.5) ]
+  in
+  List.iter (fun (i, j, v) -> Coo.add coo i j v) entries;
+  let a = Csr.of_coo coo in
+  let b = Vec.init 6 (fun i -> float_of_int (i + 1)) in
+  let x_sparse = Sparse.Splu.solve (Sparse.Splu.factor a) b in
+  let x_dense = Linalg.Lu.solve_dense (Csr.to_dense a) b in
+  Alcotest.(check bool) "agree" true (Vec.approx_equal ~tol:1e-10 x_sparse x_dense)
+
+let test_splu_permutation_needed () =
+  (* Structurally requires row exchanges: zero diagonal. *)
+  let a = Csr.of_coo (Coo.of_triplets 3 3
+    [ (0, 1, 1.0); (1, 2, 2.0); (2, 0, 3.0) ]) in
+  let b = Vec.of_list [ 1.0; 2.0; 3.0 ] in
+  let x = Sparse.Splu.solve (Sparse.Splu.factor a) b in
+  check_float "residual" 0.0 (Csr.residual_norm a x b)
+
+let test_splu_singular () =
+  let a = Csr.of_coo (Coo.of_triplets 2 2 [ (0, 0, 1.0); (1, 0, 1.0) ]) in
+  match Sparse.Splu.factor a with
+  | exception Sparse.Splu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_splu_pivot_threshold () =
+  (* A small diagonal with threshold 1.0 must be abandoned for the
+     larger off-diagonal candidate; the solve must stay accurate. *)
+  let a = Csr.of_coo (Coo.of_triplets 2 2
+    [ (0, 0, 1e-14); (0, 1, 1.0); (1, 0, 1.0); (1, 1, 1.0) ]) in
+  let b = Vec.of_list [ 1.0; 2.0 ] in
+  let x = Sparse.Splu.solve (Sparse.Splu.factor ~pivot_threshold:1.0 a) b in
+  Alcotest.(check bool) "accurate" true (Csr.residual_norm a x b < 1e-9)
+
+let test_splu_nnz_reported () =
+  let f = Sparse.Splu.factor (laplacian_1d 8) in
+  let lnz, unz = Sparse.Splu.lu_nnz f in
+  Alcotest.(check bool) "L fill" true (lnz >= 8);
+  Alcotest.(check bool) "U fill" true (unz >= 8);
+  Alcotest.(check int) "size" 8 (Sparse.Splu.size f)
+
+(* ---------- Ilu0 ---------- *)
+
+let test_ilu0_exact_on_tridiagonal () =
+  (* ILU(0) is exact when no fill occurs (tridiagonal without pivoting). *)
+  let a = laplacian_1d 12 in
+  let p = Sparse.Ilu0.factor a in
+  let b = Vec.init 12 (fun i -> sin (float_of_int i)) in
+  let x = Sparse.Ilu0.apply p b in
+  Alcotest.(check bool) "exact" true (Csr.residual_norm a x b < 1e-10)
+
+let test_ilu0_missing_diag () =
+  let a = Csr.of_coo (Coo.of_triplets 2 2 [ (0, 1, 1.0); (1, 0, 1.0) ]) in
+  match Sparse.Ilu0.factor a with
+  | exception Sparse.Ilu0.Zero_pivot _ -> ()
+  | _ -> Alcotest.fail "expected Zero_pivot"
+
+(* ---------- Krylov ---------- *)
+
+let test_gmres_identity () =
+  let b = Vec.of_list [ 1.0; 2.0; 3.0 ] in
+  let r = Sparse.Krylov.gmres (fun v -> Array.copy v) b in
+  Alcotest.(check bool) "converged" true r.Sparse.Krylov.converged;
+  Alcotest.(check bool) "exact" true (Vec.approx_equal ~tol:1e-8 b r.Sparse.Krylov.x)
+
+let test_gmres_spd () =
+  let a = laplacian_1d 30 in
+  let b = Vec.init 30 (fun i -> cos (float_of_int i)) in
+  let r = Sparse.Krylov.gmres ~tol:1e-12 (Sparse.Krylov.csr_operator a) b in
+  Alcotest.(check bool) "converged" true r.Sparse.Krylov.converged;
+  Alcotest.(check bool) "residual" true (Csr.residual_norm a r.Sparse.Krylov.x b < 1e-8)
+
+let test_gmres_with_ilu0 () =
+  let a = laplacian_1d 50 in
+  let b = Array.make 50 1.0 in
+  let plain = Sparse.Krylov.gmres ~tol:1e-10 (Sparse.Krylov.csr_operator a) b in
+  let pre =
+    Sparse.Krylov.gmres ~tol:1e-10
+      ~precond:(Sparse.Ilu0.apply (Sparse.Ilu0.factor a))
+      (Sparse.Krylov.csr_operator a) b
+  in
+  Alcotest.(check bool) "both converge" true
+    (plain.Sparse.Krylov.converged && pre.Sparse.Krylov.converged);
+  Alcotest.(check bool) "ilu0 accelerates" true
+    (pre.Sparse.Krylov.iterations <= plain.Sparse.Krylov.iterations)
+
+let test_gmres_restart_path () =
+  let a = laplacian_1d 40 in
+  let b = Array.make 40 1.0 in
+  (* Force multiple restarts with a tiny Krylov space. *)
+  let r = Sparse.Krylov.gmres ~restart:5 ~max_iter:2000 ~tol:1e-10
+      (Sparse.Krylov.csr_operator a) b in
+  Alcotest.(check bool) "converged across restarts" true r.Sparse.Krylov.converged;
+  Alcotest.(check bool) "residual small" true (Csr.residual_norm a r.Sparse.Krylov.x b < 1e-6)
+
+let test_gmres_x0 () =
+  let a = laplacian_1d 10 in
+  let b = Array.make 10 1.0 in
+  let exact = Sparse.Splu.solve (Sparse.Splu.factor a) b in
+  let r = Sparse.Krylov.gmres ~x0:exact (Sparse.Krylov.csr_operator a) b in
+  Alcotest.(check bool) "starts converged" true
+    (r.Sparse.Krylov.converged && r.Sparse.Krylov.iterations = 0)
+
+let test_gmres_zero_rhs () =
+  let a = laplacian_1d 5 in
+  let r = Sparse.Krylov.gmres (Sparse.Krylov.csr_operator a) (Array.make 5 0.0) in
+  Alcotest.(check bool) "zero solution" true (Vec.norm2 r.Sparse.Krylov.x < 1e-12)
+
+let test_bicgstab_spd () =
+  let a = laplacian_1d 30 in
+  let b = Vec.init 30 (fun i -> float_of_int (i mod 3)) in
+  let r = Sparse.Krylov.bicgstab ~tol:1e-12 ~max_iter:200 (Sparse.Krylov.csr_operator a) b in
+  Alcotest.(check bool) "converged" true r.Sparse.Krylov.converged;
+  Alcotest.(check bool) "residual" true (Csr.residual_norm a r.Sparse.Krylov.x b < 1e-7)
+
+let test_bicgstab_with_precond () =
+  let a = laplacian_1d 40 in
+  let b = Array.make 40 1.0 in
+  let r =
+    Sparse.Krylov.bicgstab ~tol:1e-10
+      ~precond:(Sparse.Ilu0.apply (Sparse.Ilu0.factor a))
+      (Sparse.Krylov.csr_operator a) b
+  in
+  Alcotest.(check bool) "converged fast" true
+    (r.Sparse.Krylov.converged && r.Sparse.Krylov.iterations <= 3)
+
+(* ---------- properties ---------- *)
+
+let sparse_system_gen =
+  QCheck.Gen.(
+    let n = 12 in
+    let triplet = triple (int_bound (n - 1)) (int_bound (n - 1)) (float_range (-2.0) 2.0) in
+    pair (list_size (return 30) triplet) (array_size (return n) (float_range (-3.0) 3.0))
+    |> map (fun (triplets, b) ->
+           let coo = Coo.create n n in
+           for i = 0 to n - 1 do
+             Coo.add coo i i (8.0 +. float_of_int i)
+           done;
+           List.iter (fun (i, j, v) -> Coo.add coo i j v) triplets;
+           (Csr.of_coo coo, b)))
+
+let prop_splu_matches_dense =
+  QCheck.Test.make ~count:80 ~name:"splu: matches dense LU" (QCheck.make sparse_system_gen)
+    (fun (a, b) ->
+      let xs = Sparse.Splu.solve (Sparse.Splu.factor a) b in
+      let xd = Linalg.Lu.solve_dense (Csr.to_dense a) b in
+      Vec.dist2 xs xd < 1e-8)
+
+let prop_csr_spmv_matches_dense =
+  QCheck.Test.make ~count:80 ~name:"csr: spmv matches dense" (QCheck.make sparse_system_gen)
+    (fun (a, x) ->
+      let sparse = Csr.mul_vec a x in
+      let dense = Mat.mul_vec (Csr.to_dense a) x in
+      Vec.dist2 sparse dense < 1e-9)
+
+let prop_csr_transpose_involution =
+  QCheck.Test.make ~count:60 ~name:"csr: transpose is an involution"
+    (QCheck.make sparse_system_gen)
+    (fun (a, _) ->
+      Mat.approx_equal (Csr.to_dense a) (Csr.to_dense (Csr.transpose (Csr.transpose a))))
+
+let prop_ilu0_exact_tridiagonal =
+  QCheck.Test.make ~count:60 ~name:"ilu0: exact when no fill occurs (tridiagonal)"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (array_size (return 10) (float_range 4.0 9.0))
+            (array_size (return 9) (float_range (-1.5) 1.5))))
+    (fun (diag, off) ->
+      let coo = Coo.create 10 10 in
+      Array.iteri (fun i v -> Coo.add coo i i v) diag;
+      Array.iteri
+        (fun i v ->
+          Coo.add coo i (i + 1) v;
+          Coo.add coo (i + 1) i v)
+        off;
+      let a = Csr.of_coo coo in
+      let b = Array.init 10 (fun i -> cos (float_of_int i)) in
+      let x = Sparse.Ilu0.apply (Sparse.Ilu0.factor a) b in
+      Csr.residual_norm a x b < 1e-8)
+
+let prop_rcm_permutation_valid =
+  QCheck.Test.make ~count:60 ~name:"rcm: always a valid permutation"
+    (QCheck.make sparse_system_gen)
+    (fun (a, _) ->
+      let perm = Sparse.Rcm.ordering a in
+      let sorted = Array.copy perm in
+      Array.sort compare sorted;
+      sorted = Array.init (Array.length perm) (fun i -> i))
+
+let prop_gmres_solves =
+  QCheck.Test.make ~count:40 ~name:"gmres: residual contract honoured"
+    (QCheck.make sparse_system_gen)
+    (fun (a, b) ->
+      let r = Sparse.Krylov.gmres ~tol:1e-10 (Sparse.Krylov.csr_operator a) b in
+      (not r.Sparse.Krylov.converged)
+      || Csr.residual_norm a r.Sparse.Krylov.x b <= 1e-8 *. Float.max 1.0 (Vec.norm2 b))
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "coo",
+        [
+          Alcotest.test_case "add/count" `Quick test_coo_basic;
+          Alcotest.test_case "bounds" `Quick test_coo_bounds;
+          Alcotest.test_case "clear" `Quick test_coo_clear;
+          Alcotest.test_case "growth" `Quick test_coo_grows;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "duplicate summing" `Quick test_csr_of_coo_sums_duplicates;
+          Alcotest.test_case "sorted columns" `Quick test_csr_sorted_columns;
+          Alcotest.test_case "mul_vec" `Quick test_csr_mul_vec;
+          Alcotest.test_case "tmul_vec" `Quick test_csr_tmul_vec;
+          Alcotest.test_case "transpose/dense roundtrip" `Quick test_csr_transpose_dense_roundtrip;
+          Alcotest.test_case "diag/identity" `Quick test_csr_diag_identity;
+          Alcotest.test_case "add/scale" `Quick test_csr_add_scale;
+          Alcotest.test_case "empty rows" `Quick test_csr_empty_rows;
+        ] );
+      ( "splu",
+        [
+          Alcotest.test_case "tridiagonal" `Quick test_splu_tridiagonal;
+          Alcotest.test_case "vs dense" `Quick test_splu_vs_dense;
+          Alcotest.test_case "needs permutation" `Quick test_splu_permutation_needed;
+          Alcotest.test_case "singular detection" `Quick test_splu_singular;
+          Alcotest.test_case "pivot threshold" `Quick test_splu_pivot_threshold;
+          Alcotest.test_case "fill reporting" `Quick test_splu_nnz_reported;
+        ] );
+      ( "ilu0",
+        [
+          Alcotest.test_case "exact on tridiagonal" `Quick test_ilu0_exact_on_tridiagonal;
+          Alcotest.test_case "missing diagonal" `Quick test_ilu0_missing_diag;
+        ] );
+      ( "krylov",
+        [
+          Alcotest.test_case "gmres identity" `Quick test_gmres_identity;
+          Alcotest.test_case "gmres spd" `Quick test_gmres_spd;
+          Alcotest.test_case "gmres + ilu0" `Quick test_gmres_with_ilu0;
+          Alcotest.test_case "gmres restarts" `Quick test_gmres_restart_path;
+          Alcotest.test_case "gmres warm start" `Quick test_gmres_x0;
+          Alcotest.test_case "gmres zero rhs" `Quick test_gmres_zero_rhs;
+          Alcotest.test_case "bicgstab spd" `Quick test_bicgstab_spd;
+          Alcotest.test_case "bicgstab + ilu0" `Quick test_bicgstab_with_precond;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_splu_matches_dense;
+            prop_csr_spmv_matches_dense;
+            prop_csr_transpose_involution;
+            prop_ilu0_exact_tridiagonal;
+            prop_rcm_permutation_valid;
+            prop_gmres_solves;
+          ] );
+    ]

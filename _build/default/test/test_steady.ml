@@ -1,0 +1,272 @@
+(* Tests for the single-time steady-state baselines: shooting,
+   periodic finite differences, harmonic balance. All three are
+   validated against closed-form responses of linear circuits and
+   against each other on nonlinear ones. *)
+
+module W = Circuit.Waveform
+module N = Circuit.Netlist
+
+let pi = 4.0 *. atan 1.0
+
+(* RC lowpass driven by a 1 kHz sine; analytic gain/phase. *)
+let rc_freq = 1e3
+let rc_r = 1e3
+let rc_c = 0.2e-6
+
+let rc_fixture () =
+  let { Circuits.mna; _ } =
+    Circuits.rc_lowpass ~r:rc_r ~c:rc_c
+      ~drive:(W.sine ~amplitude:1.0 ~freq:rc_freq ())
+      ()
+  in
+  mna
+
+let rc_analytic t =
+  let w = 2.0 *. pi *. rc_freq in
+  let wrc = w *. rc_r *. rc_c in
+  let gain = 1.0 /. sqrt (1.0 +. (wrc *. wrc)) in
+  gain *. sin ((w *. t) -. atan wrc)
+
+let max_err_vs_analytic times states idx =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k t -> worst := Float.max !worst (Float.abs (states.(k).(idx) -. rc_analytic t)))
+    times;
+  !worst
+
+(* ---------- Shooting ---------- *)
+
+let test_shooting_rc () =
+  let mna = rc_fixture () in
+  let r =
+    Steady.Shooting.solve ~steps_per_period:512 ~dae:(Circuit.Mna.dae mna)
+      ~period:(1.0 /. rc_freq) ()
+  in
+  Alcotest.(check bool) "converged" true r.Steady.Shooting.converged;
+  let idx = Circuit.Mna.node_index mna "out" in
+  let err =
+    max_err_vs_analytic r.Steady.Shooting.trace.Numeric.Integrator.times
+      r.Steady.Shooting.trace.Numeric.Integrator.states idx
+  in
+  Alcotest.(check bool) "matches analytic (BE accuracy)" true (err < 0.01)
+
+let test_shooting_linear_one_newton () =
+  (* For a linear circuit, the periodicity map is affine: shooting must
+     converge in a single Newton iteration. *)
+  let mna = rc_fixture () in
+  let r =
+    Steady.Shooting.solve ~steps_per_period:128 ~dae:(Circuit.Mna.dae mna)
+      ~period:(1.0 /. rc_freq) ()
+  in
+  Alcotest.(check bool) "one newton" true (r.Steady.Shooting.newton_iterations <= 1)
+
+let test_shooting_periodicity () =
+  let mna = rc_fixture () in
+  let r =
+    Steady.Shooting.solve ~steps_per_period:256 ~dae:(Circuit.Mna.dae mna)
+      ~period:(1.0 /. rc_freq) ()
+  in
+  let states = r.Steady.Shooting.trace.Numeric.Integrator.states in
+  let first = states.(0) and last = states.(Array.length states - 1) in
+  Alcotest.(check bool) "x(T) = x(0)" true (Linalg.Vec.dist2 first last < 1e-6)
+
+let test_shooting_rectifier () =
+  let { Circuits.mna; _ } =
+    Circuits.diode_rectifier ~load_r:10e3 ~load_c:0.5e-6
+      ~drive:(W.sine ~amplitude:2.0 ~freq:rc_freq ())
+      ()
+  in
+  let dc = Circuit.Dcop.solve_exn mna in
+  let r =
+    Steady.Shooting.solve ~steps_per_period:512 ~x0:dc ~dae:(Circuit.Mna.dae mna)
+      ~period:(1.0 /. rc_freq) ()
+  in
+  Alcotest.(check bool) "converged" true r.Steady.Shooting.converged;
+  let idx = Circuit.Mna.node_index mna "out" in
+  let samples = Array.map (fun x -> x.(idx)) r.Steady.Shooting.trace.Numeric.Integrator.states in
+  let mean = Linalg.Vec.mean samples in
+  (* Rectified 2 V sine into a big RC: mean well above zero, below peak. *)
+  Alcotest.(check bool) "rectified mean" true (mean > 0.8 && mean < 2.0)
+
+(* ---------- Periodic FD ---------- *)
+
+let test_periodic_fd_rc () =
+  let mna = rc_fixture () in
+  let r =
+    Steady.Periodic_fd.solve ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. rc_freq)
+      ~points:256 ()
+  in
+  Alcotest.(check bool) "converged" true r.Steady.Periodic_fd.converged;
+  let idx = Circuit.Mna.node_index mna "out" in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k t ->
+      worst :=
+        Float.max !worst
+          (Float.abs (r.Steady.Periodic_fd.states.(k).(idx) -. rc_analytic t)))
+    r.Steady.Periodic_fd.times;
+  Alcotest.(check bool) "matches analytic" true (!worst < 0.02)
+
+let test_periodic_fd_matches_shooting () =
+  let { Circuits.mna; _ } =
+    Circuits.diode_rectifier ~drive:(W.sine ~amplitude:2.0 ~freq:rc_freq ()) ()
+  in
+  let dc = Circuit.Dcop.solve_exn mna in
+  let period = 1.0 /. rc_freq in
+  let points = 256 in
+  let fd = Steady.Periodic_fd.solve ~x_init:dc ~dae:(Circuit.Mna.dae mna) ~period ~points () in
+  let sh =
+    Steady.Shooting.solve ~steps_per_period:points ~x0:dc ~dae:(Circuit.Mna.dae mna)
+      ~period ()
+  in
+  Alcotest.(check bool) "both converged" true
+    (fd.Steady.Periodic_fd.converged && sh.Steady.Shooting.converged);
+  let idx = Circuit.Mna.node_index mna "out" in
+  (* Same BE discretization, same grid → nearly identical waveforms. *)
+  let worst = ref 0.0 in
+  for k = 0 to points - 1 do
+    worst :=
+      Float.max !worst
+        (Float.abs
+           (fd.Steady.Periodic_fd.states.(k).(idx)
+           -. sh.Steady.Shooting.trace.Numeric.Integrator.states.(k).(idx)))
+  done;
+  Alcotest.(check bool) "fd = shooting on same grid" true (!worst < 1e-4)
+
+let test_periodic_fd_rejects_bad_input () =
+  let mna = rc_fixture () in
+  Alcotest.check_raises "points < 2"
+    (Invalid_argument "Periodic_fd.solve: need at least 2 points") (fun () ->
+      ignore (Steady.Periodic_fd.solve ~dae:(Circuit.Mna.dae mna) ~period:1.0 ~points:1 ()))
+
+(* ---------- Harmonic balance ---------- *)
+
+let test_spectral_diff_exact () =
+  (* The spectral differentiation matrix must differentiate
+     sin(2πt/T) exactly at the collocation points. *)
+  let n = 9 and period = 2.0 in
+  let d = Steady.Hb.spectral_diff_matrix n period in
+  let w = 2.0 *. pi /. period in
+  let t k = float_of_int k *. period /. float_of_int n in
+  let samples = Array.init n (fun k -> sin (w *. t k)) in
+  let deriv = Linalg.Mat.mul_vec d samples in
+  Array.iteri
+    (fun k v ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "derivative at %d" k)
+        (w *. cos (w *. t k))
+        v)
+    deriv
+
+let test_spectral_diff_odd_only () =
+  Alcotest.check_raises "even n" (Invalid_argument "Hb.spectral_diff_matrix: n must be odd")
+    (fun () -> ignore (Steady.Hb.spectral_diff_matrix 8 1.0))
+
+let test_hb_linear_exact () =
+  (* HB is exact for linear circuits with sinusoidal drive even with
+     one harmonic. *)
+  let mna = rc_fixture () in
+  let r = Steady.Hb.solve ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. rc_freq) ~harmonics:2 () in
+  Alcotest.(check bool) "converged" true r.Steady.Hb.converged;
+  let idx = Circuit.Mna.node_index mna "out" in
+  let w = 2.0 *. pi *. rc_freq in
+  let expected = 1.0 /. sqrt (1.0 +. ((w *. rc_r *. rc_c) ** 2.0)) in
+  Alcotest.(check (float 1e-9)) "amplitude exact" expected
+    (Steady.Hb.harmonic_amplitude r ~unknown:idx ~harmonic:1)
+
+let test_hb_rectifier_needs_harmonics () =
+  (* HB self-convergence on the rectifier: the waveform with few
+     harmonics differs visibly from a high-order reference, and the
+     error shrinks as harmonics are added — quantifying the paper's
+     point that sharp nonlinear waveforms are expensive for HB. *)
+  let { Circuits.mna; _ } =
+    Circuits.diode_rectifier ~drive:(W.sine ~amplitude:2.0 ~freq:rc_freq ()) ()
+  in
+  let dc = Circuit.Dcop.solve_exn mna in
+  let idx = Circuit.Mna.node_index mna "out" in
+  let hb_waveform harmonics =
+    let r =
+      Steady.Hb.solve ~x_init:dc ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. rc_freq)
+        ~harmonics ()
+    in
+    Alcotest.(check bool) (Printf.sprintf "hb%d converged" harmonics) true r.Steady.Hb.converged;
+    Array.map (fun x -> x.(idx)) r.Steady.Hb.states
+  in
+  let reference = hb_waveform 30 in
+  let err harmonics =
+    let w = hb_waveform harmonics in
+    let worst = ref 0.0 in
+    for k = 0 to 99 do
+      let u = float_of_int k /. 100.0 in
+      let v = Numeric.Interp.linear_periodic w u in
+      let r = Numeric.Interp.linear_periodic reference u in
+      worst := Float.max !worst (Float.abs (v -. r))
+    done;
+    !worst
+  in
+  let err_few = err 2 and err_many = err 12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more harmonics help (err2 %.4f vs err12 %.4f)" err_few err_many)
+    true
+    (err_many < err_few /. 2.0)
+
+let test_hb_rejects_zero_harmonics () =
+  let mna = rc_fixture () in
+  Alcotest.check_raises "harmonics < 1"
+    (Invalid_argument "Hb.solve: need at least 1 harmonic") (fun () ->
+      ignore (Steady.Hb.solve ~dae:(Circuit.Mna.dae mna) ~period:1.0 ~harmonics:0 ()))
+
+(* ---------- cross-method ---------- *)
+
+let test_three_methods_agree_on_rlc () =
+  let { Circuits.mna; _ } =
+    Circuits.rlc_series ~r:200.0 ~l:1e-3 ~c:1e-6
+      ~drive:(W.sine ~amplitude:1.0 ~freq:2e3 ())
+      ()
+  in
+  let dae = Circuit.Mna.dae mna in
+  let period = 1.0 /. 2e3 in
+  let idx = Circuit.Mna.node_index mna "out" in
+  let amp_of samples =
+    (Array.fold_left Float.max neg_infinity samples
+    -. Array.fold_left Float.min infinity samples)
+    /. 2.0
+  in
+  let sh = Steady.Shooting.solve ~steps_per_period:1024 ~dae ~period () in
+  let hb = Steady.Hb.solve ~dae ~period ~harmonics:4 () in
+  let fd = Steady.Periodic_fd.solve ~dae ~period ~points:1024 () in
+  let a_sh =
+    amp_of (Array.map (fun x -> x.(idx)) sh.Steady.Shooting.trace.Numeric.Integrator.states)
+  in
+  let a_hb = Steady.Hb.harmonic_amplitude hb ~unknown:idx ~harmonic:1 in
+  let a_fd = amp_of (Array.map (fun x -> x.(idx)) fd.Steady.Periodic_fd.states) in
+  Alcotest.(check bool) "shooting vs hb" true (Float.abs (a_sh -. a_hb) /. a_hb < 0.02);
+  Alcotest.(check bool) "fd vs hb" true (Float.abs (a_fd -. a_hb) /. a_hb < 0.02)
+
+let () =
+  Alcotest.run "steady"
+    [
+      ( "shooting",
+        [
+          Alcotest.test_case "rc analytic" `Quick test_shooting_rc;
+          Alcotest.test_case "linear = 1 newton" `Quick test_shooting_linear_one_newton;
+          Alcotest.test_case "periodicity" `Quick test_shooting_periodicity;
+          Alcotest.test_case "rectifier" `Quick test_shooting_rectifier;
+        ] );
+      ( "periodic_fd",
+        [
+          Alcotest.test_case "rc analytic" `Quick test_periodic_fd_rc;
+          Alcotest.test_case "matches shooting" `Quick test_periodic_fd_matches_shooting;
+          Alcotest.test_case "input validation" `Quick test_periodic_fd_rejects_bad_input;
+        ] );
+      ( "harmonic_balance",
+        [
+          Alcotest.test_case "spectral diff exact" `Quick test_spectral_diff_exact;
+          Alcotest.test_case "odd points only" `Quick test_spectral_diff_odd_only;
+          Alcotest.test_case "linear exact" `Quick test_hb_linear_exact;
+          Alcotest.test_case "harmonics vs sharpness" `Slow test_hb_rectifier_needs_harmonics;
+          Alcotest.test_case "input validation" `Quick test_hb_rejects_zero_harmonics;
+        ] );
+      ( "cross-method",
+        [ Alcotest.test_case "rlc agreement" `Slow test_three_methods_agree_on_rlc ] );
+    ]
