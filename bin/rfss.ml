@@ -117,6 +117,15 @@ let output_value fixture mna x =
   | None -> Circuit.Mna.voltage mna x fixture.output_node
   | Some b -> Circuit.Mna.differential_voltage mna x fixture.output_node b
 
+(* Optional work bound shared by the solve commands: --budget-seconds
+   caps wall time, --max-newton caps total Newton iterations across
+   every escalation stage. *)
+let make_budget budget_seconds max_newton =
+  match (budget_seconds, max_newton) with
+  | None, None -> None
+  | wall_seconds, max_newton ->
+      Some (Resilience.Budget.make ?wall_seconds ?max_newton ())
+
 (* ---------- commands ---------- *)
 
 let list_cmd () =
@@ -124,7 +133,7 @@ let list_cmd () =
   List.iter (fun f -> Printf.printf "%-18s %s\n" f.name f.description) fixtures;
   0
 
-let dcop_cmd circuit f_fast fd =
+let dcop_cmd circuit f_fast fd budget_seconds max_newton =
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -133,13 +142,16 @@ let dcop_cmd circuit f_fast fd =
       let f_fast = Option.value f_fast ~default:fixture.default_fast in
       let fd = Option.value fd ~default:fixture.default_fd in
       let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
-      let report = Circuit.Dcop.solve mna in
+      let budget = make_budget budget_seconds max_newton in
+      let report = Circuit.Dcop.solve ?budget mna in
       Printf.printf "# converged=%b strategy=%s newton=%d\n" report.Circuit.Dcop.converged
         (match report.Circuit.Dcop.strategy with
         | `Newton -> "newton"
         | `Gmin_stepping -> "gmin-stepping"
         | `Source_stepping -> "source-stepping")
         report.Circuit.Dcop.newton_iterations;
+      Printf.printf "# report=%s\n"
+        (Resilience.Report.to_json_string report.Circuit.Dcop.resilience);
       let names = Circuit.Mna.unknown_names mna in
       Array.iteri
         (fun i name -> Printf.printf "%-16s %+.6e\n" name report.Circuit.Dcop.x.(i))
@@ -165,7 +177,7 @@ let transient_cmd circuit f_fast fd t_stop steps =
         result.Circuit.Transient.trace.Numeric.Integrator.times;
       0
 
-let shooting_cmd circuit f_fast fd steps =
+let shooting_cmd circuit f_fast fd steps budget_seconds max_newton =
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -175,12 +187,15 @@ let shooting_cmd circuit f_fast fd steps =
       let fd = Option.value fd ~default:fixture.default_fd in
       let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
       let dc = Circuit.Dcop.solve_exn mna in
+      let budget = make_budget budget_seconds max_newton in
       let r =
-        Steady.Shooting.solve ~steps_per_period:steps ~x0:dc ~dae:(Circuit.Mna.dae mna)
-          ~period:(1.0 /. f_fast) ()
+        Steady.Shooting.solve ~steps_per_period:steps ?budget ~x0:dc
+          ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. f_fast) ()
       in
-      Printf.printf "# converged=%b newton=%d residual=%.2e\n" r.Steady.Shooting.converged
-        r.Steady.Shooting.newton_iterations r.Steady.Shooting.residual_norm;
+      Printf.printf "# converged=%b newton=%d residual=%.2e outcome=%s\n"
+        r.Steady.Shooting.converged r.Steady.Shooting.newton_iterations
+        r.Steady.Shooting.residual_norm
+        (Resilience.Report.outcome_to_string r.Steady.Shooting.outcome);
       Printf.printf "t,v(%s)\n" fixture.output_node;
       Array.iteri
         (fun k t ->
@@ -189,7 +204,7 @@ let shooting_cmd circuit f_fast fd steps =
         r.Steady.Shooting.trace.Numeric.Integrator.times;
       if r.Steady.Shooting.converged then 0 else 1
 
-let hb_cmd circuit f_fast fd harmonics =
+let hb_cmd circuit f_fast fd harmonics budget_seconds max_newton =
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -199,12 +214,14 @@ let hb_cmd circuit f_fast fd harmonics =
       let fd = Option.value fd ~default:fixture.default_fd in
       let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
       let dc = Circuit.Dcop.solve_exn mna in
+      let budget = make_budget budget_seconds max_newton in
       let r =
-        Steady.Hb.solve ~x_init:dc ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. f_fast)
-          ~harmonics ()
+        Steady.Hb.solve ?budget ~x_init:dc ~dae:(Circuit.Mna.dae mna)
+          ~period:(1.0 /. f_fast) ~harmonics ()
       in
-      Printf.printf "# converged=%b newton=%d residual=%.2e\n" r.Steady.Hb.converged
-        r.Steady.Hb.newton_iterations r.Steady.Hb.residual_norm;
+      Printf.printf "# converged=%b newton=%d residual=%.2e outcome=%s\n"
+        r.Steady.Hb.converged r.Steady.Hb.newton_iterations r.Steady.Hb.residual_norm
+        (Resilience.Report.outcome_to_string r.Steady.Hb.outcome);
       Printf.printf "t,v(%s)\n" fixture.output_node;
       Array.iteri
         (fun k t ->
@@ -214,7 +231,7 @@ let hb_cmd circuit f_fast fd harmonics =
 
 type mpde_output = Envelope | Surface | Diagonal | Gain
 
-let mpde_cmd circuit f_fast fd n1 n2 output =
+let mpde_cmd circuit f_fast fd n1 n2 output budget_seconds max_newton =
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -224,12 +241,19 @@ let mpde_cmd circuit f_fast fd n1 n2 output =
       let fd = Option.value fd ~default:fixture.default_fd in
       let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
       let shear = Mpde.Shear.make ~fast_freq:f_fast ~slow_freq:fd in
-      let sol = Mpde.Solver.solve_mna ~shear ~n1 ~n2 mna in
+      let options =
+        { Mpde.Solver.default_options with budget = make_budget budget_seconds max_newton }
+      in
+      let sol = Mpde.Solver.solve_mna ~options ~shear ~n1 ~n2 mna in
       let stats = sol.Mpde.Solver.stats in
-      Printf.printf "# converged=%b newton=%d gmres=%d continuation=%d residual=%.2e wall=%.2fs\n"
-        stats.Mpde.Solver.converged stats.Mpde.Solver.newton_iterations
-        stats.Mpde.Solver.linear_iterations stats.Mpde.Solver.continuation_steps
-        stats.Mpde.Solver.residual_norm stats.Mpde.Solver.wall_seconds;
+      Printf.printf
+        "# converged=%b strategy=%s newton=%d gmres=%d continuation=%d residual=%.2e wall=%.2fs\n"
+        stats.Mpde.Solver.converged stats.Mpde.Solver.strategy
+        stats.Mpde.Solver.newton_iterations stats.Mpde.Solver.linear_iterations
+        stats.Mpde.Solver.continuation_steps stats.Mpde.Solver.residual_norm
+        stats.Mpde.Solver.wall_seconds;
+      Printf.printf "# report=%s\n"
+        (Resilience.Report.to_json_string sol.Mpde.Solver.report);
       let values =
         match fixture.output_node_b with
         | None -> Mpde.Extract.surface_of_node sol mna fixture.output_node
@@ -376,9 +400,27 @@ let fd_arg =
     & opt (some float) None
     & info [ "fd" ] ~docv:"HZ" ~doc:"Difference (slow) frequency.")
 
+let budget_seconds_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-seconds" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget for the whole solve (all escalation stages); on \
+           exhaustion the best iterate so far is reported with an \
+           $(i,exhausted) outcome instead of hanging.")
+
+let max_newton_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-newton" ] ~docv:"N"
+        ~doc:"Total Newton-iteration budget across all escalation stages.")
+
 let list_term = Term.(const list_cmd $ const ())
 
-let dcop_term = Term.(const dcop_cmd $ circuit_arg $ f_fast_arg $ fd_arg)
+let dcop_term =
+  Term.(const dcop_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ budget_seconds_arg $ max_newton_arg)
 
 let transient_term =
   let t_stop =
@@ -393,13 +435,17 @@ let shooting_term =
   let steps =
     Arg.(value & opt int 256 & info [ "steps" ] ~docv:"N" ~doc:"Steps per period.")
   in
-  Term.(const shooting_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ steps)
+  Term.(
+    const shooting_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ steps $ budget_seconds_arg
+    $ max_newton_arg)
 
 let hb_term =
   let harmonics =
     Arg.(value & opt int 8 & info [ "harmonics" ] ~docv:"K" ~doc:"Harmonic count.")
   in
-  Term.(const hb_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ harmonics)
+  Term.(
+    const hb_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ harmonics $ budget_seconds_arg
+    $ max_newton_arg)
 
 let mpde_term =
   let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
@@ -411,7 +457,9 @@ let mpde_term =
     in
     Arg.(value & opt kind_conv Envelope & info [ "output" ] ~docv:"KIND" ~doc:"What to print.")
   in
-  Term.(const mpde_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ n2 $ output)
+  Term.(
+    const mpde_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ n2 $ output
+    $ budget_seconds_arg $ max_newton_arg)
 
 let envelope_term =
   let n1 = Arg.(value & opt int 32 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in

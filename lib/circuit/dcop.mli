@@ -1,16 +1,34 @@
 (** DC operating point: solves [f(x) = b(0)] (charge terms quiescent)
     with Newton, falling back to gmin stepping and then source stepping
     — the standard SPICE convergence ladder, and the circuit-level
-    incarnation of the paper's homotopy/continuation remark. *)
+    incarnation of the paper's homotopy/continuation remark.
+
+    The ladder is expressed through {!Resilience.Ladder}, so DC solves
+    share budget enforcement and structured reporting with the MPDE and
+    steady-state engines. *)
 
 type report = {
   x : Linalg.Vec.t;
   converged : bool;
   strategy : [ `Newton | `Gmin_stepping | `Source_stepping ];
   newton_iterations : int;
+  resilience : Resilience.Report.t;  (** structured per-stage outcome *)
 }
 
-val solve : ?newton_options:Numeric.Newton.options -> ?x0:Linalg.Vec.t -> Mna.t -> report
+val solve :
+  ?newton_options:Numeric.Newton.options ->
+  ?budget:Resilience.Budget.t ->
+  ?x0:Linalg.Vec.t ->
+  Mna.t ->
+  report
+(** [budget] bounds the whole ladder climb (all strategies combined);
+    on exhaustion the best iterate so far is returned with
+    [resilience.outcome = Exhausted _]. *)
 
-val solve_exn : ?newton_options:Numeric.Newton.options -> ?x0:Linalg.Vec.t -> Mna.t -> Linalg.Vec.t
+val solve_exn :
+  ?newton_options:Numeric.Newton.options ->
+  ?budget:Resilience.Budget.t ->
+  ?x0:Linalg.Vec.t ->
+  Mna.t ->
+  Linalg.Vec.t
 (** @raise Failure when no strategy converges. *)

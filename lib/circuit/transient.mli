@@ -1,6 +1,10 @@
 (** SPICE-style transient analysis: DC operating point followed by
     implicit time stepping. The one-time baseline the paper compares
-    against. *)
+    against.
+
+    An optional {!Resilience.Budget.t} bounds the whole analysis (DC
+    solve plus every time-step Newton); on exhaustion the trace is
+    truncated at the last completed step instead of hanging. *)
 
 type result = {
   trace : Numeric.Integrator.trace;
@@ -10,6 +14,7 @@ type result = {
 val run :
   ?method_:Numeric.Integrator.method_ ->
   ?newton_options:Numeric.Newton.options ->
+  ?budget:Resilience.Budget.t ->
   ?x0:Linalg.Vec.t ->
   mna:Mna.t ->
   t_stop:float ->
@@ -22,6 +27,7 @@ val run :
 val run_adaptive :
   ?method_:Numeric.Integrator.method_ ->
   ?newton_options:Numeric.Newton.options ->
+  ?budget:Resilience.Budget.t ->
   ?rel_tol:float ->
   ?x0:Linalg.Vec.t ->
   mna:Mna.t ->

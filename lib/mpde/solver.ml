@@ -1,10 +1,21 @@
 module Vec = Linalg.Vec
+module Budget = Resilience.Budget
+module Guard = Resilience.Guard
+module Ladder = Resilience.Ladder
+module Report = Resilience.Report
+
+let log_src = Logs.Src.create "rfss.mpde" ~doc:"MPDE solver resilience"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type linear_solver =
   | Direct
   | Gmres_sweep of { restart : int; max_iter : int; tol : float }
+  | Gmres_ilu0 of { restart : int; max_iter : int; tol : float }
 
 let default_gmres = Gmres_sweep { restart = 60; max_iter = 600; tol = 1e-9 }
+
+exception Linear_stall of string
 
 type options = {
   max_newton : int;
@@ -12,6 +23,7 @@ type options = {
   scheme : Assemble.scheme;
   linear_solver : linear_solver;
   allow_continuation : bool;
+  budget : Budget.t option;
 }
 
 let default_options =
@@ -21,6 +33,7 @@ let default_options =
     scheme = Assemble.Backward;
     linear_solver = default_gmres;
     allow_continuation = true;
+    budget = None;
   }
 
 type stats = {
@@ -29,6 +42,8 @@ type stats = {
   residual_norm : float;
   linear_iterations : int;
   continuation_steps : int;
+  continuation_rejected : int;
+  strategy : string;
   wall_seconds : float;
 }
 
@@ -37,6 +52,7 @@ type solution = {
   system : Assemble.system;
   big_x : Vec.t;
   stats : stats;
+  report : Report.t;
 }
 
 (* Block forward-substitution sweep: apply M⁻¹ where M keeps the
@@ -44,8 +60,9 @@ type solution = {
    backward-difference neighbour blocks, *dropping the periodic wraps*
    (i = 0 and j = 0 rows lose their wrapped neighbour). Lexicographic
    order then makes M block lower-triangular, solvable in one pass with
-   dense per-point LU factors. *)
-let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs =
+   dense per-point LU factors. [extra_diag] adds the pseudo-transient
+   loading so the preconditioner tracks the loaded Jacobian. *)
+let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs ~extra_diag =
   let n = size in
   let np = Grid.points g in
   (* The sweep is exact (up to periodic wraps) for the backward scheme;
@@ -65,7 +82,8 @@ let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs =
         in
         for i = 0 to n - 1 do
           Sparse.Csr.iter_row cp i (fun j v -> Linalg.Mat.add_entry d i j (scale_c *. v));
-          Sparse.Csr.iter_row gp i (fun j v -> Linalg.Mat.add_entry d i j v)
+          Sparse.Csr.iter_row gp i (fun j v -> Linalg.Mat.add_entry d i j v);
+          if extra_diag <> 0.0 then Linalg.Mat.add_entry d i i extra_diag
         done;
         Linalg.Lu.factor d)
   in
@@ -98,41 +116,116 @@ let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs =
     done;
     x
 
-let solve_linear options (g : Grid.t) ~size ~jacs ~rhs ~linear_iters =
-  match options.linear_solver with
-  | Direct ->
-      let jac = Assemble.jacobian_csr options.scheme g ~size ~jacs in
-      Sparse.Splu.solve (Sparse.Splu.factor jac) rhs
-  | Gmres_sweep { restart; max_iter; tol } ->
-      let jac = Assemble.jacobian_csr options.scheme g ~size ~jacs in
-      let precond = make_sweep_preconditioner options.scheme g ~size ~jacs in
-      let result =
-        Sparse.Krylov.gmres ~restart ~max_iter ~tol ~precond
-          (Sparse.Krylov.csr_operator jac) rhs
-      in
-      linear_iters := !linear_iters + result.Sparse.Krylov.iterations;
-      if not result.Sparse.Krylov.converged then
-        failwith
-          (Printf.sprintf "MPDE GMRES stalled (residual %.3e after %d iterations)"
-             result.Sparse.Krylov.residual_norm result.Sparse.Krylov.iterations);
-      result.Sparse.Krylov.x
+let with_extra_diag jac extra_diag =
+  if extra_diag = 0.0 then jac
+  else Sparse.Csr.add jac (Sparse.Csr.scale extra_diag (Sparse.Csr.identity jac.Sparse.Csr.rows))
 
-let newton_problem options sys (g : Grid.t) ~sources ~linear_iters ~source_scale =
+let solve_linear ~linear_solver ~scheme ~budget (g : Grid.t) ~size ~jacs ~extra_diag
+    ~rhs ~linear_iters =
+  let jac () =
+    with_extra_diag (Assemble.jacobian_csr scheme g ~size ~jacs) extra_diag
+  in
+  let run_gmres ~restart ~max_iter ~tol ~precond op =
+    let result = Sparse.Krylov.gmres ~restart ~max_iter ~tol ~precond ?budget op rhs in
+    linear_iters := !linear_iters + result.Sparse.Krylov.iterations;
+    if not result.Sparse.Krylov.converged then begin
+      (match budget with
+      | Some b -> ( match Budget.exhausted b with Some e -> raise (Budget.Exhausted e) | None -> ())
+      | None -> ());
+      raise
+        (Linear_stall
+           (Printf.sprintf "GMRES stalled (residual %.3e after %d iterations)"
+              result.Sparse.Krylov.residual_norm result.Sparse.Krylov.iterations))
+    end;
+    result.Sparse.Krylov.x
+  in
+  match linear_solver with
+  | Direct -> Sparse.Splu.solve (Sparse.Splu.factor (jac ())) rhs
+  | Gmres_sweep { restart; max_iter; tol } ->
+      let precond = make_sweep_preconditioner scheme g ~size ~jacs ~extra_diag in
+      let op =
+        let m = jac () in
+        fun v -> Sparse.Csr.mul_vec m v
+      in
+      run_gmres ~restart ~max_iter ~tol ~precond op
+  | Gmres_ilu0 { restart; max_iter; tol } ->
+      let m = jac () in
+      let factors = Sparse.Ilu0.factor m in
+      run_gmres ~restart ~max_iter ~tol
+        ~precond:(fun r -> Sparse.Ilu0.apply factors r)
+        (fun v -> Sparse.Csr.mul_vec m v)
+
+(* Scan per-point Jacobian blocks before they reach the linear solver:
+   a NaN entry in G or C would otherwise poison GMRES silently. *)
+let check_jacobians_finite ~n jacs =
+  Array.iteri
+    (fun p (gp, cp) ->
+      let check_csr which (m : Sparse.Csr.t) =
+        for i = 0 to n - 1 do
+          Sparse.Csr.iter_row m i (fun j v ->
+              if not (Float.is_finite v) then
+                raise
+                  (Guard.Non_finite
+                     {
+                       Guard.index = (p * n) + i;
+                       value = v;
+                       block = Some p;
+                       offset = Some i;
+                       context =
+                         Printf.sprintf "MPDE %s-Jacobian entry (%d,%d)" which i j;
+                     }))
+        done
+      in
+      check_csr "G" gp;
+      check_csr "C" cp)
+    jacs
+
+(* Pseudo-transient loading: residual gains [alpha·(x − anchor)] and the
+   Jacobian [alpha·I], pulling the iterate toward the anchor while
+   regularizing near-singular Jacobians; [alpha] is then relaxed to zero
+   — the same decade-ladder idea as Dcop's gmin stepping, generalized to
+   the full MPDE grid vector. *)
+type ptc = { alpha : float; anchor : Vec.t }
+
+let newton_problem ~options ~linear_solver ?ptc ~sys ~g ~sources ~linear_iters
+    ~source_scale ~on_residual_violation () =
+  let n = sys.Assemble.size in
   let scaled_sources =
     if source_scale = 1.0 then sources
     else Array.map (Vec.scale source_scale) sources
   in
+  let base_residual big_x =
+    let r = Assemble.residual options.scheme sys g ~sources:scaled_sources big_x in
+    (match ptc with
+    | Some { alpha; anchor } ->
+        for i = 0 to Array.length r - 1 do
+          r.(i) <- r.(i) +. (alpha *. (big_x.(i) -. anchor.(i)))
+        done
+    | None -> ());
+    r
+  in
+  let extra_diag = match ptc with Some { alpha; _ } -> alpha | None -> 0.0 in
   {
     Numeric.Newton.residual =
-      (fun big_x -> Assemble.residual options.scheme sys g ~sources:scaled_sources big_x);
+      Guard.guarded ~context:"MPDE residual" ~block_size:n
+        ~on_violation:on_residual_violation base_residual;
     solve_linearized =
       (fun big_x r ->
         let jacs = Assemble.point_jacobians sys g big_x in
-        solve_linear options g ~size:sys.Assemble.size ~jacs ~rhs:r ~linear_iters);
+        (try check_jacobians_finite ~n jacs
+         with Guard.Non_finite v as e ->
+           on_residual_violation v;
+           raise e);
+        solve_linear ~linear_solver ~scheme:options.scheme ~budget:options.budget g
+          ~size:n ~jacs ~extra_diag ~rhs:r ~linear_iters);
   }
 
+let is_direct = function Direct -> true | _ -> false
+
+let is_ilu0 = function Gmres_ilu0 _ -> true | _ -> false
+
 let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t) =
-  let t_start = Sys.time () in
+  let t_start = Unix.gettimeofday () in
   let n = sys.Assemble.size in
   let np = Grid.points g in
   let big = np * n in
@@ -150,33 +243,197 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
   in
   let sources = Assemble.sources_on_grid sys g in
   let linear_iters = ref 0 in
-  let newton_options =
-    { Numeric.Newton.default_options with max_iterations = options.max_newton; abs_tol = options.tol }
-  in
-  let big_x, stats =
-    Numeric.Newton.solve ~options:newton_options
-      (newton_problem options sys g ~sources ~linear_iters ~source_scale:1.0)
-      big_x0
-  in
-  let newton_iterations = ref stats.Numeric.Newton.iterations in
-  let continuation_steps = ref 0 in
-  let big_x, converged, residual_norm =
-    if Numeric.Newton.converged stats then
-      (big_x, true, stats.Numeric.Newton.residual_norm)
-    else if options.allow_continuation then begin
-      let problem_at lambda =
-        newton_problem options sys g ~sources ~linear_iters ~source_scale:lambda
-      in
-      let x, cstats =
-        Numeric.Continuation.trace ~newton_options ~problem_at ~x0:big_x0 ()
-      in
-      newton_iterations :=
-        !newton_iterations + cstats.Numeric.Continuation.newton_iterations;
-      continuation_steps := cstats.Numeric.Continuation.steps_taken;
-      let r = Assemble.residual options.scheme sys g ~sources x in
-      (x, cstats.Numeric.Continuation.converged, Vec.norm_inf r)
+  let newton_total = ref 0 in
+  let continuation_steps = ref 0 and continuation_rejected = ref 0 in
+  let trajectory = ref [] in
+  let stage_iters : (string * int) list ref = ref [] in
+  let last_x = ref big_x0 in
+  (* Attribution for non-finite residuals: remember the first violation
+     per stage so a Diverged Newton outcome can be classified and
+     reported with its grid point. *)
+  let residual_violation = ref None in
+  let on_residual_violation v =
+    if !residual_violation = None then begin
+      residual_violation := Some v;
+      let p = Option.value v.Guard.block ~default:(v.Guard.index / n) in
+      Log.warn (fun m ->
+          m "non-finite residual at grid point (%d,%d), unknown %d: %h"
+            (p mod g.Grid.n1) (p / g.Grid.n1)
+            (Option.value v.Guard.offset ~default:(v.Guard.index mod n))
+            v.Guard.value)
     end
-    else (big_x, false, stats.Numeric.Newton.residual_norm)
+  in
+  let newton_options =
+    {
+      Numeric.Newton.default_options with
+      max_iterations = options.max_newton;
+      abs_tol = options.tol;
+      budget = options.budget;
+    }
+  in
+  let record_stage name iters =
+    stage_iters :=
+      (name, iters + (List.assoc_opt name !stage_iters |> Option.value ~default:0))
+      :: List.remove_assoc name !stage_iters
+  in
+  let on_iteration _k _x rnorm = trajectory := rnorm :: !trajectory in
+  (* Classify a failed Newton outcome into a ladder failure. *)
+  let classify (stats : Numeric.Newton.stats) =
+    match stats.Numeric.Newton.outcome with
+    | Numeric.Newton.Converged -> assert false
+    | Numeric.Newton.Exhausted e ->
+        (Ladder.Exhausted e, Budget.exhaustion_to_string e)
+    | Numeric.Newton.Diverged -> (
+        match !residual_violation with
+        | Some v -> (Ladder.Non_finite v, Guard.violation_to_string v)
+        | None -> (Ladder.Nonlinear, "residual diverged"))
+    | Numeric.Newton.Solver_failure msg -> (
+        (* solve_linearized failures: a recorded violation means the
+           Jacobian itself went non-finite (device overflow — escalate
+           the nonlinear strategy); otherwise the linear solver broke. *)
+        match !residual_violation with
+        | Some v -> (Ladder.Non_finite v, Guard.violation_to_string v)
+        | None -> (Ladder.Linear_stall, msg))
+    | Numeric.Newton.Stalled -> (Ladder.Nonlinear, "Newton stalled")
+    | Numeric.Newton.Max_iterations -> (Ladder.Nonlinear, "Newton hit max iterations")
+  in
+  let run_newton ~name ~linear_solver ?ptc ~source_scale x_init =
+    residual_violation := None;
+    let problem =
+      newton_problem ~options ~linear_solver ?ptc ~sys ~g ~sources ~linear_iters
+        ~source_scale ~on_residual_violation ()
+    in
+    let x, stats = Numeric.Newton.solve ~options:newton_options ~on_iteration problem x_init in
+    newton_total := !newton_total + stats.Numeric.Newton.iterations;
+    record_stage name stats.Numeric.Newton.iterations;
+    last_x := x;
+    (x, stats)
+  in
+  let plain_stage name linear_solver =
+    fun () ->
+      match run_newton ~name ~linear_solver ~source_scale:1.0 big_x0 with
+      | x, stats when Numeric.Newton.converged stats -> Ok x
+      | _, stats -> Error (classify stats)
+  in
+  let source_ramp_stage () =
+    residual_violation := None;
+    let problem_at lambda =
+      newton_problem ~options ~linear_solver:options.linear_solver ~sys ~g ~sources
+        ~linear_iters ~source_scale:lambda ~on_residual_violation ()
+    in
+    let x, cstats =
+      Numeric.Continuation.trace ?budget:options.budget ~newton_options ~problem_at
+        ~x0:big_x0 ()
+    in
+    newton_total := !newton_total + cstats.Numeric.Continuation.newton_iterations;
+    record_stage "source-ramp" cstats.Numeric.Continuation.newton_iterations;
+    continuation_steps := !continuation_steps + cstats.Numeric.Continuation.steps_taken;
+    continuation_rejected :=
+      !continuation_rejected + cstats.Numeric.Continuation.steps_rejected;
+    last_x := x;
+    if cstats.Numeric.Continuation.converged then Ok x
+    else
+      match cstats.Numeric.Continuation.exhausted with
+      | Some e -> Error (Ladder.Exhausted e, Budget.exhaustion_to_string e)
+      | None ->
+          Error
+            ( Ladder.Nonlinear,
+              Printf.sprintf "source ramp stalled after %d steps (%d rejected)"
+                cstats.Numeric.Continuation.steps_taken
+                cstats.Numeric.Continuation.steps_rejected )
+  in
+  let ptc_ramp_stage () =
+    (* Scale the initial loading to the Jacobian's diagonal so it is
+       neither negligible nor dominant across wildly different h1/h2. *)
+    let alpha0 =
+      try
+        let jacs = Assemble.point_jacobians sys g big_x0 in
+        let jac = Assemble.jacobian_csr options.scheme g ~size:n ~jacs in
+        let d = Sparse.Csr.diag jac in
+        let dmax =
+          Array.fold_left
+            (fun acc v -> if Float.is_finite v then Float.max acc (Float.abs v) else acc)
+            0.0 d
+        in
+        1e-2 *. Float.max 1.0 dmax
+      with _ -> 1.0
+    in
+    let rec relax alpha x =
+      (match options.budget with Some b -> Budget.check b | None -> ());
+      if alpha < alpha0 *. 1e-9 then
+        (* loading is now negligible: finish with the plain problem *)
+        match run_newton ~name:"ptc-ramp" ~linear_solver:options.linear_solver
+                ~source_scale:1.0 x
+        with
+        | x', stats when Numeric.Newton.converged stats -> Ok x'
+        | _, stats -> Error (classify stats)
+      else
+        let ptc = { alpha; anchor = Array.copy x } in
+        (match options.budget with
+        | Some b -> ( try Budget.tick_continuation b with Budget.Exhausted _ -> ())
+        | None -> ());
+        match run_newton ~name:"ptc-ramp" ~linear_solver:options.linear_solver ~ptc
+                ~source_scale:1.0 x
+        with
+        | x', stats when Numeric.Newton.converged stats ->
+            continuation_steps := !continuation_steps + 1;
+            relax (alpha /. 10.0) x'
+        | _, stats -> Error (classify stats)
+    in
+    relax alpha0 big_x0
+  in
+  let applies_escalated_linear prev =
+    Ladder.on_linear_stall prev && not (is_direct options.linear_solver)
+  in
+  let stages =
+    [
+      {
+        Ladder.name = "newton";
+        applies = Ladder.always;
+        attempt = plain_stage "newton" options.linear_solver;
+      };
+      {
+        Ladder.name = "gmres-ilu0";
+        applies =
+          (fun prev -> applies_escalated_linear prev && not (is_ilu0 options.linear_solver));
+        attempt =
+          plain_stage "gmres-ilu0" (Gmres_ilu0 { restart = 90; max_iter = 900; tol = options.tol });
+      };
+      {
+        Ladder.name = "direct-lu";
+        applies = applies_escalated_linear;
+        attempt = plain_stage "direct-lu" Direct;
+      };
+      {
+        Ladder.name = "source-ramp";
+        applies = (fun prev -> options.allow_continuation && prev <> None);
+        attempt = source_ramp_stage;
+      };
+      {
+        Ladder.name = "ptc-ramp";
+        applies = (fun prev -> options.allow_continuation && prev <> None);
+        attempt = ptc_ramp_stage;
+      };
+    ]
+  in
+  let run = Ladder.run ?budget:options.budget stages in
+  (match run.Ladder.strategy with
+  | Some s when s <> "newton" -> Log.info (fun m -> m "escalation recovered via %s" s)
+  | _ -> ());
+  let big_x = match run.Ladder.value with Some x -> x | None -> !last_x in
+  let residual_norm =
+    let r = Assemble.residual options.scheme sys g ~sources big_x in
+    Vec.norm_inf r
+  in
+  let converged = run.Ladder.value <> None in
+  let wall_seconds = Unix.gettimeofday () -. t_start in
+  let report =
+    Report.of_ladder
+      ~iterations_of:(fun name ->
+        List.assoc_opt name !stage_iters |> Option.value ~default:0)
+      ~residual_trajectory:(Array.of_list (List.rev !trajectory))
+      ~residual_norm ~newton_iterations:!newton_total ~linear_iterations:!linear_iters
+      ~wall_seconds run
   in
   {
     grid = g;
@@ -184,13 +441,16 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
     big_x;
     stats =
       {
-        newton_iterations = !newton_iterations;
+        newton_iterations = !newton_total;
         converged;
         residual_norm;
         linear_iterations = !linear_iters;
         continuation_steps = !continuation_steps;
-        wall_seconds = Sys.time () -. t_start;
+        continuation_rejected = !continuation_rejected;
+        strategy = Option.value run.Ladder.strategy ~default:"none";
+        wall_seconds;
       };
+    report;
   }
 
 let solve_mna ?options ~shear ~n1 ~n2 mna =

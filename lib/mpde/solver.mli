@@ -1,6 +1,6 @@
 (** Newton solution of the discretized MPDE.
 
-    Two linear solvers are provided:
+    Three linear solvers are provided:
 
     - [Direct]: general sparse LU on the global Jacobian — robust,
       reasonable for grids up to a few thousand points;
@@ -10,34 +10,62 @@
       the two periodic wrap couplings, so one sweep (factoring only the
       [n] x [n] diagonal blocks) is a very strong preconditioner — the
       multi-time analogue of the matrix-free Krylov shooting of the
-      paper's ref. [10].
+      paper's ref. [10];
+    - [Gmres_ilu0]: GMRES preconditioned by a zero-fill ILU of the
+      global Jacobian — slower to set up than the sweep but stronger
+      when the sweep's dropped couplings matter; the first escalation
+      rung after a linear stall.
 
-    When plain Newton fails, {!solve} falls back to source-stepping
-    continuation (paper §3: “using continuation reliably obtained
-    solutions in 10-20m”). *)
+    {2 Escalation ladder}
+
+    When plain Newton fails, {!solve} climbs a declarative
+    {!Resilience.Ladder}: on a *linear-solver stall* it strengthens the
+    preconditioner (ILU0) and finally falls back to direct sparse LU;
+    on *nonlinear* failure (divergence, stall, non-finite device
+    evaluations) it runs source-stepping continuation (paper §3: “using
+    continuation reliably obtained solutions in 10-20m”) and then a
+    pseudo-transient (Ptc) relaxation ramp. Residual and Jacobian
+    evaluations are guarded: a NaN/Inf is attributed to its MPDE grid
+    point and unknown instead of silently poisoning GMRES. The whole
+    climb honours [options.budget]; exhaustion produces a clean
+    [Exhausted] report rather than a hang. The outcome, winning
+    strategy, per-stage records, and residual trajectory are returned
+    as a structured {!Resilience.Report.t}. *)
 
 type linear_solver =
   | Direct
   | Gmres_sweep of { restart : int; max_iter : int; tol : float }
+  | Gmres_ilu0 of { restart : int; max_iter : int; tol : float }
 
 val default_gmres : linear_solver
 
+exception Linear_stall of string
+(** Raised internally by the linear layer on a GMRES stall; captured by
+    Newton and classified by the ladder. Exposed for tests. *)
+
 type options = {
-  max_newton : int;  (** default 50 *)
+  max_newton : int;  (** default 50 (per ladder stage) *)
   tol : float;  (** residual infinity norm, default 1e-8 *)
   scheme : Assemble.scheme;
   linear_solver : linear_solver;
-  allow_continuation : bool;  (** fall back to source stepping, default true *)
+  allow_continuation : bool;
+      (** enable the nonlinear escalation rungs (source ramp, Ptc ramp);
+          default true *)
+  budget : Resilience.Budget.t option;
+      (** overall deadline/iteration budget for the whole ladder climb;
+          default [None] (unbounded) *)
 }
 
 val default_options : options
 
 type stats = {
-  newton_iterations : int;
+  newton_iterations : int;  (** cumulated across all ladder stages *)
   converged : bool;
   residual_norm : float;
   linear_iterations : int;  (** cumulated GMRES inner iterations (0 for Direct) *)
-  continuation_steps : int;  (** 0 when plain Newton succeeded *)
+  continuation_steps : int;  (** accepted source-ramp/Ptc steps; 0 when plain Newton succeeded *)
+  continuation_rejected : int;  (** rejected (halved) continuation steps *)
+  strategy : string;  (** winning ladder stage, or ["none"] *)
   wall_seconds : float;
 }
 
@@ -46,6 +74,7 @@ type solution = {
   system : Assemble.system;
   big_x : Linalg.Vec.t;
   stats : stats;
+  report : Resilience.Report.t;  (** structured machine-readable outcome *)
 }
 
 val solve :
@@ -57,7 +86,8 @@ val solve :
 (** [seed] is either a single circuit state, replicated to every grid
     point (typically the DC operating point), or a full flattened grid
     state (e.g. from {!quasi_static_start}); default is the zero
-    state. *)
+    state. Never raises on solver failure: inspect
+    [solution.stats.converged] / [solution.report]. *)
 
 val solve_mna :
   ?options:options ->

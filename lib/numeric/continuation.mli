@@ -12,12 +12,16 @@ type stats = {
   steps_rejected : int;
   newton_iterations : int;  (** cumulative across all steps *)
   converged : bool;
+  exhausted : Resilience.Budget.exhaustion option;
+      (** set when the trace stopped on a budget limit *)
 }
 
 val trace :
   ?initial_step:float ->
   ?min_step:float ->
   ?max_step:float ->
+  ?max_total_steps:int ->
+  ?budget:Resilience.Budget.t ->
   ?newton_options:Newton.options ->
   problem_at:(float -> Newton.problem) ->
   x0:Linalg.Vec.t ->
@@ -27,4 +31,11 @@ val trace :
     [x0]. Steps grow by 2x after easy successes and shrink by 4x on
     failure. Defaults: [initial_step = 0.1], [min_step = 1e-6],
     [max_step = 0.5]. Returns the last iterate even on failure
-    ([converged = false]). *)
+    ([converged = false]).
+
+    [max_total_steps] (default 200) bounds the *total* number of Newton
+    solves, accepted or rejected, so a pathological reject/halve cycle
+    terminates. [budget], when given, is ticked once per continuation
+    step and also installed as the Newton budget (unless
+    [newton_options] already carries one); exhaustion halts path
+    tracking cleanly with [converged = false] and [exhausted] set. *)

@@ -6,6 +6,7 @@ type step_result = {
   x : Vec.t;
   newton_iterations : int;
   converged : bool;
+  outcome : Newton.outcome;
 }
 
 (* Build the Newton problem for one implicit step. The residual has the
@@ -63,7 +64,12 @@ let implicit_step ?(newton_options = Newton.default_options) ~method_ ~(dae : Da
       { Newton.residual; solve_linearized }
       x_prev
   in
-  { x; newton_iterations = stats.Newton.iterations; converged = Newton.converged stats }
+  {
+    x;
+    newton_iterations = stats.Newton.iterations;
+    converged = Newton.converged stats;
+    outcome = stats.Newton.outcome;
+  }
 
 type trace = { times : float array; states : Vec.t array }
 
@@ -76,6 +82,9 @@ let robust_step ?newton_options ~method_ ~dae ~t_start ~h ~x_prev ?x_prev2 () =
         ?x_prev2 ()
     in
     if r.converged then
+      { r with newton_iterations = r.newton_iterations + remaining_newton }
+    else if (match r.outcome with Newton.Exhausted _ -> true | _ -> false) then
+      (* Budget ran out: halving the step would only re-trip it. *)
       { r with newton_iterations = r.newton_iterations + remaining_newton }
     else begin
       let half = h /. 2.0 in
@@ -95,14 +104,24 @@ let transient ?newton_options ?(method_ = Backward_euler) ~dae ~x0 ~t0 ~t1 ~step
   let h = (t1 -. t0) /. float_of_int steps in
   let times = Array.make (steps + 1) t0 in
   let states = Array.make (steps + 1) x0 in
-  for k = 1 to steps do
-    let t_start = t0 +. (float_of_int (k - 1) *. h) in
-    let x_prev2 = if k >= 2 then Some states.(k - 2) else None in
-    let r = robust_step ?newton_options ~method_ ~dae ~t_start ~h ~x_prev:states.(k - 1) ?x_prev2 () in
-    times.(k) <- t0 +. (float_of_int k *. h);
-    states.(k) <- r.x
-  done;
-  { times; states }
+  let reached = ref steps in
+  (try
+     for k = 1 to steps do
+       let t_start = t0 +. (float_of_int (k - 1) *. h) in
+       let x_prev2 = if k >= 2 then Some states.(k - 2) else None in
+       let r = robust_step ?newton_options ~method_ ~dae ~t_start ~h ~x_prev:states.(k - 1) ?x_prev2 () in
+       if not r.converged then begin
+         (* Only a budget exhaustion reaches here (robust_step raises on
+            genuine step failure); hand back the trace so far. *)
+         reached := k - 1;
+         raise Exit
+       end;
+       times.(k) <- t0 +. (float_of_int k *. h);
+       states.(k) <- r.x
+     done
+   with Exit -> ());
+  if !reached = steps then { times; states }
+  else { times = Array.sub times 0 (!reached + 1); states = Array.sub states 0 (!reached + 1) }
 
 let transient_adaptive ?newton_options ?(method_ = Backward_euler) ?(rel_tol = 1e-4)
     ?(abs_tol = 1e-9) ?h_init ?h_min ?h_max ~dae ~x0 ~t0 ~t1 () =
@@ -124,6 +143,10 @@ let transient_adaptive ?newton_options ?(method_ = Backward_euler) ?(rel_tol = 1
         robust_step ?newton_options ~method_ ~dae ~t_start:(t +. (h /. 2.0)) ~h:(h /. 2.0)
           ~x_prev:half1.x ()
       in
+      if not (full.converged && half1.converged && half2.converged) then
+        (* budget exhausted mid-span: return the trace accumulated so far *)
+        ()
+      else
       let err = ref 0.0 in
       Array.iteri
         (fun i v ->

@@ -9,6 +9,7 @@ type step_result = {
   x : Linalg.Vec.t;
   newton_iterations : int;
   converged : bool;
+  outcome : Newton.outcome;  (** the inner Newton outcome, for triage *)
 }
 
 val implicit_step :
@@ -39,7 +40,10 @@ val transient :
   unit ->
   trace
 (** Fixed-step transient from [t0] to [t1]; the trace includes the
-    initial point, so it has [steps + 1] entries.
+    initial point, so it has [steps + 1] entries. When a
+    {!Resilience.Budget.t} carried in [newton_options] runs out the
+    trace is truncated at the last completed step instead (check the
+    budget to distinguish).
     @raise Failure if a Newton solve fails even after internal step
     halving (up to 8 levels). *)
 

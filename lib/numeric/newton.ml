@@ -1,4 +1,5 @@
 module Vec = Linalg.Vec
+module Budget = Resilience.Budget
 
 type problem = {
   residual : Vec.t -> Vec.t;
@@ -11,6 +12,7 @@ type options = {
   step_tol : float;
   max_backtracks : int;
   min_damping : float;
+  budget : Budget.t option;
 }
 
 let default_options =
@@ -20,9 +22,16 @@ let default_options =
     step_tol = 1e-12;
     max_backtracks = 12;
     min_damping = 1.0 /. 4096.0;
+    budget = None;
   }
 
-type outcome = Converged | Stalled | Max_iterations | Solver_failure of string
+type outcome =
+  | Converged
+  | Stalled
+  | Max_iterations
+  | Diverged
+  | Exhausted of Budget.exhaustion
+  | Solver_failure of string
 
 type stats = {
   outcome : outcome;
@@ -37,7 +46,15 @@ let pp_outcome ppf = function
   | Converged -> Format.fprintf ppf "converged"
   | Stalled -> Format.fprintf ppf "stalled"
   | Max_iterations -> Format.fprintf ppf "max-iterations"
+  | Diverged -> Format.fprintf ppf "diverged"
+  | Exhausted e -> Format.fprintf ppf "exhausted(%a)" Budget.pp_exhaustion e
   | Solver_failure msg -> Format.fprintf ppf "solver-failure(%s)" msg
+
+let report_outcome stats =
+  match stats.outcome with
+  | Converged -> Resilience.Report.Converged
+  | Exhausted e -> Resilience.Report.Exhausted e
+  | o -> Resilience.Report.Failed (Format.asprintf "%a" pp_outcome o)
 
 let solve ?(options = default_options) ?on_iteration problem x0 =
   let x = ref (Array.copy x0) in
@@ -51,16 +68,40 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
        (match on_iteration with
        | Some f -> f !iterations !x !rnorm
        | None -> ());
+       (* A non-finite residual norm can never backtrack into tolerance:
+          every ‖F‖ comparison against NaN is false, so the old code spun
+          through max_iterations of useless halvings. Bail out at once. *)
+       if not (Float.is_finite !rnorm) then begin
+         outcome := Diverged;
+         raise Exit
+       end;
        if !rnorm <= options.abs_tol then begin
          outcome := Converged;
          raise Exit
        end;
+       (match options.budget with
+       | Some b -> (
+           try Budget.tick_newton b
+           with Budget.Exhausted e ->
+             outcome := Exhausted e;
+             raise Exit)
+       | None -> ());
        let delta =
          try problem.solve_linearized !x !r
-         with e ->
-           outcome := Solver_failure (Printexc.to_string e);
-           raise Exit
+         with
+         | Budget.Exhausted e ->
+             outcome := Exhausted e;
+             raise Exit
+         | e ->
+             outcome := Solver_failure (Printexc.to_string e);
+             raise Exit
        in
+       (* Reject non-finite Newton directions outright: damping a step
+          that contains NaN/Inf still contains NaN/Inf. *)
+       if not (Resilience.Guard.finite delta) then begin
+         outcome := Solver_failure "non-finite Newton step";
+         raise Exit
+       end;
        (* Backtracking: accept the first damping that reduces ‖F‖∞, or,
           failing that, the smallest tried damping (helps escape regions
           where the residual is momentarily non-monotone). *)
@@ -98,6 +139,10 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
        r := !candidate_res;
        rnorm := Vec.norm_inf !r;
        incr iterations;
+       if not (Float.is_finite !rnorm) then begin
+         outcome := Diverged;
+         raise Exit
+       end;
        if !rnorm <= options.abs_tol then begin
          outcome := Converged;
          raise Exit

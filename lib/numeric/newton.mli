@@ -3,7 +3,14 @@
     The linear algebra is abstracted behind a per-iterate solver closure
     so that dense LU, sparse LU, or preconditioned Krylov methods can be
     plugged in. Damping is a simple backtracking line search on the
-    residual norm. *)
+    residual norm.
+
+    Resilience: a non-finite residual norm terminates immediately with
+    [Diverged] (backtracking can never recover from it); a non-finite
+    Newton direction is rejected as [Solver_failure] rather than damped;
+    and an optional {!Resilience.Budget.t} is ticked once per iteration,
+    converting deadline/iteration-cap overruns into a clean [Exhausted]
+    outcome instead of an open-ended loop. *)
 
 type problem = {
   residual : Linalg.Vec.t -> Linalg.Vec.t;  (** [F(x)] *)
@@ -18,11 +25,19 @@ type options = {
   step_tol : float;  (** stop when the damped step is this small, default 1e-12 *)
   max_backtracks : int;  (** line-search halvings, default 12 *)
   min_damping : float;  (** smallest accepted damping factor, default 1/4096 *)
+  budget : Resilience.Budget.t option;
+      (** ticked once per Newton iteration; default [None] (unbounded) *)
 }
 
 val default_options : options
 
-type outcome = Converged | Stalled | Max_iterations | Solver_failure of string
+type outcome =
+  | Converged
+  | Stalled
+  | Max_iterations
+  | Diverged  (** residual norm went NaN/Inf *)
+  | Exhausted of Resilience.Budget.exhaustion  (** budget ran out *)
+  | Solver_failure of string
 
 type stats = {
   outcome : outcome;
@@ -33,6 +48,9 @@ type stats = {
 
 val converged : stats -> bool
 
+val report_outcome : stats -> Resilience.Report.outcome
+(** Map final stats onto a structured report outcome. *)
+
 val solve :
   ?options:options ->
   ?on_iteration:(int -> Linalg.Vec.t -> float -> unit) ->
@@ -41,6 +59,7 @@ val solve :
   Linalg.Vec.t * stats
 (** [solve problem x0] iterates from [x0] (not modified) and returns the
     final iterate with statistics. Exceptions raised by the solver
-    closure are captured as [Solver_failure]. *)
+    closure are captured as [Solver_failure], except
+    {!Resilience.Budget.Exhausted} which becomes [Exhausted]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

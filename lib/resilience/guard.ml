@@ -1,0 +1,71 @@
+type violation = {
+  index : int;
+  value : float;
+  block : int option;
+  offset : int option;
+  context : string;
+}
+
+exception Non_finite of violation
+
+let scan ?(context = "") ?block_size (v : Linalg.Vec.t) =
+  let n = Array.length v in
+  let rec find i =
+    if i >= n then None
+    else if Float.is_finite v.(i) then find (i + 1)
+    else
+      let block, offset =
+        match block_size with
+        | Some s when s > 0 -> (Some (i / s), Some (i mod s))
+        | _ -> (None, None)
+      in
+      Some { index = i; value = v.(i); block; offset; context }
+  in
+  find 0
+
+let check ?context ?block_size v =
+  match scan ?context ?block_size v with
+  | Some violation -> raise (Non_finite violation)
+  | None -> ()
+
+let finite v =
+  let n = Array.length v in
+  let rec go i = i >= n || (Float.is_finite v.(i) && go (i + 1)) in
+  go 0
+
+let guarded ?context ?block_size ~on_violation f x =
+  let r = f x in
+  (match scan ?context ?block_size r with
+  | Some violation -> on_violation violation
+  | None -> ());
+  r
+
+let clamp ~limit (v : Linalg.Vec.t) =
+  let touched = ref 0 in
+  for i = 0 to Array.length v - 1 do
+    let x = v.(i) in
+    if Float.is_nan x then begin
+      v.(i) <- 0.0;
+      incr touched
+    end
+    else if x > limit then begin
+      v.(i) <- limit;
+      incr touched
+    end
+    else if x < -.limit then begin
+      v.(i) <- -.limit;
+      incr touched
+    end
+  done;
+  !touched
+
+let pp_violation ppf { index; value; block; offset; context } =
+  let where =
+    match (block, offset) with
+    | Some b, Some o -> Printf.sprintf "grid-point %d, unknown %d (flat %d)" b o index
+    | _ -> Printf.sprintf "index %d" index
+  in
+  Format.fprintf ppf "non-finite value %h at %s%s" value where
+    (if context = "" then "" else " during " ^ context)
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v

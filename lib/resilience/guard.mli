@@ -1,0 +1,50 @@
+(** Guarded evaluation: non-finite detection and containment.
+
+    Exponential device models overflow readily (a diode at a few volts
+    of forward bias evaluates [exp] past 1e300); a single Inf or NaN
+    that escapes a residual or Jacobian evaluation poisons the Givens
+    QR inside GMRES and every iterate after it. [Guard] locates the
+    first offending entry — and, for block-structured vectors such as
+    the flattened MPDE grid, reports *which* block (grid point) and
+    *which* unknown within it — so failures are attributable instead of
+    silent. *)
+
+type violation = {
+  index : int;  (** flat index of the first non-finite entry *)
+  value : float;  (** the offending value (NaN or ±Inf) *)
+  block : int option;  (** [index / block_size] when a block size is known *)
+  offset : int option;  (** [index mod block_size] *)
+  context : string;  (** human label: what was being evaluated *)
+}
+
+exception Non_finite of violation
+
+val scan : ?context:string -> ?block_size:int -> Linalg.Vec.t -> violation option
+(** First non-finite entry, if any. *)
+
+val check : ?context:string -> ?block_size:int -> Linalg.Vec.t -> unit
+(** @raise Non_finite on the first non-finite entry. *)
+
+val finite : Linalg.Vec.t -> bool
+
+val guarded :
+  ?context:string ->
+  ?block_size:int ->
+  on_violation:(violation -> unit) ->
+  (Linalg.Vec.t -> Linalg.Vec.t) ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t
+(** [guarded ~on_violation f x] evaluates [f x]; if the result contains
+    a non-finite entry the callback fires (once per evaluation) before
+    the result is returned unmodified. The caller's Newton loop rejects
+    the step via its non-finite residual-norm handling; the callback
+    exists for attribution/logging. *)
+
+val clamp : limit:float -> Linalg.Vec.t -> int
+(** In-place containment: NaN entries become [0.], entries beyond
+    [±limit] (including ±Inf) are clamped to [±limit]. Returns the
+    number of entries modified. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_string : violation -> string

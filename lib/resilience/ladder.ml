@@ -1,0 +1,88 @@
+type failure =
+  | Linear_stall
+  | Nonlinear
+  | Non_finite of Guard.violation
+  | Exhausted of Budget.exhaustion
+
+type 'a stage = {
+  name : string;
+  applies : failure option -> bool;
+  attempt : unit -> ('a, failure * string) result;
+}
+
+type record = {
+  stage : string;
+  status : [ `Success | `Failed of string | `Skipped ];
+  wall_seconds : float;
+}
+
+type 'a run = {
+  value : 'a option;
+  strategy : string option;
+  records : record list;
+  last_failure : failure option;
+}
+
+let always _ = true
+
+let on_linear_stall = function Some Linear_stall -> true | _ -> false
+
+let on_nonlinear = function
+  | Some Nonlinear | Some (Non_finite _) -> true
+  | _ -> false
+
+let pp_failure ppf = function
+  | Linear_stall -> Format.pp_print_string ppf "linear-stall"
+  | Nonlinear -> Format.pp_print_string ppf "nonlinear"
+  | Non_finite v -> Format.fprintf ppf "non-finite(%a)" Guard.pp_violation v
+  | Exhausted e -> Format.fprintf ppf "exhausted(%a)" Budget.pp_exhaustion e
+
+let run ?budget stages =
+  let records = ref [] in
+  let push r = records := r :: !records in
+  let skip stage = push { stage = stage.name; status = `Skipped; wall_seconds = 0.0 } in
+  let rec climb last_failure = function
+    | [] -> (None, None, last_failure)
+    | stage :: rest -> (
+        let budget_gone =
+          match Option.map Budget.exhausted budget with
+          | Some (Some e) -> Some e
+          | _ -> None
+        in
+        match budget_gone with
+        | Some e ->
+            skip stage;
+            List.iter skip rest;
+            (None, None, Some (Exhausted e))
+        | None ->
+            if not (stage.applies last_failure) then begin
+              skip stage;
+              climb last_failure rest
+            end
+            else begin
+              let t0 = Unix.gettimeofday () in
+              let outcome =
+                try stage.attempt () with
+                | Guard.Non_finite v ->
+                    Error (Non_finite v, Guard.violation_to_string v)
+                | Budget.Exhausted e ->
+                    Error (Exhausted e, Budget.exhaustion_to_string e)
+              in
+              let wall_seconds = Unix.gettimeofday () -. t0 in
+              match outcome with
+              | Ok value ->
+                  push { stage = stage.name; status = `Success; wall_seconds };
+                  List.iter skip rest;
+                  (Some value, Some stage.name, last_failure)
+              | Error ((Exhausted _ as f), msg) ->
+                  (* A deadline applies to the whole ladder: stop climbing. *)
+                  push { stage = stage.name; status = `Failed msg; wall_seconds };
+                  List.iter skip rest;
+                  (None, None, Some f)
+              | Error (f, msg) ->
+                  push { stage = stage.name; status = `Failed msg; wall_seconds };
+                  climb (Some f) rest
+            end)
+  in
+  let value, strategy, last_failure = climb None stages in
+  { value; strategy; records = List.rev !records; last_failure }

@@ -1,0 +1,130 @@
+type outcome =
+  | Converged
+  | Failed of string
+  | Exhausted of Budget.exhaustion
+
+type stage = {
+  name : string;
+  status : [ `Success | `Failed of string | `Skipped ];
+  iterations : int;
+  wall_seconds : float;
+}
+
+type t = {
+  outcome : outcome;
+  strategy : string option;
+  stages : stage list;
+  residual_trajectory : float array;
+  residual_norm : float;
+  newton_iterations : int;
+  linear_iterations : int;
+  wall_seconds : float;
+}
+
+let success r = r.outcome = Converged
+
+let outcome_to_string = function
+  | Converged -> "converged"
+  | Failed msg -> "failed: " ^ msg
+  | Exhausted e -> "exhausted: " ^ Budget.exhaustion_to_string e
+
+let of_ladder ?(iterations_of = fun _ -> 0) ~residual_trajectory ~residual_norm
+    ~newton_iterations ~linear_iterations ~wall_seconds (run : _ Ladder.run) =
+  let outcome =
+    match (run.Ladder.value, run.Ladder.last_failure) with
+    | Some _, _ -> Converged
+    | None, Some (Ladder.Exhausted e) -> Exhausted e
+    | None, Some f -> Failed (Format.asprintf "%a" Ladder.pp_failure f)
+    | None, None -> Failed "no applicable strategy"
+  in
+  let stages =
+    List.map
+      (fun { Ladder.stage; status; wall_seconds } ->
+        { name = stage; status; iterations = iterations_of stage; wall_seconds })
+      run.Ladder.records
+  in
+  {
+    outcome;
+    strategy = run.Ladder.strategy;
+    stages;
+    residual_trajectory;
+    residual_norm;
+    newton_iterations;
+    linear_iterations;
+    wall_seconds;
+  }
+
+let status_to_string = function
+  | `Success -> "success"
+  | `Failed _ -> "failed"
+  | `Skipped -> "skipped"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>outcome: %s@," (outcome_to_string r.outcome);
+  (match r.strategy with
+  | Some s -> Format.fprintf ppf "strategy: %s@," s
+  | None -> ());
+  Format.fprintf ppf "newton: %d  linear: %d  residual: %.3e  wall: %.3fs@,"
+    r.newton_iterations r.linear_iterations r.residual_norm r.wall_seconds;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-16s %-8s iters=%-5d wall=%.3fs" s.name
+        (status_to_string s.status) s.iterations s.wall_seconds;
+      (match s.status with
+      | `Failed msg -> Format.fprintf ppf "  (%s)" msg
+      | _ -> ());
+      Format.pp_print_cut ppf ())
+    r.stages;
+  Format.fprintf ppf "@]"
+
+(* Minimal JSON emission: only strings need escaping, and only the
+   characters our own messages can contain. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6e" f
+  else Printf.sprintf "\"%s\"" (if Float.is_nan f then "nan" else if f > 0.0 then "inf" else "-inf")
+
+let to_json_string r =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"outcome\":\"%s\"" (json_escape (outcome_to_string r.outcome));
+  (match r.strategy with
+  | Some s -> add ",\"strategy\":\"%s\"" (json_escape s)
+  | None -> add ",\"strategy\":null");
+  add ",\"newton_iterations\":%d,\"linear_iterations\":%d" r.newton_iterations
+    r.linear_iterations;
+  add ",\"residual_norm\":%s,\"wall_seconds\":%.3f" (json_float r.residual_norm)
+    r.wall_seconds;
+  add ",\"stages\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ",";
+      add "{\"name\":\"%s\",\"status\":\"%s\"" (json_escape s.name)
+        (status_to_string s.status);
+      (match s.status with
+      | `Failed msg -> add ",\"error\":\"%s\"" (json_escape msg)
+      | _ -> ());
+      add ",\"iterations\":%d,\"wall_seconds\":%.3f}" s.iterations s.wall_seconds)
+    r.stages;
+  add "],\"residual_trajectory\":[";
+  Array.iteri
+    (fun i f ->
+      if i > 0 then add ",";
+      add "%s" (json_float f))
+    r.residual_trajectory;
+  add "]}";
+  Buffer.contents buf

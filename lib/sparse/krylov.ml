@@ -12,9 +12,17 @@ type result = {
 let identity v = Array.copy v
 
 (* Restarted GMRES with right preconditioning and Givens-rotation QR of
-   the Hessenberg matrix. *)
+   the Hessenberg matrix.
+
+   Breakdown handling: a vanishing Hessenberg subdiagonal ("happy
+   breakdown" — the Krylov space became invariant) finishes the inner
+   loop with the current, now exact, iterate. A non-finite candidate
+   basis vector (an operator or preconditioner that produced NaN/Inf)
+   terminates the inner loop *before* the poisoned column enters the
+   Givens QR; if no finite progress was made at all the whole solve
+   aborts rather than looping on an unchanged iterate. *)
 let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
-    ?x0 op b =
+    ?budget ?x0 op b =
   let n = Array.length b in
   let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
   let bnorm = Vec.norm2 b in
@@ -24,12 +32,16 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
   let converged = ref false in
   (try
      while (not !converged) && !total_iters < max_iter do
+       (match budget with
+       | Some bu when Resilience.Budget.exhausted bu <> None -> raise Exit
+       | _ -> ());
        let r =
          if !total_iters = 0 && x0 = None then Array.copy b
          else Vec.sub b (op x)
        in
        let beta = Vec.norm2 r in
        final_res := beta;
+       if not (Float.is_finite beta) then raise Exit;
        if beta <= target then begin
          converged := true;
          raise Exit
@@ -44,6 +56,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        g.(0) <- beta;
        let k = ref 0 in
        let inner_done = ref false in
+       let poisoned = ref false in
        while (not !inner_done) && !k < m do
          let j = !k in
          let w = op (precond basis.(j)) in
@@ -54,35 +67,58 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
            Vec.axpy (-.hj.(i)) basis.(i) w
          done;
          hj.(j + 1) <- Vec.norm2 w;
-         if hj.(j + 1) > 1e-300 then
-           basis.(j + 1) <- Vec.scale (1.0 /. hj.(j + 1)) w
-         else basis.(j + 1) <- Array.make n 0.0;
-         (* Apply previous Givens rotations to the new column. *)
-         for i = 0 to j - 1 do
-           let t = (cs.(i) *. hj.(i)) +. (sn.(i) *. hj.(i + 1)) in
-           hj.(i + 1) <- (-.sn.(i) *. hj.(i)) +. (cs.(i) *. hj.(i + 1));
-           hj.(i) <- t
-         done;
-         (* New rotation to annihilate hj.(j+1). *)
-         let denom = Float.hypot hj.(j) hj.(j + 1) in
-         if denom > 0.0 then begin
-           cs.(j) <- hj.(j) /. denom;
-           sn.(j) <- hj.(j + 1) /. denom
+         if not (Float.is_finite hj.(j + 1)) then begin
+           (* Poisoned column: solve with the j columns accepted so far. *)
+           poisoned := true;
+           inner_done := true
          end
          else begin
-           cs.(j) <- 1.0;
-           sn.(j) <- 0.0
-         end;
-         hj.(j) <- denom;
-         hj.(j + 1) <- 0.0;
-         g.(j + 1) <- -.sn.(j) *. g.(j);
-         g.(j) <- cs.(j) *. g.(j);
-         h.(j) <- hj;
-         incr total_iters;
-         incr k;
-         final_res := Float.abs g.(!k);
-         if !final_res <= target then inner_done := true
+           let happy = hj.(j + 1) <= 1e-300 in
+           if happy then basis.(j + 1) <- Array.make n 0.0
+           else basis.(j + 1) <- Vec.scale (1.0 /. hj.(j + 1)) w;
+           (* Apply previous Givens rotations to the new column. *)
+           for i = 0 to j - 1 do
+             let t = (cs.(i) *. hj.(i)) +. (sn.(i) *. hj.(i + 1)) in
+             hj.(i + 1) <- (-.sn.(i) *. hj.(i)) +. (cs.(i) *. hj.(i + 1));
+             hj.(i) <- t
+           done;
+           (* New rotation to annihilate hj.(j+1). *)
+           let denom = Float.hypot hj.(j) hj.(j + 1) in
+           if denom > 0.0 then begin
+             cs.(j) <- hj.(j) /. denom;
+             sn.(j) <- hj.(j + 1) /. denom
+           end
+           else begin
+             cs.(j) <- 1.0;
+             sn.(j) <- 0.0
+           end;
+           hj.(j) <- denom;
+           hj.(j + 1) <- 0.0;
+           g.(j + 1) <- -.sn.(j) *. g.(j);
+           g.(j) <- cs.(j) *. g.(j);
+           h.(j) <- hj;
+           incr total_iters;
+           (match budget with
+           | Some bu -> (
+               try Resilience.Budget.tick_linear bu
+               with Resilience.Budget.Exhausted _ -> inner_done := true)
+           | None -> ());
+           incr k;
+           final_res := Float.abs g.(!k);
+           if !final_res <= target then inner_done := true;
+           if happy then begin
+             (* Invariant Krylov subspace: the least-squares solution is
+                exact; continuing would divide by the zero subdiagonal. *)
+             converged := Float.abs g.(!k) <= Float.max target (1e-12 *. beta);
+             inner_done := true
+           end
+         end
        done;
+       if !poisoned && !k = 0 then
+         (* No finite direction at all: updating x is impossible and the
+            next restart would recompute the identical poisoned column —
+            an infinite loop in the old code. *)
+         raise Exit;
        (* Solve the triangular system for the Krylov coefficients. *)
        let k = !k in
        let y = Array.make k 0.0 in
@@ -91,14 +127,20 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          for j = i + 1 to k - 1 do
            s := !s -. (h.(j).(i) *. y.(j))
          done;
-         y.(i) <- !s /. h.(i).(i)
+         (* A zero pivot only arises on exact breakdown; dropping the
+            direction is safer than dividing by zero. *)
+         y.(i) <- (if Float.abs h.(i).(i) > 0.0 then !s /. h.(i).(i) else 0.0)
        done;
        let update = Array.make n 0.0 in
        for j = 0 to k - 1 do
          Vec.axpy y.(j) basis.(j) update
        done;
        Vec.add_ip x (precond update);
-       if !final_res <= target then converged := true
+       if !final_res <= target then converged := true;
+       if !poisoned then raise Exit;
+       (match budget with
+       | Some bu when Resilience.Budget.exhausted bu <> None -> raise Exit
+       | _ -> ())
      done
    with Exit -> ());
   { x; converged = !converged; iterations = !total_iters; residual_norm = !final_res }

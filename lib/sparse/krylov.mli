@@ -18,6 +18,7 @@ val gmres :
   ?max_iter:int ->
   ?tol:float ->
   ?precond:operator ->
+  ?budget:Resilience.Budget.t ->
   ?x0:Linalg.Vec.t ->
   operator ->
   Linalg.Vec.t ->
@@ -25,7 +26,14 @@ val gmres :
 (** [gmres op b] solves [op x = b] with right preconditioning:
     the Krylov space is built for [op ∘ precond] and the returned [x]
     is [precond y]. Defaults: [restart = 50], [max_iter = 500],
-    [tol = 1e-10] (relative to [‖b‖], absolute when [b = 0]). *)
+    [tol = 1e-10] (relative to [‖b‖], absolute when [b = 0]).
+
+    Robustness: happy breakdown (zero Hessenberg subdiagonal) returns
+    the exact iterate instead of dividing by zero; a non-finite basis
+    vector terminates the sweep with the last finite iterate instead of
+    polluting the Givens QR with NaNs; [budget], when given, is ticked
+    per inner iteration and checked at restarts, terminating with
+    [converged = false] (never raising) when it runs out. *)
 
 val bicgstab :
   ?max_iter:int ->

@@ -8,14 +8,15 @@ type result = {
   newton_iterations : int;
   converged : bool;
   residual_norm : float;
+  outcome : Resilience.Report.outcome;
 }
 
 let spectral_diff_matrix n period =
   if n mod 2 = 0 then invalid_arg "Hb.spectral_diff_matrix: n must be odd";
   Numeric.Spectral.diff_matrix n period
 
-let solve ?(max_newton = 60) ?(tol = 1e-8) ?x_init ~(dae : Numeric.Dae.t) ~period
-    ~harmonics () =
+let solve ?(max_newton = 60) ?(tol = 1e-8) ?budget ?x_init ~(dae : Numeric.Dae.t)
+    ~period ~harmonics () =
   if harmonics < 1 then invalid_arg "Hb.solve: need at least 1 harmonic";
   let points = (2 * harmonics) + 1 in
   let n = dae.Numeric.Dae.size in
@@ -68,7 +69,9 @@ let solve ?(max_newton = 60) ?(tol = 1e-8) ?x_init ~(dae : Numeric.Dae.t) ~perio
     done;
     big_x
   in
-  let options = { Numeric.Newton.default_options with max_iterations = max_newton; abs_tol = tol } in
+  let options =
+    { Numeric.Newton.default_options with max_iterations = max_newton; abs_tol = tol; budget }
+  in
   let big_x, stats =
     Numeric.Newton.solve ~options { Numeric.Newton.residual; solve_linearized } x0
   in
@@ -79,6 +82,7 @@ let solve ?(max_newton = 60) ?(tol = 1e-8) ?x_init ~(dae : Numeric.Dae.t) ~perio
     newton_iterations = stats.Numeric.Newton.iterations;
     converged = Numeric.Newton.converged stats;
     residual_norm = stats.Numeric.Newton.residual_norm;
+    outcome = Numeric.Newton.report_outcome stats;
   }
 
 let harmonic_amplitude result ~unknown ~harmonic =

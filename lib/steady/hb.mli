@@ -17,17 +17,22 @@ type result = {
   newton_iterations : int;
   converged : bool;
   residual_norm : float;
+  outcome : Resilience.Report.outcome;  (** structured exit classification *)
 }
 
 val solve :
   ?max_newton:int ->
   ?tol:float ->
+  ?budget:Resilience.Budget.t ->
   ?x_init:Linalg.Vec.t ->
   dae:Numeric.Dae.t ->
   period:float ->
   harmonics:int ->
   unit ->
   result
+(** [budget] is ticked once per collocation Newton iteration; on
+    exhaustion the best iterate is returned with
+    [outcome = Exhausted _]. *)
 
 val spectral_diff_matrix : int -> float -> Linalg.Mat.t
 (** [spectral_diff_matrix n period] is the [n] x [n] differentiation

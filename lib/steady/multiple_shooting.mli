@@ -7,7 +7,11 @@
     Compared to single shooting this shortens each integration window,
     which tames the monodromy's conditioning on stiff or rapidly
     contracting circuits; it is also the natural stepping stone between
-    shooting and the full collocation of {!Periodic_fd}. *)
+    shooting and the full collocation of {!Periodic_fd}.
+
+    Resilience: an optional {!Resilience.Budget.t} bounds outer
+    iterations and inner time-step Newton solves; non-finite defects or
+    updates abort cleanly and are classified in [outcome]. *)
 
 type result = {
   segment_starts : Linalg.Vec.t array;  (** [segments] solved window-start states *)
@@ -15,12 +19,14 @@ type result = {
   newton_iterations : int;
   converged : bool;
   residual_norm : float;  (** infinity norm of all matching defects *)
+  outcome : Resilience.Report.outcome;  (** structured exit classification *)
 }
 
 val solve :
   ?max_newton:int ->
   ?tol:float ->
   ?steps_per_segment:int ->
+  ?budget:Resilience.Budget.t ->
   ?x0:Linalg.Vec.t ->
   dae:Numeric.Dae.t ->
   period:float ->
@@ -29,4 +35,6 @@ val solve :
   result
 (** Defaults: [max_newton = 25], [tol = 1e-8],
     [steps_per_segment = 50]. [x0] seeds every window start.
+    Budget exhaustion returns the best iterate with
+    [outcome = Exhausted _].
     @raise Invalid_argument when [segments < 1]. *)

@@ -6,10 +6,11 @@ type result = {
   newton_iterations : int;
   converged : bool;
   residual_norm : float;
+  outcome : Resilience.Report.outcome;
 }
 
-let solve ?(max_newton = 60) ?(tol = 1e-8) ?x_init ~(dae : Numeric.Dae.t) ~period
-    ~points () =
+let solve ?(max_newton = 60) ?(tol = 1e-8) ?budget ?x_init ~(dae : Numeric.Dae.t)
+    ~period ~points () =
   if points < 2 then invalid_arg "Periodic_fd.solve: need at least 2 points";
   let n = dae.Numeric.Dae.size in
   let big = points * n in
@@ -55,7 +56,9 @@ let solve ?(max_newton = 60) ?(tol = 1e-8) ?x_init ~(dae : Numeric.Dae.t) ~perio
     done;
     big_x
   in
-  let options = { Numeric.Newton.default_options with max_iterations = max_newton; abs_tol = tol } in
+  let options =
+    { Numeric.Newton.default_options with max_iterations = max_newton; abs_tol = tol; budget }
+  in
   let big_x, stats =
     Numeric.Newton.solve ~options { Numeric.Newton.residual; solve_linearized } x0
   in
@@ -65,4 +68,5 @@ let solve ?(max_newton = 60) ?(tol = 1e-8) ?x_init ~(dae : Numeric.Dae.t) ~perio
     newton_iterations = stats.Numeric.Newton.iterations;
     converged = Numeric.Newton.converged stats;
     residual_norm = stats.Numeric.Newton.residual_norm;
+    outcome = Numeric.Newton.report_outcome stats;
   }

@@ -11,11 +11,13 @@ type result = {
   newton_iterations : int;
   converged : bool;
   residual_norm : float;
+  outcome : Resilience.Report.outcome;  (** structured exit classification *)
 }
 
 val solve :
   ?max_newton:int ->
   ?tol:float ->
+  ?budget:Resilience.Budget.t ->
   ?x_init:Linalg.Vec.t ->
   dae:Numeric.Dae.t ->
   period:float ->

@@ -1,5 +1,7 @@
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
+module Budget = Resilience.Budget
+module Report = Resilience.Report
 
 type result = {
   x0 : Vec.t;
@@ -8,13 +10,15 @@ type result = {
   total_time_steps : int;
   converged : bool;
   residual_norm : float;
+  outcome : Report.outcome;
 }
 
 (* Integrate one period with backward Euler while propagating the
    sensitivity S = ∂x(t)/∂x(0). The BE step residual
    [q(x⁺) − q(x)]/h + f(x⁺) − b = 0 gives S⁺ = J⁻¹ (C/h) S with
    J = C⁺/h + G⁺ evaluated at the accepted state. *)
-let integrate_with_sensitivity ~(dae : Numeric.Dae.t) ~x0 ~t0 ~duration ~steps =
+let integrate_with_sensitivity ?newton_options ~(dae : Numeric.Dae.t) ~x0 ~t0 ~duration
+    ~steps () =
   let n = dae.Numeric.Dae.size in
   let h = duration /. float_of_int steps in
   let sensitivity = ref (Mat.identity n) in
@@ -24,11 +28,14 @@ let integrate_with_sensitivity ~(dae : Numeric.Dae.t) ~x0 ~t0 ~duration ~steps =
     let x_prev = states.(k - 1) in
     let t_next = t0 +. (float_of_int k *. h) in
     let step =
-      Numeric.Integrator.implicit_step ~method_:Numeric.Integrator.Backward_euler ~dae
-        ~t_next ~h ~x_prev ()
+      Numeric.Integrator.implicit_step ?newton_options
+        ~method_:Numeric.Integrator.Backward_euler ~dae ~t_next ~h ~x_prev ()
     in
-    if not step.Numeric.Integrator.converged then
-      failwith "Shooting: Newton failed inside period integration";
+    if not step.Numeric.Integrator.converged then begin
+      match step.Numeric.Integrator.outcome with
+      | Numeric.Newton.Exhausted e -> raise (Budget.Exhausted e)
+      | _ -> failwith "Shooting: Newton failed inside period integration"
+    end;
     let x_next = step.Numeric.Integrator.x in
     (* Sensitivity propagation. *)
     let _, c_prev = dae.Numeric.Dae.jacobians x_prev in
@@ -60,41 +67,80 @@ let integrate_with_sensitivity ~(dae : Numeric.Dae.t) ~x0 ~t0 ~duration ~steps =
   done;
   ({ Numeric.Integrator.times; states }, !sensitivity)
 
-let integrate_period ~dae ~x0 ~period ~steps =
-  integrate_with_sensitivity ~dae ~x0 ~t0:0.0 ~duration:period ~steps
+let integrate_period ?newton_options ~dae ~x0 ~period ~steps () =
+  integrate_with_sensitivity ?newton_options ~dae ~x0 ~t0:0.0 ~duration:period ~steps ()
 
-let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?x0 ~dae ~period () =
+let degenerate_trace x0 = { Numeric.Integrator.times = [| 0.0 |]; states = [| x0 |] }
+
+let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?budget ?x0 ~dae
+    ~period () =
   let n = dae.Numeric.Dae.size in
   let x0 = ref (match x0 with Some x -> Array.copy x | None -> Array.make n 0.0) in
+  let newton_options =
+    match budget with
+    | None -> None
+    | Some b -> Some { Numeric.Newton.default_options with budget = Some b }
+  in
   let iterations = ref 0 in
   let total_steps = ref 0 in
   let converged = ref false in
   let residual = ref infinity in
   let last_trace = ref None in
-  while (not !converged) && !iterations < max_newton do
-    let trace, monodromy = integrate_period ~dae ~x0:!x0 ~period ~steps:steps_per_period in
-    total_steps := !total_steps + steps_per_period;
-    last_trace := Some trace;
-    let x_end = trace.Numeric.Integrator.states.(steps_per_period) in
-    let r = Vec.sub x_end !x0 in
-    residual := Vec.norm_inf r;
-    if !residual <= tol then converged := true
-    else begin
-      (* Solve (M − I) δ = −r, update x0 ← x0 + δ. *)
-      let m_minus_i = Mat.sub monodromy (Mat.identity n) in
-      let delta = Linalg.Lu.solve_dense m_minus_i (Vec.neg r) in
-      Vec.add_ip !x0 delta;
-      incr iterations
-    end
-  done;
-  (* Final trace consistent with the solution. *)
+  let outcome = ref Report.Converged in
+  let fail o =
+    outcome := o;
+    raise Exit
+  in
+  (try
+     while (not !converged) && !iterations < max_newton do
+       (match budget with
+       | Some b -> (
+           try Budget.tick_newton b with Budget.Exhausted e -> fail (Report.Exhausted e))
+       | None -> ());
+       let trace, monodromy =
+         try integrate_period ?newton_options ~dae ~x0:!x0 ~period ~steps:steps_per_period ()
+         with
+         | Budget.Exhausted e -> fail (Report.Exhausted e)
+         | Failure msg -> fail (Report.Failed msg)
+       in
+       total_steps := !total_steps + steps_per_period;
+       last_trace := Some trace;
+       let x_end = trace.Numeric.Integrator.states.(steps_per_period) in
+       let r = Vec.sub x_end !x0 in
+       residual := Vec.norm_inf r;
+       if not (Float.is_finite !residual) then
+         fail (Report.Failed "periodicity residual diverged (non-finite)");
+       if !residual <= tol then converged := true
+       else begin
+         (* Solve (M − I) δ = −r, update x0 ← x0 + δ. *)
+         let m_minus_i = Mat.sub monodromy (Mat.identity n) in
+         let delta =
+           try Linalg.Lu.solve_dense m_minus_i (Vec.neg r)
+           with e ->
+             fail (Report.Failed ("monodromy solve failed: " ^ Printexc.to_string e))
+         in
+         if not (Resilience.Guard.finite delta) then
+           fail (Report.Failed "non-finite shooting update");
+         Vec.add_ip !x0 delta;
+         incr iterations
+       end
+     done;
+     if not !converged then outcome := Report.Failed "max shooting iterations"
+   with Exit -> ());
+  (* Final trace consistent with the solution (best effort when the
+     solve ended on a failure or budget exhaustion). *)
   let trace =
     if !converged then
       match !last_trace with Some t -> t | None -> assert false
     else begin
-      let t, _ = integrate_period ~dae ~x0:!x0 ~period ~steps:steps_per_period in
-      total_steps := !total_steps + steps_per_period;
-      t
+      try
+        let t, _ =
+          integrate_period ?newton_options ~dae ~x0:!x0 ~period ~steps:steps_per_period ()
+        in
+        total_steps := !total_steps + steps_per_period;
+        t
+      with Budget.Exhausted _ | Failure _ -> (
+        match !last_trace with Some t -> t | None -> degenerate_trace !x0)
     end
   in
   {
@@ -104,4 +150,5 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?x0 ~dae ~p
     total_time_steps = !total_steps;
     converged = !converged;
     residual_norm = !residual;
+    outcome = !outcome;
   }

@@ -7,7 +7,13 @@
     the dense [(M − I)] system. This is the baseline whose cost grows
     linearly with the number of time steps per period — i.e. linearly
     with the fast/slow frequency disparity when the period is the
-    difference period (paper §3, “Computational speedup”). *)
+    difference period (paper §3, “Computational speedup”).
+
+    Resilience: an optional {!Resilience.Budget.t} is ticked per outer
+    shooting iteration and threaded into every inner time-step Newton
+    solve; non-finite periodicity residuals or shooting updates abort
+    the outer loop instead of propagating NaN. Every exit path is
+    classified in the [outcome] field. *)
 
 type result = {
   x0 : Linalg.Vec.t;  (** periodic initial state *)
@@ -16,12 +22,14 @@ type result = {
   total_time_steps : int;  (** integration steps summed over all Newton iterations *)
   converged : bool;
   residual_norm : float;  (** ‖Φ(x0) − x0‖∞ at exit *)
+  outcome : Resilience.Report.outcome;  (** structured exit classification *)
 }
 
 val solve :
   ?max_newton:int ->
   ?tol:float ->
   ?steps_per_period:int ->
+  ?budget:Resilience.Budget.t ->
   ?x0:Linalg.Vec.t ->
   dae:Numeric.Dae.t ->
   period:float ->
@@ -30,17 +38,22 @@ val solve :
 (** Defaults: [max_newton = 25], [tol = 1e-8] (infinity norm on the
     periodicity residual), [steps_per_period = 200]. When [x0] is
     absent the zero state is used; pass a DC operating point for
-    faster convergence. *)
+    faster convergence. [budget] bounds the combined work of outer
+    shooting iterations and inner time-step Newton solves; exhaustion
+    yields [outcome = Exhausted _] with the best iterate so far. *)
 
 val integrate_with_sensitivity :
+  ?newton_options:Numeric.Newton.options ->
   dae:Numeric.Dae.t ->
   x0:Linalg.Vec.t ->
   t0:float ->
   duration:float ->
   steps:int ->
+  unit ->
   Numeric.Integrator.trace * Linalg.Mat.t
 (** Backward-Euler integration over [[t0, t0 + duration]] that also
     propagates the sensitivity [∂x(t0+duration)/∂x(t0)] (the window
     monodromy). Building block shared with {!Multiple_shooting}.
-    @raise Failure if an inner Newton solve fails. *)
-
+    @raise Failure if an inner Newton solve fails.
+    @raise Resilience.Budget.Exhausted when the inner Newton budget
+    runs out mid-window. *)

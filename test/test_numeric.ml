@@ -128,7 +128,8 @@ let test_newton_solver_failure_capture () =
   let _, stats = Newton.solve problem [| 0.0 |] in
   (match stats.Newton.outcome with
   | Newton.Solver_failure _ -> ()
-  | Newton.Converged | Newton.Stalled | Newton.Max_iterations ->
+  | Newton.Converged | Newton.Stalled | Newton.Max_iterations | Newton.Diverged
+  | Newton.Exhausted _ ->
       Alcotest.fail "expected Solver_failure");
   Alcotest.(check bool) "not converged" true (not (Newton.converged stats))
 
