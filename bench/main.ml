@@ -19,10 +19,13 @@ let header title =
   pr "%s\n" title;
   pr "================================================================\n"
 
+(* Wall time from the shared monotonic clock; [Sys.time] only measures
+   CPU seconds, which silently under-reports any solver that blocks or
+   is descheduled. Both are returned so tables can show the gap. *)
 let time f =
-  let t0 = Sys.time () in
+  let w0 = Telemetry.Clock.wall () and c0 = Telemetry.Clock.cpu () in
   let y = f () in
-  (y, Sys.time () -. t0)
+  (y, Telemetry.Clock.wall () -. w0, Telemetry.Clock.cpu () -. c0)
 
 (* ------------------------------------------------------------------ *)
 (* FIG1 / FIG2: ideal mixing surfaces, unsheared vs sheared            *)
@@ -101,11 +104,12 @@ let solve_balanced_mixer () =
 let fig3_to_fig6 () =
   header
     "FIG3-FIG6 - balanced LO-doubling mixer, LO 450 MHz, bit-modulated RF near 900 MHz, fd = 15 kHz, 40x30 grid";
-  let (sol, mna, bits), seconds = time solve_balanced_mixer in
+  let (sol, mna, bits), seconds, cpu_seconds = time solve_balanced_mixer in
   let stats = sol.Mpde.Solver.stats in
-  pr "solve: converged=%b  newton=%d  gmres-iters=%d  residual=%.2e  wall=%.2fs\n"
+  pr "solve: converged=%b  newton=%d  gmres-iters=%d  residual=%.2e  wall=%.2fs  cpu=%.2fs\n"
     stats.Mpde.Solver.converged stats.Mpde.Solver.newton_iterations
-    stats.Mpde.Solver.linear_iterations stats.Mpde.Solver.residual_norm seconds;
+    stats.Mpde.Solver.linear_iterations stats.Mpde.Solver.residual_norm seconds
+    cpu_seconds;
   pr "(paper: 26 Newton iterations, 1m03s on a 1.4 GHz Athlon; 1200 grid unknowns)\n";
   let nodes = Circuits.balanced_mixer_nodes in
   let diff =
@@ -187,11 +191,11 @@ let speedup_tables () =
       (fun disparity ->
         let fd = 1e6 /. disparity in
         let mna, shear = unbalanced_fixture fd in
-        let sol, mpde_t = time (fun () -> Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:16 mna) in
+        let sol, mpde_t, _ = time (fun () -> Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:16 mna) in
         assert sol.Mpde.Solver.stats.converged;
         let steps = int_of_float (10.0 *. disparity) in
         let dc = Circuit.Dcop.solve_exn mna in
-        let _, shoot_t =
+        let _, shoot_t, _ =
           time (fun () ->
               Steady.Shooting.solve ~steps_per_period:steps ~x0:dc
                 ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. fd) ())
@@ -232,7 +236,7 @@ let newton_table () =
   let sys = Mpde.Assemble.of_mna ~shear mna in
   pr "%-28s %-8s %-10s %-14s %-10s\n" "start" "newton" "converged" "continuation" "wall (s)";
   let run name seed options =
-    let sol, seconds = time (fun () -> Mpde.Solver.solve ~options ?seed sys grid) in
+    let sol, seconds, _ = time (fun () -> Mpde.Solver.solve ~options ?seed sys grid) in
     pr "%-28s %-8d %-10b %-14d %-10.2f\n" name sol.Mpde.Solver.stats.newton_iterations
       sol.Mpde.Solver.stats.converged sol.Mpde.Solver.stats.continuation_steps seconds
   in
@@ -241,7 +245,7 @@ let newton_table () =
   run "cold (zero state)" None Mpde.Solver.default_options;
   run "cold, no continuation" None
     { Mpde.Solver.default_options with allow_continuation = false };
-  let qs, qs_seconds = time (fun () -> Mpde.Solver.quasi_static_start ~seed:dc sys grid) in
+  let qs, qs_seconds, _ = time (fun () -> Mpde.Solver.quasi_static_start ~seed:dc sys grid) in
   pr "%-28s %-8s %-10s %-14s %-10.2f\n" "(quasi-static seed build)" "-" "-" "-" qs_seconds;
   run "quasi-static start" (Some qs) Mpde.Solver.default_options;
   pr "(paper: 26 NR iterations from a good starting guess; continuation\n\
@@ -261,8 +265,8 @@ let ablation_linear_solvers () =
         let options = { Mpde.Solver.default_options with linear_solver = solver } in
         time (fun () -> Mpde.Solver.solve_mna ~options ~shear ~n1 ~n2 mna)
       in
-      let _, direct_t = run Mpde.Solver.Direct in
-      let sol_g, gmres_t = run Mpde.Solver.default_gmres in
+      let _, direct_t, _ = run Mpde.Solver.Direct in
+      let sol_g, gmres_t, _ = run Mpde.Solver.default_gmres in
       pr "%-10s %-16.4f %-16.4f %-14d\n"
         (Printf.sprintf "%dx%d" n1 n2)
         direct_t gmres_t sol_g.Mpde.Solver.stats.linear_iterations)
@@ -287,8 +291,8 @@ let ablation_rcm () =
       let jac = Mpde.Assemble.jacobian_csr Mpde.Assemble.Backward grid ~size:n ~jacs in
       let perm = Sparse.Rcm.ordering jac in
       let reordered = Sparse.Rcm.permute_symmetric jac perm in
-      let f, t_plain = time (fun () -> Sparse.Splu.factor jac) in
-      let fr, t_rcm = time (fun () -> Sparse.Splu.factor reordered) in
+      let f, t_plain, _ = time (fun () -> Sparse.Splu.factor jac) in
+      let fr, t_rcm, _ = time (fun () -> Sparse.Splu.factor reordered) in
       let lnz, unz = Sparse.Splu.lu_nnz f in
       let lnz_r, unz_r = Sparse.Splu.lu_nnz fr in
       pr "%-10s %-12d %-12d %-14d %-14d %-12.4f %-12.4f\n"
@@ -519,6 +523,89 @@ let bechamel_timings () =
       pr "%-40s %-16s %-8.4f\n" name (human estimate) r2)
     results
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_mpde.json - machine-readable results for CI tracking          *)
+(* ------------------------------------------------------------------ *)
+
+let git_revision () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let json_escape str =
+  let buf = Buffer.create (String.length str) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    str;
+  Buffer.contents buf
+
+(* One telemetry-instrumented solve of the paper's balanced mixer plus
+   an MPDE-vs-shooting comparison, dumped as BENCH_mpde.json so CI can
+   archive and diff solver performance across commits. *)
+let bench_json ?(file = "BENCH_mpde.json") () =
+  header (Printf.sprintf "JSON - writing %s" file);
+  Telemetry.enable ();
+  let (sol, _, _), wall, cpu = time solve_balanced_mixer in
+  let telemetry =
+    Option.map Telemetry.Summary.of_snapshot (Telemetry.snapshot ())
+  in
+  Telemetry.disable ();
+  let stats = sol.Mpde.Solver.stats in
+  let disparity = 100.0 in
+  let fd = 1e6 /. disparity in
+  let mna, shear = unbalanced_fixture fd in
+  let _, mpde_t, _ = time (fun () -> Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:16 mna) in
+  let dc = Circuit.Dcop.solve_exn mna in
+  let _, shoot_t, _ =
+    time (fun () ->
+        Steady.Shooting.solve
+          ~steps_per_period:(int_of_float (10.0 *. disparity))
+          ~x0:dc ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. fd) ())
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"benchmark\":\"mpde\"";
+  (match git_revision () with
+  | Some rev -> Buffer.add_string buf (Printf.sprintf ",\"revision\":\"%s\"" (json_escape rev))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"mixer\":{\"circuit\":\"balanced-mixer\",\"n1\":40,\"n2\":30,\"converged\":%b,\"strategy\":\"%s\",\"newton_iterations\":%d,\"gmres_iterations\":%d,\"residual_norm\":%.6e,\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f"
+       stats.Mpde.Solver.converged
+       (json_escape stats.Mpde.Solver.strategy)
+       stats.Mpde.Solver.newton_iterations stats.Mpde.Solver.linear_iterations
+       stats.Mpde.Solver.residual_norm wall cpu);
+  (match telemetry with
+  | Some summary ->
+      Buffer.add_string buf ",\"telemetry\":";
+      Telemetry.Summary.add_json buf summary
+  | None -> ());
+  Buffer.add_string buf "}";
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"speedup\":{\"disparity\":%.0f,\"mpde_wall_seconds\":%.6f,\"shooting_wall_seconds\":%.6f,\"ratio\":%.3f}"
+       disparity mpde_t shoot_t
+       (shoot_t /. Float.max mpde_t 1e-12));
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pr "mixer: wall=%.3fs cpu=%.3fs newton=%d gmres=%d\n" wall cpu
+    stats.Mpde.Solver.newton_iterations stats.Mpde.Solver.linear_iterations;
+  pr "speedup at disparity %.0f: mpde=%.4fs shooting=%.4fs ratio=%.1fx\n" disparity
+    mpde_t shoot_t
+    (shoot_t /. Float.max mpde_t 1e-12);
+  pr "wrote %s\n" file
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let series () =
@@ -533,8 +620,12 @@ let () =
     ablation_hb_sharpness ()
   in
   match mode with
-  | "series" -> series ()
+  | "series" ->
+      series ();
+      bench_json ()
   | "timings" -> bechamel_timings ()
+  | "json" -> bench_json ()
   | _ ->
       series ();
+      bench_json ();
       bechamel_timings ()

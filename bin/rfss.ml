@@ -126,6 +126,42 @@ let make_budget budget_seconds max_newton =
   | wall_seconds, max_newton ->
       Some (Resilience.Budget.make ?wall_seconds ?max_newton ())
 
+(* Telemetry surface shared by the solve commands: --trace FILE dumps
+   the recorded event stream (JSON lines or Chrome trace_event JSON),
+   --timings prints the span summary tree to stderr after the run.
+   Recording only switches on when one of the two was requested. *)
+type trace_format = Jsonl | Chrome
+
+type telemetry_opts = {
+  trace : string option;
+  trace_format : trace_format;
+  timings : bool;
+}
+
+let with_telemetry opts f =
+  if opts.trace = None && not opts.timings then f ()
+  else begin
+    Telemetry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match Telemetry.snapshot () with
+        | None -> ()
+        | Some snap ->
+            (match opts.trace with
+            | Some file ->
+                let oc = open_out file in
+                (match opts.trace_format with
+                | Jsonl -> Telemetry.Sink.write_jsonl oc snap
+                | Chrome -> Telemetry.Sink.write_chrome oc snap);
+                close_out oc
+            | None -> ());
+            if opts.timings then
+              Format.eprintf "%a@." Telemetry.Summary.pp
+                (Telemetry.Summary.of_snapshot snap));
+        Telemetry.disable ())
+      f
+  end
+
 (* ---------- commands ---------- *)
 
 let list_cmd () =
@@ -133,7 +169,8 @@ let list_cmd () =
   List.iter (fun f -> Printf.printf "%-18s %s\n" f.name f.description) fixtures;
   0
 
-let dcop_cmd circuit f_fast fd budget_seconds max_newton =
+let dcop_cmd tele circuit f_fast fd budget_seconds max_newton =
+  with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -158,7 +195,8 @@ let dcop_cmd circuit f_fast fd budget_seconds max_newton =
         names;
       if report.Circuit.Dcop.converged then 0 else 1
 
-let transient_cmd circuit f_fast fd t_stop steps =
+let transient_cmd tele circuit f_fast fd t_stop steps =
+  with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -177,7 +215,8 @@ let transient_cmd circuit f_fast fd t_stop steps =
         result.Circuit.Transient.trace.Numeric.Integrator.times;
       0
 
-let shooting_cmd circuit f_fast fd steps budget_seconds max_newton =
+let shooting_cmd tele circuit f_fast fd steps budget_seconds max_newton =
+  with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -204,7 +243,8 @@ let shooting_cmd circuit f_fast fd steps budget_seconds max_newton =
         r.Steady.Shooting.trace.Numeric.Integrator.times;
       if r.Steady.Shooting.converged then 0 else 1
 
-let hb_cmd circuit f_fast fd harmonics budget_seconds max_newton =
+let hb_cmd tele circuit f_fast fd harmonics budget_seconds max_newton =
+  with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -231,7 +271,8 @@ let hb_cmd circuit f_fast fd harmonics budget_seconds max_newton =
 
 type mpde_output = Envelope | Surface | Diagonal | Gain
 
-let mpde_cmd circuit f_fast fd n1 n2 output budget_seconds max_newton =
+let mpde_cmd tele circuit f_fast fd n1 n2 output budget_seconds max_newton =
+  with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -292,7 +333,8 @@ let mpde_cmd circuit f_fast fd n1 n2 output budget_seconds max_newton =
             (Mpde.Extract.thd ~values ()));
       if stats.Mpde.Solver.converged then 0 else 1
 
-let envelope_cmd circuit f_fast fd n1 steps periods =
+let envelope_cmd tele circuit f_fast fd n1 steps periods =
+  with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
       prerr_endline e;
@@ -417,10 +459,39 @@ let max_newton_arg =
     & info [ "max-newton" ] ~docv:"N"
         ~doc:"Total Newton-iteration budget across all escalation stages.")
 
+let telemetry_arg =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record solver telemetry and write the event trace to $(docv).")
+  in
+  let trace_format =
+    let fmt_conv = Arg.enum [ ("jsonl", Jsonl); ("chrome", Chrome) ] in
+    Arg.(
+      value
+      & opt fmt_conv Jsonl
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:
+            "Trace file format: $(b,jsonl) (one JSON event per line) or \
+             $(b,chrome) (Chrome trace_event JSON for chrome://tracing or \
+             Perfetto).")
+  in
+  let timings =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:"Print the hierarchical span timing summary to stderr after the run.")
+  in
+  Term.(
+    const (fun trace trace_format timings -> { trace; trace_format; timings })
+    $ trace $ trace_format $ timings)
+
 let list_term = Term.(const list_cmd $ const ())
 
 let dcop_term =
-  Term.(const dcop_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ budget_seconds_arg $ max_newton_arg)
+  Term.(const dcop_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ budget_seconds_arg $ max_newton_arg)
 
 let transient_term =
   let t_stop =
@@ -429,14 +500,14 @@ let transient_term =
   let steps =
     Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N" ~doc:"Fixed step count.")
   in
-  Term.(const transient_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ t_stop $ steps)
+  Term.(const transient_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ t_stop $ steps)
 
 let shooting_term =
   let steps =
     Arg.(value & opt int 256 & info [ "steps" ] ~docv:"N" ~doc:"Steps per period.")
   in
   Term.(
-    const shooting_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ steps $ budget_seconds_arg
+    const shooting_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ steps $ budget_seconds_arg
     $ max_newton_arg)
 
 let hb_term =
@@ -444,7 +515,7 @@ let hb_term =
     Arg.(value & opt int 8 & info [ "harmonics" ] ~docv:"K" ~doc:"Harmonic count.")
   in
   Term.(
-    const hb_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ harmonics $ budget_seconds_arg
+    const hb_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ harmonics $ budget_seconds_arg
     $ max_newton_arg)
 
 let mpde_term =
@@ -458,7 +529,7 @@ let mpde_term =
     Arg.(value & opt kind_conv Envelope & info [ "output" ] ~docv:"KIND" ~doc:"What to print.")
   in
   Term.(
-    const mpde_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ n2 $ output
+    const mpde_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ n2 $ output
     $ budget_seconds_arg $ max_newton_arg)
 
 let envelope_term =
@@ -467,7 +538,7 @@ let envelope_term =
   let periods =
     Arg.(value & opt float 2.0 & info [ "periods" ] ~docv:"X" ~doc:"Difference periods to march.")
   in
-  Term.(const envelope_cmd $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ steps $ periods)
+  Term.(const envelope_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ steps $ periods)
 
 let deck_term =
   let file =

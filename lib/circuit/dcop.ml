@@ -39,7 +39,8 @@ let dc_problem mna ~source_scale ~extra_gmin =
    stages so it shares machinery (budgets, structured reports, skip
    logic) with the MPDE/steady engines. *)
 let solve ?(newton_options = Newton.default_options) ?budget ?x0 mna =
-  let t_start = Unix.gettimeofday () in
+  let t_start = Telemetry.Clock.wall () in
+  let tele_mark = Telemetry.mark () in
   let x0 = match x0 with Some x -> x | None -> Array.make (Mna.size mna) 0.0 in
   let newton_options =
     match (newton_options.Newton.budget, budget) with
@@ -104,7 +105,7 @@ let solve ?(newton_options = Newton.default_options) ?budget ?x0 mna =
           if stats.Numeric.Continuation.converged then Some x else None);
     ]
   in
-  let run = Ladder.run ?budget stages in
+  let run = Telemetry.span "dcop.solve" (fun () -> Ladder.run ?budget stages) in
   let strategy =
     match run.Ladder.strategy with
     | Some "newton" -> `Newton
@@ -115,11 +116,14 @@ let solve ?(newton_options = Newton.default_options) ?budget ?x0 mna =
   let iterations_of name =
     match List.assoc_opt name !stage_iters with Some n -> n | None -> 0
   in
+  let telemetry =
+    Option.map Telemetry.Summary.of_snapshot (Telemetry.snapshot ~since:tele_mark ())
+  in
   let resilience =
-    Report.of_ladder ~iterations_of
+    Report.of_ladder ~iterations_of ?telemetry
       ~residual_trajectory:(Array.of_list (List.rev !trajectory))
       ~residual_norm:!last_rnorm ~newton_iterations:!total_iters ~linear_iterations:0
-      ~wall_seconds:(Unix.gettimeofday () -. t_start)
+      ~wall_seconds:(Telemetry.Clock.wall () -. t_start)
       run
   in
   {

@@ -25,6 +25,7 @@ let run ?method_ ?newton_options ?budget ?x0 ~mna ~t_stop ~steps () =
   let x0, dc_iterations = initial_state ?x0 ?newton_options ?budget mna in
   let newton_options = merge_budget newton_options budget in
   let trace =
+    Telemetry.span "transient.run" @@ fun () ->
     Numeric.Integrator.transient ?newton_options ?method_ ~dae:(Mna.dae mna) ~x0 ~t0:0.0
       ~t1:t_stop ~steps ()
   in
@@ -34,6 +35,7 @@ let run_adaptive ?method_ ?newton_options ?budget ?rel_tol ?x0 ~mna ~t_stop () =
   let x0, dc_iterations = initial_state ?x0 ?newton_options ?budget mna in
   let newton_options = merge_budget newton_options budget in
   let trace =
+    Telemetry.span "transient.run" @@ fun () ->
     Numeric.Integrator.transient_adaptive ?newton_options ?method_ ?rel_tol
       ~dae:(Mna.dae mna) ~x0 ~t0:0.0 ~t1:t_stop ()
   in

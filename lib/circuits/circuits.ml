@@ -3,7 +3,9 @@ module W = Circuit.Waveform
 
 type built = { netlist : Circuit.Netlist.t; mna : Circuit.Mna.t }
 
-let finish netlist = { netlist; mna = Circuit.Mna.build netlist }
+let finish netlist =
+  Telemetry.span "circuits.build" @@ fun () ->
+  { netlist; mna = Circuit.Mna.build netlist }
 
 let rc_lowpass ?(r = 1e3) ?(c = 100e-12) ~drive () =
   let nl = N.create () in

@@ -6,6 +6,7 @@ exception Singular of int
 let factor ?(pivot_tol = 1e-300) a =
   let n, m = Mat.dims a in
   if n <> m then invalid_arg "Lu.factor: matrix not square";
+  Telemetry.count "lu.dense_factors";
   let lu = Mat.copy a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
@@ -40,6 +41,7 @@ let solve_into f b x =
   let n = size f in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Lu.solve_into: dimension mismatch";
+  Telemetry.count "lu.dense_solves";
   (* Apply permutation into a scratch respecting possible aliasing. *)
   let y = Array.init n (fun i -> b.(f.perm.(i))) in
   (* Forward substitution with unit L. *)

@@ -48,6 +48,7 @@ let sources_on_grid sys (g : Grid.t) =
       sys.source_at ~t1:(Grid.t1_of g i) ~t2:(Grid.t2_of g j))
 
 let residual scheme sys (g : Grid.t) ~sources big_x =
+  Telemetry.span "mpde.assemble.residual" @@ fun () ->
   let n = sys.size in
   let np = Grid.points g in
   let qs = Array.init np (fun p -> sys.eval_q (state_of ~size:n big_x p)) in
@@ -120,6 +121,7 @@ let residual scheme sys (g : Grid.t) ~sources big_x =
   r
 
 let point_jacobians sys (g : Grid.t) big_x =
+  Telemetry.span "mpde.assemble.jacobians" @@ fun () ->
   Array.init (Grid.points g) (fun p -> sys.jacobians (state_of ~size:sys.size big_x p))
 
 let add_block coo ~row_base ~col_base ~scale (m : Sparse.Csr.t) =
@@ -130,6 +132,7 @@ let add_block coo ~row_base ~col_base ~scale (m : Sparse.Csr.t) =
     done
 
 let jacobian_csr scheme (g : Grid.t) ~size ~jacs =
+  Telemetry.span "mpde.assemble.jacobian_csr" @@ fun () ->
   let n = size in
   let np = Grid.points g in
   let big = np * n in

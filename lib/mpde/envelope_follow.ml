@@ -15,6 +15,7 @@ let initial_column ?max_newton ?tol ?seed sys ~n1 ~shear =
 let run ?max_newton ?tol ?x_init ?seed ~(system : Assemble.system) ~shear ~n1 ~t2_stop
     ~steps () =
   if steps < 1 then invalid_arg "Envelope_follow.run: steps must be positive";
+  Telemetry.span "envelope.run" @@ fun () ->
   let h2 = t2_stop /. float_of_int steps in
   let column0 =
     match x_init with
@@ -27,6 +28,7 @@ let run ?max_newton ?tol ?x_init ?seed ~(system : Assemble.system) ~shear ~n1 ~t
   let converged = ref true in
   for s = 1 to steps do
     let column, iters, ok =
+      Telemetry.span "envelope.step" @@ fun () ->
       Fast_column.march_step ?max_newton ?tol system ~n1 ~shear ~t2:t2_values.(s) ~h2
         ~prev:columns.(s - 1)
     in

@@ -74,6 +74,7 @@ let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs ~extra_diag =
     | Assemble.Central_t1 | Assemble.Spectral_t1 | Assemble.Spectral_both -> false
   in
   let diag_factors =
+    Telemetry.span "mpde.precond.build" @@ fun () ->
     Array.init np (fun p ->
         let gp, cp = jacs.(p) in
         let d = Linalg.Mat.create n n in
@@ -88,6 +89,7 @@ let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs ~extra_diag =
         Linalg.Lu.factor d)
   in
   fun (r : Vec.t) ->
+    Telemetry.count "mpde.precond.sweeps";
     let x = Array.make (np * n) 0.0 in
     let rhs = Array.make n 0.0 in
     let xp = Array.make n 0.0 in
@@ -140,8 +142,11 @@ let solve_linear ~linear_solver ~scheme ~budget (g : Grid.t) ~size ~jacs ~extra_
     result.Sparse.Krylov.x
   in
   match linear_solver with
-  | Direct -> Sparse.Splu.solve (Sparse.Splu.factor (jac ())) rhs
+  | Direct ->
+      Telemetry.span "mpde.linear.direct" @@ fun () ->
+      Sparse.Splu.solve (Sparse.Splu.factor (jac ())) rhs
   | Gmres_sweep { restart; max_iter; tol } ->
+      Telemetry.span "mpde.linear.gmres-sweep" @@ fun () ->
       let precond = make_sweep_preconditioner scheme g ~size ~jacs ~extra_diag in
       let op =
         let m = jac () in
@@ -149,6 +154,7 @@ let solve_linear ~linear_solver ~scheme ~budget (g : Grid.t) ~size ~jacs ~extra_
       in
       run_gmres ~restart ~max_iter ~tol ~precond op
   | Gmres_ilu0 { restart; max_iter; tol } ->
+      Telemetry.span "mpde.linear.gmres-ilu0" @@ fun () ->
       let m = jac () in
       let factors = Sparse.Ilu0.factor m in
       run_gmres ~restart ~max_iter ~tol
@@ -225,7 +231,9 @@ let is_direct = function Direct -> true | _ -> false
 let is_ilu0 = function Gmres_ilu0 _ -> true | _ -> false
 
 let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t) =
-  let t_start = Unix.gettimeofday () in
+  let t_start = Telemetry.Clock.wall () in
+  let tele_mark = Telemetry.mark () in
+  Telemetry.span "mpde.solve" @@ fun () ->
   let n = sys.Assemble.size in
   let np = Grid.points g in
   let big = np * n in
@@ -426,9 +434,12 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
     Vec.norm_inf r
   in
   let converged = run.Ladder.value <> None in
-  let wall_seconds = Unix.gettimeofday () -. t_start in
+  let wall_seconds = Telemetry.Clock.wall () -. t_start in
+  let telemetry =
+    Option.map Telemetry.Summary.of_snapshot (Telemetry.snapshot ~since:tele_mark ())
+  in
   let report =
-    Report.of_ladder
+    Report.of_ladder ?telemetry
       ~iterations_of:(fun name ->
         List.assoc_opt name !stage_iters |> Option.value ~default:0)
       ~residual_trajectory:(Array.of_list (List.rev !trajectory))

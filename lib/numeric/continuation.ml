@@ -11,6 +11,7 @@ type stats = {
 let trace ?(initial_step = 0.1) ?(min_step = 1e-6) ?(max_step = 0.5)
     ?(max_total_steps = 200) ?budget
     ?(newton_options = Newton.default_options) ~problem_at ~x0 () =
+  Telemetry.span "continuation" @@ fun () ->
   let newton_options =
     match (budget, newton_options.Newton.budget) with
     | Some b, None -> { newton_options with Newton.budget = Some b }
@@ -50,6 +51,8 @@ let trace ?(initial_step = 0.1) ?(min_step = 1e-6) ?(max_step = 0.5)
     end
   in
   let finish x converged =
+    Telemetry.count ~by:!steps_taken "continuation.steps";
+    Telemetry.count ~by:!steps_rejected "continuation.rejected";
     ( x,
       {
         steps_taken = !steps_taken;

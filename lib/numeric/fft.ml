@@ -82,6 +82,7 @@ let bluestein x sign =
 
 let transform x sign =
   let n = Array.length x in
+  Telemetry.count "fft.transforms";
   if n <= 1 then Array.copy x
   else if is_power_of_two n then radix2 x sign
   else bluestein x sign

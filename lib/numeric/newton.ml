@@ -57,6 +57,15 @@ let report_outcome stats =
   | o -> Resilience.Report.Failed (Format.asprintf "%a" pp_outcome o)
 
 let solve ?(options = default_options) ?on_iteration problem x0 =
+  Telemetry.span "newton" @@ fun () ->
+  let problem =
+    {
+      residual = (fun x -> Telemetry.span "newton.residual" (fun () -> problem.residual x));
+      solve_linearized =
+        (fun x r ->
+          Telemetry.span "newton.linsolve" (fun () -> problem.solve_linearized x r));
+    }
+  in
   let x = ref (Array.copy x0) in
   let r = ref (problem.residual !x) in
   let rnorm = ref (Vec.norm_inf !r) in
@@ -65,6 +74,7 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
   let outcome = ref Max_iterations in
   (try
      while !iterations < options.max_iterations do
+       Telemetry.span "newton.iter" @@ fun () ->
        (match on_iteration with
        | Some f -> f !iterations !x !rnorm
        | None -> ());
@@ -153,6 +163,9 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
        end
      done
    with Exit -> ());
+  Telemetry.count ~by:!iterations "newton.iterations";
+  Telemetry.count ~by:!total_backtracks "newton.backtracks";
+  Telemetry.observe "newton.final_residual" !rnorm;
   ( !x,
     {
       outcome = !outcome;

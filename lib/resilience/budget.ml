@@ -20,7 +20,7 @@ type t = {
 
 let make ?wall_seconds ?max_newton ?max_linear ?max_continuation ?parent () =
   {
-    started = Unix.gettimeofday ();
+    started = Telemetry.Clock.wall ();
     wall_seconds;
     max_newton;
     max_linear;
@@ -31,7 +31,7 @@ let make ?wall_seconds ?max_newton ?max_linear ?max_continuation ?parent () =
     parent;
   }
 
-let elapsed b = Unix.gettimeofday () -. b.started
+let elapsed b = Telemetry.Clock.wall () -. b.started
 
 let over_cap used = function Some limit when used > limit -> Some limit | _ -> None
 

@@ -60,15 +60,17 @@ let run ?budget stages =
               climb last_failure rest
             end
             else begin
-              let t0 = Unix.gettimeofday () in
+              let t0 = Telemetry.Clock.wall () in
               let outcome =
-                try stage.attempt () with
+                (* Each escalation stage is a telemetry span, so the cost
+                   of recovery strategies shows up in trace timelines. *)
+                try Telemetry.span ("stage." ^ stage.name) stage.attempt with
                 | Guard.Non_finite v ->
                     Error (Non_finite v, Guard.violation_to_string v)
                 | Budget.Exhausted e ->
                     Error (Exhausted e, Budget.exhaustion_to_string e)
               in
-              let wall_seconds = Unix.gettimeofday () -. t0 in
+              let wall_seconds = Telemetry.Clock.wall () -. t0 in
               match outcome with
               | Ok value ->
                   push { stage = stage.name; status = `Success; wall_seconds };

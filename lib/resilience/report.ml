@@ -19,6 +19,7 @@ type t = {
   newton_iterations : int;
   linear_iterations : int;
   wall_seconds : float;
+  telemetry : Telemetry.Summary.t option;
 }
 
 let success r = r.outcome = Converged
@@ -28,8 +29,9 @@ let outcome_to_string = function
   | Failed msg -> "failed: " ^ msg
   | Exhausted e -> "exhausted: " ^ Budget.exhaustion_to_string e
 
-let of_ladder ?(iterations_of = fun _ -> 0) ~residual_trajectory ~residual_norm
-    ~newton_iterations ~linear_iterations ~wall_seconds (run : _ Ladder.run) =
+let of_ladder ?(iterations_of = fun _ -> 0) ?telemetry ~residual_trajectory
+    ~residual_norm ~newton_iterations ~linear_iterations ~wall_seconds
+    (run : _ Ladder.run) =
   let outcome =
     match (run.Ladder.value, run.Ladder.last_failure) with
     | Some _, _ -> Converged
@@ -52,6 +54,7 @@ let of_ladder ?(iterations_of = fun _ -> 0) ~residual_trajectory ~residual_norm
     newton_iterations;
     linear_iterations;
     wall_seconds;
+    telemetry;
   }
 
 let status_to_string = function
@@ -75,6 +78,9 @@ let pp ppf r =
       | _ -> ());
       Format.pp_print_cut ppf ())
     r.stages;
+  (match r.telemetry with
+  | Some t -> Format.fprintf ppf "%a@," Telemetry.Summary.pp t
+  | None -> ());
   Format.fprintf ppf "@]"
 
 (* Minimal JSON emission: only strings need escaping, and only the
@@ -126,5 +132,11 @@ let to_json_string r =
       if i > 0 then add ",";
       add "%s" (json_float f))
     r.residual_trajectory;
-  add "]}";
+  add "]";
+  (match r.telemetry with
+  | Some t ->
+      add ",\"telemetry\":";
+      Telemetry.Summary.add_json buf t
+  | None -> ());
+  add "}";
   Buffer.contents buf

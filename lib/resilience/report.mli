@@ -30,12 +30,16 @@ type t = {
   newton_iterations : int;
   linear_iterations : int;
   wall_seconds : float;
+  telemetry : Telemetry.Summary.t option;
+      (** per-solve span summary, when telemetry was enabled; rendered
+          as the ["telemetry"] section of the JSON report *)
 }
 
 val success : t -> bool
 
 val of_ladder :
   ?iterations_of:(string -> int) ->
+  ?telemetry:Telemetry.Summary.t ->
   residual_trajectory:float array ->
   residual_norm:float ->
   newton_iterations:int ->

@@ -5,6 +5,7 @@ let pi = 4.0 *. atan 1.0
 let periodogram ?(window = `Hann) ~sample_rate samples =
   let n = Array.length samples in
   if n < 2 then invalid_arg "Spectrum.periodogram: need at least 2 samples";
+  Telemetry.span "rf.periodogram" @@ fun () ->
   let w =
     match window with
     | `Rect -> Array.make n 1.0

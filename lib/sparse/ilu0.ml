@@ -9,6 +9,8 @@ exception Zero_pivot of int
 let factor (a : Csr.t) =
   let n = a.Csr.rows in
   if a.Csr.cols <> n then invalid_arg "Ilu0.factor: matrix not square";
+  Telemetry.span "ilu0.factor" @@ fun () ->
+  Telemetry.count "ilu0.factors";
   let values = Array.copy a.Csr.values in
   let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
   let diag_pos = Array.make n (-1) in
@@ -49,6 +51,7 @@ let factor (a : Csr.t) =
 let apply t r =
   let n = t.m.Csr.rows in
   if Array.length r <> n then invalid_arg "Ilu0.apply: dimension mismatch";
+  Telemetry.count "ilu0.applies";
   let row_ptr = t.m.Csr.row_ptr and col_idx = t.m.Csr.col_idx in
   let values = t.m.Csr.values in
   let y = Array.copy r in

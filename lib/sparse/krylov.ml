@@ -23,6 +23,7 @@ let identity v = Array.copy v
    aborts rather than looping on an unchanged iterate. *)
 let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
     ?budget ?x0 op b =
+  Telemetry.span "gmres" @@ fun () ->
   let n = Array.length b in
   let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
   let bnorm = Vec.norm2 b in
@@ -35,6 +36,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        (match budget with
        | Some bu when Resilience.Budget.exhausted bu <> None -> raise Exit
        | _ -> ());
+       Telemetry.count "gmres.restarts";
        let r =
          if !total_iters = 0 && x0 = None then Array.copy b
          else Vec.sub b (op x)
@@ -143,6 +145,8 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        | _ -> ())
      done
    with Exit -> ());
+  Telemetry.count ~by:!total_iters "gmres.iterations";
+  if not !converged then Telemetry.count "gmres.stalls";
   { x; converged = !converged; iterations = !total_iters; residual_norm = !final_res }
 
 let bicgstab ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity) ?x0 op b =

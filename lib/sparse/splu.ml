@@ -77,6 +77,7 @@ let dfs j ~l_ptr ~l_idx ~pinv ~marked ~mark_gen ~stack ~top ~work_stack ~pos_sta
 let factor ?(pivot_threshold = 0.1) (a : Csr.t) =
   let n = a.Csr.rows in
   if a.Csr.cols <> n then invalid_arg "Splu.factor: matrix not square";
+  Telemetry.span "splu.factor" @@ fun () ->
   (* Column access: work on the CSC of A, i.e. CSR of Aᵀ. *)
   let at = Csr.transpose a in
   let acol_ptr = at.Csr.row_ptr and acol_idx = at.Csr.col_idx in
@@ -157,6 +158,11 @@ let factor ?(pivot_threshold = 0.1) (a : Csr.t) =
   for p = 0 to l.len - 1 do
     l.idx.(p) <- pinv.(l.idx.(p))
   done;
+  Telemetry.count "splu.factors";
+  Telemetry.gauge "splu.n" (float_of_int n);
+  Telemetry.gauge "splu.lu_nnz" (float_of_int (l.len + u.len));
+  Telemetry.gauge "splu.fill_ratio"
+    (float_of_int (l.len + u.len) /. float_of_int (max 1 (Csr.nnz a)));
   {
     n;
     l_ptr;
@@ -174,6 +180,7 @@ let solve_into f b out =
   let n = f.n in
   if Array.length b <> n || Array.length out <> n then
     invalid_arg "Splu.solve_into: dimension mismatch";
+  Telemetry.count "splu.solves";
   (* y = P b *)
   let y = Array.make n 0.0 in
   for i = 0 to n - 1 do

@@ -18,6 +18,7 @@ let spectral_diff_matrix n period =
 let solve ?(max_newton = 60) ?(tol = 1e-8) ?budget ?x_init ~(dae : Numeric.Dae.t)
     ~period ~harmonics () =
   if harmonics < 1 then invalid_arg "Hb.solve: need at least 1 harmonic";
+  Telemetry.span "hb.solve" @@ fun () ->
   let points = (2 * harmonics) + 1 in
   let n = dae.Numeric.Dae.size in
   let big = points * n in

@@ -20,6 +20,7 @@ type result = {
 let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_segment = 50) ?budget ?x0
     ~(dae : Numeric.Dae.t) ~period ~segments () =
   if segments < 1 then invalid_arg "Multiple_shooting.solve: segments must be positive";
+  Telemetry.span "multiple-shooting.solve" @@ fun () ->
   let n = dae.Numeric.Dae.size in
   let seed = match x0 with Some x -> x | None -> Array.make n 0.0 in
   let starts = Array.init segments (fun _ -> Array.copy seed) in

@@ -12,6 +12,7 @@ type result = {
 let solve ?(max_newton = 60) ?(tol = 1e-8) ?budget ?x_init ~(dae : Numeric.Dae.t)
     ~period ~points () =
   if points < 2 then invalid_arg "Periodic_fd.solve: need at least 2 points";
+  Telemetry.span "periodic-fd.solve" @@ fun () ->
   let n = dae.Numeric.Dae.size in
   let big = points * n in
   let h = period /. float_of_int points in

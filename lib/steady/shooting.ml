@@ -19,6 +19,7 @@ type result = {
    J = C⁺/h + G⁺ evaluated at the accepted state. *)
 let integrate_with_sensitivity ?newton_options ~(dae : Numeric.Dae.t) ~x0 ~t0 ~duration
     ~steps () =
+  Telemetry.span "shooting.integrate" @@ fun () ->
   let n = dae.Numeric.Dae.size in
   let h = duration /. float_of_int steps in
   let sensitivity = ref (Mat.identity n) in
@@ -74,6 +75,7 @@ let degenerate_trace x0 = { Numeric.Integrator.times = [| 0.0 |]; states = [| x0
 
 let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?budget ?x0 ~dae
     ~period () =
+  Telemetry.span "shooting.solve" @@ fun () ->
   let n = dae.Numeric.Dae.size in
   let x0 = ref (match x0 with Some x -> Array.copy x | None -> Array.make n 0.0) in
   let newton_options =

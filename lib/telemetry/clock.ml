@@ -1,0 +1,22 @@
+type source = { wall : unit -> float; cpu : unit -> float }
+
+let monotonic =
+  {
+    wall = (fun () -> Int64.to_float (Monotonic_clock.now ()) *. 1e-9);
+    cpu = Sys.time;
+  }
+
+let current = ref monotonic
+
+let install s = current := s
+
+let uninstall () = current := monotonic
+
+let wall () = (!current).wall ()
+
+let cpu () = (!current).cpu ()
+
+let manual ?(start = 0.0) () =
+  let now = ref start in
+  ( { wall = (fun () -> !now); cpu = (fun () -> !now) },
+    fun dt -> now := !now +. dt )

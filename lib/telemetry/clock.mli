@@ -1,0 +1,31 @@
+(** Shared clock for every timing measurement in the solver stack.
+
+    All engines read wall time through [wall] (a monotonic clock: OS
+    [CLOCK_MONOTONIC] via bechamel's stub, immune to NTP slews) and CPU
+    time through [cpu], so tests can [install] a fake source and make
+    budgets, ladder stage timings, and telemetry spans fully
+    deterministic. *)
+
+type source = {
+  wall : unit -> float;  (** seconds; only differences are meaningful *)
+  cpu : unit -> float;  (** process CPU seconds *)
+}
+
+val monotonic : source
+(** The real clocks: [CLOCK_MONOTONIC] for wall, [Sys.time] for CPU. *)
+
+val install : source -> unit
+(** Replace the process-global clock source (tests). *)
+
+val uninstall : unit -> unit
+(** Restore [monotonic]. *)
+
+val wall : unit -> float
+(** Current wall time from the installed source. *)
+
+val cpu : unit -> float
+(** Current CPU time from the installed source. *)
+
+val manual : ?start:float -> unit -> source * (float -> unit)
+(** [manual ()] is a fake source plus an [advance] function that moves
+    both wall and CPU time forward by the given number of seconds. *)

@@ -1,0 +1,190 @@
+type event =
+  | Span_begin of {
+      id : int;
+      parent : int;
+      name : string;
+      wall : float;
+      cpu : float;
+    }
+  | Span_end of { id : int; name : string; wall : float; cpu : float }
+
+type histogram = { count : int; sum : float; min : float; max : float }
+
+type snapshot = {
+  events : event array;
+  duration : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram) list;
+}
+
+type hist_acc = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type state = {
+  mutable events_rev : event list;
+  mutable len : int;
+  mutable next_id : int;
+  mutable stack : (int * string) list;  (** open spans, innermost first *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist_acc) Hashtbl.t;
+  wall0 : float;
+  cpu0 : float;
+}
+
+let state : state option ref = ref None
+
+let enabled () = !state <> None
+
+let enable () =
+  state :=
+    Some
+      {
+        events_rev = [];
+        len = 0;
+        next_id = 0;
+        stack = [];
+        counters = Hashtbl.create 32;
+        gauges = Hashtbl.create 16;
+        hists = Hashtbl.create 16;
+        wall0 = Clock.wall ();
+        cpu0 = Clock.cpu ();
+      }
+
+let disable () = state := None
+
+let push st e =
+  st.events_rev <- e :: st.events_rev;
+  st.len <- st.len + 1
+
+let wall_of st = Clock.wall () -. st.wall0
+
+let cpu_of st = Clock.cpu () -. st.cpu0
+
+let begin_on st name =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  let parent = match st.stack with (p, _) :: _ -> p | [] -> -1 in
+  push st (Span_begin { id; parent; name; wall = wall_of st; cpu = cpu_of st });
+  st.stack <- (id, name) :: st.stack;
+  id
+
+let end_on st id =
+  (* Pop to (and including) [id]; closes any unbalanced inner spans so
+     the log stays well-nested even if a span_end was skipped. *)
+  let rec pop = function
+    | (id', name) :: rest ->
+        push st (Span_end { id = id'; name; wall = wall_of st; cpu = cpu_of st });
+        st.stack <- rest;
+        if id' <> id then pop rest
+    | [] -> ()
+  in
+  if List.exists (fun (id', _) -> id' = id) st.stack then pop st.stack
+
+let span name f =
+  match !state with
+  | None -> f ()
+  | Some st -> (
+      let id = begin_on st name in
+      match f () with
+      | y ->
+          (match !state with Some st' when st' == st -> end_on st id | _ -> ());
+          y
+      | exception e ->
+          (match !state with Some st' when st' == st -> end_on st id | _ -> ());
+          raise e)
+
+let span_begin name =
+  match !state with None -> -1 | Some st -> begin_on st name
+
+let span_end id =
+  if id >= 0 then
+    match !state with None -> () | Some st -> end_on st id
+
+let count ?(by = 1) name =
+  match !state with
+  | None -> ()
+  | Some st -> (
+      match Hashtbl.find_opt st.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add st.counters name (ref by))
+
+let gauge name v =
+  match !state with
+  | None -> ()
+  | Some st -> (
+      match Hashtbl.find_opt st.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.add st.gauges name (ref v))
+
+let observe name v =
+  match !state with
+  | None -> ()
+  | Some st -> (
+      match Hashtbl.find_opt st.hists name with
+      | Some h ->
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum +. v;
+          h.h_min <- Float.min h.h_min v;
+          h.h_max <- Float.max h.h_max v
+      | None ->
+          Hashtbl.add st.hists name
+            { h_count = 1; h_sum = v; h_min = v; h_max = v })
+
+let mark () = match !state with None -> 0 | Some st -> st.len
+
+let sorted_bindings tbl value_of =
+  Hashtbl.fold (fun k v acc -> (k, value_of v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot ?(since = 0) () =
+  match !state with
+  | None -> None
+  | Some st ->
+      let wall = wall_of st and cpu = cpu_of st in
+      (* Synthesize ends for still-open spans, innermost first, so the
+         captured log is always well-nested. *)
+      let closing =
+        List.map (fun (id, name) -> Span_end { id; name; wall; cpu }) st.stack
+      in
+      let tail =
+        (* events_rev is newest-first; keep the newest [len - since]. *)
+        let rec take n l acc =
+          if n <= 0 then acc
+          else
+            match l with [] -> acc | e :: rest -> take (n - 1) rest (e :: acc)
+        in
+        take (st.len - since) st.events_rev []
+      in
+      let events = Array.of_list (tail @ closing) in
+      (* Drop the closing events of spans opened before [since]: their
+         Span_begin is missing from the window, so summaries would
+         misattribute them. *)
+      let open_ids = Hashtbl.create 8 in
+      Array.iter
+        (function
+          | Span_begin { id; _ } -> Hashtbl.replace open_ids id () | _ -> ())
+        events;
+      let events =
+        Array.of_seq
+          (Seq.filter
+             (function
+               | Span_end { id; _ } -> Hashtbl.mem open_ids id
+               | Span_begin _ -> true)
+             (Array.to_seq events))
+      in
+      Some
+        {
+          events;
+          duration = wall;
+          counters = sorted_bindings st.counters (fun r -> !r);
+          gauges = sorted_bindings st.gauges (fun r -> !r);
+          histograms =
+            sorted_bindings st.hists (fun h ->
+                { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max });
+        }

@@ -1,0 +1,70 @@
+(** Process-global solve telemetry: hierarchical spans, monotonic
+    counters, gauges, and value histograms.
+
+    Disabled (the default) every entry point is a single match on a
+    [ref] — effectively free, so the whole solver stack stays
+    instrumented unconditionally. [enable] installs a fresh recorder;
+    spans then capture wall and CPU timestamps from {!Clock} (relative
+    to the enable instant) into an in-memory event log that the sinks
+    ({!Sink}, {!Summary}) render after the fact. Counters, gauges, and
+    histograms accumulate in hash tables rather than the event log so
+    hot-path ticks (one per GMRES iteration, per dense LU factor, …)
+    stay cheap even when enabled. Single-threaded by design, like the
+    solvers it instruments. *)
+
+type event =
+  | Span_begin of {
+      id : int;
+      parent : int;  (** id of the enclosing span, or -1 at top level *)
+      name : string;
+      wall : float;
+      cpu : float;
+    }
+  | Span_end of { id : int; name : string; wall : float; cpu : float }
+
+type histogram = { count : int; sum : float; min : float; max : float }
+
+type snapshot = {
+  events : event array;  (** well-nested: open spans are closed at capture *)
+  duration : float;  (** wall seconds from [enable] to capture *)
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** last written value, sorted *)
+  histograms : (string * histogram) list;  (** sorted *)
+}
+
+val enable : unit -> unit
+(** Start recording with a fresh, empty recorder. *)
+
+val disable : unit -> unit
+(** Stop recording and drop all recorded data. *)
+
+val enabled : unit -> bool
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] as a child of the innermost open span.
+    Exception-safe: the span is closed (and the exception re-raised)
+    when [f] raises. When disabled this is just [f ()]. *)
+
+val span_begin : string -> int
+(** Open a span without scoping; returns its id (or -1 when disabled).
+    Must be closed with {!span_end} in LIFO order. *)
+
+val span_end : int -> unit
+
+val count : ?by:int -> string -> unit
+(** Add [by] (default 1) to a named monotonic counter. *)
+
+val gauge : string -> float -> unit
+(** Record the latest value of a named quantity (e.g. LU fill-in). *)
+
+val observe : string -> float -> unit
+(** Feed one sample into a named value histogram. *)
+
+val mark : unit -> int
+(** Position in the event log; pass to [snapshot ~since] to summarize
+    only the events of one solve. Returns 0 when disabled. *)
+
+val snapshot : ?since:int -> unit -> snapshot option
+(** Capture the events from [since] (default: the beginning) to now
+    without disturbing recording. Open spans are closed at the capture
+    instant in the returned copy. [None] when disabled. *)

@@ -1,0 +1,24 @@
+(* Minimal JSON emission helpers shared by the sinks: only strings need
+   escaping, and only the characters our own span/counter names can
+   contain. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float f =
+  if Float.is_finite f then Printf.sprintf "%.9e" f
+  else
+    Printf.sprintf "\"%s\""
+      (if Float.is_nan f then "nan" else if f > 0.0 then "inf" else "-inf")

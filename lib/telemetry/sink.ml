@@ -1,0 +1,63 @@
+let write_jsonl oc (s : Core.snapshot) =
+  let line fmt = Printf.fprintf oc (fmt ^^ "\n") in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Core.Span_begin { id; parent; name; wall; cpu } ->
+          line "{\"ev\":\"begin\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"t\":%s,\"cpu\":%s}"
+            id parent (Json.escape name) (Json.float wall) (Json.float cpu)
+      | Core.Span_end { id; name; wall; cpu } ->
+          line "{\"ev\":\"end\",\"id\":%d,\"name\":\"%s\",\"t\":%s,\"cpu\":%s}" id
+            (Json.escape name) (Json.float wall) (Json.float cpu))
+    s.events;
+  List.iter
+    (fun (k, v) ->
+      line "{\"ev\":\"counter\",\"name\":\"%s\",\"total\":%d}" (Json.escape k) v)
+    s.counters;
+  List.iter
+    (fun (k, v) ->
+      line "{\"ev\":\"gauge\",\"name\":\"%s\",\"value\":%s}" (Json.escape k)
+        (Json.float v))
+    s.gauges;
+  List.iter
+    (fun (k, (h : Core.histogram)) ->
+      line
+        "{\"ev\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+        (Json.escape k) h.count (Json.float h.sum) (Json.float h.min)
+        (Json.float h.max))
+    s.histograms;
+  line "{\"ev\":\"summary\",\"duration\":%s}" (Json.float s.duration)
+
+(* Chrome trace_event format: timestamps in microseconds relative to the
+   recorder's enable instant. *)
+let write_chrome oc (s : Core.snapshot) =
+  let us t = t *. 1e6 in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"rfss\"}}";
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Core.Span_begin { name; wall; _ } ->
+          out
+            ",\n{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"cat\":\"solve\",\"name\":\"%s\",\"ts\":%s}"
+            (Json.escape name) (Json.float (us wall))
+      | Core.Span_end { name; wall; _ } ->
+          out
+            ",\n{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"cat\":\"solve\",\"name\":\"%s\",\"ts\":%s}"
+            (Json.escape name) (Json.float (us wall)))
+    s.events;
+  List.iter
+    (fun (k, v) ->
+      out
+        ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"ts\":%s,\"args\":{\"value\":%d}}"
+        (Json.escape k) (Json.float (us s.duration)) v)
+    s.counters;
+  List.iter
+    (fun (k, v) ->
+      out
+        ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"ts\":%s,\"args\":{\"value\":%s}}"
+        (Json.escape k) (Json.float (us s.duration)) (Json.float v))
+    s.gauges;
+  out "\n]}\n"

@@ -1,0 +1,13 @@
+(** Machine-readable exporters for a captured {!Core.snapshot}.
+
+    - {!write_jsonl}: one JSON object per line — span begin/end events
+      in order, then final counter/gauge/histogram values. Greppable
+      and streamable into log pipelines.
+    - {!write_chrome}: Chrome [trace_event] JSON (the
+      ["traceEvents"] array form), loadable in [chrome://tracing] or
+      {{:https://ui.perfetto.dev}Perfetto}. Spans become B/E duration
+      events; counters become a final "C" sample. *)
+
+val write_jsonl : out_channel -> Core.snapshot -> unit
+
+val write_chrome : out_channel -> Core.snapshot -> unit

@@ -1,0 +1,8 @@
+(* Library entry point: the recorder API lives in Core (included here so
+   call sites read [Telemetry.span]/[Telemetry.count]); the clock and
+   the exporters are exposed as submodules. *)
+
+include Core
+module Clock = Clock
+module Summary = Summary
+module Sink = Sink
