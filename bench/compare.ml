@@ -1,0 +1,70 @@
+(* Perf-regression gate: diff a fresh BENCH_mpde.json against the
+   committed bench/baseline.json and fail (exit 1) when any tracked
+   metric drifts past its tolerance.
+
+   Usage: compare.exe BASELINE CURRENT [OPTIONS]
+     --tolerance T          default relative tolerance (default 0.15)
+     --tolerance-wall T     override for mixer.wall_seconds
+     --tolerance-speedup T  override for speedup.ratio
+
+   Wall-clock metrics are noisy across machines, so CI passes a loose
+   --tolerance-wall while keeping iteration counts tight: an iteration
+   regression is deterministic and always means the solver changed. *)
+
+let usage () =
+  prerr_endline
+    "usage: compare.exe BASELINE CURRENT [--tolerance T] [--tolerance-wall T] \
+     [--tolerance-speedup T]";
+  exit 2
+
+let parse_args () =
+  let positional = ref [] in
+  let tolerance = ref Diagnostics.Gate.default_tolerance in
+  let overrides = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
+        go rest
+    | "--tolerance-wall" :: v :: rest ->
+        overrides := ("mixer.wall_seconds", float_of_string v) :: !overrides;
+        go rest
+    | "--tolerance-speedup" :: v :: rest ->
+        overrides := ("speedup.ratio", float_of_string v) :: !overrides;
+        go rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | arg :: rest ->
+        positional := arg :: !positional;
+        go rest
+  in
+  (try go (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ());
+  match List.rev !positional with
+  | [ baseline; current ] -> (baseline, current, !tolerance, !overrides)
+  | _ -> usage ()
+
+let read_json label file =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "compare: cannot read %s file %s: %s\n" label file msg;
+      exit 2
+  in
+  try Diagnostics.Json_min.parse contents
+  with Diagnostics.Json_min.Parse_error msg ->
+    Printf.eprintf "compare: %s file %s is not valid JSON: %s\n" label file msg;
+    exit 2
+
+let () =
+  let baseline_file, current_file, tolerance, overrides = parse_args () in
+  let baseline = read_json "baseline" baseline_file in
+  let current = read_json "current" current_file in
+  let checks = Diagnostics.Gate.default_checks ~overrides tolerance in
+  let result = Diagnostics.Gate.evaluate ~checks ~baseline ~current () in
+  Printf.printf "baseline: %s\ncurrent:  %s\n\n" baseline_file current_file;
+  print_string (Diagnostics.Gate.render result);
+  if not result.Diagnostics.Gate.passed then exit 1

@@ -128,18 +128,36 @@ let make_budget budget_seconds max_newton =
 
 (* Telemetry surface shared by the solve commands: --trace FILE dumps
    the recorded event stream (JSON lines or Chrome trace_event JSON),
-   --timings prints the span summary tree to stderr after the run.
-   Recording only switches on when one of the two was requested. *)
+   --timings prints the span summary tree to stderr after the run,
+   --metrics FILE exports the recorded counters/gauges/histograms as
+   Prometheus text (or CSV when the file ends in .csv). Recording only
+   switches on when one of the three was requested. *)
 type trace_format = Jsonl | Chrome
 
 type telemetry_opts = {
   trace : string option;
   trace_format : trace_format;
   timings : bool;
+  metrics : string option;
 }
 
+(* Registry the running command can add computed metrics to (e.g. the
+   health assessment); merged with the telemetry-derived samples when
+   --metrics is written. One command runs per process, so a single
+   shared registry is safe. *)
+let metrics_registry = Diagnostics.Registry.create ()
+
+let write_metrics file registry =
+  let text =
+    if Filename.check_suffix file ".csv" then Diagnostics.Registry.to_csv registry
+    else Diagnostics.Registry.to_prometheus registry
+  in
+  let oc = open_out file in
+  output_string oc text;
+  close_out oc
+
 let with_telemetry opts f =
-  if opts.trace = None && not opts.timings then f ()
+  if opts.trace = None && (not opts.timings) && opts.metrics = None then f ()
   else begin
     Telemetry.enable ();
     Fun.protect
@@ -157,7 +175,13 @@ let with_telemetry opts f =
             | None -> ());
             if opts.timings then
               Format.eprintf "%a@." Telemetry.Summary.pp
-                (Telemetry.Summary.of_snapshot snap));
+                (Telemetry.Summary.of_snapshot snap);
+            (match opts.metrics with
+            | Some file ->
+                write_metrics file
+                  (Diagnostics.Registry.of_telemetry ~registry:metrics_registry
+                     snap)
+            | None -> ()));
         Telemetry.disable ())
       f
   end
@@ -366,9 +390,54 @@ let envelope_cmd tele circuit f_fast fd n1 steps periods =
         env;
       if result.Mpde.Envelope_follow.converged then 0 else 1
 
+let health_cmd tele circuit f_fast fd n1 n2 budget_seconds max_newton =
+  with_telemetry tele @@ fun () ->
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture ->
+      let f_fast = Option.value f_fast ~default:fixture.default_fast in
+      let fd = Option.value fd ~default:fixture.default_fd in
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
+      let shear = Mpde.Shear.make ~fast_freq:f_fast ~slow_freq:fd in
+      let options =
+        { Mpde.Solver.default_options with budget = make_budget budget_seconds max_newton }
+      in
+      let sol = Mpde.Solver.solve_mna ~options ~shear ~n1 ~n2 mna in
+      let unknown = Circuit.Mna.node_index mna fixture.output_node in
+      let health = Diagnostics.Health.of_solution ~diagonal_unknown:unknown sol in
+      print_endline (Diagnostics.Health.summary_line health);
+      Printf.printf "convergence:        %s\n"
+        (Diagnostics.Convergence.to_string health.Diagnostics.Health.convergence);
+      Printf.printf "strategy:           %s\n" health.Diagnostics.Health.strategy;
+      Printf.printf "newton iterations:  %d (linear %d)\n"
+        health.Diagnostics.Health.newton_iterations
+        health.Diagnostics.Health.linear_iterations;
+      List.iter
+        (fun (stage, iters) -> Printf.printf "  %-18s newton=%d\n" stage iters)
+        health.Diagnostics.Health.stage_iterations;
+      Printf.printf "residual norm:      %.3e\n"
+        health.Diagnostics.Health.residual_norm;
+      (match health.Diagnostics.Health.condition_estimate with
+      | Some k -> Printf.printf "condition estimate: %.3e\n" k
+      | None -> Printf.printf "condition estimate: unavailable\n");
+      (match health.Diagnostics.Health.diagonal_residual with
+      | Some d when Float.is_finite d ->
+          Printf.printf "diagonal residual:  %.3e (node %s)\n" d fixture.output_node
+      | Some _ -> Printf.printf "diagonal residual:  reference transient failed\n"
+      | None -> ());
+      Printf.printf "# report=%s\n"
+        (Resilience.Report.to_json_string
+           (Diagnostics.Health.attach health sol.Mpde.Solver.report));
+      ignore
+        (Diagnostics.Health.to_registry ~registry:metrics_registry health);
+      if health.Diagnostics.Health.converged then 0 else 1
+
 type deck_analysis = Deck_dcop | Deck_transient | Deck_ac
 
-let deck_cmd file analysis node t_stop steps f_start f_stop =
+let deck_cmd tele file analysis node t_stop steps f_start f_stop =
+  with_telemetry tele @@ fun () ->
   let text =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -484,9 +553,20 @@ let telemetry_arg =
       & info [ "timings" ]
           ~doc:"Print the hierarchical span timing summary to stderr after the run.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export solver metrics (counters, gauges, histogram summaries, \
+             span timings) to $(docv) after the run — Prometheus text \
+             exposition format, or CSV when $(docv) ends in $(b,.csv).")
+  in
   Term.(
-    const (fun trace trace_format timings -> { trace; trace_format; timings })
-    $ trace $ trace_format $ timings)
+    const (fun trace trace_format timings metrics ->
+        { trace; trace_format; timings; metrics })
+    $ trace $ trace_format $ timings $ metrics)
 
 let list_term = Term.(const list_cmd $ const ())
 
@@ -557,7 +637,14 @@ let deck_term =
   let steps = Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N" ~doc:"Transient steps.") in
   let f_start = Arg.(value & opt float 1.0 & info [ "f-start" ] ~docv:"HZ" ~doc:"AC sweep start.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~docv:"HZ" ~doc:"AC sweep stop.") in
-  Term.(const deck_cmd $ file $ analysis $ node $ t_stop $ steps $ f_start $ f_stop)
+  Term.(const deck_cmd $ telemetry_arg $ file $ analysis $ node $ t_stop $ steps $ f_start $ f_stop)
+
+let health_term =
+  let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
+  let n2 = Arg.(value & opt int 30 & info [ "n2" ] ~docv:"N" ~doc:"Slow-scale points.") in
+  Term.(
+    const health_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ n1 $ n2
+    $ budget_seconds_arg $ max_newton_arg)
 
 let cmds =
   [
@@ -574,6 +661,13 @@ let cmds =
          ~doc:"Bi-periodic MPDE on sheared difference-frequency time scales (CSV).")
       mpde_term;
     Cmd.v (Cmd.info "envelope" ~doc:"Envelope-following MPDE along the slow scale (CSV).") envelope_term;
+    Cmd.v
+      (Cmd.info "health"
+         ~doc:
+           "Solve the MPDE and report numerical health: convergence class, \
+            per-stage Newton iterations, Jacobian condition estimate, and \
+            diagonal-consistency residual.")
+      health_term;
   ]
 
 let () =

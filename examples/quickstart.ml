@@ -64,6 +64,12 @@ let () =
   Printf.printf "\nMPDE solve: converged=%b, %d Newton iterations, %.3fs\n"
     sol.Mpde.Solver.stats.converged sol.Mpde.Solver.stats.newton_iterations
     sol.Mpde.Solver.stats.wall_seconds;
+  let health =
+    Diagnostics.Health.of_solution
+      ~diagonal_unknown:(Circuit.Mna.node_index mna "out")
+      sol
+  in
+  Printf.printf "%s\n" (Diagnostics.Health.summary_line health);
   let out = Mpde.Extract.surface_of_node sol mna "out" in
   let amp = Mpde.Extract.t2_harmonic_amplitude ~values:out ~harmonic:1 in
   Printf.printf "difference-tone (10 kHz) amplitude at the IF output: %.4f V\n" amp;

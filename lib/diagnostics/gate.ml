@@ -1,0 +1,123 @@
+type direction = Lower_better | Higher_better
+
+type check = {
+  metric : string;
+  path : string list;
+  direction : direction;
+  tolerance : float;
+}
+
+type verdict = {
+  check : check;
+  baseline : float;
+  current : float;
+  change : float;
+  ok : bool;
+}
+
+type result = {
+  verdicts : verdict list;
+  errors : string list;
+  passed : bool;
+}
+
+let default_tolerance = 0.15
+
+let default_checks ?(overrides = []) tolerance =
+  let tol metric =
+    match List.assoc_opt metric overrides with
+    | Some t -> t
+    | None -> tolerance
+  in
+  [
+    {
+      metric = "mixer.wall_seconds";
+      path = [ "mixer"; "wall_seconds" ];
+      direction = Lower_better;
+      tolerance = tol "mixer.wall_seconds";
+    };
+    {
+      metric = "mixer.newton_iterations";
+      path = [ "mixer"; "newton_iterations" ];
+      direction = Lower_better;
+      tolerance = tol "mixer.newton_iterations";
+    };
+    {
+      metric = "mixer.gmres_iterations";
+      path = [ "mixer"; "gmres_iterations" ];
+      direction = Lower_better;
+      tolerance = tol "mixer.gmres_iterations";
+    };
+    {
+      metric = "speedup.ratio";
+      path = [ "speedup"; "ratio" ];
+      direction = Higher_better;
+      tolerance = tol "speedup.ratio";
+    };
+  ]
+
+let lookup_num doc path =
+  match Json_min.path path doc with
+  | Some j -> Json_min.num j
+  | None -> None
+
+let evaluate ?checks ~baseline ~current () =
+  let checks =
+    match checks with Some c -> c | None -> default_checks default_tolerance
+  in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Json_min.path [ "mixer"; "converged" ] current with
+  | Some (Json_min.Bool true) -> ()
+  | Some (Json_min.Bool false) ->
+      err "current benchmark did not converge (mixer.converged = false)"
+  | _ -> err "current benchmark is missing mixer.converged");
+  let verdicts =
+    List.filter_map
+      (fun check ->
+        match
+          (lookup_num baseline check.path, lookup_num current check.path)
+        with
+        | None, _ ->
+            err "baseline is missing metric %s" check.metric;
+            None
+        | _, None ->
+            err "current benchmark is missing metric %s" check.metric;
+            None
+        | Some b, Some c ->
+            let denom = Float.max (Float.abs b) 1e-30 in
+            let change = (c -. b) /. denom in
+            let ok =
+              match check.direction with
+              | Lower_better -> change <= check.tolerance
+              | Higher_better -> change >= -.check.tolerance
+            in
+            Some { check; baseline = b; current = c; change; ok })
+      checks
+  in
+  let passed = !errors = [] && List.for_all (fun v -> v.ok) verdicts in
+  { verdicts; errors = List.rev !errors; passed }
+
+let render result =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-26s %12s %12s %9s %7s  %s\n" "metric" "baseline"
+       "current" "change" "tol" "status");
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-26s %12.4g %12.4g %+8.1f%% %6.0f%%  %s\n"
+           v.check.metric v.baseline v.current (100.0 *. v.change)
+           (100.0 *. v.check.tolerance)
+           (if v.ok then "ok"
+            else
+              match v.check.direction with
+              | Lower_better -> "REGRESSION"
+              | Higher_better -> "REGRESSION")))
+    result.verdicts;
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "error: %s\n" e))
+    result.errors;
+  Buffer.add_string buf
+    (if result.passed then "gate: PASS\n" else "gate: FAIL\n");
+  Buffer.contents buf

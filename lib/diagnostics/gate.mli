@@ -1,0 +1,52 @@
+(** Perf-regression gate over the benchmark JSON.
+
+    Compares a freshly produced [BENCH_mpde.json] against the committed
+    [bench/baseline.json] and fails when a watched metric drifted past
+    its tolerance in the bad direction. Relative change is
+    [(current - baseline) / baseline]; a [Lower_better] metric fails
+    when the change exceeds [+tolerance], a [Higher_better] one when it
+    drops below [-tolerance]. Improvements never fail the gate.
+
+    Beyond the numeric checks, the gate hard-fails when the current run
+    reports [mixer.converged = false] — a benchmark that silently
+    stopped converging is worse than a slow one — and when a watched
+    metric is missing from either file (schema drift would otherwise
+    turn the gate into a no-op). *)
+
+type direction = Lower_better | Higher_better
+
+type check = {
+  metric : string;  (** display name, e.g. ["mixer.wall_seconds"] *)
+  path : string list;  (** JSON path into the bench document *)
+  direction : direction;
+  tolerance : float;  (** allowed relative drift, e.g. [0.15] *)
+}
+
+type verdict = {
+  check : check;
+  baseline : float;
+  current : float;
+  change : float;  (** relative, signed *)
+  ok : bool;
+}
+
+type result = {
+  verdicts : verdict list;
+  errors : string list;  (** missing metrics, non-convergence, … *)
+  passed : bool;
+}
+
+val default_tolerance : float
+(** [0.15]. *)
+
+val default_checks : ?overrides:(string * float) list -> float -> check list
+(** The watched metrics — [mixer.wall_seconds], [mixer.newton_iterations],
+    [mixer.gmres_iterations] (lower is better) and [speedup.ratio]
+    (higher is better) — at the given default tolerance, with optional
+    per-metric overrides keyed by display name. *)
+
+val evaluate :
+  ?checks:check list -> baseline:Json_min.t -> current:Json_min.t -> unit -> result
+
+val render : result -> string
+(** Human-readable table plus PASS/FAIL line, one metric per row. *)

@@ -1,0 +1,141 @@
+type t = {
+  convergence : Convergence.cls;
+  newton_iterations : int;
+  linear_iterations : int;
+  residual_norm : float;
+  strategy : string;
+  converged : bool;
+  condition_estimate : float option;
+  diagonal_residual : float option;
+  stage_iterations : (string * int) list;
+}
+
+let condition_of_solution scheme (sol : Mpde.Solver.solution) =
+  try
+    let sys = sol.Mpde.Solver.system in
+    let jacs =
+      Mpde.Assemble.point_jacobians sys sol.Mpde.Solver.grid
+        sol.Mpde.Solver.big_x
+    in
+    let j =
+      Mpde.Assemble.jacobian_csr scheme sol.Mpde.Solver.grid
+        ~size:sys.Mpde.Assemble.size ~jacs
+    in
+    let lu = Sparse.Splu.factor j in
+    let kappa = Condest.condest_csr j lu in
+    if Float.is_finite kappa && kappa > 0.0 then Some kappa else None
+  with _ -> None
+
+let of_solution ?(scheme = Mpde.Assemble.Backward) ?(condition = true)
+    ?diagonal_unknown (sol : Mpde.Solver.solution) =
+  Telemetry.span "diagnostics.health" @@ fun () ->
+  let stats = sol.Mpde.Solver.stats in
+  let report = sol.Mpde.Solver.report in
+  let convergence =
+    Convergence.classify ~strategy:stats.Mpde.Solver.strategy
+      report.Resilience.Report.residual_trajectory
+  in
+  let condition_estimate =
+    if condition then
+      Telemetry.span "diagnostics.condest" @@ fun () ->
+      condition_of_solution scheme sol
+    else None
+  in
+  let diagonal_residual =
+    match diagonal_unknown with
+    | Some unknown ->
+        Telemetry.span "diagnostics.diagonal" @@ fun () ->
+        Some (Mpde.Extract.diagonal_residual sol ~unknown)
+    | None -> None
+  in
+  let stage_iterations =
+    List.map
+      (fun s ->
+        (s.Resilience.Report.name, s.Resilience.Report.iterations))
+      report.Resilience.Report.stages
+  in
+  {
+    convergence;
+    newton_iterations = stats.Mpde.Solver.newton_iterations;
+    linear_iterations = stats.Mpde.Solver.linear_iterations;
+    residual_norm = stats.Mpde.Solver.residual_norm;
+    strategy = stats.Mpde.Solver.strategy;
+    converged = stats.Mpde.Solver.converged;
+    condition_estimate;
+    diagonal_residual;
+    stage_iterations;
+  }
+
+let summary_line h =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    (Printf.sprintf "health: %s | newton=%d | residual=%.1e"
+       (Convergence.to_string h.convergence)
+       h.newton_iterations h.residual_norm);
+  (match h.condition_estimate with
+  | Some k -> Buffer.add_string buf (Printf.sprintf " | kappa~%.1e" k)
+  | None -> ());
+  (match h.diagonal_residual with
+  | Some d -> Buffer.add_string buf (Printf.sprintf " | diag=%.1e" d)
+  | None -> ());
+  if not h.converged then Buffer.add_string buf " | NOT CONVERGED";
+  Buffer.contents buf
+
+let to_json h =
+  let opt = function
+    | Some v -> Json_min.Num v
+    | None -> Json_min.Null
+  in
+  Json_min.to_string
+    (Json_min.Obj
+       [
+         ("convergence", Json_min.Str (Convergence.to_string h.convergence));
+         ("converged", Json_min.Bool h.converged);
+         ("newton_iterations", Json_min.Num (float_of_int h.newton_iterations));
+         ("linear_iterations", Json_min.Num (float_of_int h.linear_iterations));
+         ("residual_norm", Json_min.Num h.residual_norm);
+         ("strategy", Json_min.Str h.strategy);
+         ("condition_estimate", opt h.condition_estimate);
+         ("diagonal_residual", opt h.diagonal_residual);
+         ( "stage_iterations",
+           Json_min.Obj
+             (List.map
+                (fun (name, it) -> (name, Json_min.Num (float_of_int it)))
+                h.stage_iterations) );
+       ])
+
+let attach h report = Resilience.Report.add_section report "diagnostics" (to_json h)
+
+let to_registry ?registry h =
+  let r = match registry with Some r -> r | None -> Registry.create () in
+  Registry.gauge ~help:"Newton iterations of the assessed solve" r
+    "health.newton_iterations"
+    (float_of_int h.newton_iterations);
+  Registry.gauge ~help:"GMRES inner iterations of the assessed solve" r
+    "health.linear_iterations"
+    (float_of_int h.linear_iterations);
+  Registry.gauge ~help:"final residual infinity norm" r "health.residual_norm"
+    h.residual_norm;
+  Registry.gauge ~help:"1 when the solve converged" r "health.converged"
+    (if h.converged then 1.0 else 0.0);
+  Registry.gauge
+    ~help:"marker gauge; the class label carries the assessment"
+    ~labels:[ ("class", Convergence.to_string h.convergence) ]
+    r "health.convergence" 1.0;
+  (match h.condition_estimate with
+  | Some k ->
+      Registry.gauge ~help:"Jacobian condition estimate (power iteration)" r
+        "health.condition_estimate" k
+  | None -> ());
+  (match h.diagonal_residual with
+  | Some d ->
+      Registry.gauge ~help:"relative diagonal-consistency residual" r
+        "health.diagonal_residual" d
+  | None -> ());
+  List.iter
+    (fun (stage, it) ->
+      Registry.gauge
+        ~labels:[ ("stage", stage) ]
+        r "health.stage_iterations" (float_of_int it))
+    h.stage_iterations;
+  r

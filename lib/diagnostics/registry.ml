@@ -1,0 +1,394 @@
+type kind = Counter | Gauge
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  value : float;
+  help : string option;
+}
+
+type t = { table : (string, sample) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let key name labels =
+  name ^ "\x00"
+  ^ String.concat "\x00" (List.map (fun (k, v) -> k ^ "\x01" ^ v) labels)
+
+let add ?help ?(labels = []) registry kind name value =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  Hashtbl.replace registry.table (key name labels)
+    { name; labels; kind; value; help }
+
+let counter ?help ?labels registry name value =
+  add ?help ?labels registry Counter name value
+
+let gauge ?help ?labels registry name value =
+  add ?help ?labels registry Gauge name value
+
+let samples registry =
+  Hashtbl.fold (fun _ s acc -> s :: acc) registry.table []
+  |> List.sort (fun a b ->
+         match compare a.name b.name with
+         | 0 -> compare a.labels b.labels
+         | c -> c)
+
+let of_telemetry ?registry snapshot =
+  let r = match registry with Some r -> r | None -> create () in
+  List.iter
+    (fun (name, v) -> counter r name (float_of_int v))
+    snapshot.Telemetry.counters;
+  List.iter (fun (name, v) -> gauge r name v) snapshot.Telemetry.gauges;
+  List.iter
+    (fun (name, h) ->
+      let stat s v = gauge ~labels:[ ("stat", s) ] r name v in
+      stat "count" (float_of_int h.Telemetry.count);
+      stat "sum" h.Telemetry.sum;
+      stat "min" h.Telemetry.min;
+      stat "max" h.Telemetry.max)
+    snapshot.Telemetry.histograms;
+  (* Aggregate the span tree by span name: total wall/cpu and call
+     counts, regardless of where in the hierarchy a span ran. *)
+  let summary = Telemetry.Summary.of_snapshot snapshot in
+  let acc : (string, float * float * int) Hashtbl.t = Hashtbl.create 16 in
+  let rec walk (node : Telemetry.Summary.node) =
+    let w, c, n =
+      match Hashtbl.find_opt acc node.name with
+      | Some x -> x
+      | None -> (0.0, 0.0, 0)
+    in
+    Hashtbl.replace acc node.name
+      (w +. node.wall, c +. node.cpu, n + node.calls);
+    List.iter walk node.children
+  in
+  List.iter walk summary.roots;
+  Hashtbl.iter
+    (fun span (wall, cpu, calls) ->
+      let labels = [ ("span", span) ] in
+      gauge ~labels r "span.wall_seconds" wall;
+      gauge ~labels r "span.cpu_seconds" cpu;
+      counter ~labels r "span.calls" (float_of_int calls))
+    acc;
+  r
+
+(* ---------- name and value rendering ---------- *)
+
+let sanitize_name ?kind name =
+  let buf = Buffer.create (String.length name + 8) in
+  if not (String.length name >= 5 && String.sub name 0 5 = "rfss_") then
+    Buffer.add_string buf "rfss_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let base = Buffer.contents buf in
+  match kind with
+  | Some Counter
+    when not
+           (String.length base >= 6
+           && String.sub base (String.length base - 6) 6 = "_total") ->
+      base ^ "_total"
+  | _ -> base
+
+let render_value f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let sanitize_label_key k =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    k
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_label_key k)
+                 (escape_label_value v))
+             labels)
+      ^ "}"
+
+let to_prometheus registry =
+  let buf = Buffer.create 1024 in
+  let seen_family : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let family = sanitize_name ~kind:s.kind s.name in
+      if not (Hashtbl.mem seen_family family) then begin
+        Hashtbl.add seen_family family ();
+        (match s.help with
+        | Some h ->
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" family
+                 (String.map (fun c -> if c = '\n' then ' ' else c) h))
+        | None -> ());
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" family
+             (match s.kind with Counter -> "counter" | Gauge -> "gauge"))
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" family (render_labels s.labels)
+           (render_value s.value)))
+    (samples registry);
+  Buffer.contents buf
+
+(* ---------- CSV ---------- *)
+
+let csv_quote field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let to_csv registry =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "name,labels,kind,value\n";
+  List.iter
+    (fun s ->
+      let labels =
+        String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) s.labels)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s\n"
+           (csv_quote (sanitize_name s.name))
+           (csv_quote labels)
+           (match s.kind with Counter -> "counter" | Gauge -> "gauge")
+           (render_value s.value)))
+    (samples registry);
+  Buffer.contents buf
+
+(* ---------- parsers (round-trip validation) ---------- *)
+
+let parse_float_special s =
+  match s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some nan
+  | _ -> float_of_string_opt s
+
+(* Escaped label values can contain any character — including [,], [}]
+   and escaped quotes — so the label set needs a real scanner, not a
+   split on separators. *)
+let parse_label_set line start =
+  let n = String.length line in
+  let pairs = ref [] in
+  let i = ref (start + 1) in
+  let skip c = if !i < n && line.[!i] = c then incr i in
+  let rec go () =
+    if !i >= n then failwith ("unterminated label set: " ^ line)
+    else if line.[!i] = '}' then incr i
+    else begin
+      let eq =
+        match String.index_from_opt line !i '=' with
+        | Some e -> e
+        | None -> failwith ("bad label pair: " ^ line)
+      in
+      let k = String.sub line !i (eq - !i) in
+      i := eq + 1;
+      if !i >= n || line.[!i] <> '"' then
+        failwith ("unquoted label value: " ^ line);
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec value () =
+        if !i >= n then failwith ("unterminated label value: " ^ line)
+        else
+          match line.[!i] with
+          | '"' -> incr i
+          | '\\' ->
+              (if !i + 1 >= n then
+                 failwith ("dangling escape in label value: " ^ line)
+               else
+                 match line.[!i + 1] with
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '"' -> Buffer.add_char buf '"'
+                 | c -> Buffer.add_char buf c);
+              i := !i + 2;
+              value ()
+          | c ->
+              Buffer.add_char buf c;
+              incr i;
+              value ()
+      in
+      value ();
+      pairs := (k, Buffer.contents buf) :: !pairs;
+      skip ',';
+      go ()
+    end
+  in
+  go ();
+  (List.rev !pairs, !i)
+
+let parse_prometheus text =
+  (* Escaped newlines keep every sample on one physical line, so a
+     per-line split is safe here (unlike CSV below). *)
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else begin
+        let name_end =
+          match String.index_opt line '{' with
+          | Some i -> i
+          | None -> (
+              match String.index_opt line ' ' with
+              | Some i -> i
+              | None -> failwith ("metric line without value: " ^ line))
+        in
+        let name = String.sub line 0 name_end in
+        let labels, rest_start =
+          if line.[name_end] = '{' then parse_label_set line name_end
+          else ([], name_end)
+        in
+        let value_str =
+          String.trim
+            (String.sub line rest_start (String.length line - rest_start))
+        in
+        match parse_float_special value_str with
+        | Some v -> Some (name, labels, v)
+        | None -> failwith ("bad metric value: " ^ line)
+      end)
+    lines
+
+let split_csv_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let in_quotes = ref false in
+  let i = ref 0 in
+  let n = String.length line in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else if c = '"' then in_quotes := true
+    else if c = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf
+    end
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+(* Quoted fields may span newlines, so records cannot be found with a
+   plain line split: walk the text once, treating a newline as a record
+   break only outside quotes. *)
+let split_csv_records text =
+  let records = ref [] in
+  let buf = Buffer.create 64 in
+  let in_quotes = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_quotes := not !in_quotes;
+        Buffer.add_char buf c
+      end
+      else if c = '\n' && not !in_quotes then begin
+        records := Buffer.contents buf :: !records;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    text;
+  if Buffer.length buf > 0 then records := Buffer.contents buf :: !records;
+  List.rev !records
+
+let parse_csv text =
+  match split_csv_records text with
+  | [] -> []
+  | header :: rows ->
+      if String.trim header <> "name,labels,kind,value" then
+        failwith ("bad CSV header: " ^ header);
+      List.filter_map
+        (fun row ->
+          if String.trim row = "" then None
+          else
+            match split_csv_line row with
+            | [ name; labels; kind; value ] ->
+                let labels =
+                  if labels = "" then []
+                  else
+                    String.split_on_char ';' labels
+                    |> List.map (fun pair ->
+                           match String.index_opt pair '=' with
+                           | Some eq ->
+                               ( String.sub pair 0 eq,
+                                 String.sub pair (eq + 1)
+                                   (String.length pair - eq - 1) )
+                           | None -> failwith ("bad CSV label: " ^ row))
+                in
+                let kind =
+                  match kind with
+                  | "counter" -> Counter
+                  | "gauge" -> Gauge
+                  | k -> failwith ("bad CSV kind: " ^ k)
+                in
+                let value =
+                  match parse_float_special value with
+                  | Some v -> v
+                  | None -> failwith ("bad CSV value: " ^ row)
+                in
+                Some { name; labels; kind; value; help = None }
+            | _ -> failwith ("bad CSV row: " ^ row))
+        rows
+
+let to_json_fragment registry =
+  Json_min.to_string
+    (Json_min.Arr
+       (List.map
+          (fun s ->
+            Json_min.Obj
+              [
+                ("name", Json_min.Str (sanitize_name s.name));
+                ( "labels",
+                  Json_min.Obj
+                    (List.map (fun (k, v) -> (k, Json_min.Str v)) s.labels) );
+                ( "kind",
+                  Json_min.Str
+                    (match s.kind with
+                    | Counter -> "counter"
+                    | Gauge -> "gauge") );
+                ("value", Json_min.Num s.value);
+              ])
+          (samples registry)))

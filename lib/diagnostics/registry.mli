@@ -1,0 +1,76 @@
+(** Typed metric registry with three exposition formats.
+
+    The registry is the bridge between the solver-side instrumentation
+    ({!Telemetry} counters/gauges/histograms, plus diagnostics-computed
+    quantities such as condition estimates) and the outside world:
+
+    - Prometheus text exposition (what [--metrics foo.prom] writes),
+    - CSV ([--metrics foo.csv]),
+    - a JSON fragment embedded as the ["diagnostics"] section of
+      {!Resilience.Report}.
+
+    Metric names are free-form dotted strings on the way in
+    (["newton.iterations"]) and sanitized on the way out: a [rfss_]
+    prefix, dots and other invalid characters mapped to underscores,
+    and a [_total] suffix for counters in Prometheus exposition.
+    Parsers for both text formats are provided so tests can round-trip
+    what the CLI writes. *)
+
+type kind = Counter | Gauge
+
+type sample = {
+  name : string;  (** raw dotted name, pre-sanitization *)
+  labels : (string * string) list;  (** sorted by key *)
+  kind : kind;
+  value : float;
+  help : string option;
+}
+
+type t
+
+val create : unit -> t
+
+val counter :
+  ?help:string -> ?labels:(string * string) list -> t -> string -> float -> unit
+(** Register (or overwrite) a counter sample. Counters are cumulative
+    totals; the registry stores one scrape's worth, it does not sum. *)
+
+val gauge :
+  ?help:string -> ?labels:(string * string) list -> t -> string -> float -> unit
+
+val samples : t -> sample list
+(** Sorted by (name, labels) for deterministic output. *)
+
+val of_telemetry : ?registry:t -> Telemetry.snapshot -> t
+(** Fold a telemetry snapshot into a registry ([registry] when given,
+    a fresh one otherwise): counters map to counters; gauges to gauges;
+    each histogram [h] becomes gauges [h.count], [h.sum], [h.min],
+    [h.max] (labelled [stat]); the span tree is aggregated by span name
+    into [span.wall_seconds] / [span.cpu_seconds] gauges and a
+    [span.calls] counter, labelled [span="<name>"]. *)
+
+val sanitize_name : ?kind:kind -> string -> string
+(** Prometheus-legal name: [rfss_] prefix, invalid chars to [_],
+    [_total] appended for counters (unless already present). *)
+
+val to_prometheus : t -> string
+(** Text exposition format: optional [# HELP] and [# TYPE] lines per
+    metric family, then one sample line each. *)
+
+val to_csv : t -> string
+(** Header [name,labels,kind,value]; labels rendered [k=v;k2=v2];
+    fields quoted when needed. The [name] column carries the sanitized
+    name without the counter [_total] suffix (the [kind] column already
+    says so). *)
+
+val parse_prometheus : string -> (string * (string * string) list * float) list
+(** Sample lines of a Prometheus text page (comments skipped), in file
+    order. @raise Failure on lines that are neither. *)
+
+val parse_csv : string -> sample list
+(** Inverse of {!to_csv} up to [help] (not serialized) and name
+    sanitization (already applied). @raise Failure on malformed rows. *)
+
+val to_json_fragment : t -> string
+(** JSON array of [{"name":…,"labels":{…},"kind":…,"value":…}] objects,
+    for embedding in a {!Resilience.Report} section. *)

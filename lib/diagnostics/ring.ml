@@ -1,0 +1,32 @@
+type t = {
+  data : float array;
+  mutable next : int;  (** index of the next write *)
+  mutable total : int;  (** pushes ever *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Diagnostics.Ring.create: capacity must be positive";
+  { data = Array.make capacity 0.0; next = 0; total = 0 }
+
+let capacity r = Array.length r.data
+
+let push r v =
+  r.data.(r.next) <- v;
+  r.next <- (r.next + 1) mod Array.length r.data;
+  r.total <- r.total + 1
+
+let length r = min r.total (Array.length r.data)
+
+let total r = r.total
+
+let to_array r =
+  let n = length r in
+  let cap = Array.length r.data in
+  (* Oldest retained sample sits at [next] once the buffer has wrapped,
+     at 0 before that. *)
+  let start = if r.total <= cap then 0 else r.next in
+  Array.init n (fun k -> r.data.((start + k) mod cap))
+
+let last r =
+  if r.total = 0 then None
+  else Some r.data.((r.next + Array.length r.data - 1) mod Array.length r.data)

@@ -1,0 +1,26 @@
+(** Bounded ring buffer of floats for per-iteration residual histories.
+
+    Pushes are O(1); once [capacity] samples have been recorded the
+    oldest are overwritten, so a pathological million-iteration solve
+    can never grow the history without bound. [to_array] returns the
+    retained window in chronological order. *)
+
+type t
+
+val create : int -> t
+(** [create capacity]. @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val push : t -> float -> unit
+
+val length : t -> int
+(** Samples currently retained ([<= capacity]). *)
+
+val total : t -> int
+(** Samples ever pushed (may exceed [capacity]). *)
+
+val to_array : t -> float array
+(** Retained window, oldest first. *)
+
+val last : t -> float option

@@ -33,6 +33,17 @@ val diagonal :
 (** One-time reconstruction [x(t) = x̂(t mod T1, t mod Td)] by periodic
     bilinear interpolation (paper Fig. 6); returns [(times, values)]. *)
 
+val diagonal_residual :
+  ?periods:int -> ?steps_per_period:int -> Solver.solution -> unknown:int -> float
+(** Diagonal-consistency check: integrate a reference one-time transient
+    from the surface's corner state [x̂(0,0)] over [periods] fast periods
+    (default 2) with [steps_per_period] trapezoidal steps (default 128),
+    and return the maximum deviation of the interpolated diagonal
+    [x̂(t,t)] from it, relative to the reference swing. Values at the
+    discretization-error level (≲ a few percent on the default grids)
+    indicate a consistent surface. [nan] when the reference integration
+    fails to converge. *)
+
 val t2_harmonic_amplitude : values:float array array -> harmonic:int -> float
 (** Amplitude of the given harmonic of the difference frequency in the
     [Mean_t1] baseband waveform. *)

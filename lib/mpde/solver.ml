@@ -284,7 +284,10 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
       (name, iters + (List.assoc_opt name !stage_iters |> Option.value ~default:0))
       :: List.remove_assoc name !stage_iters
   in
-  let on_iteration _k _x rnorm = trajectory := rnorm :: !trajectory in
+  let on_iteration _k _x rnorm =
+    trajectory := rnorm :: !trajectory;
+    Telemetry.observe "mpde.newton_residual" rnorm
+  in
   (* Classify a failed Newton outcome into a ladder failure. *)
   let classify (stats : Numeric.Newton.stats) =
     match stats.Numeric.Newton.outcome with

@@ -30,6 +30,7 @@ let trace ?(initial_step = 0.1) ?(min_step = 1e-6) ?(max_step = 0.5)
     if !total_solves >= max_total_steps then `Halt
     else begin
       incr total_solves;
+      Telemetry.gauge "continuation.lambda" lambda;
       match Option.map Budget.exhausted budget with
       | Some (Some e) ->
           exhausted := Some e;

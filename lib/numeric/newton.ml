@@ -38,7 +38,13 @@ type stats = {
   iterations : int;
   residual_norm : float;
   backtracks : int;
+  residual_history : float array;
 }
+
+(* The history is bounded so a pathological run with a huge iteration
+   cap cannot grow it without bound; 512 comfortably covers every
+   configured solver in the repo. *)
+let history_capacity = 512
 
 let converged s = s.outcome = Converged
 
@@ -72,6 +78,18 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
   let iterations = ref 0 in
   let total_backtracks = ref 0 in
   let outcome = ref Max_iterations in
+  (* Chronological residual-norm history (initial residual first),
+     kept in a bounded ring. *)
+  let hist = Array.make history_capacity 0.0 in
+  let hist_next = ref 0 in
+  let hist_total = ref 0 in
+  let record_residual v =
+    hist.(!hist_next) <- v;
+    hist_next := (!hist_next + 1) mod history_capacity;
+    incr hist_total;
+    Telemetry.observe "newton.residual" v
+  in
+  record_residual !rnorm;
   (try
      while !iterations < options.max_iterations do
        Telemetry.span "newton.iter" @@ fun () ->
@@ -148,6 +166,7 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
        x := !candidate;
        r := !candidate_res;
        rnorm := Vec.norm_inf !r;
+       record_residual !rnorm;
        incr iterations;
        if not (Float.is_finite !rnorm) then begin
          outcome := Diverged;
@@ -166,10 +185,16 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
   Telemetry.count ~by:!iterations "newton.iterations";
   Telemetry.count ~by:!total_backtracks "newton.backtracks";
   Telemetry.observe "newton.final_residual" !rnorm;
+  let residual_history =
+    let retained = min !hist_total history_capacity in
+    let start = if !hist_total <= history_capacity then 0 else !hist_next in
+    Array.init retained (fun k -> hist.((start + k) mod history_capacity))
+  in
   ( !x,
     {
       outcome = !outcome;
       iterations = !iterations;
       residual_norm = !rnorm;
       backtracks = !total_backtracks;
+      residual_history;
     } )

@@ -44,6 +44,10 @@ type stats = {
   iterations : int;
   residual_norm : float;  (** infinity norm of the final residual *)
   backtracks : int;  (** total line-search halvings *)
+  residual_history : float array;
+      (** chronological residual norms, initial residual first, one per
+          accepted iterate; bounded (the oldest samples are dropped past
+          512 entries) *)
 }
 
 val converged : stats -> bool

@@ -20,9 +20,12 @@ type t = {
   linear_iterations : int;
   wall_seconds : float;
   telemetry : Telemetry.Summary.t option;
+  sections : (string * string) list;
 }
 
 let success r = r.outcome = Converged
+
+let add_section r name json = { r with sections = r.sections @ [ (name, json) ] }
 
 let outcome_to_string = function
   | Converged -> "converged"
@@ -55,6 +58,7 @@ let of_ladder ?(iterations_of = fun _ -> 0) ?telemetry ~residual_trajectory
     linear_iterations;
     wall_seconds;
     telemetry;
+    sections = [];
   }
 
 let status_to_string = function
@@ -138,5 +142,10 @@ let to_json_string r =
       add ",\"telemetry\":";
       Telemetry.Summary.add_json buf t
   | None -> ());
+  List.iter
+    (fun (name, json) ->
+      add ",\"%s\":" (json_escape name);
+      Buffer.add_string buf json)
+    r.sections;
   add "}";
   Buffer.contents buf

@@ -33,9 +33,18 @@ type t = {
   telemetry : Telemetry.Summary.t option;
       (** per-solve span summary, when telemetry was enabled; rendered
           as the ["telemetry"] section of the JSON report *)
+  sections : (string * string) list;
+      (** extra top-level JSON sections [(key, pre-rendered JSON value)]
+          appended verbatim by higher layers (e.g. the diagnostics
+          library embeds a ["diagnostics"] section); the report module
+          itself never interprets them *)
 }
 
 val success : t -> bool
+
+val add_section : t -> string -> string -> t
+(** [add_section r name json] appends a top-level JSON section; [json]
+    must already be valid JSON text. *)
 
 val of_ladder :
   ?iterations_of:(string -> int) ->

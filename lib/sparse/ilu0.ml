@@ -11,6 +11,10 @@ let factor (a : Csr.t) =
   if a.Csr.cols <> n then invalid_arg "Ilu0.factor: matrix not square";
   Telemetry.span "ilu0.factor" @@ fun () ->
   Telemetry.count "ilu0.factors";
+  Telemetry.gauge "ilu0.n" (float_of_int n);
+  (* ILU(0) keeps the original pattern, so nnz doubles as the fill
+     figure — fill ratio is 1.0 by construction. *)
+  Telemetry.gauge "ilu0.nnz" (float_of_int (Csr.nnz a));
   let values = Array.copy a.Csr.values in
   let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
   let diag_pos = Array.make n (-1) in

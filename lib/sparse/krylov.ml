@@ -2,11 +2,29 @@ module Vec = Linalg.Vec
 
 type operator = Vec.t -> Vec.t
 
+type stop_reason =
+  | Tolerance
+  | Happy_breakdown
+  | Poisoned
+  | Budget_exhausted
+  | Max_iterations
+  | Scalar_breakdown
+
+let stop_reason_to_string = function
+  | Tolerance -> "tolerance"
+  | Happy_breakdown -> "happy-breakdown"
+  | Poisoned -> "poisoned"
+  | Budget_exhausted -> "budget-exhausted"
+  | Max_iterations -> "max-iterations"
+  | Scalar_breakdown -> "scalar-breakdown"
+
 type result = {
   x : Vec.t;
   converged : bool;
   iterations : int;
   residual_norm : float;
+  restarts : int;
+  stop : stop_reason;
 }
 
 let identity v = Array.copy v
@@ -31,11 +49,16 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
   let total_iters = ref 0 in
   let final_res = ref infinity in
   let converged = ref false in
+  let restarts = ref 0 in
+  let stop = ref Max_iterations in
   (try
      while (not !converged) && !total_iters < max_iter do
        (match budget with
-       | Some bu when Resilience.Budget.exhausted bu <> None -> raise Exit
+       | Some bu when Resilience.Budget.exhausted bu <> None ->
+           stop := Budget_exhausted;
+           raise Exit
        | _ -> ());
+       incr restarts;
        Telemetry.count "gmres.restarts";
        let r =
          if !total_iters = 0 && x0 = None then Array.copy b
@@ -43,7 +66,13 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        in
        let beta = Vec.norm2 r in
        final_res := beta;
-       if not (Float.is_finite beta) then raise Exit;
+       (* Per-restart residual curve: the true (unpreconditioned-side)
+          residual at the head of each restart cycle. *)
+       Telemetry.observe "gmres.restart_residual" beta;
+       if not (Float.is_finite beta) then begin
+         stop := Poisoned;
+         raise Exit
+       end;
        if beta <= target then begin
          converged := true;
          raise Exit
@@ -72,6 +101,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          if not (Float.is_finite hj.(j + 1)) then begin
            (* Poisoned column: solve with the j columns accepted so far. *)
            poisoned := true;
+           stop := Poisoned;
            inner_done := true
          end
          else begin
@@ -103,7 +133,9 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
            (match budget with
            | Some bu -> (
                try Resilience.Budget.tick_linear bu
-               with Resilience.Budget.Exhausted _ -> inner_done := true)
+               with Resilience.Budget.Exhausted _ ->
+                 stop := Budget_exhausted;
+                 inner_done := true)
            | None -> ());
            incr k;
            final_res := Float.abs g.(!k);
@@ -112,6 +144,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
              (* Invariant Krylov subspace: the least-squares solution is
                 exact; continuing would divide by the zero subdiagonal. *)
              converged := Float.abs g.(!k) <= Float.max target (1e-12 *. beta);
+             stop := Happy_breakdown;
              inner_done := true
            end
          end
@@ -141,13 +174,32 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        if !final_res <= target then converged := true;
        if !poisoned then raise Exit;
        (match budget with
-       | Some bu when Resilience.Budget.exhausted bu <> None -> raise Exit
+       | Some bu when Resilience.Budget.exhausted bu <> None ->
+           stop := Budget_exhausted;
+           raise Exit
        | _ -> ())
      done
    with Exit -> ());
+  let stop = if !converged && !stop <> Happy_breakdown then Tolerance else !stop in
   Telemetry.count ~by:!total_iters "gmres.iterations";
   if not !converged then Telemetry.count "gmres.stalls";
-  { x; converged = !converged; iterations = !total_iters; residual_norm = !final_res }
+  Telemetry.gauge "gmres.final_relres"
+    (if bnorm > 0.0 then !final_res /. bnorm else !final_res);
+  Telemetry.gauge "gmres.last_restarts" (float_of_int !restarts);
+  (match stop with
+  | Happy_breakdown -> Telemetry.count "gmres.happy_breakdowns"
+  | Poisoned -> Telemetry.count "gmres.poisoned_columns"
+  | Budget_exhausted -> Telemetry.count "gmres.budget_stops"
+  | Max_iterations when not !converged -> Telemetry.count "gmres.max_iter_stops"
+  | _ -> ());
+  {
+    x;
+    converged = !converged;
+    iterations = !total_iters;
+    residual_norm = !final_res;
+    restarts = !restarts;
+    stop;
+  }
 
 let bicgstab ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity) ?x0 op b =
   let n = Array.length b in
@@ -204,6 +256,17 @@ let bicgstab ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity) ?x0 op b =
     end;
     incr iters
   done;
-  { x; converged = !res <= target; iterations = !iters; residual_norm = !res }
+  let converged = !res <= target in
+  {
+    x;
+    converged;
+    iterations = !iters;
+    residual_norm = !res;
+    restarts = 0;
+    stop =
+      (if converged then Tolerance
+       else if !broke_down then Scalar_breakdown
+       else Max_iterations);
+  }
 
 let csr_operator m v = Csr.mul_vec m v

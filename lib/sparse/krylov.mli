@@ -6,11 +6,23 @@
 
 type operator = Linalg.Vec.t -> Linalg.Vec.t
 
+type stop_reason =
+  | Tolerance  (** residual met the convergence target *)
+  | Happy_breakdown  (** Krylov subspace became invariant (exact solve) *)
+  | Poisoned  (** operator/preconditioner produced a non-finite vector *)
+  | Budget_exhausted
+  | Max_iterations
+  | Scalar_breakdown  (** BiCGSTAB scalar recurrence collapsed *)
+
+val stop_reason_to_string : stop_reason -> string
+
 type result = {
   x : Linalg.Vec.t;
   converged : bool;
   iterations : int;  (** total inner iterations performed *)
   residual_norm : float;  (** final preconditioned-system residual norm *)
+  restarts : int;  (** GMRES restart cycles entered (0 for BiCGSTAB) *)
+  stop : stop_reason;  (** why the iteration ended *)
 }
 
 val gmres :

@@ -9,6 +9,7 @@ type result = {
   converged : bool;
   residual_norm : float;
   outcome : Resilience.Report.outcome;
+  residual_history : float array;
 }
 
 let spectral_diff_matrix n period =
@@ -84,6 +85,7 @@ let solve ?(max_newton = 60) ?(tol = 1e-8) ?budget ?x_init ~(dae : Numeric.Dae.t
     converged = Numeric.Newton.converged stats;
     residual_norm = stats.Numeric.Newton.residual_norm;
     outcome = Numeric.Newton.report_outcome stats;
+    residual_history = stats.Numeric.Newton.residual_history;
   }
 
 let harmonic_amplitude result ~unknown ~harmonic =

@@ -18,6 +18,8 @@ type result = {
   converged : bool;
   residual_norm : float;
   outcome : Resilience.Report.outcome;  (** structured exit classification *)
+  residual_history : float array;
+      (** residual norms per Newton iteration, chronological *)
 }
 
 val solve :

@@ -10,6 +10,7 @@ type result = {
   converged : bool;
   residual_norm : float;
   outcome : Report.outcome;
+  residual_history : float array;
 }
 
 (* Unknowns: the S window-start states stacked. Matching conditions:
@@ -41,6 +42,7 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_segment = 50) ?budget ?x0
   let iterations = ref 0 in
   let converged = ref false in
   let residual = ref infinity in
+  let history = ref [] in
   let last_traces = ref [||] in
   let outcome = ref Report.Converged in
   let fail o =
@@ -69,6 +71,8 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_segment = 50) ?budget ?x0
        in
        residual :=
          Array.fold_left (fun acc d -> Float.max acc (Vec.norm_inf d)) 0.0 defects;
+       history := !residual :: !history;
+       Telemetry.observe "multiple-shooting.residual" !residual;
        if not (Float.is_finite !residual) then
          fail (Report.Failed "matching defects diverged (non-finite)");
        if !residual <= tol then converged := true
@@ -140,4 +144,5 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_segment = 50) ?budget ?x0
     converged = !converged;
     residual_norm = !residual;
     outcome = !outcome;
+    residual_history = Array.of_list (List.rev !history);
   }

@@ -20,6 +20,8 @@ type result = {
   converged : bool;
   residual_norm : float;  (** infinity norm of all matching defects *)
   outcome : Resilience.Report.outcome;  (** structured exit classification *)
+  residual_history : float array;
+      (** residual norms per Newton iteration, chronological *)
 }
 
 val solve :

@@ -11,6 +11,7 @@ type result = {
   converged : bool;
   residual_norm : float;
   outcome : Report.outcome;
+  residual_history : float array;
 }
 
 (* Integrate one period with backward Euler while propagating the
@@ -87,6 +88,7 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?budget ?x0
   let total_steps = ref 0 in
   let converged = ref false in
   let residual = ref infinity in
+  let history = ref [] in
   let last_trace = ref None in
   let outcome = ref Report.Converged in
   let fail o =
@@ -110,6 +112,8 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?budget ?x0
        let x_end = trace.Numeric.Integrator.states.(steps_per_period) in
        let r = Vec.sub x_end !x0 in
        residual := Vec.norm_inf r;
+       history := !residual :: !history;
+       Telemetry.observe "shooting.residual" !residual;
        if not (Float.is_finite !residual) then
          fail (Report.Failed "periodicity residual diverged (non-finite)");
        if !residual <= tol then converged := true
@@ -153,4 +157,5 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_period = 200) ?budget ?x0
     converged = !converged;
     residual_norm = !residual;
     outcome = !outcome;
+    residual_history = Array.of_list (List.rev !history);
   }

@@ -23,6 +23,8 @@ type result = {
   converged : bool;
   residual_norm : float;  (** ‖Φ(x0) − x0‖∞ at exit *)
   outcome : Resilience.Report.outcome;  (** structured exit classification *)
+  residual_history : float array;
+      (** periodicity residual per outer Newton iteration, chronological *)
 }
 
 val solve :

@@ -1,0 +1,453 @@
+(* Tests for the diagnostics subsystem: the bounded residual ring, the
+   convergence classifier on synthetic trajectories, condition estimates
+   against matrices with known κ, the metric registry's Prometheus/CSV
+   round-trips, the minimal JSON parser, the perf-regression gate, and
+   the end-to-end pieces — Newton residual histories on a real solve and
+   the diagonal-consistency residual on the quickstart circuit. *)
+
+module W = Circuit.Waveform
+module D = Diagnostics
+
+(* ---------- Ring ---------- *)
+
+let test_ring_basic () =
+  let r = D.Ring.create 4 in
+  Alcotest.(check int) "capacity" 4 (D.Ring.capacity r);
+  Alcotest.(check int) "empty length" 0 (D.Ring.length r);
+  Alcotest.(check bool) "empty last" true (D.Ring.last r = None);
+  List.iter (D.Ring.push r) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check int) "length" 3 (D.Ring.length r);
+  Alcotest.(check (array (float 0.0))) "chronological" [| 1.0; 2.0; 3.0 |]
+    (D.Ring.to_array r);
+  Alcotest.(check bool) "last" true (D.Ring.last r = Some 3.0)
+
+let test_ring_wraps () =
+  let r = D.Ring.create 3 in
+  List.iter (D.Ring.push r) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "length capped" 3 (D.Ring.length r);
+  Alcotest.(check int) "total keeps counting" 5 (D.Ring.total r);
+  Alcotest.(check (array (float 0.0))) "oldest evicted" [| 3.0; 4.0; 5.0 |]
+    (D.Ring.to_array r)
+
+let test_ring_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Diagnostics.Ring.create: capacity must be positive") (fun () ->
+      ignore (D.Ring.create 0))
+
+(* ---------- Convergence classifier ---------- *)
+
+let geometric r0 ratio n = Array.init n (fun k -> r0 *. (ratio ** float_of_int k))
+
+let test_classify_quadratic () =
+  (* r_{k+1} = r_k^2: the textbook Newton tail. *)
+  let h = [| 1e-1; 1e-2; 1e-4; 1e-8; 1e-16 |] in
+  (match D.Convergence.classify h with
+  | D.Convergence.Quadratic -> ()
+  | c -> Alcotest.failf "expected quadratic, got %s" (D.Convergence.to_string c));
+  match D.Convergence.observed_order h with
+  | Some q -> Alcotest.(check bool) "order near 2" true (q > 1.8 && q < 2.2)
+  | None -> Alcotest.fail "no observed order"
+
+let test_classify_linear () =
+  let h = geometric 1.0 0.3 8 in
+  match D.Convergence.classify h with
+  | D.Convergence.Linear rate ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rate %.3f near 0.3" rate)
+        true
+        (Float.abs (rate -. 0.3) < 0.02)
+  | c -> Alcotest.failf "expected linear, got %s" (D.Convergence.to_string c)
+
+let test_classify_stagnating () =
+  match D.Convergence.classify (geometric 1.0 0.99 10) with
+  | D.Convergence.Stagnating -> ()
+  | c -> Alcotest.failf "expected stagnating, got %s" (D.Convergence.to_string c)
+
+let test_classify_diverging () =
+  (match D.Convergence.classify (geometric 1.0 2.0 6) with
+  | D.Convergence.Diverging -> ()
+  | c -> Alcotest.failf "expected diverging, got %s" (D.Convergence.to_string c));
+  (* Oscillating but ending far above the start also counts. *)
+  match D.Convergence.classify [| 1.0; 0.5; 3.0; 0.8; 20.0 |] with
+  | D.Convergence.Diverging -> ()
+  | c ->
+      Alcotest.failf "expected diverging (final >10x), got %s"
+        (D.Convergence.to_string c)
+
+let test_classify_rescued () =
+  match D.Convergence.classify ~strategy:"source-ramp" (geometric 1.0 0.5 6) with
+  | D.Convergence.Rescued "source-ramp" -> ()
+  | c -> Alcotest.failf "expected rescued, got %s" (D.Convergence.to_string c)
+
+let test_classify_insufficient_and_cleaning () =
+  (match D.Convergence.classify [| 1.0; 0.1 |] with
+  | D.Convergence.Insufficient_data -> ()
+  | c -> Alcotest.failf "expected insufficient, got %s" (D.Convergence.to_string c));
+  (* Non-finite and non-positive samples are dropped before analysis. *)
+  match D.Convergence.classify [| nan; 1.0; -3.0; 0.3; infinity; 0.09; 0.0 |] with
+  | D.Convergence.Linear _ | D.Convergence.Quadratic -> ()
+  | c -> Alcotest.failf "expected contraction after cleaning, got %s"
+           (D.Convergence.to_string c)
+
+(* ---------- Condition estimates ---------- *)
+
+(* diag(1..10) has exactly kappa = 10 in the 2-norm, and the power
+   iterations align with the coordinate eigenvectors, so both the dense
+   and the sparse estimator should land within a few percent. *)
+
+let test_condest_dense_known_kappa () =
+  let n = 10 in
+  let a = Linalg.Mat.init n n (fun i j -> if i = j then float_of_int (i + 1) else 0.0) in
+  let k = D.Condest.condest_dense a (Linalg.Lu.factor a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kappa %.3f near 10" k)
+    true
+    (Float.abs (k -. 10.0) < 0.5)
+
+let test_condest_csr_known_kappa () =
+  let n = 10 in
+  let coo = Sparse.Coo.create n n in
+  for i = 0 to n - 1 do
+    Sparse.Coo.add coo i i (float_of_int (i + 1))
+  done;
+  let a = Sparse.Csr.of_coo coo in
+  let k = D.Condest.condest_csr a (Sparse.Splu.factor a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kappa %.3f near 10" k)
+    true
+    (k <= 10.5 && k > 9.0)
+
+let test_condest_identity () =
+  let a = Linalg.Mat.identity 6 in
+  let k = D.Condest.condest_dense a (Linalg.Lu.factor a) in
+  Alcotest.(check bool) (Printf.sprintf "kappa %.3f near 1" k) true
+    (Float.abs (k -. 1.0) < 1e-6)
+
+(* ---------- Registry round-trips ---------- *)
+
+let fill_registry () =
+  let reg = D.Registry.create () in
+  D.Registry.gauge reg ~help:"final residual" "newton.residual_norm" 3.25e-11;
+  D.Registry.counter reg "gmres.budget_stops" 2.0;
+  D.Registry.gauge reg
+    ~labels:[ ("stage", "gmres-ilu0"); ("grid", "40x30") ]
+    "health.stage_iterations" 7.0;
+  D.Registry.gauge reg ~labels:[ ("quote", "say \"hi\"\nok") ] "odd.label" 1.0;
+  reg
+
+let test_prometheus_round_trip () =
+  let reg = fill_registry () in
+  let page = D.Registry.to_prometheus reg in
+  let parsed = D.Registry.parse_prometheus page in
+  Alcotest.(check int) "sample count" 4 (List.length parsed);
+  let find name =
+    match List.find_opt (fun (n, _, _) -> n = name) parsed with
+    | Some (_, labels, v) -> (labels, v)
+    | None -> Alcotest.failf "missing sample %s in:\n%s" name page
+  in
+  let _, v = find "rfss_newton_residual_norm" in
+  Alcotest.(check (float 1e-22)) "gauge value survives" 3.25e-11 v;
+  let _, v = find "rfss_gmres_budget_stops_total" in
+  Alcotest.(check (float 0.0)) "counter gets _total" 2.0 v;
+  let labels, v = find "rfss_health_stage_iterations" in
+  Alcotest.(check (float 0.0)) "labelled value" 7.0 v;
+  Alcotest.(check bool) "labels survive" true
+    (List.assoc_opt "stage" labels = Some "gmres-ilu0"
+    && List.assoc_opt "grid" labels = Some "40x30");
+  let labels, _ = find "rfss_odd_label" in
+  Alcotest.(check bool) "escaped label round-trips" true
+    (List.assoc_opt "quote" labels = Some "say \"hi\"\nok")
+
+let test_csv_round_trip () =
+  let reg = fill_registry () in
+  let parsed = D.Registry.parse_csv (D.Registry.to_csv reg) in
+  Alcotest.(check int) "sample count" 4 (List.length parsed);
+  let find name =
+    match List.find_opt (fun s -> s.D.Registry.name = name) parsed with
+    | Some s -> s
+    | None -> Alcotest.failf "missing csv row %s" name
+  in
+  let s = find "rfss_gmres_budget_stops" in
+  Alcotest.(check bool) "kind survives" true (s.D.Registry.kind = D.Registry.Counter);
+  Alcotest.(check (float 0.0)) "value survives" 2.0 s.D.Registry.value;
+  let s = find "rfss_health_stage_iterations" in
+  Alcotest.(check bool) "labels survive" true
+    (List.assoc_opt "stage" s.D.Registry.labels = Some "gmres-ilu0")
+
+let test_sanitize_name () =
+  Alcotest.(check string) "dots to underscores" "rfss_mpde_solve_wall"
+    (D.Registry.sanitize_name "mpde.solve.wall");
+  Alcotest.(check string) "counter suffix" "rfss_retries_total"
+    (D.Registry.sanitize_name ~kind:D.Registry.Counter "retries");
+  Alcotest.(check string) "idempotent" "rfss_retries_total"
+    (D.Registry.sanitize_name ~kind:D.Registry.Counter "rfss_retries_total")
+
+let test_registry_of_telemetry () =
+  Telemetry.enable ();
+  Telemetry.span "outer" (fun () ->
+      Telemetry.count ~by:3 "widgets";
+      Telemetry.gauge "level" 0.5;
+      Telemetry.observe "res" 1.0;
+      Telemetry.observe "res" 3.0);
+  let snap = match Telemetry.snapshot () with Some s -> s | None -> assert false in
+  Telemetry.disable ();
+  let reg = D.Registry.of_telemetry snap in
+  let samples = D.Registry.samples reg in
+  let value ?(labels = []) name =
+    match
+      List.find_opt
+        (fun s -> s.D.Registry.name = name && s.D.Registry.labels = labels)
+        samples
+    with
+    | Some s -> s.D.Registry.value
+    | None -> Alcotest.failf "missing metric %s" name
+  in
+  Alcotest.(check (float 0.0)) "counter" 3.0 (value "widgets");
+  Alcotest.(check (float 0.0)) "gauge" 0.5 (value "level");
+  Alcotest.(check (float 0.0)) "histogram count" 2.0
+    (value ~labels:[ ("stat", "count") ] "res");
+  Alcotest.(check (float 0.0)) "histogram sum" 4.0
+    (value ~labels:[ ("stat", "sum") ] "res");
+  Alcotest.(check (float 0.0)) "span calls" 1.0
+    (value ~labels:[ ("span", "outer") ] "span.calls")
+
+(* ---------- Json_min ---------- *)
+
+let test_json_round_trip () =
+  let open D.Json_min in
+  let doc =
+    Obj
+      [
+        ("s", Str "a \"quoted\"\nline");
+        ("n", Num 3.141592653589793);
+        ("i", Num 42.0);
+        ("b", Bool true);
+        ("z", Null);
+        ("a", Arr [ Num 1.0; Str "x"; Obj [ ("k", Bool false) ] ]);
+      ]
+  in
+  let doc' = parse (to_string doc) in
+  Alcotest.(check bool) "round-trips" true (doc = doc');
+  Alcotest.(check bool) "path" true
+    (path [ "a" ] doc' <> None
+    && (match path [ "s" ] doc' with Some (Str s) -> s = "a \"quoted\"\nline" | _ -> false))
+
+let test_json_parse_errors () =
+  let open D.Json_min in
+  let fails s = match parse s with exception Parse_error _ -> true | _ -> false in
+  Alcotest.(check bool) "trailing garbage" true (fails "{} x");
+  Alcotest.(check bool) "unterminated" true (fails "{\"a\": ");
+  Alcotest.(check bool) "bare word" true (fails "bogus")
+
+(* ---------- Gate ---------- *)
+
+let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
+    ?(ratio = 4.0) () =
+  let open D.Json_min in
+  Obj
+    [
+      ( "mixer",
+        Obj
+          [
+            ("converged", Bool converged);
+            ("wall_seconds", Num wall);
+            ("newton_iterations", Num newton);
+            ("gmres_iterations", Num gmres);
+          ] );
+      ("speedup", Obj [ ("ratio", Num ratio) ]);
+    ]
+
+let test_gate_passes_identical () =
+  let doc = bench_doc () in
+  let r = D.Gate.evaluate ~baseline:doc ~current:doc () in
+  Alcotest.(check bool) "passes" true r.D.Gate.passed;
+  Alcotest.(check int) "no errors" 0 (List.length r.D.Gate.errors);
+  Alcotest.(check int) "four verdicts" 4 (List.length r.D.Gate.verdicts)
+
+let test_gate_improvement_passes () =
+  (* Faster wall clock and a better speedup ratio must never fail. *)
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~wall:0.5 ~ratio:8.0 ())
+      ()
+  in
+  Alcotest.(check bool) "improvement passes" true r.D.Gate.passed
+
+let test_gate_fails_on_regression () =
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ()) ~current:(bench_doc ~wall:1.3 ()) ()
+  in
+  Alcotest.(check bool) "30% wall regression fails" false r.D.Gate.passed;
+  let bad = List.find (fun v -> not v.D.Gate.ok) r.D.Gate.verdicts in
+  Alcotest.(check string) "the wall check tripped" "mixer.wall_seconds"
+    bad.D.Gate.check.D.Gate.metric;
+  (* A speedup-ratio drop is a regression even though the number fell. *)
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ()) ~current:(bench_doc ~ratio:2.0 ()) ()
+  in
+  Alcotest.(check bool) "ratio drop fails" false r.D.Gate.passed
+
+let test_gate_within_tolerance_passes () =
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ()) ~current:(bench_doc ~wall:1.1 ()) ()
+  in
+  Alcotest.(check bool) "10% < 15% passes" true r.D.Gate.passed
+
+let test_gate_hard_errors () =
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~converged:false ())
+      ()
+  in
+  Alcotest.(check bool) "non-convergence fails" false r.D.Gate.passed;
+  Alcotest.(check bool) "with an error" true (r.D.Gate.errors <> []);
+  let open D.Json_min in
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(Obj [ ("mixer", Obj [ ("converged", Bool true) ]) ])
+      ()
+  in
+  Alcotest.(check bool) "missing metrics fail" false r.D.Gate.passed;
+  Alcotest.(check bool) "missing metrics reported" true
+    (List.length r.D.Gate.errors >= 4)
+
+let test_gate_overrides () =
+  let checks = D.Gate.default_checks ~overrides:[ ("mixer.wall_seconds", 0.5) ] 0.15 in
+  let r =
+    D.Gate.evaluate ~checks ~baseline:(bench_doc ()) ~current:(bench_doc ~wall:1.3 ())
+      ()
+  in
+  Alcotest.(check bool) "loosened wall tolerance passes" true r.D.Gate.passed
+
+(* ---------- Newton residual history (end to end) ---------- *)
+
+let test_newton_history_recorded () =
+  (* Scalar x^2 = 4 from x0 = 10: pure Newton, quadratic tail. *)
+  let residual x = [| (x.(0) *. x.(0)) -. 4.0 |] in
+  let solve_linearized x r = [| r.(0) /. (2.0 *. x.(0)) |] in
+  let _, stats =
+    Numeric.Newton.solve { Numeric.Newton.residual; solve_linearized } [| 10.0 |]
+  in
+  let h = stats.Numeric.Newton.residual_history in
+  Alcotest.(check bool) "history nonempty" true (Array.length h >= 3);
+  Alcotest.(check (float 0.0)) "starts at the initial residual" 96.0 h.(0);
+  Array.iteri
+    (fun k r ->
+      if k > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "monotone at %d" k)
+          true (r < h.(k - 1)))
+    h;
+  match D.Convergence.classify h with
+  | D.Convergence.Quadratic -> ()
+  | c -> Alcotest.failf "expected quadratic tail, got %s" (D.Convergence.to_string c)
+
+(* ---------- Diagonal residual + health on the quickstart circuit ---------- *)
+
+let quickstart_solution () =
+  let f1 = 1e6 and fd = 1e3 in
+  let { Circuits.mna; _ } =
+    Circuits.rc_lowpass ~r:1e3 ~c:100e-12
+      ~drive:
+        (W.sum (W.sine ~amplitude:1.0 ~freq:f1 ()) (W.sine ~amplitude:1.0 ~freq:(f1 +. fd) ()))
+      ()
+  in
+  let shear = Mpde.Shear.make ~fast_freq:f1 ~slow_freq:fd in
+  (Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:16 mna, mna)
+
+let test_diagonal_residual_small_on_quickstart () =
+  let sol, mna = quickstart_solution () in
+  Alcotest.(check bool) "solve converged" true sol.Mpde.Solver.stats.converged;
+  let unknown = Circuit.Mna.node_index mna "out" in
+  let r = Mpde.Extract.diagonal_residual sol ~unknown in
+  Alcotest.(check bool)
+    (Printf.sprintf "diagonal residual %.4f at discretization level" r)
+    true
+    (Float.is_finite r && r >= 0.0 && r < 0.1)
+
+let test_health_of_solution () =
+  let sol, mna = quickstart_solution () in
+  let unknown = Circuit.Mna.node_index mna "out" in
+  let h = D.Health.of_solution ~diagonal_unknown:unknown sol in
+  Alcotest.(check bool) "converged" true h.D.Health.converged;
+  (match h.D.Health.condition_estimate with
+  | Some k -> Alcotest.(check bool) "kappa finite and >= 1" true (Float.is_finite k && k >= 1.0)
+  | None -> Alcotest.fail "no condition estimate");
+  (match h.D.Health.diagonal_residual with
+  | Some d -> Alcotest.(check bool) "diagonal residual small" true (d < 0.1)
+  | None -> Alcotest.fail "no diagonal residual");
+  let line = D.Health.summary_line h in
+  Alcotest.(check bool) "summary line present" true
+    (String.length line > 0 && String.sub line 0 7 = "health:");
+  (* The JSON section must be parseable and must carry the headline
+     numbers; the registry export must carry the marker gauge. *)
+  (match D.Json_min.parse (D.Health.to_json h) with
+  | D.Json_min.Obj fields ->
+      Alcotest.(check bool) "json has convergence" true
+        (List.mem_assoc "convergence" fields && List.mem_assoc "newton_iterations" fields)
+  | _ -> Alcotest.fail "health json is not an object");
+  let reg = D.Health.to_registry h in
+  let samples = D.Registry.samples reg in
+  Alcotest.(check bool) "registry has the class marker" true
+    (List.exists
+       (fun s ->
+         s.D.Registry.name = "health.convergence"
+         && List.mem_assoc "class" s.D.Registry.labels)
+       samples)
+
+(* ---------- run ---------- *)
+
+let () =
+  Alcotest.run "diagnostics"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraps" `Quick test_ring_wraps;
+          Alcotest.test_case "bad capacity" `Quick test_ring_bad_capacity;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "quadratic" `Quick test_classify_quadratic;
+          Alcotest.test_case "linear" `Quick test_classify_linear;
+          Alcotest.test_case "stagnating" `Quick test_classify_stagnating;
+          Alcotest.test_case "diverging" `Quick test_classify_diverging;
+          Alcotest.test_case "rescued" `Quick test_classify_rescued;
+          Alcotest.test_case "insufficient + cleaning" `Quick
+            test_classify_insufficient_and_cleaning;
+        ] );
+      ( "condest",
+        [
+          Alcotest.test_case "dense kappa 10" `Quick test_condest_dense_known_kappa;
+          Alcotest.test_case "csr kappa 10" `Quick test_condest_csr_known_kappa;
+          Alcotest.test_case "identity" `Quick test_condest_identity;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "prometheus round-trip" `Quick test_prometheus_round_trip;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_round_trip;
+          Alcotest.test_case "sanitize names" `Quick test_sanitize_name;
+          Alcotest.test_case "of_telemetry" `Quick test_registry_of_telemetry;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "identical passes" `Quick test_gate_passes_identical;
+          Alcotest.test_case "improvement passes" `Quick test_gate_improvement_passes;
+          Alcotest.test_case "regression fails" `Quick test_gate_fails_on_regression;
+          Alcotest.test_case "within tolerance" `Quick test_gate_within_tolerance_passes;
+          Alcotest.test_case "hard errors" `Quick test_gate_hard_errors;
+          Alcotest.test_case "overrides" `Quick test_gate_overrides;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "newton history" `Quick test_newton_history_recorded;
+          Alcotest.test_case "diagonal residual" `Quick
+            test_diagonal_residual_small_on_quickstart;
+          Alcotest.test_case "health assessment" `Quick test_health_of_solution;
+        ] );
+    ]
