@@ -549,6 +549,85 @@ let json_escape str =
     str;
   Buffer.contents buf
 
+(* SWEEP: the parallel executor on a fixed 8-job MPDE disparity sweep
+   (unbalanced mixer, LO 1 MHz) at 1, 2, and 4 domains. Wall times feed
+   the perf gate (sweep.wall_1 lower-better, sweep.speedup_2
+   higher-better); the waveform hashes must agree across domain counts
+   or the "deterministic" flag — and the gate's convergence check —
+   trips. *)
+
+let sweep_disparities = [| 20.; 40.; 60.; 80.; 100.; 150.; 200.; 300. |]
+
+let sweep_jobs () =
+  Array.map
+    (fun disparity ->
+      let f_lo = 1e6 in
+      let fd = f_lo /. disparity in
+      let problem =
+        Engine.Problem.make
+          ~label:(Printf.sprintf "disparity=%g" disparity)
+          ~output:"out" ~f_fast:f_lo ~fd
+          (fun () ->
+            Circuits.unbalanced_mixer ~f_lo
+              ~rf_signal:(W.cosine ~amplitude:1.0 ~freq:(f_lo +. fd) ())
+              ~rf_amplitude:0.05 ())
+      in
+      Engine.Sweep.job
+        ~options:{ Engine.Options.default with n1 = 32; n2 = 16 }
+        ~kind:Engine.Mpde problem)
+    sweep_disparities
+
+let sweep_signature outcomes =
+  Array.map
+    (fun (o : Engine.Sweep.outcome) ->
+      match o.Engine.Sweep.result with
+      | Error _ -> None
+      | Ok r ->
+          Some
+            ( r.Engine.Result.converged,
+              Array.map Int64.bits_of_float
+                r.Engine.Result.waveform.Engine.Result.values ))
+    outcomes
+
+let sweep_bench () =
+  header "SWEEP - 8-job MPDE disparity sweep on 1/2/4 domains (Engine.Sweep)";
+  pr "recommended domains on this machine: %d\n"
+    (Engine.Sweep.default_domains ());
+  let run domains =
+    let outcomes, wall, _ =
+      time (fun () -> Engine.Sweep.run ~domains (sweep_jobs ()))
+    in
+    let converged =
+      Array.for_all
+        (fun (o : Engine.Sweep.outcome) ->
+          match o.Engine.Sweep.result with
+          | Ok r -> r.Engine.Result.converged
+          | Error _ -> false)
+        outcomes
+    in
+    pr "domains=%d  wall=%.4fs  all-converged=%b\n" domains wall converged;
+    (outcomes, wall, converged)
+  in
+  let o1, wall_1, ok1 = run 1 in
+  let o2, wall_2, ok2 = run 2 in
+  let o4, wall_4, ok4 = run 4 in
+  let deterministic =
+    sweep_signature o1 = sweep_signature o2
+    && sweep_signature o1 = sweep_signature o4
+  in
+  let speedup_2 = wall_1 /. Float.max wall_2 1e-12 in
+  let speedup_4 = wall_1 /. Float.max wall_4 1e-12 in
+  pr "speedup: x%.2f on 2 domains, x%.2f on 4; deterministic=%b\n" speedup_2
+    speedup_4 deterministic;
+  ( Array.length sweep_disparities,
+    wall_1,
+    wall_2,
+    wall_4,
+    speedup_2,
+    speedup_4,
+    deterministic,
+    ok1 && ok2 && ok4 )
+
 (* One telemetry-instrumented solve of the paper's balanced mixer plus
    an MPDE-vs-shooting comparison, dumped as BENCH_mpde.json so CI can
    archive and diff solver performance across commits. *)
@@ -595,6 +674,14 @@ let bench_json ?(file = "BENCH_mpde.json") () =
        ",\"speedup\":{\"disparity\":%.0f,\"mpde_wall_seconds\":%.6f,\"shooting_wall_seconds\":%.6f,\"ratio\":%.3f}"
        disparity mpde_t shoot_t
        (shoot_t /. Float.max mpde_t 1e-12));
+  let jobs, wall_1, wall_2, wall_4, speedup_2, speedup_4, deterministic, sweep_ok
+      =
+    sweep_bench ()
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"sweep\":{\"jobs\":%d,\"converged\":%b,\"wall_1\":%.6f,\"wall_2\":%.6f,\"wall_4\":%.6f,\"speedup_2\":%.3f,\"speedup_4\":%.3f,\"deterministic\":%b}"
+       jobs sweep_ok wall_1 wall_2 wall_4 speedup_2 speedup_4 deterministic);
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);

@@ -8,8 +8,14 @@
      rfss transient --circuit detector --t-stop 2e-4 --steps 4000
      rfss shooting --circuit rectifier --steps 512
      rfss hb --circuit rectifier --harmonics 12
+     rfss solve --circuit rectifier --engine periodic-fd
      rfss mpde --circuit balanced-mixer --n1 40 --n2 30 --output envelope
-     rfss envelope --circuit detector --steps 48 *)
+     rfss envelope --circuit detector --steps 48
+     rfss sweep --circuit rc --param fd=1e3:1e6:log:8 --engine mpde,shooting
+
+   The steady-state subcommands are thin wrappers over the unified
+   [Engine] API (lib/engine, DESIGN.md §11); [sweep] fans jobs out
+   over OCaml 5 domains via [Engine.Sweep]. *)
 
 module W = Circuit.Waveform
 
@@ -116,6 +122,15 @@ let output_value fixture mna x =
   match fixture.output_node_b with
   | None -> Circuit.Mna.voltage mna x fixture.output_node
   | Some b -> Circuit.Mna.differential_voltage mna x fixture.output_node b
+
+(* Bridge a built-in fixture to the unified engine API. *)
+let problem_of_fixture ?(period = Engine.Problem.Fast_tone) ?label fixture
+    ~f_fast ~fd =
+  Engine.Problem.make
+    ~label:(Option.value label ~default:fixture.name)
+    ~period ~output:fixture.output_node ?output_b:fixture.output_node_b ~f_fast
+    ~fd
+    (fun () -> fixture.build ~f_fast ~fd)
 
 (* Optional work bound shared by the solve commands: --budget-seconds
    caps wall time, --max-newton caps total Newton iterations across
@@ -239,6 +254,21 @@ let transient_cmd tele circuit f_fast fd t_stop steps =
         result.Circuit.Transient.trace.Numeric.Integrator.times;
       0
 
+(* Shared CLI rendering for the single-time engines: the legacy header
+   line plus the one-period CSV, now read off the unified result. *)
+let print_single_time fixture (r : Engine.Result.t) =
+  Printf.printf "# converged=%b newton=%d residual=%.2e outcome=%s\n"
+    r.Engine.Result.converged r.Engine.Result.newton_iterations
+    r.Engine.Result.residual_norm
+    (Resilience.Report.outcome_to_string
+       r.Engine.Result.report.Resilience.Report.outcome);
+  Printf.printf "t,v(%s)\n" fixture.output_node;
+  let w = r.Engine.Result.waveform in
+  Array.iteri
+    (fun k t -> Printf.printf "%.9e,%.6e\n" t w.Engine.Result.values.(k))
+    w.Engine.Result.times;
+  if r.Engine.Result.converged then 0 else 1
+
 let shooting_cmd tele circuit f_fast fd steps budget_seconds max_newton =
   with_telemetry tele @@ fun () ->
   match find_fixture circuit with
@@ -248,24 +278,16 @@ let shooting_cmd tele circuit f_fast fd steps budget_seconds max_newton =
   | Ok fixture ->
       let f_fast = Option.value f_fast ~default:fixture.default_fast in
       let fd = Option.value fd ~default:fixture.default_fd in
-      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
-      let dc = Circuit.Dcop.solve_exn mna in
-      let budget = make_budget budget_seconds max_newton in
-      let r =
-        Steady.Shooting.solve ~steps_per_period:steps ?budget ~x0:dc
-          ~dae:(Circuit.Mna.dae mna) ~period:(1.0 /. f_fast) ()
+      let problem = problem_of_fixture fixture ~f_fast ~fd in
+      let options =
+        {
+          Engine.Options.default with
+          steps_per_period = steps;
+          budget = make_budget budget_seconds max_newton;
+        }
       in
-      Printf.printf "# converged=%b newton=%d residual=%.2e outcome=%s\n"
-        r.Steady.Shooting.converged r.Steady.Shooting.newton_iterations
-        r.Steady.Shooting.residual_norm
-        (Resilience.Report.outcome_to_string r.Steady.Shooting.outcome);
-      Printf.printf "t,v(%s)\n" fixture.output_node;
-      Array.iteri
-        (fun k t ->
-          Printf.printf "%.9e,%.6e\n" t
-            (output_value fixture mna r.Steady.Shooting.trace.Numeric.Integrator.states.(k)))
-        r.Steady.Shooting.trace.Numeric.Integrator.times;
-      if r.Steady.Shooting.converged then 0 else 1
+      let r = Engine.run problem (Engine.make ~options Engine.Shooting) in
+      print_single_time fixture r
 
 let hb_cmd tele circuit f_fast fd harmonics budget_seconds max_newton =
   with_telemetry tele @@ fun () ->
@@ -276,22 +298,67 @@ let hb_cmd tele circuit f_fast fd harmonics budget_seconds max_newton =
   | Ok fixture ->
       let f_fast = Option.value f_fast ~default:fixture.default_fast in
       let fd = Option.value fd ~default:fixture.default_fd in
-      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
-      let dc = Circuit.Dcop.solve_exn mna in
-      let budget = make_budget budget_seconds max_newton in
-      let r =
-        Steady.Hb.solve ?budget ~x_init:dc ~dae:(Circuit.Mna.dae mna)
-          ~period:(1.0 /. f_fast) ~harmonics ()
+      let problem = problem_of_fixture fixture ~f_fast ~fd in
+      let options =
+        {
+          Engine.Options.default with
+          harmonics;
+          budget = make_budget budget_seconds max_newton;
+        }
       in
-      Printf.printf "# converged=%b newton=%d residual=%.2e outcome=%s\n"
-        r.Steady.Hb.converged r.Steady.Hb.newton_iterations r.Steady.Hb.residual_norm
-        (Resilience.Report.outcome_to_string r.Steady.Hb.outcome);
-      Printf.printf "t,v(%s)\n" fixture.output_node;
-      Array.iteri
-        (fun k t ->
-          Printf.printf "%.9e,%.6e\n" t (output_value fixture mna r.Steady.Hb.states.(k)))
-        r.Steady.Hb.times;
-      if r.Steady.Hb.converged then 0 else 1
+      let r = Engine.run problem (Engine.make ~options Engine.Hb) in
+      print_single_time fixture r
+
+(* Generic single solve through the unified API: any engine, unified
+   options, unified result rendering (metrics + health + report). *)
+let solve_cmd tele circuit engine_name f_fast fd period steps segments
+    harmonics points n1 n2 tol budget_seconds max_newton =
+  with_telemetry tele @@ fun () ->
+  match find_fixture circuit with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture -> (
+      match Engine.kind_of_name engine_name with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok kind ->
+          let f_fast = Option.value f_fast ~default:fixture.default_fast in
+          let fd = Option.value fd ~default:fixture.default_fd in
+          let problem = problem_of_fixture ~period fixture ~f_fast ~fd in
+          let options =
+            {
+              Engine.Options.default with
+              tol;
+              steps_per_period = steps;
+              segments;
+              harmonics;
+              points;
+              n1;
+              n2;
+              budget = make_budget budget_seconds max_newton;
+            }
+          in
+          let r = Engine.run problem (Engine.make ~options kind) in
+          Printf.printf "# engine=%s converged=%b newton=%d residual=%.2e wall=%.3fs\n"
+            (Engine.kind_name r.Engine.Result.kind) r.Engine.Result.converged
+            r.Engine.Result.newton_iterations r.Engine.Result.residual_norm
+            r.Engine.Result.wall_seconds;
+          List.iter
+            (fun (k, v) -> Printf.printf "# metric %s=%.6e\n" k v)
+            r.Engine.Result.metrics;
+          (* summary_line already starts with "health: " *)
+          Printf.printf "# %s\n"
+            (Diagnostics.Health.summary_line r.Engine.Result.health);
+          Printf.printf "# report=%s\n"
+            (Resilience.Report.to_json_string r.Engine.Result.report);
+          Printf.printf "t,v(%s)\n" fixture.output_node;
+          let w = r.Engine.Result.waveform in
+          Array.iteri
+            (fun k t -> Printf.printf "%.9e,%.6e\n" t w.Engine.Result.values.(k))
+            w.Engine.Result.times;
+          if r.Engine.Result.converged then 0 else 1)
 
 type mpde_output = Envelope | Surface | Diagonal | Gain
 
@@ -304,12 +371,24 @@ let mpde_cmd tele circuit f_fast fd n1 n2 output budget_seconds max_newton =
   | Ok fixture ->
       let f_fast = Option.value f_fast ~default:fixture.default_fast in
       let fd = Option.value fd ~default:fixture.default_fd in
-      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
-      let shear = Mpde.Shear.make ~fast_freq:f_fast ~slow_freq:fd in
+      let problem = problem_of_fixture fixture ~f_fast ~fd in
       let options =
-        { Mpde.Solver.default_options with budget = make_budget budget_seconds max_newton }
+        {
+          Engine.Options.default with
+          n1;
+          n2;
+          budget = make_budget budget_seconds max_newton;
+        }
       in
-      let sol = Mpde.Solver.solve_mna ~options ~shear ~n1 ~n2 mna in
+      let r = Engine.run problem (Engine.make ~options Engine.Mpde) in
+      let sol =
+        match r.Engine.Result.mpde_solution with
+        | Some sol -> sol
+        | None -> assert false (* the MPDE backend always attaches it *)
+      in
+      (* Fresh identically-built MNA for node-index lookups only; the
+         solve itself ran on the problem's own instance. *)
+      let { Circuits.mna; _ } = fixture.build ~f_fast ~fd in
       let stats = sol.Mpde.Solver.stats in
       Printf.printf
         "# converged=%b strategy=%s newton=%d gmres=%d continuation=%d residual=%.2e wall=%.2fs\n"
@@ -356,6 +435,206 @@ let mpde_cmd tele circuit f_fast fd n1 n2 output budget_seconds max_newton =
             (Mpde.Extract.conversion_gain_db ~values ~rf_amplitude:1.0 ~harmonic:1)
             (Mpde.Extract.thd ~values ()));
       if stats.Mpde.Solver.converged then 0 else 1
+
+(* ---------- parameter sweeps (Engine.Sweep) ---------- *)
+
+(* --param NAME=START:STOP:lin|log:N or NAME=v1,v2,...; NAME is the
+   frequency being swept: fd (difference tone) or fast (LO). *)
+let parse_param s =
+  try
+    let i = String.index s '=' in
+    let name = String.sub s 0 i in
+    let spec = String.sub s (i + 1) (String.length s - i - 1) in
+    if name <> "fd" && name <> "fast" then
+      failwith "parameter must be fd or fast";
+    let values =
+      match String.split_on_char ':' spec with
+      | [ list ] ->
+          Array.of_list
+            (List.map float_of_string (String.split_on_char ',' list))
+      | [ a; b; scale; n ] ->
+          let a = float_of_string a and b = float_of_string b in
+          let n = int_of_string n in
+          if n < 2 then failwith "need at least 2 points";
+          let at =
+            match scale with
+            | "lin" ->
+                fun i ->
+                  a +. ((b -. a) *. float_of_int i /. float_of_int (n - 1))
+            | "log" ->
+                if a <= 0.0 || b <= 0.0 then
+                  failwith "log scale needs positive endpoints";
+                fun i -> a *. ((b /. a) ** (float_of_int i /. float_of_int (n - 1)))
+            | _ -> failwith "scale must be lin or log"
+          in
+          Array.init n at
+      | _ -> failwith "expected NAME=v1,v2,... or NAME=START:STOP:lin|log:N"
+    in
+    if Array.length values = 0 then failwith "empty value list";
+    Ok (name, values)
+  with
+  | Not_found -> Error (Printf.sprintf "bad --param %S: expected NAME=SPEC" s)
+  | Failure msg -> Error (Printf.sprintf "bad --param %S: %s" s msg)
+
+let parse_engines s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+        match Engine.kind_of_name name with
+        | Ok k -> go (k :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] (String.split_on_char ',' (String.trim s))
+
+(* FNV-1a over the raw float bits of the waveform: a cheap fingerprint
+   that makes "parallel == serial, bitwise" checkable from CSV output
+   (and from CI via cmp on two sweep runs). *)
+let waveform_hash (w : Engine.Result.waveform) =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let mix v =
+    let bits = Int64.bits_of_float v in
+    for k = 0 to 7 do
+      let byte =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL)
+      in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime
+    done
+  in
+  Array.iter mix w.Engine.Result.times;
+  Array.iter mix w.Engine.Result.values;
+  Printf.sprintf "%016Lx" !h
+
+let sweep_default_domains () =
+  match Option.bind (Sys.getenv_opt "DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> Engine.Sweep.default_domains ()
+
+let metric_opt (r : Engine.Result.t) names =
+  List.find_map (fun n -> List.assoc_opt n r.Engine.Result.metrics) names
+
+let csv_sanitize msg =
+  String.map (fun c -> if c = ',' || c = '\n' || c = '\r' then ';' else c) msg
+
+type sweep_format = Sweep_csv | Sweep_json
+
+let emit_sweep_csv ~no_wall outcomes =
+  Printf.printf
+    "label,engine,fast,fd,status,converged,newton,residual,h1,thd,waveform_hash%s,message\n"
+    (if no_wall then "" else ",wall_seconds");
+  Array.iter
+    (fun (o : Engine.Sweep.outcome) ->
+      let j = o.Engine.Sweep.job in
+      let p = j.Engine.Sweep.problem in
+      let engine = Engine.kind_name j.Engine.Sweep.engine.Engine.kind in
+      let wall =
+        if no_wall then ""
+        else Printf.sprintf ",%.6f" o.Engine.Sweep.wall_seconds
+      in
+      match o.Engine.Sweep.result with
+      | Ok r ->
+          Printf.printf "%s,%s,%.9e,%.9e,ok,%b,%d,%.6e,%.6e,%.6e,%s%s,\n"
+            j.Engine.Sweep.label engine p.Engine.Problem.f_fast
+            p.Engine.Problem.fd r.Engine.Result.converged
+            r.Engine.Result.newton_iterations r.Engine.Result.residual_norm
+            (Option.value ~default:Float.nan
+               (metric_opt r [ "h1_amplitude"; "baseband_h1" ]))
+            (Option.value ~default:Float.nan (metric_opt r [ "thd" ]))
+            (waveform_hash r.Engine.Result.waveform)
+            wall
+      | Error msg ->
+          Printf.printf "%s,%s,%.9e,%.9e,error,false,0,nan,nan,nan,%s,%s\n"
+            j.Engine.Sweep.label engine p.Engine.Problem.f_fast
+            p.Engine.Problem.fd wall (csv_sanitize msg))
+    outcomes
+
+let emit_sweep_json ~no_wall outcomes =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  Array.iteri
+    (fun i (o : Engine.Sweep.outcome) ->
+      if i > 0 then Buffer.add_string buf ",";
+      let j = o.Engine.Sweep.job in
+      let p = j.Engine.Sweep.problem in
+      Buffer.add_string buf
+        (Printf.sprintf "\n  {\"label\":%S,\"engine\":%S,\"fast\":%.9e,\"fd\":%.9e"
+           j.Engine.Sweep.label
+           (Engine.kind_name j.Engine.Sweep.engine.Engine.kind)
+           p.Engine.Problem.f_fast p.Engine.Problem.fd);
+      (match o.Engine.Sweep.result with
+      | Ok r ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"status\":\"ok\",\"converged\":%b,\"newton\":%d,\"residual\":%.6e,\"h1\":%.6e,\"thd\":%.6e,\"waveform_hash\":%S"
+               r.Engine.Result.converged r.Engine.Result.newton_iterations
+               r.Engine.Result.residual_norm
+               (Option.value ~default:Float.nan
+                  (metric_opt r [ "h1_amplitude"; "baseband_h1" ]))
+               (Option.value ~default:Float.nan (metric_opt r [ "thd" ]))
+               (waveform_hash r.Engine.Result.waveform))
+      | Error msg ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"status\":\"error\",\"message\":%S" msg));
+      if not no_wall then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"wall_seconds\":%.6f" o.Engine.Sweep.wall_seconds);
+      Buffer.add_string buf "}")
+    outcomes;
+  Buffer.add_string buf "\n]\n";
+  print_string (Buffer.contents buf)
+
+let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
+    format n1 n2 steps tol budget_seconds max_newton per_job_telemetry =
+  with_telemetry tele @@ fun () ->
+  match
+    ( find_fixture circuit,
+      parse_param param,
+      parse_engines engines )
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      prerr_endline e;
+      1
+  | Ok fixture, Ok (pname, values), Ok kinds ->
+      let f_fast0 = Option.value f_fast ~default:fixture.default_fast in
+      let fd0 = Option.value fd ~default:fixture.default_fd in
+      let options =
+        { Engine.Options.default with n1; n2; steps_per_period = steps; tol }
+      in
+      let jobs =
+        Array.of_list
+          (List.concat_map
+             (fun kind ->
+               Array.to_list values
+               |> List.map (fun v ->
+                      let f_fast = if pname = "fast" then v else f_fast0 in
+                      let fd = if pname = "fd" then v else fd0 in
+                      let label =
+                        Printf.sprintf "%s:%s:%s=%g" fixture.name
+                          (Engine.kind_name kind) pname v
+                      in
+                      let problem =
+                        problem_of_fixture ~period ~label fixture ~f_fast ~fd
+                      in
+                      Engine.Sweep.job ~label ~options ~kind problem))
+             kinds)
+      in
+      let domains =
+        match domains with Some d -> d | None -> sweep_default_domains ()
+      in
+      let outcomes =
+        Engine.Sweep.run ~domains ?wall_seconds:budget_seconds
+          ?max_newton_per_job:max_newton ~per_job_telemetry jobs
+      in
+      (match format with
+      | Sweep_csv -> emit_sweep_csv ~no_wall outcomes
+      | Sweep_json -> emit_sweep_json ~no_wall outcomes);
+      let errored =
+        Array.exists
+          (fun (o : Engine.Sweep.outcome) ->
+            match o.Engine.Sweep.result with Error _ -> true | Ok _ -> false)
+          outcomes
+      in
+      if errored then 1 else 0
 
 let envelope_cmd tele circuit f_fast fd n1 steps periods =
   with_telemetry tele @@ fun () ->
@@ -598,6 +877,122 @@ let hb_term =
     const hb_cmd $ telemetry_arg $ circuit_arg $ f_fast_arg $ fd_arg $ harmonics $ budget_seconds_arg
     $ max_newton_arg)
 
+let engine_period_arg =
+  let period_conv =
+    Arg.enum
+      [
+        ("fast", Engine.Problem.Fast_tone);
+        ("difference", Engine.Problem.Difference_tone);
+      ]
+  in
+  Arg.(
+    value
+    & opt period_conv Engine.Problem.Fast_tone
+    & info [ "period" ] ~docv:"WHICH"
+        ~doc:
+          "Which fundamental the single-time engines lock onto: $(b,fast) \
+           (one LO period) or $(b,difference) (the whole difference period — \
+           the paper's §3 cost comparison; scale --steps with the disparity \
+           to keep the fast tone resolved). Ignored by the MPDE engine.")
+
+let solve_term =
+  let engine =
+    Arg.(
+      value
+      & opt string "shooting"
+      & info [ "engine" ] ~docv:"NAME"
+          ~doc:
+            "Steady-state engine: $(b,shooting), $(b,multiple-shooting), \
+             $(b,hb), $(b,periodic-fd) or $(b,mpde).")
+  in
+  let steps =
+    Arg.(value & opt int 256 & info [ "steps" ] ~docv:"N" ~doc:"Shooting steps per period.")
+  in
+  let segments =
+    Arg.(value & opt int 8 & info [ "segments" ] ~docv:"N" ~doc:"Multiple-shooting windows.")
+  in
+  let harmonics =
+    Arg.(value & opt int 8 & info [ "harmonics" ] ~docv:"K" ~doc:"HB harmonic count.")
+  in
+  let points =
+    Arg.(value & opt int 64 & info [ "points" ] ~docv:"N" ~doc:"Periodic-FD collocation points.")
+  in
+  let n1 = Arg.(value & opt int 32 & info [ "n1" ] ~docv:"N" ~doc:"MPDE fast-scale points.") in
+  let n2 = Arg.(value & opt int 24 & info [ "n2" ] ~docv:"N" ~doc:"MPDE slow-scale points.") in
+  let tol =
+    Arg.(value & opt float 1e-8 & info [ "tol" ] ~docv:"T" ~doc:"Residual infinity-norm target.")
+  in
+  Term.(
+    const solve_cmd $ telemetry_arg $ circuit_arg $ engine $ f_fast_arg $ fd_arg
+    $ engine_period_arg $ steps $ segments $ harmonics $ points $ n1 $ n2 $ tol
+    $ budget_seconds_arg $ max_newton_arg)
+
+let sweep_term =
+  let engines =
+    Arg.(
+      value
+      & opt string "mpde"
+      & info [ "engine" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated engines to sweep, e.g. $(b,mpde,shooting); each \
+             runs every parameter value as its own job.")
+  in
+  let param =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "param" ] ~docv:"SPEC"
+          ~doc:
+            "Swept parameter: $(b,fd=START:STOP:lin|log:N) or \
+             $(b,fast=v1,v2,...). $(b,fd) sweeps the difference tone, \
+             $(b,fast) the LO fundamental.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel executor; defaults to the \
+             $(b,DOMAINS) environment variable, then the machine's \
+             recommended domain count. $(b,1) forces fully serial execution.")
+  in
+  let no_wall =
+    Arg.(
+      value & flag
+      & info [ "no-wall" ]
+          ~doc:
+            "Omit wall-clock columns so two runs (e.g. serial vs parallel in \
+             CI) can be compared byte-for-byte.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("csv", Sweep_csv); ("json", Sweep_json) ]) Sweep_csv
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,csv) or $(b,json).")
+  in
+  let n1 = Arg.(value & opt int 32 & info [ "n1" ] ~docv:"N" ~doc:"MPDE fast-scale points.") in
+  let n2 = Arg.(value & opt int 24 & info [ "n2" ] ~docv:"N" ~doc:"MPDE slow-scale points.") in
+  let steps =
+    Arg.(value & opt int 256 & info [ "steps" ] ~docv:"N" ~doc:"Shooting steps per period.")
+  in
+  let tol =
+    Arg.(value & opt float 1e-8 & info [ "tol" ] ~docv:"T" ~doc:"Residual infinity-norm target.")
+  in
+  let per_job_telemetry =
+    Arg.(
+      value & flag
+      & info [ "per-job-telemetry" ]
+          ~doc:
+            "Enable a telemetry recorder around every job on its executing \
+             domain (recorders are domain-local; without this, worker domains \
+             record nothing).")
+  in
+  Term.(
+    const sweep_cmd $ telemetry_arg $ circuit_arg $ engines $ param $ f_fast_arg
+    $ fd_arg $ engine_period_arg $ domains $ no_wall $ format $ n1 $ n2 $ steps
+    $ tol $ budget_seconds_arg $ max_newton_arg $ per_job_telemetry)
+
 let mpde_term =
   let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
   let n2 = Arg.(value & opt int 30 & info [ "n2" ] ~docv:"N" ~doc:"Slow-scale points.") in
@@ -656,6 +1051,20 @@ let cmds =
     Cmd.v (Cmd.info "transient" ~doc:"Time-stepping transient analysis (CSV).") transient_term;
     Cmd.v (Cmd.info "shooting" ~doc:"Single-tone periodic steady state by shooting (CSV).") shooting_term;
     Cmd.v (Cmd.info "hb" ~doc:"Single-tone harmonic balance (CSV).") hb_term;
+    Cmd.v
+      (Cmd.info "solve"
+         ~doc:
+           "Run any steady-state engine through the unified Engine API: one \
+            result shape (waveform CSV, RF metrics, health, report) \
+            regardless of backend.")
+      solve_term;
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:
+           "Parameter sweep executed in parallel on OCaml 5 domains: every \
+            (engine, parameter value) pair is one job; results are emitted \
+            in deterministic job order (CSV or JSON).")
+      sweep_term;
     Cmd.v
       (Cmd.info "mpde"
          ~doc:"Bi-periodic MPDE on sheared difference-frequency time scales (CSV).")

@@ -56,20 +56,26 @@ let () =
     Printf.printf "z2(0, %.3fms) = %+.3f\n" (1e3 *. t2) v
   done;
 
-  (* Now an actual circuit: behavioral multiplier into an RC IF load. *)
+  (* Now an actual circuit: behavioral multiplier into an RC IF load,
+     solved through the unified engine API. *)
   let lo = Circuit.Waveform.cosine ~amplitude:1.0 ~freq:f1 () in
   let rf = Circuit.Waveform.cosine ~amplitude:1.0 ~freq:f2 () in
-  let { Circuits.mna; _ } = Circuits.ideal_mixer ~lo ~rf () in
-  let sol = Mpde.Solver.solve_mna ~shear ~n1:32 ~n2:24 mna in
-  Printf.printf "\nMPDE solve: converged=%b, %d Newton iterations, %.3fs\n"
-    sol.Mpde.Solver.stats.converged sol.Mpde.Solver.stats.newton_iterations
-    sol.Mpde.Solver.stats.wall_seconds;
-  let health =
-    Diagnostics.Health.of_solution
-      ~diagonal_unknown:(Circuit.Mna.node_index mna "out")
-      sol
+  let problem =
+    Engine.Problem.make ~label:"quickstart" ~output:"out" ~f_fast:f1 ~fd
+      (fun () -> Circuits.ideal_mixer ~lo ~rf ())
   in
-  Printf.printf "%s\n" (Diagnostics.Health.summary_line health);
+  let options =
+    { Engine.Options.default with n1 = 32; n2 = 24; condition_estimate = true }
+  in
+  let r = Engine.run problem (Engine.make ~options Engine.Mpde) in
+  Printf.printf "\nMPDE solve: converged=%b, %d Newton iterations, %.3fs\n"
+    r.Engine.Result.converged r.Engine.Result.newton_iterations
+    r.Engine.Result.wall_seconds;
+  Printf.printf "%s\n"
+    (Diagnostics.Health.summary_line r.Engine.Result.health);
+  let sol = Option.get r.Engine.Result.mpde_solution in
+  (* Identically-built MNA for node-index lookups in the extractors. *)
+  let { Circuits.mna; _ } = Circuits.ideal_mixer ~lo ~rf () in
   let out = Mpde.Extract.surface_of_node sol mna "out" in
   let amp = Mpde.Extract.t2_harmonic_amplitude ~values:out ~harmonic:1 in
   Printf.printf "difference-tone (10 kHz) amplitude at the IF output: %.4f V\n" amp;

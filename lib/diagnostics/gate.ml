@@ -54,6 +54,18 @@ let default_checks ?(overrides = []) tolerance =
       direction = Higher_better;
       tolerance = tol "speedup.ratio";
     };
+    {
+      metric = "sweep.wall_1";
+      path = [ "sweep"; "wall_1" ];
+      direction = Lower_better;
+      tolerance = tol "sweep.wall_1";
+    };
+    {
+      metric = "sweep.speedup_2";
+      path = [ "sweep"; "speedup_2" ];
+      direction = Higher_better;
+      tolerance = tol "sweep.speedup_2";
+    };
   ]
 
 let lookup_num doc path =

@@ -41,9 +41,12 @@ val default_tolerance : float
 
 val default_checks : ?overrides:(string * float) list -> float -> check list
 (** The watched metrics — [mixer.wall_seconds], [mixer.newton_iterations],
-    [mixer.gmres_iterations] (lower is better) and [speedup.ratio]
-    (higher is better) — at the given default tolerance, with optional
-    per-metric overrides keyed by display name. *)
+    [mixer.gmres_iterations], [sweep.wall_1] (lower is better) and
+    [speedup.ratio], [sweep.speedup_2] (higher is better) — at the
+    given default tolerance, with optional per-metric overrides keyed
+    by display name. The [sweep.*] pair watches the parallel sweep
+    executor: serial wall time for the 8-job MPDE sweep, and the
+    2-domain speedup over it. *)
 
 val evaluate :
   ?checks:check list -> baseline:Json_min.t -> current:Json_min.t -> unit -> result

@@ -66,6 +66,29 @@ let of_solution ?(scheme = Mpde.Assemble.Backward) ?(condition = true)
     stage_iterations;
   }
 
+let of_report (r : Resilience.Report.t) =
+  let strategy =
+    match r.Resilience.Report.strategy with Some s -> s | None -> "newton"
+  in
+  {
+    convergence =
+      Convergence.classify ~strategy r.Resilience.Report.residual_trajectory;
+    newton_iterations = r.Resilience.Report.newton_iterations;
+    linear_iterations = r.Resilience.Report.linear_iterations;
+    residual_norm = r.Resilience.Report.residual_norm;
+    strategy;
+    converged =
+      (match r.Resilience.Report.outcome with
+      | Resilience.Report.Converged -> true
+      | Resilience.Report.Failed _ | Resilience.Report.Exhausted _ -> false);
+    condition_estimate = None;
+    diagonal_residual = None;
+    stage_iterations =
+      List.map
+        (fun s -> (s.Resilience.Report.name, s.Resilience.Report.iterations))
+        r.Resilience.Report.stages;
+  }
+
 let summary_line h =
   let buf = Buffer.create 96 in
   Buffer.add_string buf

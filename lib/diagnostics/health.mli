@@ -35,6 +35,15 @@ val of_solution :
     (default [true]) controls the κ estimate; [diagonal_unknown], when
     given, enables the diagonal-consistency check on that unknown. *)
 
+val of_report : Resilience.Report.t -> t
+(** Engine-agnostic assessment built from a structured solve report
+    alone — the path the unified engine API uses for the single-time
+    backends (shooting, multiple shooting, HB, periodic FD), whose
+    results carry no MPDE solution to probe. Convergence is classified
+    from the report's residual trajectory; [condition_estimate] and
+    [diagonal_residual] are [None] (both need the MPDE Jacobian and
+    grid — use {!of_solution} for those). *)
+
 val summary_line : t -> string
 (** One-line rendering for CLI output, e.g.
     ["health: quadratic | newton=9 | residual=3.1e-10 | kappa~2.4e+03 | diag=1.2e-02"]. *)

@@ -1,0 +1,220 @@
+type kind = Shooting | Multiple_shooting | Hb | Periodic_fd | Mpde
+
+let all_kinds = [ Shooting; Multiple_shooting; Hb; Periodic_fd; Mpde ]
+
+let kind_name = function
+  | Shooting -> "shooting"
+  | Multiple_shooting -> "multiple-shooting"
+  | Hb -> "hb"
+  | Periodic_fd -> "periodic-fd"
+  | Mpde -> "mpde"
+
+let kind_of_name s =
+  match String.lowercase_ascii s with
+  | "shooting" -> Ok Shooting
+  | "multiple-shooting" | "msh" -> Ok Multiple_shooting
+  | "hb" | "harmonic-balance" -> Ok Hb
+  | "periodic-fd" | "pfd" -> Ok Periodic_fd
+  | "mpde" -> Ok Mpde
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown engine %S (expected shooting, multiple-shooting, hb, \
+            periodic-fd or mpde)"
+           other)
+
+module Result = struct
+  type waveform = { times : float array; values : float array }
+
+  type t = {
+    kind : kind;
+    label : string;
+    converged : bool;
+    newton_iterations : int;
+    residual_norm : float;
+    wall_seconds : float;
+    waveform : waveform;
+    metrics : (string * float) list;
+    report : Resilience.Report.t;
+    health : Diagnostics.Health.t;
+    telemetry : Telemetry.Summary.t option;
+    mpde_solution : Mpde.Solver.solution option;
+  }
+end
+
+type t = { kind : kind; options : Options.t }
+
+let make ?(options = Options.default) kind = { kind; options }
+let options e = e.options
+
+let output_values mna (p : Problem.t) states =
+  match p.Problem.output_b with
+  | None -> Array.map (fun x -> Circuit.Mna.voltage mna x p.Problem.output) states
+  | Some b ->
+      Array.map
+        (fun x -> Circuit.Mna.differential_voltage mna x p.Problem.output b)
+        states
+
+(* Integrator traces cover [0, T] inclusive, so the last sample
+   duplicates the first; drop it before harmonic analysis, which
+   assumes exactly one period of samples. *)
+let one_period ~period times values =
+  let n = Array.length values in
+  if
+    n >= 2
+    && Float.abs (times.(n - 1) -. times.(0) -. period) <= 1e-6 *. period
+  then Array.sub values 0 (n - 1)
+  else values
+
+let finite_or_zero x = if Float.is_finite x then x else 0.0
+
+let periodic_metrics samples =
+  if Array.length samples < 4 then []
+  else
+    let h = Numeric.Fft.real_harmonics samples in
+    let h1 = if Array.length h > 1 then fst h.(1) else 0.0 in
+    [
+      ("h1_amplitude", h1);
+      ("thd", finite_or_zero (Rf.Metrics.thd samples ()));
+    ]
+
+let run (problem : Problem.t) (engine : t) : Result.t =
+  let o = engine.options in
+  Telemetry.span "engine.run" @@ fun () ->
+  let wall0 = Telemetry.Clock.wall () in
+  let tele_mark = Telemetry.mark () in
+  let { Circuits.mna; _ } = problem.Problem.build () in
+  let dae = Circuit.Mna.dae mna in
+  let period = Problem.engine_period problem in
+  let x0 =
+    if o.Options.warm_start then
+      (* A failed DC solve is not fatal — the engines fall back to the
+         zero seed exactly as they would without warm start. *)
+      try Some (Circuit.Dcop.solve_exn ?budget:o.Options.budget mna)
+      with _ -> None
+    else None
+  in
+  let finalize ~converged ~newton_iterations ~residual_norm ~times ~values
+      ~metrics ~report ~health ~mpde_solution =
+    let telemetry =
+      Option.map Telemetry.Summary.of_snapshot
+        (Telemetry.snapshot ~since:tele_mark ())
+    in
+    {
+      Result.kind = engine.kind;
+      label = problem.Problem.label;
+      converged;
+      newton_iterations;
+      residual_norm;
+      wall_seconds = Telemetry.Clock.wall () -. wall0;
+      waveform = { Result.times; values };
+      metrics;
+      report;
+      health;
+      telemetry;
+      mpde_solution;
+    }
+  in
+  let finalize_single_time ~converged ~newton_iterations ~residual_norm ~times
+      ~values ~report =
+    finalize ~converged ~newton_iterations ~residual_norm ~times ~values
+      ~metrics:(periodic_metrics (one_period ~period times values))
+      ~report
+      ~health:(Diagnostics.Health.of_report report)
+      ~mpde_solution:None
+  in
+  match engine.kind with
+  | Shooting ->
+      let r =
+        Steady.Shooting.solve ~max_newton:o.Options.max_newton
+          ~tol:o.Options.tol ~steps_per_period:o.Options.steps_per_period
+          ?budget:o.Options.budget ?x0 ~dae ~period ()
+      in
+      let wall = Telemetry.Clock.wall () -. wall0 in
+      let report = Steady.Shooting.to_report ~wall_seconds:wall r in
+      finalize_single_time ~converged:r.Steady.Shooting.converged
+        ~newton_iterations:r.Steady.Shooting.newton_iterations
+        ~residual_norm:r.Steady.Shooting.residual_norm
+        ~times:r.Steady.Shooting.trace.Numeric.Integrator.times
+        ~values:
+          (output_values mna problem
+             r.Steady.Shooting.trace.Numeric.Integrator.states)
+        ~report
+  | Multiple_shooting ->
+      let r =
+        Steady.Multiple_shooting.solve ~max_newton:o.Options.max_newton
+          ~tol:o.Options.tol ~steps_per_segment:o.Options.steps_per_segment
+          ?budget:o.Options.budget ?x0 ~dae ~period
+          ~segments:o.Options.segments ()
+      in
+      let wall = Telemetry.Clock.wall () -. wall0 in
+      let report = Steady.Multiple_shooting.to_report ~wall_seconds:wall r in
+      finalize_single_time ~converged:r.Steady.Multiple_shooting.converged
+        ~newton_iterations:r.Steady.Multiple_shooting.newton_iterations
+        ~residual_norm:r.Steady.Multiple_shooting.residual_norm
+        ~times:r.Steady.Multiple_shooting.trace.Numeric.Integrator.times
+        ~values:
+          (output_values mna problem
+             r.Steady.Multiple_shooting.trace.Numeric.Integrator.states)
+        ~report
+  | Hb ->
+      let r =
+        Steady.Hb.solve ~max_newton:o.Options.max_newton ~tol:o.Options.tol
+          ?budget:o.Options.budget ?x_init:x0 ~dae ~period
+          ~harmonics:o.Options.harmonics ()
+      in
+      let wall = Telemetry.Clock.wall () -. wall0 in
+      let report = Steady.Hb.to_report ~wall_seconds:wall r in
+      finalize_single_time ~converged:r.Steady.Hb.converged
+        ~newton_iterations:r.Steady.Hb.newton_iterations
+        ~residual_norm:r.Steady.Hb.residual_norm ~times:r.Steady.Hb.times
+        ~values:(output_values mna problem r.Steady.Hb.states)
+        ~report
+  | Periodic_fd ->
+      let r =
+        Steady.Periodic_fd.solve ~max_newton:o.Options.max_newton
+          ~tol:o.Options.tol ?budget:o.Options.budget ?x_init:x0 ~dae ~period
+          ~points:o.Options.points ()
+      in
+      let wall = Telemetry.Clock.wall () -. wall0 in
+      let report = Steady.Periodic_fd.to_report ~wall_seconds:wall r in
+      finalize_single_time ~converged:r.Steady.Periodic_fd.converged
+        ~newton_iterations:r.Steady.Periodic_fd.newton_iterations
+        ~residual_norm:r.Steady.Periodic_fd.residual_norm
+        ~times:r.Steady.Periodic_fd.times
+        ~values:(output_values mna problem r.Steady.Periodic_fd.states)
+        ~report
+  | Mpde ->
+      let shear =
+        Mpde.Shear.make ~fast_freq:problem.Problem.f_fast
+          ~slow_freq:problem.Problem.fd
+      in
+      let sol =
+        Mpde.Solver.solve_mna ~options:(Options.to_mpde o) ~shear
+          ~n1:o.Options.n1 ~n2:o.Options.n2 mna
+      in
+      let values_2d =
+        match problem.Problem.output_b with
+        | None -> Mpde.Extract.surface_of_node sol mna problem.Problem.output
+        | Some b ->
+            Mpde.Extract.differential_surface sol mna problem.Problem.output b
+      in
+      let times = Mpde.Extract.envelope_times sol in
+      let values = Mpde.Extract.envelope sol ~values:values_2d in
+      let metrics =
+        [
+          ( "baseband_h1",
+            Mpde.Extract.t2_harmonic_amplitude ~values:values_2d ~harmonic:1 );
+          ("thd", finite_or_zero (Mpde.Extract.thd ~values:values_2d ()));
+        ]
+      in
+      let health =
+        Diagnostics.Health.of_solution ~scheme:o.Options.scheme
+          ~condition:o.Options.condition_estimate sol
+      in
+      finalize ~converged:sol.Mpde.Solver.stats.Mpde.Solver.converged
+        ~newton_iterations:
+          sol.Mpde.Solver.stats.Mpde.Solver.newton_iterations
+        ~residual_norm:sol.Mpde.Solver.stats.Mpde.Solver.residual_norm ~times
+        ~values ~metrics ~report:sol.Mpde.Solver.report ~health
+        ~mpde_solution:(Some sol)

@@ -1,0 +1,42 @@
+(** Unified steady-state solver API.
+
+    One problem description ({!Problem}), one options record
+    ({!Options}), one entry point ({!run}) over the five backends, one
+    result shape ({!Result}) out — plus {!Sweep}, a parallel parameter
+    sweep executor on OCaml 5 domains. DESIGN.md §11 documents the
+    architecture and the mapping from the unified option vocabulary
+    onto each backend's native records.
+
+    {[
+      let problem =
+        Engine.Problem.make ~label:"mixer" ~f_fast:1e6 ~fd:1e4
+          ~output:"out" (fun () -> Circuits.ideal_mixer ())
+      in
+      let r = Engine.run problem (Engine.make Engine.Mpde) in
+      Printf.printf "%s converged=%b\n" r.label r.converged
+    ]} *)
+
+module Problem = Problem
+module Options = Options
+module Pool = Pool
+module Sweep = Sweep
+include Backend
+
+(* Per-engine entry points predating the unified API, kept as thin
+   wrappers for one deprecation cycle. *)
+
+let run_shooting ?options problem = run problem (make ?options Shooting)
+[@@deprecated "use Engine.run with Engine.make Engine.Shooting"]
+
+let run_multiple_shooting ?options problem =
+  run problem (make ?options Multiple_shooting)
+[@@deprecated "use Engine.run with Engine.make Engine.Multiple_shooting"]
+
+let run_hb ?options problem = run problem (make ?options Hb)
+[@@deprecated "use Engine.run with Engine.make Engine.Hb"]
+
+let run_periodic_fd ?options problem = run problem (make ?options Periodic_fd)
+[@@deprecated "use Engine.run with Engine.make Engine.Periodic_fd"]
+
+let run_mpde ?options problem = run problem (make ?options Mpde)
+[@@deprecated "use Engine.run with Engine.make Engine.Mpde"]

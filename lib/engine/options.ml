@@ -1,0 +1,43 @@
+type t = {
+  tol : float;
+  max_newton : int;
+  warm_start : bool;
+  budget : Resilience.Budget.t option;
+  steps_per_period : int;
+  segments : int;
+  steps_per_segment : int;
+  harmonics : int;
+  points : int;
+  n1 : int;
+  n2 : int;
+  scheme : Mpde.Assemble.scheme;
+  linear_solver : Mpde.Solver.linear_solver;
+  allow_continuation : bool;
+  condition_estimate : bool;
+}
+
+let default =
+  {
+    tol = 1e-8;
+    max_newton = 50;
+    warm_start = true;
+    budget = None;
+    steps_per_period = 256;
+    segments = 8;
+    steps_per_segment = 50;
+    harmonics = 8;
+    points = 64;
+    n1 = 32;
+    n2 = 24;
+    scheme = Mpde.Assemble.Backward;
+    linear_solver = Mpde.Solver.default_gmres;
+    allow_continuation = true;
+    condition_estimate = false;
+  }
+
+let with_budget budget o = { o with budget }
+
+let to_mpde o =
+  Mpde.Solver.make_options ~max_newton:o.max_newton ~tol:o.tol ~scheme:o.scheme
+    ~linear_solver:o.linear_solver ~allow_continuation:o.allow_continuation
+    ?budget:o.budget ()

@@ -1,0 +1,49 @@
+(** One options record for all five steady-state backends, under one
+    normalized vocabulary.
+
+    Historically every engine spelled the same concepts differently —
+    the Newton cap was [max_newton] in the solvers but [max_iterations]
+    in {!Numeric.Newton} and [max_iter] in the GMRES records, and the
+    convergence target was variously [tol], [abs_tol] or a
+    linear-solver-relative [tol]. Here there is exactly one [tol] (the
+    nonlinear residual infinity-norm target) and one [max_newton] (the
+    outer Newton cap); the per-backend discretization knobs keep their
+    own names because they genuinely differ. DESIGN.md §11 tabulates
+    the mapping onto each backend's native record. *)
+
+type t = {
+  (* shared Newton controls (every backend) *)
+  tol : float;  (** residual infinity-norm target; default [1e-8] *)
+  max_newton : int;  (** outer Newton iteration cap; default [50] *)
+  warm_start : bool;
+      (** seed from the DC operating point (falling back to the zero
+          state when the DC solve fails); default [true] *)
+  budget : Resilience.Budget.t option;
+      (** work/deadline bound threaded into the backend; default
+          unbounded *)
+  (* single-time discretization *)
+  steps_per_period : int;  (** shooting; default [256] *)
+  segments : int;  (** multiple shooting windows; default [8] *)
+  steps_per_segment : int;  (** multiple shooting; default [50] *)
+  harmonics : int;  (** harmonic balance; default [8] *)
+  points : int;  (** periodic-FD collocation points; default [64] *)
+  (* MPDE grid and linear layer *)
+  n1 : int;  (** fast-scale grid points; default [32] *)
+  n2 : int;  (** slow-scale grid points; default [24] *)
+  scheme : Mpde.Assemble.scheme;  (** default [Backward] *)
+  linear_solver : Mpde.Solver.linear_solver;
+      (** default {!Mpde.Solver.default_gmres} *)
+  allow_continuation : bool;
+      (** enable the MPDE nonlinear escalation rungs; default [true] *)
+  (* result enrichment *)
+  condition_estimate : bool;
+      (** compute the Jacobian κ estimate in the health assessment
+          (MPDE only; costs an extra factorization); default [false] *)
+}
+
+val default : t
+
+val with_budget : Resilience.Budget.t option -> t -> t
+
+val to_mpde : t -> Mpde.Solver.options
+(** Project onto the MPDE backend's native record. *)

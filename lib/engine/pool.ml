@@ -1,0 +1,25 @@
+let map ~domains f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else
+    let domains = max 1 (min domains n) in
+    if domains = 1 then Array.map f items
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* Each slot is written by exactly one domain; Domain.join
+             below publishes the writes to the caller. *)
+          results.(i) <- Some (f items.(i));
+          worker ()
+        end
+      in
+      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      Array.map
+        (function Some r -> r | None -> assert false (* queue drained *))
+        results
+    end

@@ -1,0 +1,71 @@
+type job = { label : string; problem : Problem.t; engine : Backend.t }
+
+let job ?label ?(options = Options.default) ~kind problem =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> problem.Problem.label ^ ":" ^ Backend.kind_name kind
+  in
+  { label; problem; engine = Backend.make ~options kind }
+
+type outcome = {
+  index : int;
+  job : job;
+  result : (Backend.Result.t, string) Stdlib.result;
+  wall_seconds : float;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Enable a throwaway recorder on the executing domain for the span of
+   one job, unless one is already live there (serial sweeps under
+   [rfss --trace] keep the caller's recorder; Backend.run's
+   [mark]/[snapshot ~since] isolation still scopes the summary to the
+   job). *)
+let with_job_telemetry want f =
+  if (not want) || Telemetry.enabled () then f ()
+  else begin
+    Telemetry.enable ();
+    Fun.protect ~finally:Telemetry.disable f
+  end
+
+let run ?domains ?wall_seconds ?max_newton_per_job
+    ?(per_job_telemetry = false) jobs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let deadline =
+    Option.map (fun s -> Telemetry.Clock.wall () +. s) wall_seconds
+  in
+  let run_one (index, j) =
+    let t0 = Telemetry.Clock.wall () in
+    let engine =
+      if deadline = None && max_newton_per_job = None then j.engine
+      else
+        (* Fresh per-job budget: standalone counters (cross-domain
+           sharing would race), wall headroom measured against the
+           sweep deadline at job start, chained onto the job's own
+           pre-existing budget which lives on this same domain. *)
+        let wall_left =
+          Option.map (fun d -> Float.max 0.0 (d -. t0)) deadline
+        in
+        let budget =
+          Resilience.Budget.make ?wall_seconds:wall_left
+            ?max_newton:max_newton_per_job
+            ?parent:j.engine.Backend.options.Options.budget ()
+        in
+        {
+          j.engine with
+          Backend.options =
+            Options.with_budget (Some budget) j.engine.Backend.options;
+        }
+    in
+    let result =
+      try
+        with_job_telemetry per_job_telemetry (fun () ->
+            Ok (Backend.run j.problem engine))
+      with e -> Error (Printexc.to_string e)
+    in
+    { index; job = j; result; wall_seconds = Telemetry.Clock.wall () -. t0 }
+  in
+  Pool.map ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)

@@ -1,0 +1,55 @@
+(** Parameter sweeps over {!Backend.run}, executed in parallel on
+    OCaml 5 domains.
+
+    A sweep is an array of jobs — each a (problem, engine) pair — run
+    through {!Pool.map}. Results come back in job order regardless of
+    scheduling, so a parallel sweep is sample-for-sample comparable
+    with a serial one; with deterministic backends the waveforms are
+    bitwise equal. A job that raises (a mis-built circuit, an
+    off-lattice MPDE frequency, a NaN escaping a build thunk) is
+    captured as [Error] in its own outcome and never poisons sibling
+    jobs or the pool.
+
+    Budgets: [wall_seconds] is a deadline for the whole sweep. Budget
+    counters are mutable and deliberately *not* shared across domains
+    (ticks would race), so instead each job derives a fresh standalone
+    {!Resilience.Budget.t} from the time left to the sweep deadline at
+    the moment it starts — chained (via [~parent]) onto any budget the
+    job's own options already carried, which lives on the same domain.
+    Late jobs therefore get small budgets and exhaust cleanly instead
+    of overshooting the deadline.
+
+    Telemetry: recorders are domain-local ({!Telemetry}), so worker
+    domains record nothing unless [per_job_telemetry] is set, which
+    enables a recorder around each job and attaches the per-solve
+    summary to its result. *)
+
+type job = { label : string; problem : Problem.t; engine : Backend.t }
+
+val job : ?label:string -> ?options:Options.t -> kind:Backend.kind -> Problem.t -> job
+(** Convenience constructor; the default label is
+    ["<problem.label>:<engine name>"]. *)
+
+type outcome = {
+  index : int;  (** position in the input array *)
+  job : job;
+  result : (Backend.Result.t, string) Stdlib.result;
+      (** [Error] carries [Printexc.to_string] of whatever escaped *)
+  wall_seconds : float;  (** this job alone, on its executing domain *)
+}
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — 1 on a single-core host,
+    which makes {!run} fall back to fully serial execution. *)
+
+val run :
+  ?domains:int ->
+  ?wall_seconds:float ->
+  ?max_newton_per_job:int ->
+  ?per_job_telemetry:bool ->
+  job array ->
+  outcome array
+(** Execute the jobs on at most [domains] domains (default
+    {!default_domains}; clamped to the job count; [1] means no domain
+    is spawned at all). The result array is index-aligned with the
+    input. Never raises on job failure. *)

@@ -36,6 +36,12 @@ let default_options =
     budget = None;
   }
 
+let make_options ?(max_newton = default_options.max_newton)
+    ?(tol = default_options.tol) ?(scheme = default_options.scheme)
+    ?(linear_solver = default_options.linear_solver)
+    ?(allow_continuation = default_options.allow_continuation) ?budget () =
+  { max_newton; tol; scheme; linear_solver; allow_continuation; budget }
+
 type stats = {
   newton_iterations : int;
   converged : bool;

@@ -58,6 +58,22 @@ type options = {
 
 val default_options : options
 
+val make_options :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?scheme:Assemble.scheme ->
+  ?linear_solver:linear_solver ->
+  ?allow_continuation:bool ->
+  ?budget:Resilience.Budget.t ->
+  unit ->
+  options
+(** Smart constructor under the *normalized* option vocabulary shared
+    with the unified engine API ([Engine.Options]): [max_newton] is the
+    per-stage Newton cap (other engines historically said [max_iter]),
+    [tol] the residual infinity-norm target (elsewhere [rtol]); see
+    DESIGN.md §11 for the full name mapping. Omitted fields default to
+    {!default_options}. *)
+
 type stats = {
   newton_iterations : int;  (** cumulated across all ladder stages *)
   converged : bool;

@@ -44,3 +44,7 @@ val spectral_diff_matrix : int -> float -> Linalg.Mat.t
 val harmonic_amplitude : result -> unknown:int -> harmonic:int -> float
 (** Amplitude of harmonic [k] of the given unknown's steady-state
     waveform. *)
+
+val to_report : ?wall_seconds:float -> result -> Resilience.Report.t
+(** Adapter to the unified engine API: lift this engine's result into
+    the structured report every {!Engine.Result.t} carries. *)

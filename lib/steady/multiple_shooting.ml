@@ -146,3 +146,31 @@ let solve ?(max_newton = 25) ?(tol = 1e-8) ?(steps_per_segment = 50) ?budget ?x0
     outcome = !outcome;
     residual_history = Array.of_list (List.rev !history);
   }
+
+let to_report ?(wall_seconds = 0.0) r =
+  let status =
+    match r.outcome with
+    | Report.Converged -> `Success
+    | Report.Failed m -> `Failed m
+    | Report.Exhausted e -> `Failed (Budget.exhaustion_to_string e)
+  in
+  {
+    Report.outcome = r.outcome;
+    strategy = Some "newton";
+    stages =
+      [
+        {
+          Report.name = "multiple-shooting";
+          status;
+          iterations = r.newton_iterations;
+          wall_seconds;
+        };
+      ];
+    residual_trajectory = r.residual_history;
+    residual_norm = r.residual_norm;
+    newton_iterations = r.newton_iterations;
+    linear_iterations = 0;
+    wall_seconds;
+    telemetry = None;
+    sections = [];
+  }

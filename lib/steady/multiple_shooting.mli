@@ -40,3 +40,7 @@ val solve :
     Budget exhaustion returns the best iterate with
     [outcome = Exhausted _].
     @raise Invalid_argument when [segments < 1]. *)
+
+val to_report : ?wall_seconds:float -> result -> Resilience.Report.t
+(** Adapter to the unified engine API: lift this engine's result into
+    the structured report every {!Engine.Result.t} carries. *)

@@ -73,3 +73,32 @@ let solve ?(max_newton = 60) ?(tol = 1e-8) ?budget ?x_init ~(dae : Numeric.Dae.t
     outcome = Numeric.Newton.report_outcome stats;
     residual_history = stats.Numeric.Newton.residual_history;
   }
+
+let to_report ?(wall_seconds = 0.0) r =
+  let status =
+    match r.outcome with
+    | Resilience.Report.Converged -> `Success
+    | Resilience.Report.Failed m -> `Failed m
+    | Resilience.Report.Exhausted e ->
+        `Failed (Resilience.Budget.exhaustion_to_string e)
+  in
+  {
+    Resilience.Report.outcome = r.outcome;
+    strategy = Some "newton";
+    stages =
+      [
+        {
+          Resilience.Report.name = "periodic-fd";
+          status;
+          iterations = r.newton_iterations;
+          wall_seconds;
+        };
+      ];
+    residual_trajectory = r.residual_history;
+    residual_norm = r.residual_norm;
+    newton_iterations = r.newton_iterations;
+    linear_iterations = 0;
+    wall_seconds;
+    telemetry = None;
+    sections = [];
+  }

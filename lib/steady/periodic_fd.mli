@@ -29,3 +29,7 @@ val solve :
 (** [x_init] seeds every collocation point (e.g. the DC operating
     point). System size is [points * dae.size]; the Jacobian is solved
     with the general sparse LU. *)
+
+val to_report : ?wall_seconds:float -> result -> Resilience.Report.t
+(** Adapter to the unified engine API: lift this engine's result into
+    the structured report every {!Engine.Result.t} carries. *)

@@ -59,3 +59,9 @@ val integrate_with_sensitivity :
     @raise Failure if an inner Newton solve fails.
     @raise Resilience.Budget.Exhausted when the inner Newton budget
     runs out mid-window. *)
+
+val to_report : ?wall_seconds:float -> result -> Resilience.Report.t
+(** Adapter to the unified engine API: lift this engine's bespoke
+    result into the structured report every {!Engine.Result.t}
+    carries. [wall_seconds] (default 0) stamps the single
+    ["shooting"] stage and the report total. *)

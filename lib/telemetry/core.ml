@@ -37,26 +37,36 @@ type state = {
   cpu0 : float;
 }
 
-let state : state option ref = ref None
+(* One recorder per domain. A process-global recorder would be unsound
+   under Engine.Sweep's domain pool: the span stack assumes LIFO
+   discipline within one thread of control, and the counter/gauge hash
+   tables are not thread-safe — concurrent solves would interleave span
+   begin/end events and race on table buckets. Domain-local storage
+   gives every worker domain its own independent registry; enabling
+   recording on one domain never observes or disturbs another's. *)
+let state_key : state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let enabled () = !state <> None
+let state () = Domain.DLS.get state_key
+
+let enabled () = !(state ()) <> None
 
 let enable () =
-  state :=
-    Some
-      {
-        events_rev = [];
-        len = 0;
-        next_id = 0;
-        stack = [];
-        counters = Hashtbl.create 32;
-        gauges = Hashtbl.create 16;
-        hists = Hashtbl.create 16;
-        wall0 = Clock.wall ();
-        cpu0 = Clock.cpu ();
-      }
+  state ()
+  := Some
+       {
+         events_rev = [];
+         len = 0;
+         next_id = 0;
+         stack = [];
+         counters = Hashtbl.create 32;
+         gauges = Hashtbl.create 16;
+         hists = Hashtbl.create 16;
+         wall0 = Clock.wall ();
+         cpu0 = Clock.cpu ();
+       }
 
-let disable () = state := None
+let disable () = state () := None
 
 let push st e =
   st.events_rev <- e :: st.events_rev;
@@ -87,27 +97,27 @@ let end_on st id =
   if List.exists (fun (id', _) -> id' = id) st.stack then pop st.stack
 
 let span name f =
-  match !state with
+  match !(state ()) with
   | None -> f ()
   | Some st -> (
       let id = begin_on st name in
       match f () with
       | y ->
-          (match !state with Some st' when st' == st -> end_on st id | _ -> ());
+          (match !(state ()) with Some st' when st' == st -> end_on st id | _ -> ());
           y
       | exception e ->
-          (match !state with Some st' when st' == st -> end_on st id | _ -> ());
+          (match !(state ()) with Some st' when st' == st -> end_on st id | _ -> ());
           raise e)
 
 let span_begin name =
-  match !state with None -> -1 | Some st -> begin_on st name
+  match !(state ()) with None -> -1 | Some st -> begin_on st name
 
 let span_end id =
   if id >= 0 then
-    match !state with None -> () | Some st -> end_on st id
+    match !(state ()) with None -> () | Some st -> end_on st id
 
 let count ?(by = 1) name =
-  match !state with
+  match !(state ()) with
   | None -> ()
   | Some st -> (
       match Hashtbl.find_opt st.counters name with
@@ -115,7 +125,7 @@ let count ?(by = 1) name =
       | None -> Hashtbl.add st.counters name (ref by))
 
 let gauge name v =
-  match !state with
+  match !(state ()) with
   | None -> ()
   | Some st -> (
       match Hashtbl.find_opt st.gauges name with
@@ -123,7 +133,7 @@ let gauge name v =
       | None -> Hashtbl.add st.gauges name (ref v))
 
 let observe name v =
-  match !state with
+  match !(state ()) with
   | None -> ()
   | Some st -> (
       match Hashtbl.find_opt st.hists name with
@@ -136,14 +146,14 @@ let observe name v =
           Hashtbl.add st.hists name
             { h_count = 1; h_sum = v; h_min = v; h_max = v })
 
-let mark () = match !state with None -> 0 | Some st -> st.len
+let mark () = match !(state ()) with None -> 0 | Some st -> st.len
 
 let sorted_bindings tbl value_of =
   Hashtbl.fold (fun k v acc -> (k, value_of v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot ?(since = 0) () =
-  match !state with
+  match !(state ()) with
   | None -> None
   | Some st ->
       let wall = wall_of st and cpu = cpu_of st in

@@ -1,4 +1,4 @@
-(** Process-global solve telemetry: hierarchical spans, monotonic
+(** Domain-local solve telemetry: hierarchical spans, monotonic
     counters, gauges, and value histograms.
 
     Disabled (the default) every entry point is a single match on a
@@ -9,8 +9,14 @@
     ({!Sink}, {!Summary}) render after the fact. Counters, gauges, and
     histograms accumulate in hash tables rather than the event log so
     hot-path ticks (one per GMRES iteration, per dense LU factor, …)
-    stay cheap even when enabled. Single-threaded by design, like the
-    solvers it instruments. *)
+    stay cheap even when enabled.
+
+    The recorder lives in {!Domain.DLS}, so each OCaml 5 domain carries
+    its own independent registry: [enable]/[snapshot]/[disable] on a
+    worker domain of {!Engine.Sweep}'s pool never interleaves spans or
+    races counters with the main domain's recorder. Within one domain
+    the API remains single-threaded by design, like the solvers it
+    instruments. *)
 
 type event =
   | Span_begin of {

@@ -242,7 +242,7 @@ let test_json_parse_errors () =
 (* ---------- Gate ---------- *)
 
 let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
-    ?(ratio = 4.0) () =
+    ?(ratio = 4.0) ?(sweep_wall = 2.0) ?(sweep_speedup = 1.6) () =
   let open D.Json_min in
   Obj
     [
@@ -255,6 +255,8 @@ let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
             ("gmres_iterations", Num gmres);
           ] );
       ("speedup", Obj [ ("ratio", Num ratio) ]);
+      ( "sweep",
+        Obj [ ("wall_1", Num sweep_wall); ("speedup_2", Num sweep_speedup) ] );
     ]
 
 let test_gate_passes_identical () =
@@ -262,7 +264,7 @@ let test_gate_passes_identical () =
   let r = D.Gate.evaluate ~baseline:doc ~current:doc () in
   Alcotest.(check bool) "passes" true r.D.Gate.passed;
   Alcotest.(check int) "no errors" 0 (List.length r.D.Gate.errors);
-  Alcotest.(check int) "four verdicts" 4 (List.length r.D.Gate.verdicts)
+  Alcotest.(check int) "six verdicts" 6 (List.length r.D.Gate.verdicts)
 
 let test_gate_improvement_passes () =
   (* Faster wall clock and a better speedup ratio must never fail. *)

@@ -1,0 +1,356 @@
+(* Tests for the unified engine API and the parallel sweep executor:
+   every backend solving the same problem through Engine.run, the
+   options-to-backend mapping, sweep determinism (parallel outcome
+   arrays identical to serial, waveforms bitwise), crash isolation
+   (a raising build thunk errors its own job only), budget propagation
+   from the sweep deadline into per-job budgets, per-domain telemetry
+   isolation, and the deprecated per-engine wrappers. *)
+
+module W = Circuit.Waveform
+
+let rc_problem ?(label = "rc") ?(f_fast = 1e6) ?(fd = 1e4) () =
+  Engine.Problem.make ~label ~output:"out" ~f_fast ~fd (fun () ->
+      Circuits.rc_lowpass
+        ~drive:
+          (W.sum
+             (W.sine ~amplitude:1.0 ~freq:f_fast ())
+             (W.sine ~amplitude:1.0 ~freq:(f_fast +. fd) ()))
+        ())
+
+(* Small grids/discretizations keep the full five-engine matrix fast. *)
+let small_options =
+  {
+    Engine.Options.default with
+    steps_per_period = 64;
+    segments = 4;
+    steps_per_segment = 16;
+    harmonics = 6;
+    points = 33;
+    n1 = 16;
+    n2 = 12;
+  }
+
+(* ---------- Engine.run over every backend ---------- *)
+
+let test_all_kinds_converge () =
+  let problem = rc_problem () in
+  List.iter
+    (fun kind ->
+      let name = Engine.kind_name kind in
+      let r = Engine.run problem (Engine.make ~options:small_options kind) in
+      Alcotest.(check bool) (name ^ " converged") true r.Engine.Result.converged;
+      Alcotest.(check bool)
+        (name ^ " report success") true
+        (Resilience.Report.success r.Engine.Result.report);
+      Alcotest.(check string) (name ^ " label") "rc" r.Engine.Result.label;
+      Alcotest.(check bool)
+        (name ^ " has waveform") true
+        (Array.length r.Engine.Result.waveform.Engine.Result.values > 0);
+      Alcotest.(check bool)
+        (name ^ " waveform finite") true
+        (Array.for_all Float.is_finite
+           r.Engine.Result.waveform.Engine.Result.values);
+      Alcotest.(check bool)
+        (name ^ " times/values aligned") true
+        (Array.length r.Engine.Result.waveform.Engine.Result.times
+        = Array.length r.Engine.Result.waveform.Engine.Result.values);
+      Alcotest.(check bool)
+        (name ^ " has metrics") true
+        (r.Engine.Result.metrics <> []);
+      (* The linear RC driven at ~1 V must show a visible fundamental. *)
+      let h1 =
+        List.fold_left
+          (fun acc (k, v) ->
+            if k = "h1_amplitude" || k = "baseband_h1" then Some v else acc)
+          None r.Engine.Result.metrics
+      in
+      (* Single-time engines see the ~1 V fundamental; MPDE reports the
+         baseband difference tone, which is essentially zero on a
+         linear RC (no mixing) — so only bound it above. *)
+      (match h1 with
+      | Some v ->
+          Alcotest.(check bool)
+            (name ^ " h1 sane") true
+            (Float.is_finite v && v >= 0.0 && v < 10.0);
+          if kind <> Engine.Mpde then
+            Alcotest.(check bool) (name ^ " h1 visible") true (v > 0.1)
+      | None -> Alcotest.failf "%s: no fundamental metric" name);
+      match kind with
+      | Engine.Mpde ->
+          Alcotest.(check bool)
+            "mpde attaches solution" true
+            (r.Engine.Result.mpde_solution <> None)
+      | _ ->
+          Alcotest.(check bool)
+            (name ^ " no mpde solution") true
+            (r.Engine.Result.mpde_solution = None))
+    Engine.all_kinds
+
+let test_kind_names_round_trip () =
+  List.iter
+    (fun kind ->
+      match Engine.kind_of_name (Engine.kind_name kind) with
+      | Ok k -> Alcotest.(check bool) "round trip" true (k = kind)
+      | Error e -> Alcotest.fail e)
+    Engine.all_kinds;
+  (match Engine.kind_of_name "msh" with
+  | Ok Engine.Multiple_shooting -> ()
+  | _ -> Alcotest.fail "msh alias");
+  (match Engine.kind_of_name "PFD" with
+  | Ok Engine.Periodic_fd -> ()
+  | _ -> Alcotest.fail "pfd alias case-insensitive");
+  match Engine.kind_of_name "spectral" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown name must error"
+
+let test_period_choice () =
+  let fast = rc_problem () in
+  let diff =
+    { fast with Engine.Problem.period = Engine.Problem.Difference_tone }
+  in
+  Alcotest.(check (float 1e-12)) "fast period" 1e-6
+    (Engine.Problem.engine_period fast);
+  Alcotest.(check (float 1e-10)) "difference period" 1e-4
+    (Engine.Problem.engine_period diff);
+  Alcotest.(check (float 1e-9)) "disparity" 100.0
+    (Engine.Problem.disparity fast)
+
+let test_run_respects_budget () =
+  (* A pre-exhausted wall budget must surface as a clean Exhausted
+     outcome, not a hang or an exception. *)
+  let budget = Resilience.Budget.make ~wall_seconds:0.0 () in
+  let options =
+    { small_options with Engine.Options.budget = Some budget }
+  in
+  let r = Engine.run (rc_problem ()) (Engine.make ~options Engine.Mpde) in
+  Alcotest.(check bool) "not converged" false r.Engine.Result.converged;
+  match r.Engine.Result.report.Resilience.Report.outcome with
+  | Resilience.Report.Exhausted _ -> ()
+  | o ->
+      Alcotest.failf "expected exhausted, got %s"
+        (Resilience.Report.outcome_to_string o)
+
+(* ---------- Sweep ---------- *)
+
+let fd_values = [| 1e3; 2e3; 5e3; 1e4; 2e4; 5e4; 1e5; 2e5 |]
+
+let sweep_jobs ?(kind = Engine.Mpde) () =
+  Array.map
+    (fun fd ->
+      Engine.Sweep.job ~options:small_options ~kind
+        (rc_problem ~label:(Printf.sprintf "fd=%g" fd) ~fd ()))
+    fd_values
+
+let result_exn (o : Engine.Sweep.outcome) =
+  match o.Engine.Sweep.result with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "job %d errored: %s" o.Engine.Sweep.index e
+
+let test_sweep_parallel_matches_serial () =
+  let serial = Engine.Sweep.run ~domains:1 (sweep_jobs ()) in
+  let parallel = Engine.Sweep.run ~domains:2 (sweep_jobs ()) in
+  Alcotest.(check int) "same length" (Array.length serial)
+    (Array.length parallel);
+  Array.iteri
+    (fun i s ->
+      let p = parallel.(i) in
+      Alcotest.(check int) "index order" i p.Engine.Sweep.index;
+      let rs = result_exn s and rp = result_exn p in
+      Alcotest.(check string) "label" rs.Engine.Result.label
+        rp.Engine.Result.label;
+      Alcotest.(check bool) "converged" rs.Engine.Result.converged
+        rp.Engine.Result.converged;
+      (* Bitwise, not approximate: identical code on identical inputs,
+         scheduling must not leak into the numerics. *)
+      Alcotest.(check bool)
+        "waveform bitwise equal" true
+        (rs.Engine.Result.waveform = rp.Engine.Result.waveform);
+      Alcotest.(check bool)
+        "residual bitwise equal" true
+        (Int64.bits_of_float rs.Engine.Result.residual_norm
+        = Int64.bits_of_float rp.Engine.Result.residual_norm))
+    serial
+
+let test_sweep_isolates_crashing_job () =
+  let jobs = sweep_jobs () in
+  let poisoned =
+    Engine.Sweep.job ~label:"poison" ~options:small_options ~kind:Engine.Mpde
+      (Engine.Problem.make ~label:"poison" ~f_fast:1e6 ~fd:1e4 (fun () ->
+           failwith "deliberately broken build thunk"))
+  in
+  let all = Array.concat [ Array.sub jobs 0 2; [| poisoned |]; Array.sub jobs 2 2 ] in
+  let outcomes = Engine.Sweep.run ~domains:2 all in
+  Alcotest.(check int) "all jobs reported" 5 (Array.length outcomes);
+  (match outcomes.(2).Engine.Sweep.result with
+  | Error msg ->
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        "error message propagated" true
+        (contains ~sub:"deliberately broken" msg)
+  | Ok _ -> Alcotest.fail "poisoned job must error");
+  Array.iteri
+    (fun i o ->
+      if i <> 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "sibling %d unharmed" i)
+          true
+          (result_exn o).Engine.Result.converged)
+    outcomes
+
+let test_sweep_deadline_propagates () =
+  (* Zero sweep budget: every job derives an already-exhausted wall
+     budget and must come back Exhausted, never converged, and never
+     raise out of the pool. *)
+  let outcomes =
+    Engine.Sweep.run ~domains:2 ~wall_seconds:0.0 (sweep_jobs ())
+  in
+  Array.iter
+    (fun (o : Engine.Sweep.outcome) ->
+      let r = result_exn o in
+      Alcotest.(check bool) "not converged" false r.Engine.Result.converged;
+      match r.Engine.Result.report.Resilience.Report.outcome with
+      | Resilience.Report.Exhausted _ -> ()
+      | out ->
+          Alcotest.failf "job %d: expected exhausted, got %s"
+            o.Engine.Sweep.index
+            (Resilience.Report.outcome_to_string out))
+    outcomes
+
+let test_sweep_max_newton_per_job () =
+  (* One Newton iteration is not enough for the diode rectifier; the
+     cap must bite per job and be reported as exhaustion. *)
+  let problem =
+    Engine.Problem.make ~label:"rectifier" ~output:"out" ~f_fast:1e6 ~fd:1e4
+      (fun () ->
+        Circuits.diode_rectifier
+          ~drive:(W.sine ~amplitude:2.0 ~freq:1e6 ())
+          ())
+  in
+  let jobs =
+    [| Engine.Sweep.job ~options:small_options ~kind:Engine.Shooting problem |]
+  in
+  let outcomes = Engine.Sweep.run ~domains:1 ~max_newton_per_job:1 jobs in
+  let r = result_exn outcomes.(0) in
+  Alcotest.(check bool) "capped job not converged" false
+    r.Engine.Result.converged
+
+let test_pool_order_and_clamp () =
+  let items = Array.init 37 (fun i -> i) in
+  let doubled = Engine.Pool.map ~domains:8 (fun i -> 2 * i) items in
+  Alcotest.(check (array int)) "order preserved"
+    (Array.map (fun i -> 2 * i) items)
+    doubled;
+  let empty = Engine.Pool.map ~domains:4 (fun i -> i) [||] in
+  Alcotest.(check int) "empty input" 0 (Array.length empty)
+
+(* ---------- telemetry isolation across domains ---------- *)
+
+let test_telemetry_domain_isolation () =
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable @@ fun () ->
+  Telemetry.span "main-domain-span" (fun () -> ());
+  let worker_saw_recorder =
+    Domain.join
+      (Domain.spawn (fun () ->
+           (* The recorder is domain-local: a fresh domain starts with
+              none, and enabling here must not touch the main one. *)
+           let before = Telemetry.enabled () in
+           Telemetry.enable ();
+           Telemetry.span "worker-span" (fun () -> ());
+           Telemetry.disable ();
+           before))
+  in
+  Alcotest.(check bool) "worker starts without recorder" false
+    worker_saw_recorder;
+  Alcotest.(check bool) "main recorder survives worker" true
+    (Telemetry.enabled ());
+  match Telemetry.snapshot () with
+  | None -> Alcotest.fail "main snapshot missing"
+  | Some snap ->
+      let names =
+        Array.to_list snap.Telemetry.events
+        |> List.filter_map (function
+             | Telemetry.Span_begin { name; _ } -> Some name
+             | _ -> None)
+      in
+      Alcotest.(check bool) "main span recorded" true
+        (List.mem "main-domain-span" names);
+      Alcotest.(check bool) "worker span not leaked into main" false
+        (List.mem "worker-span" names)
+
+let test_sweep_per_job_telemetry () =
+  let outcomes =
+    Engine.Sweep.run ~domains:2 ~per_job_telemetry:true
+      (Array.sub (sweep_jobs ()) 0 4)
+  in
+  Array.iter
+    (fun (o : Engine.Sweep.outcome) ->
+      let r = result_exn o in
+      match r.Engine.Result.telemetry with
+      | Some summary ->
+          Alcotest.(check bool)
+            "per-job summary has spans" true
+            (summary.Telemetry.Summary.roots <> [])
+      | None -> Alcotest.failf "job %d: no telemetry" o.Engine.Sweep.index)
+    outcomes
+
+(* ---------- deprecated wrappers ---------- *)
+
+let test_deprecated_wrappers () =
+  let problem = rc_problem () in
+  let r =
+    (Engine.run_shooting [@alert "-deprecated"]) ~options:small_options problem
+  in
+  Alcotest.(check bool) "wrapper converged" true r.Engine.Result.converged;
+  Alcotest.(check bool) "wrapper kind" true
+    (r.Engine.Result.kind = Engine.Shooting);
+  (* The wrapper and the unified entry point are the same code path. *)
+  let direct =
+    Engine.run problem (Engine.make ~options:small_options Engine.Shooting)
+  in
+  Alcotest.(check bool) "same waveform" true
+    (r.Engine.Result.waveform = direct.Engine.Result.waveform)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "all kinds converge on rc" `Slow
+            test_all_kinds_converge;
+          Alcotest.test_case "kind names round trip" `Quick
+            test_kind_names_round_trip;
+          Alcotest.test_case "period choice" `Quick test_period_choice;
+          Alcotest.test_case "pre-exhausted budget" `Quick
+            test_run_respects_budget;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "parallel matches serial bitwise" `Slow
+            test_sweep_parallel_matches_serial;
+          Alcotest.test_case "crashing job isolated" `Quick
+            test_sweep_isolates_crashing_job;
+          Alcotest.test_case "deadline propagates to jobs" `Quick
+            test_sweep_deadline_propagates;
+          Alcotest.test_case "per-job newton cap" `Quick
+            test_sweep_max_newton_per_job;
+          Alcotest.test_case "pool order and clamping" `Quick
+            test_pool_order_and_clamp;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "domain-local recorders" `Quick
+            test_telemetry_domain_isolation;
+          Alcotest.test_case "per-job telemetry in sweeps" `Quick
+            test_sweep_per_job_telemetry;
+        ] );
+      ( "compat",
+        [
+          Alcotest.test_case "deprecated wrappers" `Quick
+            test_deprecated_wrappers;
+        ] );
+    ]
