@@ -62,8 +62,8 @@ let add_jac coo r c value =
 (* Stamp helpers for branch rows (already 0-based absolute indices). *)
 let add_row vec r value = vec.(r) <- vec.(r) +. value
 
-let eval_f m x =
-  let f = Array.make m.size 0.0 in
+let eval_f_into m x f =
+  Array.fill f 0 m.size 0.0;
   (* gmin loading on node rows *)
   if m.gmin > 0.0 then
     for k = 0 to m.nodes - 1 do
@@ -119,11 +119,15 @@ let eval_f m x =
           let i = gain *. va *. vb in
           add_node f out_plus i;
           add_node f out_minus (-.i))
-    (Netlist.devices m.netlist);
+    (Netlist.devices m.netlist)
+
+let eval_f m x =
+  let f = Array.make m.size 0.0 in
+  eval_f_into m x f;
   f
 
-let eval_q m x =
-  let q = Array.make m.size 0.0 in
+let eval_q_into m x q =
+  Array.fill q 0 m.size 0.0;
   List.iter
     (fun d ->
       match d with
@@ -154,7 +158,11 @@ let eval_q m x =
       | Device.Resistor _ | Device.Voltage_source _ | Device.Current_source _
       | Device.Vccs _ | Device.Multiplier _ ->
           ())
-    (Netlist.devices m.netlist);
+    (Netlist.devices m.netlist)
+
+let eval_q m x =
+  let q = Array.make m.size 0.0 in
+  eval_q_into m x q;
   q
 
 (* Stamp a two-terminal conductance/capacitance between nodes p and n. *)
@@ -164,9 +172,7 @@ let stamp_pair coo p n value =
   add_jac coo n p (-.value);
   add_jac coo n n value
 
-let jacobians m x =
-  let g_coo = Sparse.Coo.create ~capacity:(8 * m.size) m.size m.size in
-  let c_coo = Sparse.Coo.create ~capacity:(4 * m.size) m.size m.size in
+let stamp_jacobians m x g_coo c_coo =
   if m.gmin > 0.0 then
     for k = 0 to m.nodes - 1 do
       Sparse.Coo.add g_coo k k m.gmin
@@ -246,8 +252,31 @@ let jacobians m x =
           in
           stamp_row 1.0 out_plus;
           stamp_row (-1.0) out_minus)
-    (Netlist.devices m.netlist);
+    (Netlist.devices m.netlist)
+
+let jacobians m x =
+  let g_coo = Sparse.Coo.create ~capacity:(8 * m.size) m.size m.size in
+  let c_coo = Sparse.Coo.create ~capacity:(4 * m.size) m.size m.size in
+  stamp_jacobians m x g_coo c_coo;
   (Sparse.Csr.of_coo g_coo, Sparse.Csr.of_coo c_coo)
+
+(* Numeric-refresh path for the symbolic/numeric assembly split: one
+   pair of COO builders is kept per refresher and re-stamped into the
+   frozen CSR patterns. The stamp stream order is identical to
+   [jacobians]'s, so refreshed values are bitwise equal to a rebuild.
+   Pattern drift (a device stamp that is exactly 0.0 at one iterate is
+   skipped by [Coo.add]) is reported as [false] for the caller to
+   rebuild from scratch. *)
+let jacobian_refresher m () =
+  let g_coo = Sparse.Coo.create ~capacity:(8 * m.size) m.size m.size in
+  let c_coo = Sparse.Coo.create ~capacity:(4 * m.size) m.size m.size in
+  fun x ~g ~c ->
+    Sparse.Coo.clear g_coo;
+    Sparse.Coo.clear c_coo;
+    stamp_jacobians m x g_coo c_coo;
+    let ok_g = Sparse.Csr.refresh_from_coo g g_coo in
+    let ok_c = Sparse.Csr.refresh_from_coo c c_coo in
+    ok_g && ok_c
 
 let source_with m ~phase_of =
   let b = Array.make m.size 0.0 in
@@ -288,4 +317,11 @@ let dae m =
     eval_q = eval_q m;
     jacobians = jacobians m;
     source = (fun t -> source_with m ~phase_of:(fun freq -> freq *. t));
+    fast =
+      Some
+        {
+          Numeric.Dae.eval_f_into = eval_f_into m;
+          eval_q_into = eval_q_into m;
+          jacobian_refresher = jacobian_refresher m;
+        };
   }

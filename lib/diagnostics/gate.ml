@@ -49,6 +49,15 @@ let default_checks ?(overrides = []) tolerance =
       tolerance = tol "mixer.gmres_iterations";
     };
     {
+      (* Dense diagonal-block factorizations per mixer solve — the
+         preconditioner-lagging win; creeping back up means the lag
+         policy quietly stopped keeping factors. *)
+      metric = "mixer.lu_dense_factors";
+      path = [ "mixer"; "telemetry"; "counters"; "lu.dense_factors" ];
+      direction = Lower_better;
+      tolerance = tol "mixer.lu_dense_factors";
+    };
+    {
       metric = "speedup.ratio";
       path = [ "speedup"; "ratio" ];
       direction = Higher_better;
@@ -84,6 +93,22 @@ let evaluate ?checks ~baseline ~current () =
   | Some (Json_min.Bool false) ->
       err "current benchmark did not converge (mixer.converged = false)"
   | _ -> err "current benchmark is missing mixer.converged");
+  (* Absolute floor for the parallel sweep, independent of whatever the
+     baseline recorded: on a multi-core runner two domains must beat
+     serial outright. A single-core runner skips the floor (there is no
+     parallelism to win) but still reports the relative check below. *)
+  (match lookup_num current [ "sweep"; "cores" ] with
+  | Some cores when cores >= 2.0 -> (
+      match lookup_num current [ "sweep"; "speedup_2" ] with
+      | Some sp when sp < 1.0 ->
+          err
+            "parallel sweep slower than serial: sweep.speedup_2 = %.2f < 1.0 \
+             on a %.0f-core runner"
+            sp cores
+      | Some _ -> ()
+      | None -> err "current benchmark is missing sweep.speedup_2")
+  | Some _ -> ()
+  | None -> err "current benchmark is missing sweep.cores");
   let verdicts =
     List.filter_map
       (fun check ->

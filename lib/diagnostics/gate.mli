@@ -41,12 +41,20 @@ val default_tolerance : float
 
 val default_checks : ?overrides:(string * float) list -> float -> check list
 (** The watched metrics — [mixer.wall_seconds], [mixer.newton_iterations],
-    [mixer.gmres_iterations], [sweep.wall_1] (lower is better) and
+    [mixer.gmres_iterations], [mixer.lu_dense_factors] (dense
+    preconditioner factorizations per solve, read from the embedded
+    telemetry counters), [sweep.wall_1] (lower is better) and
     [speedup.ratio], [sweep.speedup_2] (higher is better) — at the
     given default tolerance, with optional per-metric overrides keyed
     by display name. The [sweep.*] pair watches the parallel sweep
     executor: serial wall time for the 8-job MPDE sweep, and the
-    2-domain speedup over it. *)
+    2-domain speedup over it.
+
+    Independent of these relative checks, {!evaluate} enforces an
+    absolute floor: when the current run reports [sweep.cores >= 2],
+    [sweep.speedup_2] must be [>= 1.0] — a multi-core runner whose
+    parallel sweep loses to serial fails the gate no matter how bad
+    the blessed baseline was. Single-core runners skip the floor. *)
 
 val evaluate :
   ?checks:check list -> baseline:Json_min.t -> current:Json_min.t -> unit -> result

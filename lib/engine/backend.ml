@@ -82,6 +82,7 @@ let run (problem : Problem.t) (engine : t) : Result.t =
   let o = engine.options in
   Telemetry.span "engine.run" @@ fun () ->
   let wall0 = Telemetry.Clock.wall () in
+  let alloc0 = if Telemetry.enabled () then Some (Gc.quick_stat ()) else None in
   let tele_mark = Telemetry.mark () in
   let { Circuits.mna; _ } = problem.Problem.build () in
   let dae = Circuit.Mna.dae mna in
@@ -96,6 +97,19 @@ let run (problem : Problem.t) (engine : t) : Result.t =
   in
   let finalize ~converged ~newton_iterations ~residual_norm ~times ~values
       ~metrics ~report ~health ~mpde_solution =
+    (* Allocation attribution for the whole run (build, DC seed,
+       solve), recorded before the snapshot so the gauges appear in
+       this job's own summary. *)
+    (match alloc0 with
+    | Some s0 ->
+        let s1 = Gc.quick_stat () in
+        Telemetry.gauge "alloc.job.minor_words"
+          (s1.Gc.minor_words -. s0.Gc.minor_words);
+        Telemetry.gauge "alloc.job.major_words"
+          (s1.Gc.major_words -. s0.Gc.major_words);
+        Telemetry.gauge "alloc.job.promoted_words"
+          (s1.Gc.promoted_words -. s0.Gc.promoted_words)
+    | None -> ());
     let telemetry =
       Option.map Telemetry.Summary.of_snapshot
         (Telemetry.snapshot ~since:tele_mark ())

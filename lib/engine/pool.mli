@@ -1,22 +1,33 @@
 (** Hand-rolled work-queue executor over OCaml 5 domains — no
     dependencies beyond the stdlib.
 
-    Jobs are pulled from a shared {!Atomic} index (dynamic scheduling:
-    a slow job never blocks the queue behind it) and each result is
-    written to its own slot of a pre-sized array, so the output order
-    is always the input order regardless of which domain finished
-    when. [Domain.join] on every worker establishes the happens-before
-    edge that makes those slot writes visible to the caller.
+    Chunks of jobs are pulled from a shared {!Atomic} index (dynamic
+    scheduling: a slow chunk never blocks the queue behind it) and each
+    result is written to its own slot of a pre-sized array, so the
+    output order is always the input order regardless of which domain
+    finished when. [Domain.join] on every worker establishes the
+    happens-before edge that makes those slot writes visible to the
+    caller.
+
+    Spawned workers enlarge their minor heap before starting (the
+    per-domain default is small enough that allocation-heavy solves
+    minor-collect constantly, inverting the parallel speedup); the
+    calling domain's GC settings are left untouched.
 
     With [domains = 1] — the serial fallback the sweep uses when
     [Domain.recommended_domain_count () = 1] — no domain is spawned at
     all and the pool degenerates to [Array.map]. *)
 
-val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?chunk:int -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f items] applies [f] to every item on at most
     [domains] concurrent domains (the calling domain participates as a
     worker, so [domains - 1] are spawned; the count is clamped to
     [1 .. Array.length items]).
+
+    [chunk] is the number of consecutive items claimed per atomic
+    fetch; the default [max 1 (n / (domains * 4))] balances claim
+    traffic against load-balancing slack. Values [<= 0] select the
+    default.
 
     [f] must not raise: an escaping exception tears down the whole
     pool ([Domain.join] re-raises it). Wrap fallible work in a

@@ -22,7 +22,12 @@
     Telemetry: recorders are domain-local ({!Telemetry}), so worker
     domains record nothing unless [per_job_telemetry] is set, which
     enables a recorder around each job and attaches the per-solve
-    summary to its result. *)
+    summary to its result. Solver workspaces follow the same ownership
+    rule — every job builds its own on its executing domain; nothing
+    mutable is shared across domains but the job queue's atomic index
+    and the disjoint result slots. When a job records, its summary
+    carries the [alloc.job.*] gauges {!Backend.run} emits: the words
+    the whole run allocated on that domain ([Gc.quick_stat] deltas). *)
 
 type job = { label : string; problem : Problem.t; engine : Backend.t }
 

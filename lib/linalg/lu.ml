@@ -2,12 +2,13 @@ type t = { lu : Mat.t; perm : int array; sign : float }
 
 exception Singular of int
 
-(* Doolittle LU with partial pivoting on a row-major copy. *)
-let factor ?(pivot_tol = 1e-300) a =
-  let n, m = Mat.dims a in
+(* Doolittle LU with partial pivoting, overwriting [lu]. [factor] hands
+   in a copy; [factor_in_place] consumes a caller-owned staging matrix
+   so the per-grid-point preconditioner rebuild allocates nothing big. *)
+let factor_into ?(pivot_tol = 1e-300) lu =
+  let n, m = Mat.dims lu in
   if n <> m then invalid_arg "Lu.factor: matrix not square";
   Telemetry.count "lu.dense_factors";
-  let lu = Mat.copy a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
   for k = 0 to n - 1 do
@@ -35,6 +36,9 @@ let factor ?(pivot_tol = 1e-300) a =
   done;
   { lu; perm; sign = !sign }
 
+let factor ?pivot_tol a = factor_into ?pivot_tol (Mat.copy a)
+let factor_in_place ?pivot_tol a = factor_into ?pivot_tol a
+
 let size f = f.lu.Mat.rows
 
 let solve_into f b x =
@@ -42,8 +46,19 @@ let solve_into f b x =
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Lu.solve_into: dimension mismatch";
   Telemetry.count "lu.dense_solves";
-  (* Apply permutation into a scratch respecting possible aliasing. *)
-  let y = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* Apply the permutation straight into [x] when it does not alias
+     [b]; the scratch allocation only survives for the aliased case.
+     This is the sweep preconditioner's innermost call (np dense solves
+     per GMRES iteration), so it must not allocate. *)
+  let y =
+    if x == b then Array.init n (fun i -> b.(f.perm.(i)))
+    else begin
+      for i = 0 to n - 1 do
+        x.(i) <- b.(f.perm.(i))
+      done;
+      x
+    end
+  in
   (* Forward substitution with unit L. *)
   for i = 1 to n - 1 do
     let s = ref y.(i) in
@@ -60,7 +75,7 @@ let solve_into f b x =
     done;
     y.(i) <- !s /. Mat.get f.lu i i
   done;
-  Array.blit y 0 x 0 n
+  if y != x then Array.blit y 0 x 0 n
 
 let solve f b =
   let x = Array.make (size f) 0.0 in

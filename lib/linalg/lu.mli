@@ -16,6 +16,12 @@ val factor : ?pivot_tol:float -> Mat.t -> t
     modified. @raise Singular if a pivot underflows [pivot_tol]
     (default [1e-300]). @raise Invalid_argument on non-square input. *)
 
+val factor_in_place : ?pivot_tol:float -> Mat.t -> t
+(** Like {!factor} but overwrites [a] with the packed factors instead
+    of copying — the returned factorization owns [a]'s storage. For
+    workspace-style callers that restamp and refactor the same staging
+    matrix every rebuild. *)
+
 val solve : t -> Vec.t -> Vec.t
 (** [solve lu b] returns [x] with [a x = b]. *)
 

@@ -13,17 +13,20 @@ type system = {
   eval_q : Linalg.Vec.t -> Linalg.Vec.t;
   jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
   source_at : t1:float -> t2:float -> Linalg.Vec.t;  (** [b̂(t1, t2)] *)
+  fast : Numeric.Dae.fast option;
+      (** allocation-free evaluation callbacks, when the producer has
+          them ({!of_mna} does); used by {!workspace} *)
 }
 
 val of_mna : shear:Shear.t -> Circuit.Mna.t -> system
 (** Wire a circuit's MNA equations to the sheared excitation. *)
 
-val of_dae : shear:Shear.t -> Numeric.Dae.t -> system
-(** For systems built directly as DAEs: [b̂] is evaluated by warping
-    only through the diagonal convention [b̂(t1,t2) = b(t1)] is NOT
-    assumed — instead the DAE's source is sampled at the sheared
-    equivalent time, which is only valid for single-tone sources on the
-    fast scale. Prefer {!of_mna} for multi-tone excitations. *)
+val of_dae : Numeric.Dae.t -> system
+(** For systems built directly as DAEs: the excitation is taken on the
+    fast scale only, [b̂(t1,t2) = b(t1)] — valid for single-tone sources.
+    No shear is involved (which is why none is accepted); prefer
+    {!of_mna} for multi-tone excitations, where the shear warps each
+    source's phase individually. *)
 
 type scheme =
   | Backward  (** fully implicit backward differences in t1 and t2 (default) *)
@@ -71,3 +74,45 @@ val jacobian_csr :
 
 val state_of : size:int -> Linalg.Vec.t -> int -> Linalg.Vec.t
 (** Extract grid point [p]'s circuit state from the flattened vector. *)
+
+(** {2 Workspace: symbolic-once / numeric-refresh assembly}
+
+    The one-shot entry points above rebuild every buffer and every
+    sparsity pattern per call. A {!workspace} instead freezes the
+    expensive symbolic work — the big Jacobian's CSR pattern, the
+    per-point Jacobian patterns, the charge/conductive evaluation
+    buffers — at the first call and only rewrites float values on later
+    Newton iterations. Results are bitwise identical to the one-shot
+    path (both funnel through the same stencil and stamping loops, and
+    CSR value refresh replays the duplicate-merge order of a fresh
+    build). A workspace belongs to one solve stream on one domain; it
+    must never be shared concurrently. *)
+
+type workspace
+
+val workspace : scheme -> system -> Grid.t -> workspace
+(** Allocate reusable assembly scratch for a (scheme, system, grid)
+    triple. Validates spectral-grid requirements eagerly. *)
+
+val residual_ws :
+  workspace -> sources:Linalg.Vec.t array -> Linalg.Vec.t -> Linalg.Vec.t
+(** Like {!residual}, reusing the workspace's internal buffers. The
+    returned residual is a fresh array each call (Newton keeps residual
+    vectors across iterations); only internal scratch is reused. *)
+
+val point_jacobians_ws :
+  workspace -> Linalg.Vec.t -> (Sparse.Csr.t * Sparse.Csr.t) array
+(** Like {!point_jacobians}, but after the first call the cached CSR
+    instances are refreshed in place via the system's
+    [fast.jacobian_refresher] (falling back to a from-scratch rebuild
+    of any point whose sparsity drifted, or of every point when the
+    system has no fast interface). The returned array and its matrices
+    are owned by the workspace and overwritten by the next call. *)
+
+val jacobian_ws : workspace -> Sparse.Csr.t
+(** Global sparse Jacobian stamped from the workspace's current
+    per-point blocks (call {!point_jacobians_ws} first — raises
+    [Invalid_argument] otherwise). The first call assembles the CSR
+    symbolically; later calls rewrite values in place and return the
+    {e same} matrix instance, which keeps downstream pattern-keyed
+    caches ([Splu.refactorable], [Ilu0.refactorable]) valid. *)

@@ -24,6 +24,7 @@ type options = {
   linear_solver : linear_solver;
   allow_continuation : bool;
   budget : Budget.t option;
+  precond_lag : bool;
 }
 
 let default_options =
@@ -34,13 +35,15 @@ let default_options =
     linear_solver = default_gmres;
     allow_continuation = true;
     budget = None;
+    precond_lag = true;
   }
 
 let make_options ?(max_newton = default_options.max_newton)
     ?(tol = default_options.tol) ?(scheme = default_options.scheme)
     ?(linear_solver = default_options.linear_solver)
-    ?(allow_continuation = default_options.allow_continuation) ?budget () =
-  { max_newton; tol; scheme; linear_solver; allow_continuation; budget }
+    ?(allow_continuation = default_options.allow_continuation) ?budget
+    ?(precond_lag = default_options.precond_lag) () =
+  { max_newton; tol; scheme; linear_solver; allow_continuation; budget; precond_lag }
 
 type stats = {
   newton_iterations : int;
@@ -61,111 +64,463 @@ type solution = {
   report : Report.t;
 }
 
-(* Block forward-substitution sweep: apply M⁻¹ where M keeps the
-   diagonal blocks D_p = (1/h1 + 1/h2)·C_p + G_p and the two
-   backward-difference neighbour blocks, *dropping the periodic wraps*
-   (i = 0 and j = 0 rows lose their wrapped neighbour). Lexicographic
-   order then makes M block lower-triangular, solvable in one pass with
-   dense per-point LU factors. [extra_diag] adds the pseudo-transient
-   loading so the preconditioner tracks the loaded Jacobian. *)
-let make_sweep_preconditioner scheme (g : Grid.t) ~size ~jacs ~extra_diag =
-  let n = size in
+(* The sweep preconditioner is exact (up to periodic wraps) for the
+   backward scheme; for central/spectral t1 schemes it degrades to a
+   block Gauss-Seidel over the t2 columns (the t1 coupling is left to
+   GMRES). *)
+let t1_in_diag = function
+  | Assemble.Backward -> true
+  | Assemble.Central_t1 | Assemble.Spectral_t1 | Assemble.Spectral_both -> false
+
+(* Reusable state for the block forward-substitution sweep: the dense
+   per-point diagonal factors and the apply buffers. The staging
+   matrices are owned by their factorizations after a build
+   ([Lu.factor_in_place]); a rebuild restamps and refactors them in
+   place, so the np dense blocks are allocated exactly once per solve. *)
+type sweep_cache = {
+  sc_n : int;
+  sc_np : int;
+  mats : Linalg.Mat.t array;
+  mutable factors : Linalg.Lu.t array;  (* [||] until first build *)
+  sx : Vec.t;  (* np*n sweep result, returned to GMRES *)
+  srhs : Vec.t;
+  sxp : Vec.t;
+  cw : Vec.t;  (* np*n scratch: per-point C_p v_p for the matrix-free op *)
+  mutable built_gvals : float array array;  (* G values at last (re)factor *)
+  mutable built_cvals : float array array;  (* C values at last (re)factor *)
+  row_scale : float array;  (* np*n: max |D_p row| at last (re)factor *)
+  mutable built_extra_diag : float;  (* nan until first build *)
+  mutable stale : bool;  (* some factors lag the current Jacobian *)
+}
+
+let csr_values_equal (a : Sparse.Csr.t) (b : Sparse.Csr.t) =
+  let va = a.Sparse.Csr.values and vb = b.Sparse.Csr.values in
+  let len = Array.length va in
+  len = Array.length vb
+  && a.Sparse.Csr.col_idx = b.Sparse.Csr.col_idx
+  &&
+  let ok = ref true and i = ref 0 in
+  while !ok && !i < len do
+    (* [<>] makes a NaN entry read as "not uniform" — fails safe. *)
+    if va.(!i) <> vb.(!i) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* The MPDE Jacobian's per-point blocks are functions of the per-point
+   state only, so at a replicated seed (DC operating point, zero state
+   — how every Newton stage starts) all np blocks are equal and one
+   dense factorization serves the whole sweep. Early-exits at the first
+   differing block, so the check is O(one block) once the LO swing has
+   been absorbed into the iterate. *)
+let blocks_uniform (jacs : (Sparse.Csr.t * Sparse.Csr.t) array) =
+  let g0, c0 = jacs.(0) in
+  let ok = ref true and p = ref 1 in
+  while !ok && !p < Array.length jacs do
+    let gp, cp = jacs.(!p) in
+    if not (csr_values_equal gp g0 && csr_values_equal cp c0) then ok := false;
+    incr p
+  done;
+  !ok
+
+(* A lagged block is refactored when any Jacobian entry moved by more
+   than this fraction of its dense row's magnitude at build time;
+   quieter blocks keep their dense factors. Row-scaled entry-wise
+   comparison is deliberate: a device conductance swinging by 20% of
+   its row visibly weakens the preconditioner, yet is invisible in any
+   whole-block norm dominated by large constant stamp entries. *)
+let refresh_tol = 0.5
+
+(* Per-solve workspace: assembly scratch plus the linear-solver caches
+   (GMRES Krylov basis, sweep factors, ILU0/sparse-LU factorizations
+   refreshed numerically on their frozen patterns). Owned by exactly
+   one solve on one domain. *)
+type workspace = {
+  asm : Assemble.workspace;
+  mutable gmres_ws : Sparse.Krylov.workspace option;
+  mutable gmres_restart : int;
+  op_buf : Vec.t;  (* shared operator output (GMRES buffer contract) *)
+  ilu_buf : Vec.t;  (* shared preconditioner output *)
+  sweep : sweep_cache;
+  mutable ilu : Sparse.Ilu0.t option;
+  mutable splu : Sparse.Splu.t option;
+}
+
+let make_workspace scheme sys (g : Grid.t) =
+  let n = sys.Assemble.size in
   let np = Grid.points g in
-  (* The sweep is exact (up to periodic wraps) for the backward scheme;
-     for central/spectral t1 schemes it degrades to a block Gauss-Seidel
-     over the t2 columns (the t1 coupling is left to GMRES). *)
-  let t1_in_diag =
-    match scheme with
-    | Assemble.Backward -> true
-    | Assemble.Central_t1 | Assemble.Spectral_t1 | Assemble.Spectral_both -> false
-  in
-  let diag_factors =
-    Telemetry.span "mpde.precond.build" @@ fun () ->
-    Array.init np (fun p ->
-        let gp, cp = jacs.(p) in
-        let d = Linalg.Mat.create n n in
-        let scale_c =
-          (if t1_in_diag then 1.0 /. g.Grid.h1 else 0.0) +. (1.0 /. g.Grid.h2)
-        in
-        for i = 0 to n - 1 do
-          Sparse.Csr.iter_row cp i (fun j v -> Linalg.Mat.add_entry d i j (scale_c *. v));
-          Sparse.Csr.iter_row gp i (fun j v -> Linalg.Mat.add_entry d i j v);
-          if extra_diag <> 0.0 then Linalg.Mat.add_entry d i i extra_diag
-        done;
-        Linalg.Lu.factor d)
-  in
-  fun (r : Vec.t) ->
-    Telemetry.count "mpde.precond.sweeps";
-    let x = Array.make (np * n) 0.0 in
-    let rhs = Array.make n 0.0 in
-    let xp = Array.make n 0.0 in
-    for p = 0 to np - 1 do
-      let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
-      Array.blit r (p * n) rhs 0 n;
-      (* Move the lower-neighbour couplings (−C/h) to the right side. *)
-      if t1_in_diag && i > 0 then begin
-        let p_im1 = p - 1 in
-        let _, c = jacs.(p_im1) in
-        for row = 0 to n - 1 do
-          Sparse.Csr.iter_row c row (fun col v ->
-              rhs.(row) <- rhs.(row) +. (v /. g.Grid.h1 *. x.((p_im1 * n) + col)))
-        done
-      end;
-      if j > 0 then begin
-        let p_jm1 = p - g.Grid.n1 in
-        let _, c = jacs.(p_jm1) in
-        for row = 0 to n - 1 do
-          Sparse.Csr.iter_row c row (fun col v ->
-              rhs.(row) <- rhs.(row) +. (v /. g.Grid.h2 *. x.((p_jm1 * n) + col)))
-        done
-      end;
-      Linalg.Lu.solve_into diag_factors.(p) rhs xp;
-      Array.blit xp 0 x (p * n) n
+  let big = np * n in
+  {
+    asm = Assemble.workspace scheme sys g;
+    gmres_ws = None;
+    gmres_restart = 0;
+    op_buf = Array.make big 0.0;
+    ilu_buf = Array.make big 0.0;
+    sweep =
+      {
+        sc_n = n;
+        sc_np = np;
+        mats = Array.init np (fun _ -> Linalg.Mat.create n n);
+        factors = [||];
+        sx = Array.make big 0.0;
+        srhs = Array.make n 0.0;
+        sxp = Array.make n 0.0;
+        cw = Array.make big 0.0;
+        built_gvals = [||];  (* sized at the first build (nnz unknown here) *)
+        built_cvals = [||];
+        row_scale = Array.make big 0.0;
+        built_extra_diag = nan;
+        stale = false;
+      };
+    ilu = None;
+    splu = None;
+  }
+
+let gmres_workspace ws ~restart ~n =
+  match ws.gmres_ws with
+  | Some k when ws.gmres_restart >= restart -> k
+  | _ ->
+      let k = Sparse.Krylov.workspace ~restart ~n in
+      ws.gmres_ws <- Some k;
+      ws.gmres_restart <- restart;
+      k
+
+let sweep_scale_c scheme (g : Grid.t) =
+  (if t1_in_diag scheme then 1.0 /. g.Grid.h1 else 0.0) +. (1.0 /. g.Grid.h2)
+
+(* Stamp and factor the dense diagonal block of one grid point,
+   D_p = (1/h1 + 1/h2)·C_p + G_p (+ extra_diag·I), recording the
+   Jacobian values and dense row scales the factor was built from (the
+   reference state for {!block_drifted}). [extra_diag] adds the
+   pseudo-transient loading so the preconditioner tracks the loaded
+   Jacobian. *)
+let factor_sweep_point cache scheme (g : Grid.t) ~jacs ~extra_diag p =
+  let n = cache.sc_n in
+  let scale_c = sweep_scale_c scheme g in
+  let gp, cp = jacs.(p) in
+  let d = cache.mats.(p) in
+  Array.fill d.Linalg.Mat.data 0 (n * n) 0.0;
+  for i = 0 to n - 1 do
+    Sparse.Csr.iter_row cp i (fun j v -> Linalg.Mat.add_entry d i j (scale_c *. v));
+    Sparse.Csr.iter_row gp i (fun j v -> Linalg.Mat.add_entry d i j v);
+    if extra_diag <> 0.0 then Linalg.Mat.add_entry d i i extra_diag
+  done;
+  cache.built_gvals.(p) <- Array.copy gp.Sparse.Csr.values;
+  cache.built_cvals.(p) <- Array.copy cp.Sparse.Csr.values;
+  for i = 0 to n - 1 do
+    let m = ref 0.0 in
+    for j = 0 to n - 1 do
+      m := Float.max !m (Float.abs (Linalg.Mat.get d i j))
     done;
-    x
+    cache.row_scale.((p * n) + i) <- Float.max !m 1e-300
+  done;
+  Linalg.Lu.factor_in_place d
+
+(* Full (re)build of the sweep's dense factors from the current
+   per-point Jacobian values. *)
+let build_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag =
+  Telemetry.span "mpde.precond.build" @@ fun () ->
+  if Array.length cache.built_gvals = 0 then begin
+    cache.built_gvals <- Array.make cache.sc_np [||];
+    cache.built_cvals <- Array.make cache.sc_np [||]
+  end;
+  let factor_point = factor_sweep_point cache scheme g ~jacs ~extra_diag in
+  if blocks_uniform jacs then begin
+    (* Replicated iterate: one dense factorization shared by all np
+       points ([Lu.solve_into] never mutates the factors). The built
+       value snapshots and row scales are replicated too; sharing the
+       snapshot arrays is sound because a later refactor replaces them
+       with fresh copies instead of mutating. *)
+    Telemetry.count "mpde.precond.shared_builds";
+    let f0 = factor_point 0 in
+    cache.factors <- Array.make cache.sc_np f0;
+    for p = 1 to cache.sc_np - 1 do
+      cache.built_gvals.(p) <- cache.built_gvals.(0);
+      cache.built_cvals.(p) <- cache.built_cvals.(0)
+    done;
+    let n = cache.sc_n in
+    for p = 1 to cache.sc_np - 1 do
+      Array.blit cache.row_scale 0 cache.row_scale (p * n) n
+    done
+  end
+  else cache.factors <- Array.init cache.sc_np factor_point;
+  cache.built_extra_diag <- extra_diag;
+  cache.stale <- false
+
+(* Has block [p]'s Jacobian moved, relative to what its dense factor
+   was built from? Entry-wise against the built snapshot, scaled by the
+   magnitude of the stamped dense row the entry lands in. Phrased as
+   "keep only when provably close" so a NaN entry reads as drifted, and
+   a pattern change (the per-point rebuild fallback swapped the CSR)
+   reads as drifted too. *)
+let block_drifted cache scheme (g : Grid.t) ~jacs p =
+  let gp, cp = jacs.(p) in
+  let bg = cache.built_gvals.(p) and bc = cache.built_cvals.(p) in
+  let gv = gp.Sparse.Csr.values and cv = cp.Sparse.Csr.values in
+  if Array.length bg <> Array.length gv || Array.length bc <> Array.length cv
+  then true
+  else begin
+    let n = cache.sc_n in
+    let scale_c = sweep_scale_c scheme g in
+    let base = p * n in
+    let close = ref true in
+    let scan (m : Sparse.Csr.t) built coeff =
+      let row_ptr = m.Sparse.Csr.row_ptr and v = m.Sparse.Csr.values in
+      let i = ref 0 in
+      while !close && !i < n do
+        let lim = refresh_tol *. cache.row_scale.(base + !i) in
+        let k = ref row_ptr.(!i) and stop = row_ptr.(!i + 1) in
+        while !close && !k < stop do
+          if not (Float.abs (coeff *. (v.(!k) -. built.(!k))) <= lim) then
+            close := false;
+          incr k
+        done;
+        incr i
+      done
+    in
+    scan gp bg 1.0;
+    if !close then scan cp bc scale_c;
+    not !close
+  end
+
+(* Selective refresh under [precond_lag]: refactor only the blocks
+   that drifted since they were last factored; quiet blocks keep their
+   (slightly stale) dense factors. *)
+let refresh_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag =
+  Telemetry.span "mpde.precond.refresh" @@ fun () ->
+  if cache.sc_np > 1 && cache.factors.(1) == cache.factors.(0) then begin
+    (* The last build shared one factorization (replicated iterate)
+       backed by [mats.(0)]; refactoring any single block in place
+       would corrupt the factor the others still reference, so the
+       first drift anywhere forces a full unshared rebuild. *)
+    let drifted = ref false and p = ref 0 in
+    while (not !drifted) && !p < cache.sc_np do
+      if block_drifted cache scheme g ~jacs !p then drifted := true;
+      incr p
+    done;
+    if !drifted then build_sweep_factors cache scheme g ~jacs ~extra_diag
+    else cache.stale <- true
+  end
+  else begin
+    let refreshed = ref 0 in
+    for p = 0 to cache.sc_np - 1 do
+      if block_drifted cache scheme g ~jacs p then begin
+        cache.factors.(p) <- factor_sweep_point cache scheme g ~jacs ~extra_diag p;
+        incr refreshed
+      end
+    done;
+    if !refreshed > 0 then
+      Telemetry.count ~by:!refreshed "mpde.precond.block_refreshes";
+    cache.stale <- !refreshed < cache.sc_np
+  end
+
+(* Block forward-substitution sweep: apply M⁻¹ where M keeps the
+   diagonal blocks and the two backward-difference neighbour blocks,
+   *dropping the periodic wraps* (i = 0 and j = 0 rows lose their
+   wrapped neighbour). Lexicographic order then makes M block
+   lower-triangular, solvable in one pass with the cached dense
+   factors. Returns the cache's shared output buffer (GMRES copies what
+   it keeps). *)
+let sweep_apply cache scheme (g : Grid.t) ~jacs (r : Vec.t) =
+  Telemetry.count "mpde.precond.sweeps";
+  let n = cache.sc_n in
+  let t1_in_diag = t1_in_diag scheme in
+  let inv_h1 = 1.0 /. g.Grid.h1 and inv_h2 = 1.0 /. g.Grid.h2 in
+  let x = cache.sx and rhs = cache.srhs and xp = cache.sxp in
+  (* Accumulate one lower-neighbour coupling, rhs += inv_h · C_q x_q,
+     reading the CSR arrays directly — this runs n·nnz(C) times per
+     sweep, too hot for the iter_row closure (and the reciprocal is
+     hoisted to a multiply). *)
+  let couple (c : Sparse.Csr.t) inv_h q =
+    let rp = c.Sparse.Csr.row_ptr
+    and ci = c.Sparse.Csr.col_idx
+    and cv = c.Sparse.Csr.values in
+    let xb = q * n in
+    for row = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = rp.(row) to rp.(row + 1) - 1 do
+        s := !s +. (cv.(k) *. x.(xb + ci.(k)))
+      done;
+      rhs.(row) <- rhs.(row) +. (inv_h *. !s)
+    done
+  in
+  for p = 0 to cache.sc_np - 1 do
+    let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
+    Array.blit r (p * n) rhs 0 n;
+    (* Move the lower-neighbour couplings (−C/h) to the right side. *)
+    if t1_in_diag && i > 0 then couple (snd jacs.(p - 1)) inv_h1 (p - 1);
+    if j > 0 then
+      couple (snd jacs.(p - g.Grid.n1)) inv_h2 (p - g.Grid.n1);
+    Linalg.Lu.solve_into cache.factors.(p) rhs xp;
+    Array.blit xp 0 x (p * n) n
+  done;
+  x
+
+(* Matrix-free application of the backward-scheme MPDE Jacobian:
+   out_p = (1/h1 + 1/h2)·C_p·v_p + G_p·v_p (+ extra_diag·v_p)
+           − (C_{i−1,j}·v_{i−1,j})/h1 − (C_{i,j−1}·v_{i,j−1})/h2
+   with periodic wraps, mirroring {!Assemble.stamp_big}'s Backward
+   stamping. The per-point products C_p·v_p are computed once into
+   [cache.cw] and reused for both neighbour couplings, so one apply
+   costs nnz(C) + nnz(G) multiplies per point — cheaper than the SpMV
+   on the assembled big CSR, and it removes the big-Jacobian assembly
+   from the GMRES hot path entirely. *)
+let sweep_op_apply cache (g : Grid.t) ~jacs ~extra_diag (v : Vec.t)
+    (out : Vec.t) =
+  let n = cache.sc_n in
+  let inv_h1 = 1.0 /. g.Grid.h1 and inv_h2 = 1.0 /. g.Grid.h2 in
+  let scale_c = inv_h1 +. inv_h2 in
+  let w = cache.cw in
+  for p = 0 to cache.sc_np - 1 do
+    let gp, cp = jacs.(p) in
+    let base = p * n in
+    let crp = cp.Sparse.Csr.row_ptr
+    and cci = cp.Sparse.Csr.col_idx
+    and cv = cp.Sparse.Csr.values in
+    let grp = gp.Sparse.Csr.row_ptr
+    and gci = gp.Sparse.Csr.col_idx
+    and gv = gp.Sparse.Csr.values in
+    for i = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = crp.(i) to crp.(i + 1) - 1 do
+        s := !s +. (cv.(k) *. v.(base + cci.(k)))
+      done;
+      w.(base + i) <- !s;
+      let t = ref (scale_c *. !s) in
+      for k = grp.(i) to grp.(i + 1) - 1 do
+        t := !t +. (gv.(k) *. v.(base + gci.(k)))
+      done;
+      out.(base + i) <- !t +. (extra_diag *. v.(base + i))
+    done
+  done;
+  for p = 0 to cache.sc_np - 1 do
+    let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
+    let bi = Grid.point_index g (i - 1) j * n in
+    let bj = Grid.point_index g i (j - 1) * n in
+    let base = p * n in
+    for r = 0 to n - 1 do
+      out.(base + r) <-
+        out.(base + r) -. (inv_h1 *. w.(bi + r)) -. (inv_h2 *. w.(bj + r))
+    done
+  done
 
 let with_extra_diag jac extra_diag =
   if extra_diag = 0.0 then jac
   else Sparse.Csr.add jac (Sparse.Csr.scale extra_diag (Sparse.Csr.identity jac.Sparse.Csr.rows))
 
-let solve_linear ~linear_solver ~scheme ~budget (g : Grid.t) ~size ~jacs ~extra_diag
-    ~rhs ~linear_iters =
-  let jac () =
-    with_extra_diag (Assemble.jacobian_csr scheme g ~size ~jacs) extra_diag
-  in
+let solve_linear ~ws ~linear_solver ~scheme ~precond_lag ~budget (g : Grid.t) ~jacs
+    ~extra_diag ~rhs ~linear_iters =
+  (* Numeric-refresh path: with [extra_diag = 0] this returns the same
+     CSR instance every Newton iteration, which keeps the ILU0/sparse-LU
+     pattern caches below valid. *)
+  let jac () = with_extra_diag (Assemble.jacobian_ws ws.asm) extra_diag in
   let run_gmres ~restart ~max_iter ~tol ~precond op =
-    let result = Sparse.Krylov.gmres ~restart ~max_iter ~tol ~precond ?budget op rhs in
+    let workspace = gmres_workspace ws ~restart ~n:(Array.length rhs) in
+    let result =
+      Sparse.Krylov.gmres ~restart ~max_iter ~tol ~precond ?budget ~workspace op rhs
+    in
     linear_iters := !linear_iters + result.Sparse.Krylov.iterations;
-    if not result.Sparse.Krylov.converged then begin
-      (match budget with
-      | Some b -> ( match Budget.exhausted b with Some e -> raise (Budget.Exhausted e) | None -> ())
-      | None -> ());
-      raise
-        (Linear_stall
-           (Printf.sprintf "GMRES stalled (residual %.3e after %d iterations)"
-              result.Sparse.Krylov.residual_norm result.Sparse.Krylov.iterations))
-    end;
-    result.Sparse.Krylov.x
+    result
+  in
+  let stalled (result : Sparse.Krylov.result) =
+    (match budget with
+    | Some b -> ( match Budget.exhausted b with Some e -> raise (Budget.Exhausted e) | None -> ())
+    | None -> ());
+    raise
+      (Linear_stall
+         (Printf.sprintf "GMRES stalled (residual %.3e after %d iterations)"
+            result.Sparse.Krylov.residual_norm result.Sparse.Krylov.iterations))
+  in
+  let op_of m v =
+    Sparse.Csr.mul_vec_into m v ws.op_buf;
+    ws.op_buf
   in
   match linear_solver with
-  | Direct ->
+  | Direct -> (
       Telemetry.span "mpde.linear.direct" @@ fun () ->
-      Sparse.Splu.solve (Sparse.Splu.factor (jac ())) rhs
-  | Gmres_sweep { restart; max_iter; tol } ->
-      Telemetry.span "mpde.linear.gmres-sweep" @@ fun () ->
-      let precond = make_sweep_preconditioner scheme g ~size ~jacs ~extra_diag in
-      let op =
-        let m = jac () in
-        fun v -> Sparse.Csr.mul_vec m v
+      let m = jac () in
+      let f =
+        match ws.splu with
+        | Some f when Sparse.Splu.refactorable f m -> (
+            try
+              Sparse.Splu.refactor f m;
+              f
+            with Sparse.Splu.Singular _ ->
+              (* The frozen pivot order hit a zero pivot; a fresh factor
+                 is free to pivot differently. *)
+              let f = Sparse.Splu.factor m in
+              ws.splu <- Some f;
+              f)
+        | _ ->
+            let f = Sparse.Splu.factor m in
+            ws.splu <- Some f;
+            f
       in
-      run_gmres ~restart ~max_iter ~tol ~precond op
+      Sparse.Splu.solve f rhs)
+  | Gmres_sweep { restart; max_iter; tol } -> (
+      Telemetry.span "mpde.linear.gmres-sweep" @@ fun () ->
+      let cache = ws.sweep in
+      (* For the backward scheme the operator is applied matrix-free
+         from the per-point blocks, so the big Jacobian is never
+         assembled on this path; the other schemes have long-range t1
+         couplings and keep the assembled SpMV. *)
+      let op =
+        match scheme with
+        | Assemble.Backward ->
+            fun v ->
+              sweep_op_apply cache g ~jacs ~extra_diag v ws.op_buf;
+              ws.op_buf
+        | Assemble.Central_t1 | Assemble.Spectral_t1 | Assemble.Spectral_both
+          ->
+            op_of (jac ())
+      in
+      (* Preconditioner lagging: keep the dense diagonal factors across
+         Newton iterations and selectively refactor only the blocks
+         whose Jacobian drifted (the values move slowly near the
+         solution and M⁻¹ only steers GMRES); full rebuild when the
+         loading changed, when lagging is off, or on a stall below. *)
+      if
+        Array.length cache.factors = 0
+        || (not precond_lag)
+        || cache.built_extra_diag <> extra_diag
+      then build_sweep_factors cache scheme g ~jacs ~extra_diag
+      else refresh_sweep_factors cache scheme g ~jacs ~extra_diag;
+      let precond = sweep_apply cache scheme g ~jacs in
+      let result = run_gmres ~restart ~max_iter ~tol ~precond op in
+      if result.Sparse.Krylov.converged then result.Sparse.Krylov.x
+      else if cache.stale then begin
+        (* The lagged factors may have fallen too far behind the
+           iterate: rebuild at the current Jacobian and retry once
+           before declaring a stall. *)
+        Telemetry.count "mpde.precond.lag_rebuilds";
+        build_sweep_factors cache scheme g ~jacs ~extra_diag;
+        let result = run_gmres ~restart ~max_iter ~tol ~precond op in
+        if result.Sparse.Krylov.converged then result.Sparse.Krylov.x
+        else stalled result
+      end
+      else stalled result)
   | Gmres_ilu0 { restart; max_iter; tol } ->
       Telemetry.span "mpde.linear.gmres-ilu0" @@ fun () ->
       let m = jac () in
-      let factors = Sparse.Ilu0.factor m in
-      run_gmres ~restart ~max_iter ~tol
-        ~precond:(fun r -> Sparse.Ilu0.apply factors r)
-        (fun v -> Sparse.Csr.mul_vec m v)
+      let f =
+        match ws.ilu with
+        | Some f when Sparse.Ilu0.refactorable f m ->
+            Sparse.Ilu0.refactor f m;
+            f
+        | _ ->
+            let f = Sparse.Ilu0.factor m in
+            ws.ilu <- Some f;
+            f
+      in
+      let result =
+        run_gmres ~restart ~max_iter ~tol
+          ~precond:(fun r ->
+            Sparse.Ilu0.apply_into f r ws.ilu_buf;
+            ws.ilu_buf)
+          (op_of m)
+      in
+      if result.Sparse.Krylov.converged then result.Sparse.Krylov.x
+      else stalled result
 
 (* Scan per-point Jacobian blocks before they reach the linear solver:
    a NaN entry in G or C would otherwise poison GMRES silently. *)
@@ -199,7 +554,7 @@ let check_jacobians_finite ~n jacs =
    the full MPDE grid vector. *)
 type ptc = { alpha : float; anchor : Vec.t }
 
-let newton_problem ~options ~linear_solver ?ptc ~sys ~g ~sources ~linear_iters
+let newton_problem ~options ~linear_solver ~ws ?ptc ~sys ~g ~sources ~linear_iters
     ~source_scale ~on_residual_violation () =
   let n = sys.Assemble.size in
   let scaled_sources =
@@ -207,7 +562,7 @@ let newton_problem ~options ~linear_solver ?ptc ~sys ~g ~sources ~linear_iters
     else Array.map (Vec.scale source_scale) sources
   in
   let base_residual big_x =
-    let r = Assemble.residual options.scheme sys g ~sources:scaled_sources big_x in
+    let r = Assemble.residual_ws ws.asm ~sources:scaled_sources big_x in
     (match ptc with
     | Some { alpha; anchor } ->
         for i = 0 to Array.length r - 1 do
@@ -223,13 +578,14 @@ let newton_problem ~options ~linear_solver ?ptc ~sys ~g ~sources ~linear_iters
         ~on_violation:on_residual_violation base_residual;
     solve_linearized =
       (fun big_x r ->
-        let jacs = Assemble.point_jacobians sys g big_x in
+        let jacs = Assemble.point_jacobians_ws ws.asm big_x in
         (try check_jacobians_finite ~n jacs
          with Guard.Non_finite v as e ->
            on_residual_violation v;
            raise e);
-        solve_linear ~linear_solver ~scheme:options.scheme ~budget:options.budget g
-          ~size:n ~jacs ~extra_diag ~rhs:r ~linear_iters);
+        solve_linear ~ws ~linear_solver ~scheme:options.scheme
+          ~precond_lag:options.precond_lag ~budget:options.budget g ~jacs ~extra_diag
+          ~rhs:r ~linear_iters);
   }
 
 let is_direct = function Direct -> true | _ -> false
@@ -240,6 +596,7 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
   let t_start = Telemetry.Clock.wall () in
   let tele_mark = Telemetry.mark () in
   Telemetry.span "mpde.solve" @@ fun () ->
+  Telemetry.with_alloc_gauges "alloc" @@ fun () ->
   let n = sys.Assemble.size in
   let np = Grid.points g in
   let big = np * n in
@@ -256,6 +613,7 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
     x
   in
   let sources = Assemble.sources_on_grid sys g in
+  let ws = make_workspace options.scheme sys g in
   let linear_iters = ref 0 in
   let newton_total = ref 0 in
   let continuation_steps = ref 0 and continuation_rejected = ref 0 in
@@ -317,7 +675,7 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
   let run_newton ~name ~linear_solver ?ptc ~source_scale x_init =
     residual_violation := None;
     let problem =
-      newton_problem ~options ~linear_solver ?ptc ~sys ~g ~sources ~linear_iters
+      newton_problem ~options ~linear_solver ~ws ?ptc ~sys ~g ~sources ~linear_iters
         ~source_scale ~on_residual_violation ()
     in
     let x, stats = Numeric.Newton.solve ~options:newton_options ~on_iteration problem x_init in
@@ -335,7 +693,7 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
   let source_ramp_stage () =
     residual_violation := None;
     let problem_at lambda =
-      newton_problem ~options ~linear_solver:options.linear_solver ~sys ~g ~sources
+      newton_problem ~options ~linear_solver:options.linear_solver ~ws ~sys ~g ~sources
         ~linear_iters ~source_scale:lambda ~on_residual_violation ()
     in
     let x, cstats =
@@ -364,8 +722,8 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
        neither negligible nor dominant across wildly different h1/h2. *)
     let alpha0 =
       try
-        let jacs = Assemble.point_jacobians sys g big_x0 in
-        let jac = Assemble.jacobian_csr options.scheme g ~size:n ~jacs in
+        ignore (Assemble.point_jacobians_ws ws.asm big_x0);
+        let jac = Assemble.jacobian_ws ws.asm in
         let d = Sparse.Csr.diag jac in
         let dmax =
           Array.fold_left
@@ -439,7 +797,7 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
   | _ -> ());
   let big_x = match run.Ladder.value with Some x -> x | None -> !last_x in
   let residual_norm =
-    let r = Assemble.residual options.scheme sys g ~sources big_x in
+    let r = Assemble.residual_ws ws.asm ~sources big_x in
     Vec.norm_inf r
   in
   let converged = run.Ladder.value <> None in

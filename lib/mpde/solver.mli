@@ -54,6 +54,13 @@ type options = {
   budget : Resilience.Budget.t option;
       (** overall deadline/iteration budget for the whole ladder climb;
           default [None] (unbounded) *)
+  precond_lag : bool;
+      (** keep the sweep preconditioner's dense per-point LU factors
+          across Newton iterations instead of rebuilding them for every
+          linear solve; on a GMRES stall with lagged factors the solver
+          rebuilds once and retries before escalating. Affects only
+          preconditioning (GMRES iteration counts), never the converged
+          answer. Default true. *)
 }
 
 val default_options : options
@@ -65,6 +72,7 @@ val make_options :
   ?linear_solver:linear_solver ->
   ?allow_continuation:bool ->
   ?budget:Resilience.Budget.t ->
+  ?precond_lag:bool ->
   unit ->
   options
 (** Smart constructor under the *normalized* option vocabulary shared

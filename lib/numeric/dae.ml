@@ -1,9 +1,17 @@
+type fast = {
+  eval_f_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  eval_q_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  jacobian_refresher :
+    unit -> Linalg.Vec.t -> g:Sparse.Csr.t -> c:Sparse.Csr.t -> bool;
+}
+
 type t = {
   size : int;
   eval_f : Linalg.Vec.t -> Linalg.Vec.t;
   eval_q : Linalg.Vec.t -> Linalg.Vec.t;
   jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
   source : float -> Linalg.Vec.t;
+  fast : fast option;
 }
 
 let linear ~g ~c ~source =
@@ -13,6 +21,19 @@ let linear ~g ~c ~source =
     eval_q = (fun x -> Sparse.Csr.mul_vec c x);
     jacobians = (fun _ -> (g, c));
     source;
+    fast =
+      Some
+        {
+          eval_f_into = (fun x out -> Sparse.Csr.mul_vec_into g x out);
+          eval_q_into = (fun x out -> Sparse.Csr.mul_vec_into c x out);
+          jacobian_refresher =
+            (fun () ->
+              (* The Jacobians are constant and [jacobians] always hands
+                 out the same two matrices, so a refresh is a no-op as
+                 long as the caller still holds those instances. *)
+              fun _x ~g:g' ~c:c' ->
+                g' == g && c' == c);
+        };
   }
 
 let residual dae ~x ~qdot ~t_now =

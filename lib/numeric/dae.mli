@@ -7,6 +7,26 @@
     integrators, the single-time steady-state methods, and the MPDE
     solver. *)
 
+type fast = {
+  eval_f_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+      (** [eval_f_into x out] overwrites [out] with [f(x)] *)
+  eval_q_into : Linalg.Vec.t -> Linalg.Vec.t -> unit;
+  jacobian_refresher :
+    unit -> Linalg.Vec.t -> g:Sparse.Csr.t -> c:Sparse.Csr.t -> bool;
+      (** [jacobian_refresher ()] allocates a private stamping workspace
+          and returns a closure that rewrites [g]/[c] values in place at
+          a new iterate (same float results, bitwise, as a fresh
+          [jacobians] call). Returns [false] — values then unspecified —
+          when the sparsity pattern at the new iterate differs from the
+          given matrices; the caller must rebuild via [jacobians]. Each
+          returned closure owns its workspace: create one per solve
+          stream (never share across domains). *)
+}
+(** Allocation-free variants of the evaluation callbacks, for hot paths
+    that keep workspaces (the MPDE assembler). Optional: producers that
+    cannot provide them leave [fast = None] and callers fall back to
+    the allocating closures. *)
+
 type t = {
   size : int;
   eval_f : Linalg.Vec.t -> Linalg.Vec.t;  (** conductive terms [f(x)] *)
@@ -14,6 +34,7 @@ type t = {
   jacobians : Linalg.Vec.t -> Sparse.Csr.t * Sparse.Csr.t;
       (** [(G, C) = (∂f/∂x, ∂q/∂x)], both [size] x [size] *)
   source : float -> Linalg.Vec.t;  (** excitation [b(t)] *)
+  fast : fast option;
 }
 
 val linear : g:Sparse.Csr.t -> c:Sparse.Csr.t -> source:(float -> Linalg.Vec.t) -> t

@@ -70,6 +70,44 @@ let of_coo coo =
       values = Array.sub values 0 !out;
     }
 
+(* Numeric phase of the symbolic/numeric split: re-stamp a frozen
+   pattern from a fresh triplet stream. Each triplet is scatter-added
+   via binary search on the row's sorted column indices, so entries
+   that [of_coo] merged in insertion order are summed in the same
+   order here — the float results are bitwise identical. *)
+let refresh_from_coo m coo =
+  if Coo.rows coo <> m.rows || Coo.cols coo <> m.cols then false
+  else begin
+    Array.fill m.values 0 (Array.length m.values) 0.0;
+    let ok = ref true in
+    (try
+       Coo.iter
+         (fun i j v ->
+           let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
+           let found = ref false in
+           while !lo <= !hi do
+             let mid = (!lo + !hi) / 2 in
+             let c = m.col_idx.(mid) in
+             if c = j then begin
+               m.values.(mid) <- m.values.(mid) +. v;
+               found := true;
+               lo := !hi + 1
+             end
+             else if c < j then lo := mid + 1
+             else hi := mid - 1
+           done;
+           if not !found then begin
+             (* Out-of-pattern triplet: the sparsity changed since the
+                symbolic phase. The caller must rebuild with [of_coo];
+                [m.values] is left in an unspecified state. *)
+             ok := false;
+             raise Exit
+           end)
+         coo
+     with Exit -> ());
+    !ok
+  end
+
 let of_dense ?(drop_tol = 0.0) m =
   let rows, cols = Linalg.Mat.dims m in
   let coo = Coo.create ~capacity:(rows * 4) rows cols in

@@ -16,6 +16,19 @@ val of_coo : Coo.t -> t
     only if they were never inserted (explicit zeros from summation are
     kept so patterns remain stable across Newton iterations). *)
 
+val refresh_from_coo : t -> Coo.t -> bool
+(** Numeric phase of the symbolic/numeric assembly split:
+    [refresh_from_coo m coo] rewrites [m.values] in place from the
+    triplet stream without touching the frozen pattern
+    ([row_ptr]/[col_idx]). Duplicates are summed in stream order —
+    exactly the order {!of_coo} uses — so a refresh from the stream
+    that built [m] is bitwise identical to rebuilding from scratch.
+    Pattern slots the stream never touches are left at [0.].
+
+    Returns [false] (leaving [m.values] unspecified) when a triplet
+    falls outside the pattern or the dimensions disagree; the caller
+    must then rebuild with {!of_coo}. *)
+
 val of_dense : ?drop_tol:float -> Linalg.Mat.t -> t
 (** Entries with magnitude [<= drop_tol] (default [0.]) are dropped. *)
 

@@ -2,30 +2,15 @@
    pattern. Stored as a modified copy of the CSR values plus the position
    of each row's diagonal. *)
 
-type t = { m : Csr.t; diag_pos : int array }
+type t = { m : Csr.t; diag_pos : int array; pos : int array }
 
 exception Zero_pivot of int
 
-let factor (a : Csr.t) =
-  let n = a.Csr.rows in
-  if a.Csr.cols <> n then invalid_arg "Ilu0.factor: matrix not square";
-  Telemetry.span "ilu0.factor" @@ fun () ->
-  Telemetry.count "ilu0.factors";
-  Telemetry.gauge "ilu0.n" (float_of_int n);
-  (* ILU(0) keeps the original pattern, so nnz doubles as the fill
-     figure — fill ratio is 1.0 by construction. *)
-  Telemetry.gauge "ilu0.nnz" (float_of_int (Csr.nnz a));
-  let values = Array.copy a.Csr.values in
-  let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
-  let diag_pos = Array.make n (-1) in
-  for i = 0 to n - 1 do
-    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-      if col_idx.(p) = i then diag_pos.(i) <- p
-    done;
-    if diag_pos.(i) < 0 then raise (Zero_pivot i)
-  done;
-  (* Scatter workspace: position of column j in current row, or -1. *)
-  let pos = Array.make n (-1) in
+(* The elimination kernel, shared by [factor] and [refactor]: runs on
+   [values] in place over the frozen pattern, using [pos] as the scatter
+   workspace (all -1 on entry and exit). *)
+let eliminate ~row_ptr ~col_idx ~values ~diag_pos ~pos =
+  let n = Array.length diag_pos in
   for i = 0 to n - 1 do
     for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
       pos.(col_idx.(p)) <- p
@@ -49,32 +34,70 @@ let factor (a : Csr.t) =
     for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
       pos.(col_idx.(p)) <- -1
     done
-  done;
-  { m = { a with Csr.values }; diag_pos }
+  done
 
-let apply t r =
+let factor (a : Csr.t) =
+  let n = a.Csr.rows in
+  if a.Csr.cols <> n then invalid_arg "Ilu0.factor: matrix not square";
+  Telemetry.span "ilu0.factor" @@ fun () ->
+  Telemetry.count "ilu0.factors";
+  Telemetry.gauge "ilu0.n" (float_of_int n);
+  (* ILU(0) keeps the original pattern, so nnz doubles as the fill
+     figure — fill ratio is 1.0 by construction. *)
+  Telemetry.gauge "ilu0.nnz" (float_of_int (Csr.nnz a));
+  let values = Array.copy a.Csr.values in
+  let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
+  let diag_pos = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      if col_idx.(p) = i then diag_pos.(i) <- p
+    done;
+    if diag_pos.(i) < 0 then raise (Zero_pivot i)
+  done;
+  (* Scatter workspace: position of column j in current row, or -1. *)
+  let pos = Array.make n (-1) in
+  eliminate ~row_ptr ~col_idx ~values ~diag_pos ~pos;
+  { m = { a with Csr.values }; diag_pos; pos }
+
+let refactorable t (a : Csr.t) = t.m.Csr.col_idx == a.Csr.col_idx
+
+let refactor t (a : Csr.t) =
+  if not (refactorable t a) then
+    invalid_arg "Ilu0.refactor: pattern changed since factor";
+  Telemetry.count "ilu0.refactors";
+  let values = t.m.Csr.values in
+  Array.blit a.Csr.values 0 values 0 (Array.length values);
+  eliminate ~row_ptr:t.m.Csr.row_ptr ~col_idx:t.m.Csr.col_idx ~values
+    ~diag_pos:t.diag_pos ~pos:t.pos
+
+let apply_into t r out =
   let n = t.m.Csr.rows in
-  if Array.length r <> n then invalid_arg "Ilu0.apply: dimension mismatch";
+  if Array.length r <> n || Array.length out <> n then
+    invalid_arg "Ilu0.apply_into: dimension mismatch";
   Telemetry.count "ilu0.applies";
   let row_ptr = t.m.Csr.row_ptr and col_idx = t.m.Csr.col_idx in
   let values = t.m.Csr.values in
-  let y = Array.copy r in
+  if out != r then Array.blit r 0 out 0 n;
   (* Forward solve with unit-diagonal L (strictly-lower entries). *)
   for i = 0 to n - 1 do
-    let s = ref y.(i) in
+    let s = ref out.(i) in
     let p = ref row_ptr.(i) in
     while !p < row_ptr.(i + 1) && col_idx.(!p) < i do
-      s := !s -. (values.(!p) *. y.(col_idx.(!p)));
+      s := !s -. (values.(!p) *. out.(col_idx.(!p)));
       incr p
     done;
-    y.(i) <- !s
+    out.(i) <- !s
   done;
   (* Backward solve with U (diagonal and above). *)
   for i = n - 1 downto 0 do
-    let s = ref y.(i) in
+    let s = ref out.(i) in
     for p = t.diag_pos.(i) + 1 to row_ptr.(i + 1) - 1 do
-      s := !s -. (values.(p) *. y.(col_idx.(p)))
+      s := !s -. (values.(p) *. out.(col_idx.(p)))
     done;
-    y.(i) <- !s /. values.(t.diag_pos.(i))
-  done;
+    out.(i) <- !s /. values.(t.diag_pos.(i))
+  done
+
+let apply t r =
+  let y = Array.make (t.m.Csr.rows) 0.0 in
+  apply_into t r y;
   y

@@ -29,6 +29,39 @@ type result = {
 
 let identity v = Array.copy v
 
+(* Preallocated GMRES scratch: the Krylov basis, the column-wise
+   Hessenberg, the Givens rotation coefficients, and the residual /
+   update vectors. Sized for a (restart, n) pair and reused across
+   restart cycles, Newton iterations, and whole solves — nothing is
+   allocated inside the restart loop when one is supplied. *)
+type workspace = {
+  ws_n : int;
+  ws_restart : int;
+  basis : Vec.t array;  (* restart+1 vectors of length n *)
+  hcols : Vec.t array;  (* Hessenberg columns; hcols.(j) has length j+2 *)
+  cs : Vec.t;
+  sn : Vec.t;
+  g : Vec.t;  (* restart+1 *)
+  y : Vec.t;
+  r : Vec.t;
+  update : Vec.t;
+}
+
+let workspace ~restart ~n =
+  let restart = max restart 1 in
+  {
+    ws_n = n;
+    ws_restart = restart;
+    basis = Array.init (restart + 1) (fun _ -> Array.make n 0.0);
+    hcols = Array.init restart (fun j -> Array.make (j + 2) 0.0);
+    cs = Array.make restart 0.0;
+    sn = Array.make restart 0.0;
+    g = Array.make (restart + 1) 0.0;
+    y = Array.make restart 0.0;
+    r = Array.make n 0.0;
+    update = Array.make n 0.0;
+  }
+
 (* Restarted GMRES with right preconditioning and Givens-rotation QR of
    the Hessenberg matrix.
 
@@ -38,11 +71,20 @@ let identity v = Array.copy v
    basis vector (an operator or preconditioner that produced NaN/Inf)
    terminates the inner loop *before* the poisoned column enters the
    Givens QR; if no finite progress was made at all the whole solve
-   aborts rather than looping on an unchanged iterate. *)
+   aborts rather than looping on an unchanged iterate.
+
+   Buffer contract: [op] and [precond] may return a shared internal
+   buffer — every value GMRES keeps across calls is copied into its own
+   (workspace) storage before the next operator application. *)
 let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
-    ?budget ?x0 op b =
+    ?budget ?x0 ?workspace:ws op b =
   Telemetry.span "gmres" @@ fun () ->
   let n = Array.length b in
+  let ws =
+    match ws with
+    | Some w when w.ws_n = n && w.ws_restart >= restart -> w
+    | _ -> workspace ~restart ~n
+  in
   let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
   let bnorm = Vec.norm2 b in
   let target = if bnorm > 0.0 then tol *. bnorm else tol in
@@ -60,10 +102,14 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        | _ -> ());
        incr restarts;
        Telemetry.count "gmres.restarts";
-       let r =
-         if !total_iters = 0 && x0 = None then Array.copy b
-         else Vec.sub b (op x)
-       in
+       let r = ws.r in
+       if !total_iters = 0 && x0 = None then Array.blit b 0 r 0 n
+       else begin
+         let ax = op x in
+         for i = 0 to n - 1 do
+           r.(i) <- b.(i) -. ax.(i)
+         done
+       end;
        let beta = Vec.norm2 r in
        final_res := beta;
        (* Per-restart residual curve: the true (unpreconditioned-side)
@@ -78,12 +124,16 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          raise Exit
        end;
        let m = min restart (max_iter - !total_iters) in
-       let basis = Array.make (m + 1) [||] in
-       basis.(0) <- Vec.scale (1.0 /. beta) r;
+       let basis = ws.basis in
+       let inv_beta = 1.0 /. beta in
+       let b0 = basis.(0) in
+       for i = 0 to n - 1 do
+         b0.(i) <- inv_beta *. r.(i)
+       done;
        (* Hessenberg stored column-wise: h.(j) has length j+2. *)
-       let h = Array.make m [||] in
-       let cs = Array.make m 0.0 and sn = Array.make m 0.0 in
-       let g = Array.make (m + 1) 0.0 in
+       let h = ws.hcols in
+       let cs = ws.cs and sn = ws.sn in
+       let g = ws.g in
        g.(0) <- beta;
        let k = ref 0 in
        let inner_done = ref false in
@@ -91,8 +141,10 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        while (not !inner_done) && !k < m do
          let j = !k in
          let w = op (precond basis.(j)) in
-         let hj = Array.make (j + 2) 0.0 in
-         (* Modified Gram-Schmidt. *)
+         let hj = h.(j) in
+         (* Modified Gram-Schmidt ([w] may be the operator's shared
+            buffer — mutating it in place is fine, the normalized copy
+            below is what survives the next operator call). *)
          for i = 0 to j do
            hj.(i) <- Vec.dot basis.(i) w;
            Vec.axpy (-.hj.(i)) basis.(i) w
@@ -106,8 +158,14 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          end
          else begin
            let happy = hj.(j + 1) <= 1e-300 in
-           if happy then basis.(j + 1) <- Array.make n 0.0
-           else basis.(j + 1) <- Vec.scale (1.0 /. hj.(j + 1)) w;
+           let bj1 = basis.(j + 1) in
+           if happy then Vec.fill bj1 0.0
+           else begin
+             let inv = 1.0 /. hj.(j + 1) in
+             for i = 0 to n - 1 do
+               bj1.(i) <- inv *. w.(i)
+             done
+           end;
            (* Apply previous Givens rotations to the new column. *)
            for i = 0 to j - 1 do
              let t = (cs.(i) *. hj.(i)) +. (sn.(i) *. hj.(i + 1)) in
@@ -128,7 +186,6 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
            hj.(j + 1) <- 0.0;
            g.(j + 1) <- -.sn.(j) *. g.(j);
            g.(j) <- cs.(j) *. g.(j);
-           h.(j) <- hj;
            incr total_iters;
            (match budget with
            | Some bu -> (
@@ -156,7 +213,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          raise Exit;
        (* Solve the triangular system for the Krylov coefficients. *)
        let k = !k in
-       let y = Array.make k 0.0 in
+       let y = ws.y in
        for i = k - 1 downto 0 do
          let s = ref g.(i) in
          for j = i + 1 to k - 1 do
@@ -166,7 +223,8 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
             direction is safer than dividing by zero. *)
          y.(i) <- (if Float.abs h.(i).(i) > 0.0 then !s /. h.(i).(i) else 0.0)
        done;
-       let update = Array.make n 0.0 in
+       let update = ws.update in
+       Vec.fill update 0.0;
        for j = 0 to k - 1 do
          Vec.axpy y.(j) basis.(j) update
        done;

@@ -25,6 +25,17 @@ type result = {
   stop : stop_reason;  (** why the iteration ended *)
 }
 
+type workspace
+(** Preallocated GMRES scratch (Krylov basis, Hessenberg columns,
+    rotation coefficients, residual/update vectors) for a fixed
+    [(restart, n)] shape. Reusing one across calls removes every
+    allocation inside the restart loop. A workspace belongs to one
+    solve stream on one domain — it must not be shared concurrently. *)
+
+val workspace : restart:int -> n:int -> workspace
+(** Allocate scratch for systems of size [n] solved with up to
+    [restart] inner iterations per cycle. *)
+
 val gmres :
   ?restart:int ->
   ?max_iter:int ->
@@ -32,6 +43,7 @@ val gmres :
   ?precond:operator ->
   ?budget:Resilience.Budget.t ->
   ?x0:Linalg.Vec.t ->
+  ?workspace:workspace ->
   operator ->
   Linalg.Vec.t ->
   result
@@ -45,7 +57,13 @@ val gmres :
     vector terminates the sweep with the last finite iterate instead of
     polluting the Givens QR with NaNs; [budget], when given, is ticked
     per inner iteration and checked at restarts, terminating with
-    [converged = false] (never raising) when it runs out. *)
+    [converged = false] (never raising) when it runs out.
+
+    [workspace] supplies preallocated scratch (ignored and rebuilt
+    locally if its shape does not cover [(restart, n)]). Buffer
+    contract: [op] and [precond] may return a shared internal buffer —
+    GMRES copies anything it keeps before the next call, and may mutate
+    the returned vector in place. *)
 
 val bicgstab :
   ?max_iter:int ->

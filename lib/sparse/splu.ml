@@ -34,6 +34,13 @@ type t = {
   u_idx : int array;
   u_val : float array;
   pinv : int array; (* pinv.(original_row) = pivotal position *)
+  (* Numeric-refactorization support: the col_idx array of the factored
+     matrix (compared physically, to detect pattern changes) and whether
+     the stored L structure is complete. [factor] drops L entries whose
+     value is exactly 0.0; a column with such a drop has an incomplete
+     structure that [refactor] cannot replay. *)
+  pattern : int array;
+  complete : bool;
 }
 
 exception Singular of int
@@ -89,6 +96,7 @@ let factor ?(pivot_threshold = 0.1) (a : Csr.t) =
   let stack = Array.make n 0 in
   let work_stack = Array.make n 0 and pos_stack = Array.make n 0 in
   let marked = Array.make n (-1) in
+  let complete = ref true in
   (* [l.idx] holds *original* row indices during factorization; remapped to
      pivotal order at the end (as in cs_lu). But DFS needs L columns keyed
      by pivotal position with original-row out-edges, which is exactly what
@@ -148,7 +156,9 @@ let factor ?(pivot_threshold = 0.1) (a : Csr.t) =
     dyn_push l !ipiv 1.0;
     for p = !top to n - 1 do
       let i = stack.(p) in
-      if pinv.(i) < 0 && x.(i) <> 0.0 then dyn_push l i (x.(i) /. pivot);
+      if pinv.(i) < 0 then
+        if x.(i) <> 0.0 then dyn_push l i (x.(i) /. pivot)
+        else complete := false;
       x.(i) <- 0.0
     done
   done;
@@ -172,7 +182,66 @@ let factor ?(pivot_threshold = 0.1) (a : Csr.t) =
     u_idx = Array.sub u.idx 0 u.len;
     u_val = Array.sub u.value 0 u.len;
     pinv;
+    pattern = a.Csr.col_idx;
+    complete = !complete;
   }
+
+let refactorable f (a : Csr.t) = f.complete && f.pattern == a.Csr.col_idx
+
+(* Numeric-only refactorization: keep the symbolic structure (reach sets,
+   fill pattern, pivot order) from [factor] and recompute only the
+   values. The stored U entries of each column are exactly the pivotal
+   reach nodes in the topological order the original triangular solve
+   processed them, so replaying them sequentially reproduces the same
+   float operations in the same order — a refactor of unchanged values
+   is bitwise identical to the original factorization. With changed
+   values the fixed pivot order is no longer threshold-optimal (same
+   trade as any KLU-style refactor); callers using the result as an
+   exact solver should watch {!Csr.residual_norm} or the pivot
+   magnitudes. *)
+let refactor f (a : Csr.t) =
+  if not (refactorable f a) then
+    invalid_arg "Splu.refactor: pattern changed or structure incomplete";
+  Telemetry.span "splu.refactor" @@ fun () ->
+  Telemetry.count "splu.refactors";
+  let n = f.n in
+  let at = Csr.transpose a in
+  let acol_ptr = at.Csr.row_ptr and acol_idx = at.Csr.col_idx in
+  let acol_val = at.Csr.values in
+  (* Scratch in pivotal coordinates; every position written below is
+     covered by the column's stored U/L entries, so the end-of-column
+     clear loop restores all-zeros. *)
+  let x = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    for p = acol_ptr.(k) to acol_ptr.(k + 1) - 1 do
+      x.(f.pinv.(acol_idx.(p))) <- acol_val.(p)
+    done;
+    (* Replay the sparse triangular solve over the stored U rows
+       (topological order; diagonal excluded — it is stored last). *)
+    let dpos = f.u_ptr.(k + 1) - 1 in
+    for p = f.u_ptr.(k) to dpos - 1 do
+      let j = f.u_idx.(p) in
+      let xj = x.(j) in
+      f.u_val.(p) <- xj;
+      if xj <> 0.0 then
+        for q = f.l_ptr.(j) + 1 to f.l_ptr.(j + 1) - 1 do
+          x.(f.l_idx.(q)) <- x.(f.l_idx.(q)) -. (f.l_val.(q) *. xj)
+        done
+    done;
+    let pivot = x.(k) in
+    if pivot = 0.0 || not (Float.is_finite pivot) then raise (Singular k);
+    f.u_val.(dpos) <- pivot;
+    for q = f.l_ptr.(k) + 1 to f.l_ptr.(k + 1) - 1 do
+      f.l_val.(q) <- x.(f.l_idx.(q)) /. pivot
+    done;
+    for p = f.u_ptr.(k) to dpos do
+      x.(f.u_idx.(p)) <- 0.0
+    done;
+    x.(k) <- 0.0;
+    for q = f.l_ptr.(k) to f.l_ptr.(k + 1) - 1 do
+      x.(f.l_idx.(q)) <- 0.0
+    done
+  done
 
 let size f = f.n
 

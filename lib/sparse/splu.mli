@@ -16,6 +16,26 @@ val factor : ?pivot_threshold:float -> Csr.t -> t
 (** [factor a] factors square [a]. [pivot_threshold] in (0, 1], default
     [0.1]. @raise Singular when structurally or numerically singular. *)
 
+val refactorable : t -> Csr.t -> bool
+(** Whether {!refactor} may replay this factorization for [a]: the
+    matrix must share its pattern arrays (physically) with the matrix
+    originally factored, and the stored structure must be complete
+    ([factor] drops L entries whose value is exactly [0.], losing the
+    symbolic information a replay needs). *)
+
+val refactor : t -> Csr.t -> unit
+(** Numeric-only refactorization on the frozen symbolic structure:
+    reuses the reach sets, fill pattern, and pivot order from
+    {!factor} and recomputes [L]/[U] values in place — no DFS, no
+    allocation growth. Refactoring the originally factored values is
+    bitwise identical to {!factor}. With changed values the fixed
+    pivot order no longer tracks the threshold-pivoting choice, so
+    accuracy can degrade for strongly changed matrices (the standard
+    KLU-style refactor trade-off).
+
+    @raise Invalid_argument when [not (refactorable t a)].
+    @raise Singular on a zero or non-finite pivot. *)
+
 val solve : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [solve lu b] returns [x] with [a x = b]. *)
 

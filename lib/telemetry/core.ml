@@ -132,6 +132,29 @@ let gauge name v =
       | Some r -> r := v
       | None -> Hashtbl.add st.gauges name (ref v))
 
+(* Allocation gauges from Gc.quick_stat deltas: cheap (no heap walk),
+   and [quick_stat] itself allocates nothing. Words, not bytes, so the
+   numbers are word-size independent. *)
+let with_alloc_gauges prefix f =
+  if not (enabled ()) then f ()
+  else begin
+    let s0 = Gc.quick_stat () in
+    let finish () =
+      let s1 = Gc.quick_stat () in
+      gauge (prefix ^ ".minor_words") (s1.Gc.minor_words -. s0.Gc.minor_words);
+      gauge (prefix ^ ".major_words") (s1.Gc.major_words -. s0.Gc.major_words);
+      gauge (prefix ^ ".promoted_words")
+        (s1.Gc.promoted_words -. s0.Gc.promoted_words)
+    in
+    match f () with
+    | y ->
+        finish ();
+        y
+    | exception e ->
+        finish ();
+        raise e
+  end
+
 let observe name v =
   match !(state ()) with
   | None -> ()

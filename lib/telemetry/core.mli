@@ -66,6 +66,12 @@ val gauge : string -> float -> unit
 val observe : string -> float -> unit
 (** Feed one sample into a named value histogram. *)
 
+val with_alloc_gauges : string -> (unit -> 'a) -> 'a
+(** [with_alloc_gauges prefix f] runs [f] and records the allocation it
+    caused on this domain as gauges [prefix ^ ".minor_words"],
+    [".major_words"] and [".promoted_words"] ([Gc.quick_stat] deltas,
+    in words). No-op overhead when recording is disabled. *)
+
 val mark : unit -> int
 (** Position in the event log; pass to [snapshot ~since] to summarize
     only the events of one solve. Returns 0 when disabled. *)

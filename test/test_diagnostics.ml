@@ -242,7 +242,8 @@ let test_json_parse_errors () =
 (* ---------- Gate ---------- *)
 
 let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
-    ?(ratio = 4.0) ?(sweep_wall = 2.0) ?(sweep_speedup = 1.6) () =
+    ?(dense_factors = 1200.0) ?(ratio = 4.0) ?(sweep_wall = 2.0)
+    ?(sweep_speedup = 1.6) ?(cores = 4.0) () =
   let open D.Json_min in
   Obj
     [
@@ -253,10 +254,18 @@ let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
             ("wall_seconds", Num wall);
             ("newton_iterations", Num newton);
             ("gmres_iterations", Num gmres);
+            ( "telemetry",
+              Obj [ ("counters", Obj [ ("lu.dense_factors", Num dense_factors) ]) ]
+            );
           ] );
       ("speedup", Obj [ ("ratio", Num ratio) ]);
       ( "sweep",
-        Obj [ ("wall_1", Num sweep_wall); ("speedup_2", Num sweep_speedup) ] );
+        Obj
+          [
+            ("wall_1", Num sweep_wall);
+            ("speedup_2", Num sweep_speedup);
+            ("cores", Num cores);
+          ] );
     ]
 
 let test_gate_passes_identical () =
@@ -264,7 +273,7 @@ let test_gate_passes_identical () =
   let r = D.Gate.evaluate ~baseline:doc ~current:doc () in
   Alcotest.(check bool) "passes" true r.D.Gate.passed;
   Alcotest.(check int) "no errors" 0 (List.length r.D.Gate.errors);
-  Alcotest.(check int) "six verdicts" 6 (List.length r.D.Gate.verdicts)
+  Alcotest.(check int) "seven verdicts" 7 (List.length r.D.Gate.verdicts)
 
 let test_gate_improvement_passes () =
   (* Faster wall clock and a better speedup ratio must never fail. *)
@@ -312,6 +321,33 @@ let test_gate_hard_errors () =
   Alcotest.(check bool) "missing metrics fail" false r.D.Gate.passed;
   Alcotest.(check bool) "missing metrics reported" true
     (List.length r.D.Gate.errors >= 4)
+
+let test_gate_speedup_floor () =
+  (* A multi-core runner whose parallel sweep loses to serial fails
+     outright, even when the baseline blessed the same bad number. *)
+  let slow = bench_doc ~sweep_speedup:0.4 ~cores:2.0 () in
+  let r = D.Gate.evaluate ~baseline:slow ~current:slow () in
+  Alcotest.(check bool) "sub-serial speedup on 2 cores fails" false
+    r.D.Gate.passed;
+  Alcotest.(check bool) "reported as an error" true
+    (List.exists
+       (fun e ->
+         (* the floor is a hard error, not a relative verdict *)
+         String.length e > 0 && String.sub e 0 8 = "parallel")
+       r.D.Gate.errors);
+  (* Same numbers on a single-core runner: the floor is skipped (no
+     parallelism to win) and the relative check carries the verdict. *)
+  let serial = bench_doc ~sweep_speedup:0.4 ~cores:1.0 () in
+  let r = D.Gate.evaluate ~baseline:serial ~current:serial () in
+  Alcotest.(check bool) "single-core escape hatch passes" true r.D.Gate.passed;
+  (* The growth in dense factorizations is watched too. *)
+  let r =
+    D.Gate.evaluate
+      ~baseline:(bench_doc ())
+      ~current:(bench_doc ~dense_factors:6000.0 ())
+      ()
+  in
+  Alcotest.(check bool) "dense-factor regression fails" false r.D.Gate.passed
 
 let test_gate_overrides () =
   let checks = D.Gate.default_checks ~overrides:[ ("mixer.wall_seconds", 0.5) ] 0.15 in
@@ -444,6 +480,8 @@ let () =
           Alcotest.test_case "within tolerance" `Quick test_gate_within_tolerance_passes;
           Alcotest.test_case "hard errors" `Quick test_gate_hard_errors;
           Alcotest.test_case "overrides" `Quick test_gate_overrides;
+          Alcotest.test_case "speedup floor and factor watch" `Quick
+            test_gate_speedup_floor;
         ] );
       ( "end-to-end",
         [

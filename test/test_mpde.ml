@@ -502,6 +502,79 @@ let test_envelope_follow_validation () =
     (fun () ->
       ignore (Mpde.Envelope_follow.run ~system:sys ~shear ~n1:8 ~t2_stop:1e-4 ~steps:0 ()))
 
+(* ---------- workspace refresh / preconditioner lagging ---------- *)
+
+let mixer_fixture () =
+  let f_lo = 450e6 and fd = 15e3 in
+  let rf_signal = W.cosine ~amplitude:1.0 ~freq:((2.0 *. f_lo) +. fd) () in
+  let { Circuits.mna; _ } = Circuits.balanced_mixer ~f_lo ~rf_signal () in
+  (mna, Shear.make ~fast_freq:f_lo ~slow_freq:fd)
+
+let float_array_bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then ok := false)
+    a;
+  !ok
+
+let test_assemble_ws_bitwise_refresh () =
+  (* The symbolic-once / numeric-refresh workspace must reproduce the
+     from-scratch assembly bitwise — pattern and values — at every
+     iterate of a real Newton descent on the mixer, not just at the
+     seed where the workspace froze its patterns. *)
+  let mna, shear = mixer_fixture () in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let g = Grid.make ~shear ~n1:10 ~n2:6 in
+  let n = sys.Mpde.Assemble.size in
+  let np = Grid.points g in
+  let sources = Mpde.Assemble.sources_on_grid sys g in
+  let ws = Mpde.Assemble.workspace Mpde.Assemble.Backward sys g in
+  let x = Array.make (np * n) 0.0 in
+  for iter = 1 to 3 do
+    ignore (Mpde.Assemble.point_jacobians_ws ws x);
+    let j_ws = Mpde.Assemble.jacobian_ws ws in
+    let jacs = Mpde.Assemble.point_jacobians sys g x in
+    let j_fresh =
+      Mpde.Assemble.jacobian_csr Mpde.Assemble.Backward g ~size:n ~jacs
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "pattern identical (iter %d)" iter)
+      true
+      (j_ws.Sparse.Csr.row_ptr = j_fresh.Sparse.Csr.row_ptr
+      && j_ws.Sparse.Csr.col_idx = j_fresh.Sparse.Csr.col_idx);
+    Alcotest.(check bool)
+      (Printf.sprintf "values bitwise identical (iter %d)" iter)
+      true
+      (float_array_bits_equal j_ws.Sparse.Csr.values j_fresh.Sparse.Csr.values);
+    (* Advance with a true Newton step (off the from-scratch path) so
+       the next refresh sees genuinely moved Jacobian values. *)
+    let r = Mpde.Assemble.residual Mpde.Assemble.Backward sys g ~sources x in
+    let dx = Sparse.Splu.solve (Sparse.Splu.factor j_fresh) r in
+    Array.iteri (fun i d -> x.(i) <- x.(i) -. d) dx
+  done
+
+let test_solver_precond_lag_matches_eager () =
+  (* Lagged dense sweep factors only steer GMRES; the converged answer
+     must satisfy the same equations to the same residual as the
+     eagerly refactored preconditioner. *)
+  let mna, shear = mixer_fixture () in
+  let solve lag =
+    Mpde.Solver.solve_mna
+      ~options:{ Mpde.Solver.default_options with precond_lag = lag }
+      ~shear ~n1:16 ~n2:10 mna
+  in
+  let eager = solve false and lagged = solve true in
+  Alcotest.(check bool) "both converged" true
+    (eager.Mpde.Solver.stats.converged && lagged.Mpde.Solver.stats.converged);
+  Alcotest.(check bool) "same residual norm" true
+    (Mpde.Solver.residual_norm_check lagged < 1e-7
+    && Mpde.Solver.residual_norm_check eager < 1e-7);
+  Alcotest.(check bool) "same solution" true
+    (Linalg.Vec.dist2 eager.Mpde.Solver.big_x lagged.Mpde.Solver.big_x < 1e-5)
+
 (* ---------- properties ---------- *)
 
 let prop_shear_diagonal =
@@ -577,6 +650,8 @@ let () =
             test_assemble_residual_zero_for_exact_solution;
           Alcotest.test_case "jacobian matches finite differences" `Slow
             test_assemble_jacobian_matches_fd;
+          Alcotest.test_case "workspace refresh bitwise" `Quick
+            test_assemble_ws_bitwise_refresh;
         ] );
       ( "solver",
         [
@@ -587,6 +662,8 @@ let () =
           Alcotest.test_case "off-lattice raises" `Quick test_solver_off_lattice_raises;
           Alcotest.test_case "seed validation" `Quick test_solver_seed_validation;
           Alcotest.test_case "nonlinear detector" `Quick test_solver_nonlinear_detector;
+          Alcotest.test_case "lagged preconditioner = eager" `Quick
+            test_solver_precond_lag_matches_eager;
           Alcotest.test_case "grid refinement" `Slow test_solver_grid_refinement_converges;
           Alcotest.test_case "central-t1 accuracy" `Slow test_solver_central_scheme_more_accurate;
         ] );

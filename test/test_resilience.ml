@@ -306,12 +306,13 @@ let stiff_dae ~amplitude ~freq =
     eval_q = (fun x -> [| 1e-6 *. x.(0) |]);
     jacobians = (fun x -> (csr_1x1 (g x.(0)), csr_1x1 1e-6));
     source = (fun t -> [| amplitude *. cos (2.0 *. pi *. freq *. t) |]);
+    fast = None;
   }
 
 let mpde_fixture ?(n1 = 8) ?(n2 = 6) dae =
   let shear = Mpde.Shear.make ~fast_freq:1e3 ~slow_freq:1e2 in
   let grid = Mpde.Grid.make ~shear ~n1 ~n2 in
-  let system = Mpde.Assemble.of_dae ~shear dae in
+  let system = Mpde.Assemble.of_dae dae in
   (system, grid)
 
 let test_mpde_ladder_recovers () =
@@ -347,6 +348,7 @@ let test_mpde_nan_poisoned_terminates () =
       eval_q = (fun x -> [| 1e-6 *. x.(0) |]);
       jacobians = (fun x -> (csr_1x1 (if Float.abs x.(0) < 1e-12 then 1.0 else nan), csr_1x1 1e-6));
       source = (fun t -> [| cos (2.0 *. pi *. 1e3 *. t) |]);
+      fast = None;
     }
   in
   let system, grid = mpde_fixture dae in
@@ -364,7 +366,7 @@ let test_mpde_budget_exhaustion () =
   let dae = stiff_dae ~amplitude:5.0 ~freq:1e3 in
   let shear = Mpde.Shear.make ~fast_freq:1e3 ~slow_freq:1e2 in
   let grid = Mpde.Grid.make ~shear ~n1:40 ~n2:30 in
-  let system = Mpde.Assemble.of_dae ~shear dae in
+  let system = Mpde.Assemble.of_dae dae in
   let t0 = Unix.gettimeofday () in
   let sol =
     Mpde.Solver.solve
