@@ -612,7 +612,10 @@ let sweep_bench () =
   let run ?(telemetry = false) domains =
     let outcomes, wall, _ =
       time (fun () ->
-          Engine.Sweep.run ~domains ~per_job_telemetry:telemetry (sweep_jobs ()))
+          (* Retry armed so the bench measures the instrumented path the
+             CLI runs; the gate asserts it never fires on a clean sweep. *)
+          Engine.Sweep.run ~domains ~per_job_telemetry:telemetry
+            ~retry:Resilience.Retry.default (sweep_jobs ()))
     in
     let converged =
       Array.for_all
@@ -639,10 +642,25 @@ let sweep_bench () =
   let speedup_4 = wall_1 /. Float.max wall_4 1e-12 in
   let alloc_minor = sweep_gauge_sum "alloc.job.minor_words" o1 in
   let alloc_major = sweep_gauge_sum "alloc.job.major_words" o1 in
+  let retries =
+    Array.fold_left
+      (fun acc o -> acc + Engine.Sweep.retries o)
+      0
+      (Array.concat [ o1; o2; o4 ])
+  in
+  let degraded_jobs =
+    Array.fold_left
+      (fun acc (o : Engine.Sweep.outcome) ->
+        if o.Engine.Sweep.degraded then acc + 1 else acc)
+      0
+      (Array.concat [ o1; o2; o4 ])
+  in
   pr "speedup: x%.2f on 2 domains, x%.2f on 4; deterministic=%b\n" speedup_2
     speedup_4 deterministic;
   pr "allocation (serial run): %.3gM minor words, %.3gM major words\n"
     (alloc_minor /. 1e6) (alloc_major /. 1e6);
+  pr "resilience: %d retries, %d degraded jobs across all runs\n" retries
+    degraded_jobs;
   ( Array.length sweep_disparities,
     wall_1,
     wall_2,
@@ -652,7 +670,9 @@ let sweep_bench () =
     deterministic,
     ok1 && ok2 && ok4,
     alloc_minor,
-    alloc_major )
+    alloc_major,
+    retries,
+    degraded_jobs )
 
 (* One telemetry-instrumented solve of the paper's balanced mixer plus
    an MPDE-vs-shooting comparison, dumped as BENCH_mpde.json so CI can
@@ -724,16 +744,18 @@ let bench_json ?(file = "BENCH_mpde.json") () =
         deterministic,
         sweep_ok,
         alloc_minor,
-        alloc_major ) =
+        alloc_major,
+        retries,
+        degraded_jobs ) =
     sweep_bench ()
   in
   Buffer.add_string buf
     (Printf.sprintf
-       ",\"sweep\":{\"jobs\":%d,\"cores\":%d,\"converged\":%b,\"wall_1\":%.6f,\"wall_2\":%.6f,\"wall_4\":%.6f,\"speedup_2\":%.3f,\"speedup_4\":%.3f,\"deterministic\":%b,\"alloc_job_minor_words_1\":%.0f,\"alloc_job_major_words_1\":%.0f}"
+       ",\"sweep\":{\"jobs\":%d,\"cores\":%d,\"converged\":%b,\"wall_1\":%.6f,\"wall_2\":%.6f,\"wall_4\":%.6f,\"speedup_2\":%.3f,\"speedup_4\":%.3f,\"deterministic\":%b,\"alloc_job_minor_words_1\":%.0f,\"alloc_job_major_words_1\":%.0f,\"retries\":%d,\"degraded_jobs\":%d}"
        jobs
        (Engine.Sweep.default_domains ())
        sweep_ok wall_1 wall_2 wall_4 speedup_2 speedup_4 deterministic
-       alloc_minor alloc_major);
+       alloc_minor alloc_major retries degraded_jobs);
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);

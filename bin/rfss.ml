@@ -486,115 +486,115 @@ let parse_engines s =
   in
   go [] (String.split_on_char ',' (String.trim s))
 
-(* FNV-1a over the raw float bits of the waveform: a cheap fingerprint
-   that makes "parallel == serial, bitwise" checkable from CSV output
-   (and from CI via cmp on two sweep runs). *)
-let waveform_hash (w : Engine.Result.waveform) =
-  let h = ref 0xcbf29ce484222325L in
-  let prime = 0x100000001b3L in
-  let mix v =
-    let bits = Int64.bits_of_float v in
-    for k = 0 to 7 do
-      let byte =
-        Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL)
-      in
-      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime
-    done
-  in
-  Array.iter mix w.Engine.Result.times;
-  Array.iter mix w.Engine.Result.values;
-  Printf.sprintf "%016Lx" !h
-
 let sweep_default_domains () =
   match Option.bind (Sys.getenv_opt "DOMAINS") int_of_string_opt with
   | Some n when n >= 1 -> n
   | _ -> Engine.Sweep.default_domains ()
-
-let metric_opt (r : Engine.Result.t) names =
-  List.find_map (fun n -> List.assoc_opt n r.Engine.Result.metrics) names
 
 let csv_sanitize msg =
   String.map (fun c -> if c = ',' || c = '\n' || c = '\r' then ';' else c) msg
 
 type sweep_format = Sweep_csv | Sweep_json
 
-let emit_sweep_csv ~no_wall outcomes =
+(* Both renderers print from checkpoint records — the same shape a
+   resumed run loads from disk — so an interrupted-then-resumed sweep
+   is byte-for-byte identical to an uninterrupted one by construction
+   (floats round-trip through the checkpoint's %.17g exactly). *)
+
+let emit_sweep_csv ~no_wall (records : Engine.Checkpoint.record array) =
   Printf.printf
-    "label,engine,fast,fd,status,converged,newton,residual,h1,thd,waveform_hash%s,message\n"
+    "label,engine,fast,fd,status,converged,newton,residual,h1,thd,waveform_hash,attempts%s,message\n"
     (if no_wall then "" else ",wall_seconds");
   Array.iter
-    (fun (o : Engine.Sweep.outcome) ->
-      let j = o.Engine.Sweep.job in
-      let p = j.Engine.Sweep.problem in
-      let engine = Engine.kind_name j.Engine.Sweep.engine.Engine.kind in
+    (fun (r : Engine.Checkpoint.record) ->
       let wall =
-        if no_wall then ""
-        else Printf.sprintf ",%.6f" o.Engine.Sweep.wall_seconds
+        if no_wall then "" else Printf.sprintf ",%.6f" r.Engine.Checkpoint.wall_seconds
       in
-      match o.Engine.Sweep.result with
-      | Ok r ->
-          Printf.printf "%s,%s,%.9e,%.9e,ok,%b,%d,%.6e,%.6e,%.6e,%s%s,\n"
-            j.Engine.Sweep.label engine p.Engine.Problem.f_fast
-            p.Engine.Problem.fd r.Engine.Result.converged
-            r.Engine.Result.newton_iterations r.Engine.Result.residual_norm
-            (Option.value ~default:Float.nan
-               (metric_opt r [ "h1_amplitude"; "baseband_h1" ]))
-            (Option.value ~default:Float.nan (metric_opt r [ "thd" ]))
-            (waveform_hash r.Engine.Result.waveform)
-            wall
-      | Error msg ->
-          Printf.printf "%s,%s,%.9e,%.9e,error,false,0,nan,nan,nan,%s,%s\n"
-            j.Engine.Sweep.label engine p.Engine.Problem.f_fast
-            p.Engine.Problem.fd wall (csv_sanitize msg))
-    outcomes
+      let message =
+        if r.Engine.Checkpoint.status <> "error" then ""
+        else
+          csv_sanitize
+            (r.Engine.Checkpoint.message
+            ^
+            match r.Engine.Checkpoint.stage with
+            | Some st -> Printf.sprintf " [stage %s]" st
+            | None -> "")
+      in
+      Printf.printf "%s,%s,%.9e,%.9e,%s,%b,%d,%.6e,%.6e,%.6e,%s,%d%s,%s\n"
+        r.Engine.Checkpoint.label r.Engine.Checkpoint.engine
+        r.Engine.Checkpoint.f_fast r.Engine.Checkpoint.fd
+        r.Engine.Checkpoint.status r.Engine.Checkpoint.converged
+        r.Engine.Checkpoint.newton r.Engine.Checkpoint.residual
+        r.Engine.Checkpoint.h1 r.Engine.Checkpoint.thd
+        r.Engine.Checkpoint.waveform_hash r.Engine.Checkpoint.attempts wall
+        message)
+    records
 
-let emit_sweep_json ~no_wall outcomes =
+(* %.6e of a NaN metric is not valid JSON; quote non-finite values the
+   same way Resilience.Report does. *)
+let sweep_json_float v =
+  if Float.is_nan v then "\"nan\""
+  else if v = Float.infinity then "\"inf\""
+  else if v = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.6e" v
+
+let emit_sweep_json ~no_wall (records : Engine.Checkpoint.record array) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "[";
   Array.iteri
-    (fun i (o : Engine.Sweep.outcome) ->
+    (fun i (r : Engine.Checkpoint.record) ->
       if i > 0 then Buffer.add_string buf ",";
-      let j = o.Engine.Sweep.job in
-      let p = j.Engine.Sweep.problem in
       Buffer.add_string buf
-        (Printf.sprintf "\n  {\"label\":%S,\"engine\":%S,\"fast\":%.9e,\"fd\":%.9e"
-           j.Engine.Sweep.label
-           (Engine.kind_name j.Engine.Sweep.engine.Engine.kind)
-           p.Engine.Problem.f_fast p.Engine.Problem.fd);
-      (match o.Engine.Sweep.result with
-      | Ok r ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               ",\"status\":\"ok\",\"converged\":%b,\"newton\":%d,\"residual\":%.6e,\"h1\":%.6e,\"thd\":%.6e,\"waveform_hash\":%S"
-               r.Engine.Result.converged r.Engine.Result.newton_iterations
-               r.Engine.Result.residual_norm
-               (Option.value ~default:Float.nan
-                  (metric_opt r [ "h1_amplitude"; "baseband_h1" ]))
-               (Option.value ~default:Float.nan (metric_opt r [ "thd" ]))
-               (waveform_hash r.Engine.Result.waveform))
-      | Error msg ->
-          Buffer.add_string buf
-            (Printf.sprintf ",\"status\":\"error\",\"message\":%S" msg));
+        (Printf.sprintf "\n  {\"label\":%S,\"engine\":%S,\"fast\":%.9e,\"fd\":%.9e,\"status\":%S,\"attempts\":%d"
+           r.Engine.Checkpoint.label r.Engine.Checkpoint.engine
+           r.Engine.Checkpoint.f_fast r.Engine.Checkpoint.fd
+           r.Engine.Checkpoint.status r.Engine.Checkpoint.attempts);
+      (if r.Engine.Checkpoint.status = "error" then begin
+         Buffer.add_string buf
+           (Printf.sprintf ",\"message\":%S" r.Engine.Checkpoint.message);
+         (match r.Engine.Checkpoint.stage with
+         | Some st -> Buffer.add_string buf (Printf.sprintf ",\"stage\":%S" st)
+         | None -> ());
+         match r.Engine.Checkpoint.backtrace with
+         | Some bt -> Buffer.add_string buf (Printf.sprintf ",\"backtrace\":%S" bt)
+         | None -> ()
+       end
+       else
+         Buffer.add_string buf
+           (Printf.sprintf
+              ",\"converged\":%b,\"newton\":%d,\"residual\":%s,\"h1\":%s,\"thd\":%s,\"waveform_hash\":%S"
+              r.Engine.Checkpoint.converged r.Engine.Checkpoint.newton
+              (sweep_json_float r.Engine.Checkpoint.residual)
+              (sweep_json_float r.Engine.Checkpoint.h1)
+              (sweep_json_float r.Engine.Checkpoint.thd)
+              r.Engine.Checkpoint.waveform_hash));
       if not no_wall then
         Buffer.add_string buf
-          (Printf.sprintf ",\"wall_seconds\":%.6f" o.Engine.Sweep.wall_seconds);
+          (Printf.sprintf ",\"wall_seconds\":%.6f"
+             r.Engine.Checkpoint.wall_seconds);
       Buffer.add_string buf "}")
-    outcomes;
+    records;
   Buffer.add_string buf "\n]\n";
   print_string (Buffer.contents buf)
 
 let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
-    format n1 n2 steps tol budget_seconds max_newton per_job_telemetry =
+    format n1 n2 steps tol budget_seconds max_newton per_job_telemetry
+    fault_plan checkpoint resume keep_going retries no_degrade =
   with_telemetry tele @@ fun () ->
   match
     ( find_fixture circuit,
       parse_param param,
-      parse_engines engines )
+      parse_engines engines,
+      match fault_plan with
+      | None -> Ok None
+      | Some spec ->
+          Result.map Option.some (Resilience.Faultinject.parse spec) )
   with
-  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+    ->
       prerr_endline e;
       1
-  | Ok fixture, Ok (pname, values), Ok kinds ->
+  | Ok fixture, Ok (pname, values), Ok kinds, Ok plan ->
       let f_fast0 = Option.value f_fast ~default:fixture.default_fast in
       let fd0 = Option.value fd ~default:fixture.default_fd in
       let options =
@@ -621,20 +621,82 @@ let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
       let domains =
         match domains with Some d -> d | None -> sweep_default_domains ()
       in
+      let retry =
+        {
+          Resilience.Retry.default with
+          Resilience.Retry.max_attempts = 1 + max 0 retries;
+          degrade = not no_degrade;
+        }
+      in
+      (* Install the fault plan before any worker domain spawns, so the
+         wrapped (skewable) clock source is the one workers read. *)
+      (match plan with
+      | Some p -> Resilience.Faultinject.install p
+      | None -> ());
+      Fun.protect ~finally:Resilience.Faultinject.uninstall @@ fun () ->
+      let job_key (j : Engine.Sweep.job) =
+        let p = j.Engine.Sweep.problem in
+        Engine.Checkpoint.job_key ~label:j.Engine.Sweep.label
+          ~engine:(Engine.kind_name j.Engine.Sweep.engine.Engine.kind)
+          ~f_fast:p.Engine.Problem.f_fast ~fd:p.Engine.Problem.fd
+          ~options:j.Engine.Sweep.engine.Engine.options
+      in
+      let log =
+        match checkpoint with
+        | None -> None
+        | Some path ->
+            (* Without --resume a stale log must not mask re-runs. *)
+            if not resume then (try Sys.remove path with Sys_error _ -> ());
+            Some (Engine.Checkpoint.create path)
+      in
+      let cached = Array.map (fun _ -> None) jobs in
+      (match log with
+      | Some log when resume ->
+          Array.iteri
+            (fun i j ->
+              cached.(i) <- Engine.Checkpoint.find log ~key:(job_key j))
+            jobs
+      | _ -> ());
+      let to_run =
+        Array.of_list
+          (List.filteri
+             (fun i _ -> cached.(i) = None)
+             (Array.to_list jobs))
+      in
+      let on_outcome =
+        Option.map
+          (fun log o ->
+            Engine.Checkpoint.append log (Engine.Checkpoint.of_outcome o))
+          log
+      in
       let outcomes =
         Engine.Sweep.run ~domains ?wall_seconds:budget_seconds
-          ?max_newton_per_job:max_newton ~per_job_telemetry jobs
+          ?max_newton_per_job:max_newton ~per_job_telemetry ~retry ?on_outcome
+          to_run
       in
+      (* Stitch cached and fresh records back into input job order. *)
+      let records = Array.make (Array.length jobs) None in
+      Array.iteri (fun i c -> records.(i) <- c) cached;
+      let fresh = Array.map Engine.Checkpoint.of_outcome outcomes in
+      let k = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c = None then begin
+            records.(i) <- Some fresh.(!k);
+            incr k
+          end)
+        cached;
+      let records = Array.map Option.get records in
       (match format with
-      | Sweep_csv -> emit_sweep_csv ~no_wall outcomes
-      | Sweep_json -> emit_sweep_json ~no_wall outcomes);
-      let errored =
+      | Sweep_csv -> emit_sweep_csv ~no_wall records
+      | Sweep_json -> emit_sweep_json ~no_wall records);
+      let bad =
         Array.exists
-          (fun (o : Engine.Sweep.outcome) ->
-            match o.Engine.Sweep.result with Error _ -> true | Ok _ -> false)
-          outcomes
+          (fun (r : Engine.Checkpoint.record) ->
+            r.Engine.Checkpoint.status <> "ok")
+          records
       in
-      if errored then 1 else 0
+      if bad && not keep_going then 1 else 0
 
 let envelope_cmd tele circuit f_fast fd n1 steps periods =
   with_telemetry tele @@ fun () ->
@@ -988,10 +1050,66 @@ let sweep_term =
              domain (recorders are domain-local; without this, worker domains \
              record nothing).")
   in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"SPEC"
+          ~doc:
+            "Install a deterministic fault-injection plan for the run, e.g. \
+             $(b,seed=7,nan\\@residual/newton:1,crash\\@job/#1:1). Items are \
+             $(b,KIND\\@SITE[/FILTER]:TRIGGER[=MAG]) with kinds \
+             nan/inf/singular/illcond/stall/crash/slow/kill, sites \
+             residual/jacobian/gmres/newton/job, and triggers N, NxM or ~P.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per completed job to $(docv) (atomic \
+             temp+rename), so a killed sweep can be resumed.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "With $(b,--checkpoint), skip jobs whose records are already in \
+             the file (validated by hash) and re-render them byte-for-byte; \
+             without it the file is truncated at start.")
+  in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+          ~doc:
+            "Exit 0 even when jobs finished in error or degraded (the \
+             pre-fault-tolerance behavior was to always exit 0).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a transiently failing job (crash, exhausted budget slice) \
+             up to $(docv) extra times with decorrelated-jitter backoff. \
+             $(b,0) disables retry.")
+  in
+  let no_degrade =
+    Arg.(
+      value & flag
+      & info [ "no-degrade" ]
+          ~doc:
+            "Disable the watchdog: do not grant a repeatedly failing job a \
+             final attempt at coarser grid / looser tolerance.")
+  in
   Term.(
     const sweep_cmd $ telemetry_arg $ circuit_arg $ engines $ param $ f_fast_arg
     $ fd_arg $ engine_period_arg $ domains $ no_wall $ format $ n1 $ n2 $ steps
-    $ tol $ budget_seconds_arg $ max_newton_arg $ per_job_telemetry)
+    $ tol $ budget_seconds_arg $ max_newton_arg $ per_job_telemetry
+    $ fault_plan $ checkpoint $ resume $ keep_going $ retries $ no_degrade)
 
 let mpde_term =
   let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in

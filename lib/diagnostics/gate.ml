@@ -109,6 +109,19 @@ let evaluate ?checks ~baseline ~current () =
       | None -> err "current benchmark is missing sweep.speedup_2")
   | Some _ -> ()
   | None -> err "current benchmark is missing sweep.cores");
+  (* Clean-path resilience floor: the bench sweeps with retry armed, so
+     a nonzero retry or degraded-job count means the runtime tripped its
+     own fault handling on healthy inputs — a hard failure regardless of
+     what the baseline recorded. *)
+  List.iter
+    (fun name ->
+      match lookup_num current [ "sweep"; name ] with
+      | Some v when v > 0.0 ->
+          err "clean sweep fired the retry path: sweep.%s = %.0f (expected 0)"
+            name v
+      | Some _ -> ()
+      | None -> err "current benchmark is missing sweep.%s" name)
+    [ "retries"; "degraded_jobs" ];
   let verdicts =
     List.filter_map
       (fun check ->

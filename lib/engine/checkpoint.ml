@@ -1,0 +1,336 @@
+type record = {
+  key : string;
+  label : string;
+  engine : string;
+  f_fast : float;
+  fd : float;
+  status : string;
+  converged : bool;
+  newton : int;
+  residual : float;
+  h1 : float;
+  thd : float;
+  waveform_hash : string;
+  attempts : int;
+  wall_seconds : float;
+  message : string;
+  stage : string option;
+  backtrace : string option;
+  report : string option;
+}
+
+(* ---------- hashing (FNV-1a over bytes, same as the waveform
+   fingerprint the sweep CSV always printed) ---------- *)
+
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix_byte h byte = Int64.mul (Int64.logxor h (Int64.of_int byte)) fnv_prime
+
+let mix_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix_byte !h (Char.code c)) s;
+  (* Terminator so ("ab","c") and ("a","bc") hash differently. *)
+  mix_byte !h 0xFF
+
+let mix_float h v =
+  let bits = Int64.bits_of_float v in
+  let h = ref h in
+  for k = 0 to 7 do
+    h :=
+      mix_byte !h
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL))
+  done;
+  !h
+
+let mix_int h i = mix_float h (float_of_int i)
+
+let hex h = Printf.sprintf "%016Lx" h
+
+let job_key ~label ~engine ~f_fast ~fd ~options =
+  let o = (options : Options.t) in
+  let h = fnv_basis in
+  let h = mix_string h label in
+  let h = mix_string h engine in
+  let h = mix_float h f_fast in
+  let h = mix_float h fd in
+  let h = mix_int h o.Options.n1 in
+  let h = mix_int h o.Options.n2 in
+  let h = mix_int h o.Options.steps_per_period in
+  let h = mix_int h o.Options.segments in
+  let h = mix_int h o.Options.steps_per_segment in
+  let h = mix_int h o.Options.harmonics in
+  let h = mix_int h o.Options.points in
+  let h = mix_int h o.Options.max_newton in
+  let h = mix_float h o.Options.tol in
+  hex h
+
+let waveform_hash (w : Backend.Result.waveform) =
+  let h = ref fnv_basis in
+  Array.iter (fun v -> h := mix_float !h v) w.Backend.Result.times;
+  Array.iter (fun v -> h := mix_float !h v) w.Backend.Result.values;
+  hex !h
+
+let digest r =
+  let h = fnv_basis in
+  let h = mix_string h r.key in
+  let h = mix_string h r.label in
+  let h = mix_string h r.engine in
+  let h = mix_float h r.f_fast in
+  let h = mix_float h r.fd in
+  let h = mix_string h r.status in
+  let h = mix_int h (if r.converged then 1 else 0) in
+  let h = mix_int h r.newton in
+  let h = mix_float h r.residual in
+  let h = mix_float h r.h1 in
+  let h = mix_float h r.thd in
+  let h = mix_string h r.waveform_hash in
+  let h = mix_int h r.attempts in
+  let h = mix_string h r.message in
+  let h = mix_string h (Option.value r.stage ~default:"") in
+  let h = mix_string h (Option.value r.backtrace ~default:"") in
+  let h = mix_string h (Option.value r.report ~default:"") in
+  hex h
+
+(* ---------- serialization ----------
+
+   Hand-emitted: Json_min prints floats with a bare %.17g, which is not
+   valid JSON for nan/inf, and sweep metrics (h1, thd) are legitimately
+   NaN on error rows. Same convention as Resilience.Report: non-finite
+   floats become quoted strings. *)
+
+let json_float v =
+  if Float.is_nan v then "\"nan\""
+  else if v = Float.infinity then "\"inf\""
+  else if v = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let esc = Diagnostics.Json_min.escape_string
+
+let to_line r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"v\":1";
+  let field name value =
+    Buffer.add_string b ",\"";
+    Buffer.add_string b name;
+    Buffer.add_string b "\":";
+    Buffer.add_string b value
+  in
+  field "key" (esc r.key);
+  field "label" (esc r.label);
+  field "engine" (esc r.engine);
+  field "f_fast" (json_float r.f_fast);
+  field "fd" (json_float r.fd);
+  field "status" (esc r.status);
+  field "converged" (string_of_bool r.converged);
+  field "newton" (string_of_int r.newton);
+  field "residual" (json_float r.residual);
+  field "h1" (json_float r.h1);
+  field "thd" (json_float r.thd);
+  field "waveform_hash" (esc r.waveform_hash);
+  field "attempts" (string_of_int r.attempts);
+  field "wall_seconds" (json_float r.wall_seconds);
+  field "message" (esc r.message);
+  (match r.stage with Some s -> field "stage" (esc s) | None -> ());
+  (match r.backtrace with Some s -> field "backtrace" (esc s) | None -> ());
+  (* The report is itself JSON, but it is stored as an escaped string:
+     embedding it as a sub-object would re-emit through Json_min on
+     load, which does not round-trip float formatting byte-for-byte —
+     and the digest must. *)
+  (match r.report with Some j -> field "report" (esc j) | None -> ());
+  field "digest" (esc (digest r));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let float_of_json = function
+  | Diagnostics.Json_min.Num v -> Some v
+  | Diagnostics.Json_min.Str "nan" -> Some Float.nan
+  | Diagnostics.Json_min.Str "inf" -> Some Float.infinity
+  | Diagnostics.Json_min.Str "-inf" -> Some Float.neg_infinity
+  | _ -> None
+
+let of_line line =
+  match Diagnostics.Json_min.parse line with
+  | exception Diagnostics.Json_min.Parse_error _ -> None
+  | j ->
+      let open Diagnostics.Json_min in
+      let str_f name = Option.bind (member name j) str in
+      let num_f name = Option.bind (member name j) float_of_json in
+      let int_f name =
+        Option.map int_of_float (Option.bind (member name j) num)
+      in
+      let bool_f name = Option.bind (member name j) bool in
+      (match
+         ( str_f "key",
+           str_f "label",
+           str_f "engine",
+           num_f "f_fast",
+           num_f "fd",
+           str_f "status",
+           bool_f "converged",
+           int_f "newton",
+           num_f "residual",
+           num_f "h1",
+           num_f "thd",
+           str_f "waveform_hash",
+           int_f "attempts",
+           num_f "wall_seconds",
+           str_f "message",
+           str_f "digest" )
+       with
+      | ( Some key,
+          Some label,
+          Some engine,
+          Some f_fast,
+          Some fd,
+          Some status,
+          Some converged,
+          Some newton,
+          Some residual,
+          Some h1,
+          Some thd,
+          Some waveform_hash,
+          Some attempts,
+          Some wall_seconds,
+          Some message,
+          Some stored_digest ) ->
+          let r =
+            {
+              key;
+              label;
+              engine;
+              f_fast;
+              fd;
+              status;
+              converged;
+              newton;
+              residual;
+              h1;
+              thd;
+              waveform_hash;
+              attempts;
+              wall_seconds;
+              message;
+              stage = str_f "stage";
+              backtrace = str_f "backtrace";
+              report = str_f "report";
+            }
+          in
+          if digest r = stored_digest then Some r else None
+      | _ -> None)
+
+let of_outcome (o : Sweep.outcome) =
+  let j = o.Sweep.job in
+  let p = j.Sweep.problem in
+  let engine = Backend.kind_name j.Sweep.engine.Backend.kind in
+  let key =
+    job_key ~label:j.Sweep.label ~engine ~f_fast:p.Problem.f_fast
+      ~fd:p.Problem.fd ~options:j.Sweep.engine.Backend.options
+  in
+  match o.Sweep.result with
+  | Ok r ->
+      let metric names =
+        Option.value ~default:Float.nan
+          (List.find_map
+             (fun n -> List.assoc_opt n r.Backend.Result.metrics)
+             names)
+      in
+      {
+        key;
+        label = j.Sweep.label;
+        engine;
+        f_fast = p.Problem.f_fast;
+        fd = p.Problem.fd;
+        status = (if o.Sweep.degraded then "degraded" else "ok");
+        converged = r.Backend.Result.converged;
+        newton = r.Backend.Result.newton_iterations;
+        residual = r.Backend.Result.residual_norm;
+        h1 = metric [ "h1_amplitude"; "baseband_h1" ];
+        thd = metric [ "thd" ];
+        waveform_hash = waveform_hash r.Backend.Result.waveform;
+        attempts = o.Sweep.attempts;
+        wall_seconds = o.Sweep.wall_seconds;
+        message = "";
+        stage = None;
+        backtrace = None;
+        report = Some (Resilience.Report.to_json_string r.Backend.Result.report);
+      }
+  | Error f ->
+      {
+        key;
+        label = j.Sweep.label;
+        engine;
+        f_fast = p.Problem.f_fast;
+        fd = p.Problem.fd;
+        status = "error";
+        converged = false;
+        newton = 0;
+        residual = Float.nan;
+        h1 = Float.nan;
+        thd = Float.nan;
+        waveform_hash = "";
+        attempts = o.Sweep.attempts;
+        wall_seconds = o.Sweep.wall_seconds;
+        message = f.Sweep.message;
+        stage = f.Sweep.stage;
+        backtrace = f.Sweep.backtrace;
+        report = None;
+      }
+
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            match of_line line with
+            | Some r -> go (r :: acc)
+            | None -> go acc (* torn or corrupt line: skip, re-run job *))
+      in
+      go []
+
+(* ---------- writer ---------- *)
+
+type t = {
+  path : string;
+  mutex : Mutex.t;
+  mutable recs : record list;  (* newest first *)
+}
+
+let create path = { path; mutex = Mutex.create (); recs = List.rev (load path) }
+
+let records t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  List.rev t.recs
+
+let find t ~key = List.find_opt (fun r -> r.key = key) (records t)
+
+(* Rewrite the whole log via temp + rename. Appending in place would be
+   cheaper, but a crash mid-append leaves a torn last line; the rename
+   makes every on-disk state a complete, parseable log — which is the
+   invariant the kill-and-resume chaos test checks. *)
+let flush_locked t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     List.iter
+       (fun r ->
+         output_string oc (to_line r);
+         output_char oc '\n')
+       (List.rev t.recs);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp t.path
+
+let append t r =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  t.recs <- r :: List.filter (fun x -> x.key <> r.key) t.recs;
+  flush_locked t

@@ -20,6 +20,7 @@ module Problem = Problem
 module Options = Options
 module Pool = Pool
 module Sweep = Sweep
+module Checkpoint = Checkpoint
 include Backend
 
 (* Per-engine entry points predating the unified API, kept as thin

@@ -37,6 +37,22 @@ let default =
 
 let with_budget budget o = { o with budget }
 
+(* Watchdog demotion for a repeatedly failing job: roughly quarter the
+   work (half per axis) and loosen the target two decades, floored so a
+   degraded grid still resolves the coarse shape of the waveform. *)
+let degrade o =
+  let halve ~floor v = max floor (v / 2) in
+  {
+    o with
+    tol = Float.min 1e-3 (o.tol *. 100.0);
+    n1 = halve ~floor:8 o.n1;
+    n2 = halve ~floor:6 o.n2;
+    steps_per_period = halve ~floor:64 o.steps_per_period;
+    steps_per_segment = halve ~floor:16 o.steps_per_segment;
+    harmonics = halve ~floor:4 o.harmonics;
+    points = halve ~floor:16 o.points;
+  }
+
 let to_mpde o =
   Mpde.Solver.make_options ~max_newton:o.max_newton ~tol:o.tol ~scheme:o.scheme
     ~linear_solver:o.linear_solver ~allow_continuation:o.allow_continuation

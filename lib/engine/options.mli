@@ -45,5 +45,12 @@ val default : t
 
 val with_budget : Resilience.Budget.t option -> t -> t
 
+val degrade : t -> t
+(** Watchdog demotion: halve every discretization axis (floored at
+    [n1 >= 8], [n2 >= 6], [steps_per_period >= 64],
+    [steps_per_segment >= 16], [harmonics >= 4], [points >= 16]) and
+    loosen [tol] by two decades (capped at [1e-3]). Idempotent at the
+    floors. *)
+
 val to_mpde : t -> Mpde.Solver.options
 (** Project onto the MPDE backend's native record. *)

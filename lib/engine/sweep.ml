@@ -8,12 +8,27 @@ let job ?label ?(options = Options.default) ~kind problem =
   in
   { label; problem; engine = Backend.make ~options kind }
 
+type failure = {
+  message : string;
+  backtrace : string option;
+  stage : string option;
+}
+
+let failure_to_string f =
+  match f.stage with
+  | None -> f.message
+  | Some s -> Printf.sprintf "%s [stage %s]" f.message s
+
 type outcome = {
   index : int;
   job : job;
-  result : (Backend.Result.t, string) Stdlib.result;
+  result : (Backend.Result.t, failure) Stdlib.result;
   wall_seconds : float;
+  attempts : int;
+  degraded : bool;
 }
+
+let retries o = o.attempts - 1
 
 let default_domains () = Domain.recommended_domain_count ()
 
@@ -30,42 +45,138 @@ let with_job_telemetry want f =
   end
 
 let run ?domains ?wall_seconds ?max_newton_per_job
-    ?(per_job_telemetry = false) jobs =
+    ?(per_job_telemetry = false) ?(retry = Resilience.Retry.none) ?on_outcome
+    jobs =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
   let deadline =
     Option.map (fun s -> Telemetry.Clock.wall () +. s) wall_seconds
   in
+  let deadline_open () =
+    match deadline with None -> true | Some d -> Telemetry.Clock.wall () < d
+  in
+  let engine_for (j : job) =
+    if deadline = None && max_newton_per_job = None then j.engine
+    else
+      (* Fresh per-attempt budget: standalone counters (cross-domain
+         sharing would race), wall headroom measured against the sweep
+         deadline at attempt start — so a retry gets only what is left,
+         not a fresh slice — chained onto the job's own pre-existing
+         budget which lives on this same domain. *)
+      let wall_left =
+        Option.map
+          (fun d -> Float.max 0.0 (d -. Telemetry.Clock.wall ()))
+          deadline
+      in
+      let budget =
+        Resilience.Budget.make ?wall_seconds:wall_left
+          ?max_newton:max_newton_per_job
+          ?parent:j.engine.Backend.options.Options.budget ()
+      in
+      {
+        j.engine with
+        Backend.options =
+          Options.with_budget (Some budget) j.engine.Backend.options;
+      }
+  in
   let run_one (index, j) =
     let t0 = Telemetry.Clock.wall () in
-    let engine =
-      if deadline = None && max_newton_per_job = None then j.engine
-      else
-        (* Fresh per-job budget: standalone counters (cross-domain
-           sharing would race), wall headroom measured against the
-           sweep deadline at job start, chained onto the job's own
-           pre-existing budget which lives on this same domain. *)
-        let wall_left =
-          Option.map (fun d -> Float.max 0.0 (d -. t0)) deadline
-        in
-        let budget =
-          Resilience.Budget.make ?wall_seconds:wall_left
-            ?max_newton:max_newton_per_job
-            ?parent:j.engine.Backend.options.Options.budget ()
-        in
-        {
-          j.engine with
-          Backend.options =
-            Options.with_budget (Some budget) j.engine.Backend.options;
-        }
+    (* One fault-injection scope per attempt: occurrence counters reset
+       on retry (a [crash@job:1] fault is transient — it hits attempt 1
+       and spares attempt 2), and the scope key lets a plan target one
+       job ("fd=8000"), one attempt ("#1"), or the degraded pass
+       ("#d"). *)
+    let one_attempt ~scope_key (j : job) =
+      Resilience.Faultinject.with_scope ~key:scope_key (fun () ->
+          try
+            Resilience.Faultinject.fire_point Resilience.Faultinject.Job;
+            with_job_telemetry per_job_telemetry (fun () ->
+                Ok (Backend.run j.problem (engine_for j)))
+          with e ->
+            (* Capture the trace in the handler, before any other code
+               runs and overwrites it. *)
+            let backtrace =
+              if Printexc.backtrace_status () then
+                match Printexc.get_backtrace () with
+                | "" -> None
+                | bt -> Some bt
+              else None
+            in
+            Error
+              {
+                message = Printexc.to_string e;
+                backtrace;
+                stage = Resilience.Faultinject.last_stage ();
+              })
     in
-    let result =
-      try
-        with_job_telemetry per_job_telemetry (fun () ->
-            Ok (Backend.run j.problem engine))
-      with e -> Error (Printexc.to_string e)
+    (* Transient: worth retrying unchanged — a crash (injected or real)
+       or a budget slice that ran out. Deterministic non-convergence
+       (stall, divergence) is not transient; retrying the identical
+       computation reproduces it bitwise. *)
+    let transient = function
+      | Error _ -> true
+      | Ok r -> (
+          (not r.Backend.Result.converged)
+          &&
+          match r.Backend.Result.report.Resilience.Report.outcome with
+          | Resilience.Report.Exhausted _ -> true
+          | _ -> false)
     in
-    { index; job = j; result; wall_seconds = Telemetry.Clock.wall () -. t0 }
+    let failed = function
+      | Error _ -> true
+      | Ok r -> not r.Backend.Result.converged
+    in
+    let rec attempt_loop n prev_delay =
+      let result = one_attempt ~scope_key:(j.label ^ "#" ^ string_of_int n) j in
+      if transient result && n < retry.Resilience.Retry.max_attempts
+         && deadline_open ()
+      then begin
+        let delay =
+          Resilience.Retry.backoff retry ~salt:j.label ~attempt:n
+            ~prev:prev_delay
+        in
+        Resilience.Retry.sleep delay;
+        attempt_loop (n + 1) delay
+      end
+      else (result, n)
+    in
+    let result, attempts = attempt_loop 1 0.0 in
+    (* Watchdog: a job that failed every regular attempt gets one final
+       try at degraded options instead of poisoning the sweep. The
+       demotion is only kept if it actually rescued the job. *)
+    let result, degraded =
+      if
+        retry.Resilience.Retry.degrade && failed result && deadline_open ()
+      then begin
+        let dj =
+          {
+            j with
+            engine =
+              {
+                j.engine with
+                Backend.options = Options.degrade j.engine.Backend.options;
+              };
+          }
+        in
+        let d_result = one_attempt ~scope_key:(j.label ^ "#d") dj in
+        if failed d_result then (result, false) else (d_result, true)
+      end
+      else (result, false)
+    in
+    let outcome =
+      {
+        index;
+        job = j;
+        result;
+        wall_seconds = Telemetry.Clock.wall () -. t0;
+        attempts;
+        degraded;
+      }
+    in
+    (* Runs on the executing domain, concurrently across jobs: the
+       checkpoint writer (the intended consumer) serializes internally. *)
+    (match on_outcome with Some f -> f outcome | None -> ());
+    outcome
   in
   Pool.map ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)

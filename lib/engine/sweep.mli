@@ -1,23 +1,44 @@
 (** Parameter sweeps over {!Backend.run}, executed in parallel on
-    OCaml 5 domains.
+    OCaml 5 domains, with per-job retry and watchdog degradation.
 
     A sweep is an array of jobs — each a (problem, engine) pair — run
     through {!Pool.map}. Results come back in job order regardless of
     scheduling, so a parallel sweep is sample-for-sample comparable
     with a serial one; with deterministic backends the waveforms are
     bitwise equal. A job that raises (a mis-built circuit, an
-    off-lattice MPDE frequency, a NaN escaping a build thunk) is
-    captured as [Error] in its own outcome and never poisons sibling
-    jobs or the pool.
+    off-lattice MPDE frequency, an injected crash) is captured as
+    [Error] — with exception message, backtrace when
+    [Printexc.backtrace_status], and the active escalation-ladder stage
+    — and never poisons sibling jobs or the pool.
+
+    Retry: under a {!Resilience.Retry.policy}, {e transient} failures
+    (an escaped exception, or a budget-slice exhaustion) are retried up
+    to [max_attempts] times with decorrelated-jitter backoff slept on
+    the injectable {!Telemetry.Clock}. Deterministic non-convergence
+    (stall, divergence) is not retried — re-running the identical
+    computation reproduces it bitwise. When every regular attempt has
+    failed and the policy allows it, a watchdog grants one final
+    attempt at {!Options.degrade}d options (coarser grid, looser
+    tolerance); the demotion is kept only if it rescues the job and is
+    flagged in the outcome. The default policy is
+    {!Resilience.Retry.none}: single attempt, exactly the historical
+    behavior.
 
     Budgets: [wall_seconds] is a deadline for the whole sweep. Budget
     counters are mutable and deliberately *not* shared across domains
-    (ticks would race), so instead each job derives a fresh standalone
-    {!Resilience.Budget.t} from the time left to the sweep deadline at
-    the moment it starts — chained (via [~parent]) onto any budget the
-    job's own options already carried, which lives on the same domain.
-    Late jobs therefore get small budgets and exhaust cleanly instead
-    of overshooting the deadline.
+    (ticks would race), so instead each {e attempt} derives a fresh
+    standalone {!Resilience.Budget.t} from the time left to the sweep
+    deadline when it starts — chained (via [~parent]) onto any budget
+    the job's own options already carried, which lives on the same
+    domain. Late jobs and late retries therefore get small budgets and
+    exhaust cleanly instead of overshooting the deadline; once the
+    deadline has passed, no further retries or degraded attempts run.
+
+    Fault injection: every attempt runs inside a
+    {!Resilience.Faultinject.with_scope} keyed
+    ["<label>#<attempt>"] (degraded attempt: ["<label>#d"]), so
+    occurrence counters reset per attempt and plan filters can target a
+    specific job, attempt, or the degraded pass.
 
     Telemetry: recorders are domain-local ({!Telemetry}), so worker
     domains record nothing unless [per_job_telemetry] is set, which
@@ -25,9 +46,7 @@
     summary to its result. Solver workspaces follow the same ownership
     rule — every job builds its own on its executing domain; nothing
     mutable is shared across domains but the job queue's atomic index
-    and the disjoint result slots. When a job records, its summary
-    carries the [alloc.job.*] gauges {!Backend.run} emits: the words
-    the whole run allocated on that domain ([Gc.quick_stat] deltas). *)
+    and the disjoint result slots. *)
 
 type job = { label : string; problem : Problem.t; engine : Backend.t }
 
@@ -35,13 +54,32 @@ val job : ?label:string -> ?options:Options.t -> kind:Backend.kind -> Problem.t 
 (** Convenience constructor; the default label is
     ["<problem.label>:<engine name>"]. *)
 
+type failure = {
+  message : string;  (** [Printexc.to_string] of whatever escaped *)
+  backtrace : string option;
+      (** raw backtrace, when backtrace recording was on *)
+  stage : string option;
+      (** the escalation-ladder stage active when the exception
+          escaped, when the ladder was running *)
+}
+
+val failure_to_string : failure -> string
+(** Message plus the stage suffix, without the backtrace. *)
+
 type outcome = {
   index : int;  (** position in the input array *)
   job : job;
-  result : (Backend.Result.t, string) Stdlib.result;
-      (** [Error] carries [Printexc.to_string] of whatever escaped *)
-  wall_seconds : float;  (** this job alone, on its executing domain *)
+  result : (Backend.Result.t, failure) Stdlib.result;
+  wall_seconds : float;
+      (** this job alone, on its executing domain, across all its
+          attempts including backoff sleeps *)
+  attempts : int;  (** regular attempts run (1 = no retry) *)
+  degraded : bool;
+      (** the result came from the watchdog's degraded attempt *)
 }
+
+val retries : outcome -> int
+(** [attempts - 1]. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — 1 on a single-core host,
@@ -52,9 +90,15 @@ val run :
   ?wall_seconds:float ->
   ?max_newton_per_job:int ->
   ?per_job_telemetry:bool ->
+  ?retry:Resilience.Retry.policy ->
+  ?on_outcome:(outcome -> unit) ->
   job array ->
   outcome array
 (** Execute the jobs on at most [domains] domains (default
     {!default_domains}; clamped to the job count; [1] means no domain
     is spawned at all). The result array is index-aligned with the
-    input. Never raises on job failure. *)
+    input. Never raises on job failure.
+
+    [on_outcome] fires once per job as it completes, {e on the
+    executing domain} and concurrently across domains — consumers that
+    aggregate (the checkpoint writer) must serialize internally. *)

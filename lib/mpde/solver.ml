@@ -579,6 +579,28 @@ let newton_problem ~options ~linear_solver ~ws ?ptc ~sys ~g ~sources ~linear_ite
     solve_linearized =
       (fun big_x r ->
         let jacs = Assemble.point_jacobians_ws ws.asm big_x in
+        (* Fault-injection hook: corrupt row 0 of the first point-block.
+           The workspace CSRs are restamped from the circuit on every
+           evaluation, so the damage is transient — the next linearize
+           sees clean Jacobians, exactly like a data-dependent glitch. *)
+        (match Resilience.Faultinject.jacobian_fault () with
+        | None -> ()
+        | Some action ->
+            let corrupt (m : Sparse.Csr.t) f =
+              let lo = m.Sparse.Csr.row_ptr.(0)
+              and hi = m.Sparse.Csr.row_ptr.(1) in
+              for k = lo to hi - 1 do
+                m.Sparse.Csr.values.(k) <- f m.Sparse.Csr.values.(k)
+              done
+            in
+            let gp, cp = jacs.(0) in
+            let f =
+              match action with
+              | `Singular -> fun _ -> 0.0
+              | `Scale s -> fun v -> v *. s
+            in
+            corrupt gp f;
+            corrupt cp f);
         (try check_jacobians_finite ~n jacs
          with Guard.Non_finite v as e ->
            on_residual_violation v;

@@ -96,6 +96,10 @@ let solve ?(options = default_options) ?on_iteration problem x0 =
        (match on_iteration with
        | Some f -> f !iterations !x !rnorm
        | None -> ());
+       (* Fault-injection hook: [crash@newton] simulates a domain dying
+          mid-iteration (the exception is not rescuable by the ladder —
+          deliberately), [slow@newton] ages the budget clock. *)
+       Resilience.Faultinject.fire_point Resilience.Faultinject.Newton_iter;
        (* A non-finite residual norm can never backtrack into tolerance:
           every ‖F‖ comparison against NaN is false, so the old code spun
           through max_iterations of useless halvings. Bail out at once. *)

@@ -35,6 +35,10 @@ let finite v =
 
 let guarded ?context ?block_size ~on_violation f x =
   let r = f x in
+  (* Fault-injection hook: a [nan@residual]/[inf@residual] fault
+     corrupts the freshly evaluated vector *before* the scan, so the
+     poison flows through the same violation path a real one would. *)
+  Faultinject.corrupt_vector Faultinject.Residual r;
   (match scan ?context ?block_size r with
   | Some violation -> on_violation violation
   | None -> ());

@@ -63,12 +63,19 @@ let run ?budget stages =
               let t0 = Telemetry.Clock.wall () in
               let outcome =
                 (* Each escalation stage is a telemetry span, so the cost
-                   of recovery strategies shows up in trace timelines. *)
-                try Telemetry.span ("stage." ^ stage.name) stage.attempt with
-                | Guard.Non_finite v ->
-                    Error (Non_finite v, Guard.violation_to_string v)
-                | Budget.Exhausted e ->
-                    Error (Exhausted e, Budget.exhaustion_to_string e)
+                   of recovery strategies shows up in trace timelines.
+                   The stage tracker makes the active rung visible to
+                   fault filters and to failure reports assembled from
+                   an exception handler above the ladder. *)
+                Faultinject.set_stage (Some stage.name);
+                Fun.protect
+                  ~finally:(fun () -> Faultinject.set_stage None)
+                  (fun () ->
+                    try Telemetry.span ("stage." ^ stage.name) stage.attempt with
+                    | Guard.Non_finite v ->
+                        Error (Non_finite v, Guard.violation_to_string v)
+                    | Budget.Exhausted e ->
+                        Error (Exhausted e, Budget.exhaustion_to_string e))
               in
               let wall_seconds = Telemetry.Clock.wall () -. t0 in
               match outcome with

@@ -1,0 +1,27 @@
+type policy = {
+  max_attempts : int;
+  base_seconds : float;
+  cap_seconds : float;
+  degrade : bool;
+  seed : int;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base_seconds = 0.02;
+    cap_seconds = 1.0;
+    degrade = true;
+    seed = 0;
+  }
+
+let none =
+  { max_attempts = 1; base_seconds = 0.0; cap_seconds = 0.0; degrade = false; seed = 0 }
+
+let backoff p ~salt ~attempt ~prev =
+  let prev = if prev <= 0.0 then p.base_seconds else prev in
+  let u = Faultinject.uniform ~seed:p.seed ~salt attempt in
+  let hi = Float.max p.base_seconds (3.0 *. prev) in
+  Float.min p.cap_seconds (p.base_seconds +. (u *. (hi -. p.base_seconds)))
+
+let sleep = Telemetry.Clock.sleep

@@ -1,0 +1,33 @@
+(** Retry policy for transient per-job failures, with
+    decorrelated-jitter backoff.
+
+    Backoff delays are deterministic — jitter comes from
+    {!Faultinject.uniform} keyed on a seed and the job label, not a
+    global RNG — and sleep through {!Telemetry.Clock.sleep}, so a test
+    with a manual clock pays no real time. *)
+
+type policy = {
+  max_attempts : int;
+      (** total tries including the first; [1] disables retry *)
+  base_seconds : float;  (** first backoff, and the jitter floor *)
+  cap_seconds : float;  (** backoff never exceeds this *)
+  degrade : bool;
+      (** after [max_attempts] failures, allow one extra attempt with
+          degraded options (coarser grid, looser tolerance) *)
+  seed : int;  (** jitter seed *)
+}
+
+val default : policy
+(** 3 attempts, 20 ms base, 1 s cap, degradation on, seed 0. *)
+
+val none : policy
+(** Single attempt, no degradation: the pre-retry sweep behavior. *)
+
+val backoff : policy -> salt:string -> attempt:int -> prev:float -> float
+(** Decorrelated jitter (Brooker): [min cap (uniform base (3 * prev))]
+    where [prev] is the previous delay (pass [0.0] before the first).
+    [attempt] is the 1-based attempt that just failed; [salt]
+    decorrelates concurrent jobs. *)
+
+val sleep : float -> unit
+(** {!Telemetry.Clock.sleep}. *)

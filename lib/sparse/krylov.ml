@@ -80,6 +80,23 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
     ?budget ?x0 ?workspace:ws op b =
   Telemetry.span "gmres" @@ fun () ->
   let n = Array.length b in
+  if Resilience.Faultinject.gmres_stall () then begin
+    (* Injected stagnation: report a zero-progress stall so callers
+       escalate through exactly the path a real one would take. *)
+    Telemetry.count "gmres.stalls";
+    let x =
+      match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0
+    in
+    {
+      x;
+      converged = false;
+      iterations = 0;
+      residual_norm = infinity;
+      restarts = 0;
+      stop = Max_iterations;
+    }
+  end
+  else
   let ws =
     match ws with
     | Some w when w.ws_n = n && w.ws_restart >= restart -> w

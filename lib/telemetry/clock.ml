@@ -1,9 +1,14 @@
-type source = { wall : unit -> float; cpu : unit -> float }
+type source = {
+  wall : unit -> float;
+  cpu : unit -> float;
+  sleep : float -> unit;
+}
 
 let monotonic =
   {
     wall = (fun () -> Int64.to_float (Monotonic_clock.now ()) *. 1e-9);
     cpu = Sys.time;
+    sleep = (fun dt -> if dt > 0.0 then Unix.sleepf dt);
   }
 
 let current = ref monotonic
@@ -12,11 +17,21 @@ let install s = current := s
 
 let uninstall () = current := monotonic
 
+let source () = !current
+
 let wall () = (!current).wall ()
 
 let cpu () = (!current).cpu ()
 
+let sleep dt = (!current).sleep dt
+
 let manual ?(start = 0.0) () =
   let now = ref start in
-  ( { wall = (fun () -> !now); cpu = (fun () -> !now) },
+  ( {
+      wall = (fun () -> !now);
+      cpu = (fun () -> !now);
+      (* Sleeping on a fake clock just advances it: retry backoff under
+         test takes zero real time but stays visible in wall readings. *)
+      sleep = (fun dt -> if dt > 0.0 then now := !now +. dt);
+    },
     fun dt -> now := !now +. dt )

@@ -4,15 +4,20 @@
     [CLOCK_MONOTONIC] via bechamel's stub, immune to NTP slews) and CPU
     time through [cpu], so tests can [install] a fake source and make
     budgets, ladder stage timings, and telemetry spans fully
-    deterministic. *)
+    deterministic. Blocking delays (retry backoff) go through [sleep]
+    for the same reason: a manual source turns them into instantaneous
+    clock advances. *)
 
 type source = {
   wall : unit -> float;  (** seconds; only differences are meaningful *)
   cpu : unit -> float;  (** process CPU seconds *)
+  sleep : float -> unit;
+      (** block for the given seconds ([<= 0] is a no-op) *)
 }
 
 val monotonic : source
-(** The real clocks: [CLOCK_MONOTONIC] for wall, [Sys.time] for CPU. *)
+(** The real clocks: [CLOCK_MONOTONIC] for wall, [Sys.time] for CPU,
+    [Unix.sleepf] for sleep. *)
 
 val install : source -> unit
 (** Replace the process-global clock source (tests). *)
@@ -20,12 +25,20 @@ val install : source -> unit
 val uninstall : unit -> unit
 (** Restore [monotonic]. *)
 
+val source : unit -> source
+(** The currently installed source (so wrappers — e.g. fault-injected
+    slowdowns — can decorate rather than replace it). *)
+
 val wall : unit -> float
 (** Current wall time from the installed source. *)
 
 val cpu : unit -> float
 (** Current CPU time from the installed source. *)
 
+val sleep : float -> unit
+(** Block via the installed source. *)
+
 val manual : ?start:float -> unit -> source * (float -> unit)
 (** [manual ()] is a fake source plus an [advance] function that moves
-    both wall and CPU time forward by the given number of seconds. *)
+    both wall and CPU time forward by the given number of seconds; its
+    [sleep] advances the same fake time instead of blocking. *)

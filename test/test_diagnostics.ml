@@ -243,7 +243,8 @@ let test_json_parse_errors () =
 
 let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
     ?(dense_factors = 1200.0) ?(ratio = 4.0) ?(sweep_wall = 2.0)
-    ?(sweep_speedup = 1.6) ?(cores = 4.0) () =
+    ?(sweep_speedup = 1.6) ?(cores = 4.0) ?(retries = 0.0)
+    ?(degraded = 0.0) () =
   let open D.Json_min in
   Obj
     [
@@ -265,6 +266,8 @@ let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
             ("wall_1", Num sweep_wall);
             ("speedup_2", Num sweep_speedup);
             ("cores", Num cores);
+            ("retries", Num retries);
+            ("degraded_jobs", Num degraded);
           ] );
     ]
 
@@ -348,6 +351,22 @@ let test_gate_speedup_floor () =
       ()
   in
   Alcotest.(check bool) "dense-factor regression fails" false r.D.Gate.passed
+
+let test_gate_retry_floor () =
+  (* Any retry or degraded job on the bench's clean sweep is a hard
+     error — the baseline blessing the same count does not excuse it. *)
+  let noisy = bench_doc ~retries:2.0 () in
+  let r = D.Gate.evaluate ~baseline:noisy ~current:noisy () in
+  Alcotest.(check bool) "nonzero retries fail" false r.D.Gate.passed;
+  let demoted = bench_doc ~degraded:1.0 () in
+  let r = D.Gate.evaluate ~baseline:demoted ~current:demoted () in
+  Alcotest.(check bool) "degraded job fails" false r.D.Gate.passed;
+  let missing =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~sweep_speedup:1.6 ())
+      ()
+  in
+  Alcotest.(check bool) "zero counters pass" true missing.D.Gate.passed
 
 let test_gate_overrides () =
   let checks = D.Gate.default_checks ~overrides:[ ("mixer.wall_seconds", 0.5) ] 0.15 in
@@ -480,6 +499,7 @@ let () =
           Alcotest.test_case "within tolerance" `Quick test_gate_within_tolerance_passes;
           Alcotest.test_case "hard errors" `Quick test_gate_hard_errors;
           Alcotest.test_case "overrides" `Quick test_gate_overrides;
+          Alcotest.test_case "retry floor" `Quick test_gate_retry_floor;
           Alcotest.test_case "speedup floor and factor watch" `Quick
             test_gate_speedup_floor;
         ] );

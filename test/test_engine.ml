@@ -144,7 +144,9 @@ let sweep_jobs ?(kind = Engine.Mpde) () =
 let result_exn (o : Engine.Sweep.outcome) =
   match o.Engine.Sweep.result with
   | Ok r -> r
-  | Error e -> Alcotest.failf "job %d errored: %s" o.Engine.Sweep.index e
+  | Error e ->
+      Alcotest.failf "job %d errored: %s" o.Engine.Sweep.index
+        (Engine.Sweep.failure_to_string e)
 
 let test_sweep_parallel_matches_serial () =
   let serial = Engine.Sweep.run ~domains:1 (sweep_jobs ()) in
@@ -182,7 +184,7 @@ let test_sweep_isolates_crashing_job () =
   let outcomes = Engine.Sweep.run ~domains:2 all in
   Alcotest.(check int) "all jobs reported" 5 (Array.length outcomes);
   (match outcomes.(2).Engine.Sweep.result with
-  | Error msg ->
+  | Error f ->
       let contains ~sub s =
         let n = String.length sub and m = String.length s in
         let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
@@ -190,7 +192,7 @@ let test_sweep_isolates_crashing_job () =
       in
       Alcotest.(check bool)
         "error message propagated" true
-        (contains ~sub:"deliberately broken" msg)
+        (contains ~sub:"deliberately broken" f.Engine.Sweep.message)
   | Ok _ -> Alcotest.fail "poisoned job must error");
   Array.iteri
     (fun i o ->
