@@ -605,6 +605,38 @@ let sweep_gauge_sum name outcomes =
       | Error _ -> acc)
     0.0 outcomes
 
+(* The 12-field tuple this used to return was unreadable at the use
+   site; named fields also let the JSON writer below pick values
+   without positional bookkeeping. *)
+type sweep_results = {
+  sw_jobs : int;
+  sw_wall_1 : float;
+  sw_wall_2 : float;
+  sw_wall_4 : float;
+  sw_speedup_2 : float;
+  sw_speedup_4 : float;
+  sw_utilization_2 : float;
+  sw_utilization_4 : float;
+  sw_deterministic : bool;
+  sw_ok : bool;
+  sw_alloc_minor : float;
+  sw_alloc_major : float;
+  sw_retries : int;
+  sw_degraded_jobs : int;
+}
+
+(* Fraction of the sweep's domains x wall actually spent inside jobs:
+   sum of per-job wall over the theoretical capacity. Low utilization
+   means domains sat idle (load imbalance, spawn overhead). *)
+let domain_utilization ~domains ~wall outcomes =
+  let busy =
+    Array.fold_left
+      (fun acc (o : Engine.Sweep.outcome) -> acc +. o.Engine.Sweep.wall_seconds)
+      0.0 outcomes
+  in
+  if wall > 0.0 && domains > 0 then busy /. (float_of_int domains *. wall)
+  else 0.0
+
 let sweep_bench () =
   header "SWEEP - 8-job MPDE disparity sweep on 1/2/4 domains (Engine.Sweep)";
   pr "recommended domains on this machine: %d\n"
@@ -640,6 +672,8 @@ let sweep_bench () =
   in
   let speedup_2 = wall_1 /. Float.max wall_2 1e-12 in
   let speedup_4 = wall_1 /. Float.max wall_4 1e-12 in
+  let utilization_2 = domain_utilization ~domains:2 ~wall:wall_2 o2 in
+  let utilization_4 = domain_utilization ~domains:4 ~wall:wall_4 o4 in
   let alloc_minor = sweep_gauge_sum "alloc.job.minor_words" o1 in
   let alloc_major = sweep_gauge_sum "alloc.job.major_words" o1 in
   let retries =
@@ -657,28 +691,38 @@ let sweep_bench () =
   in
   pr "speedup: x%.2f on 2 domains, x%.2f on 4; deterministic=%b\n" speedup_2
     speedup_4 deterministic;
+  pr "domain utilization: %.0f%% on 2 domains, %.0f%% on 4\n"
+    (100.0 *. utilization_2) (100.0 *. utilization_4);
   pr "allocation (serial run): %.3gM minor words, %.3gM major words\n"
     (alloc_minor /. 1e6) (alloc_major /. 1e6);
   pr "resilience: %d retries, %d degraded jobs across all runs\n" retries
     degraded_jobs;
-  ( Array.length sweep_disparities,
-    wall_1,
-    wall_2,
-    wall_4,
-    speedup_2,
-    speedup_4,
-    deterministic,
-    ok1 && ok2 && ok4,
-    alloc_minor,
-    alloc_major,
-    retries,
-    degraded_jobs )
+  {
+    sw_jobs = Array.length sweep_disparities;
+    sw_wall_1 = wall_1;
+    sw_wall_2 = wall_2;
+    sw_wall_4 = wall_4;
+    sw_speedup_2 = speedup_2;
+    sw_speedup_4 = speedup_4;
+    sw_utilization_2 = utilization_2;
+    sw_utilization_4 = utilization_4;
+    sw_deterministic = deterministic;
+    sw_ok = ok1 && ok2 && ok4;
+    sw_alloc_minor = alloc_minor;
+    sw_alloc_major = alloc_major;
+    sw_retries = retries;
+    sw_degraded_jobs = degraded_jobs;
+  }
 
 (* One telemetry-instrumented solve of the paper's balanced mixer plus
    an MPDE-vs-shooting comparison, dumped as BENCH_mpde.json so CI can
    archive and diff solver performance across commits. *)
 let bench_json ?(file = "BENCH_mpde.json") () =
   header (Printf.sprintf "JSON - writing %s" file);
+  (* GC attribution across everything the bench runs (mixer solve,
+     repeats, sweep on 1/2/4 domains): armed before the first solve so
+     worker-domain rings are covered from spawn. *)
+  let gc_monitor = Telemetry.Runtime.start () in
   Telemetry.enable ();
   let (sol, _, _), wall, cpu = time solve_balanced_mixer in
   let telemetry =
@@ -735,27 +779,39 @@ let bench_json ?(file = "BENCH_mpde.json") () =
        ",\"speedup\":{\"disparity\":%.0f,\"mpde_wall_seconds\":%.6f,\"shooting_wall_seconds\":%.6f,\"ratio\":%.3f}"
        disparity mpde_t shoot_t
        (shoot_t /. Float.max mpde_t 1e-12));
-  let ( jobs,
-        wall_1,
-        wall_2,
-        wall_4,
-        speedup_2,
-        speedup_4,
-        deterministic,
-        sweep_ok,
-        alloc_minor,
-        alloc_major,
-        retries,
-        degraded_jobs ) =
-    sweep_bench ()
+  let sw = sweep_bench () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"sweep\":{\"jobs\":%d,\"cores\":%d,\"converged\":%b,\"wall_1\":%.6f,\"wall_2\":%.6f,\"wall_4\":%.6f,\"speedup_2\":%.3f,\"speedup_4\":%.3f,\"domain_utilization_2\":%.4f,\"domain_utilization_4\":%.4f,\"deterministic\":%b,\"alloc_job_minor_words_1\":%.0f,\"alloc_job_major_words_1\":%.0f,\"retries\":%d,\"degraded_jobs\":%d}"
+       sw.sw_jobs
+       (Engine.Sweep.default_domains ())
+       sw.sw_ok sw.sw_wall_1 sw.sw_wall_2 sw.sw_wall_4 sw.sw_speedup_2
+       sw.sw_speedup_4 sw.sw_utilization_2 sw.sw_utilization_4
+       sw.sw_deterministic sw.sw_alloc_minor sw.sw_alloc_major sw.sw_retries
+       sw.sw_degraded_jobs);
+  (* GC section for the gate: percentiles from the runtime-events
+     monitor. A runtime that refused a cursor reports zeros rather than
+     dropping the section (a missing watched metric is a gate error). *)
+  let gc_mc, gc_ms, gc_p99_minor, gc_p99_major, gc_lost =
+    match gc_monitor with
+    | None -> (0, 0, 0.0, 0.0, 0)
+    | Some m ->
+        Telemetry.Runtime.poll m;
+        let s = Telemetry.Runtime.stats m in
+        Telemetry.Runtime.stop m;
+        let p99 (h : Telemetry.histogram) =
+          if h.Telemetry.count > 0 then Telemetry.quantile h 0.99 else 0.0
+        in
+        ( s.Telemetry.Runtime.minor_collections,
+          s.Telemetry.Runtime.major_slices,
+          p99 s.Telemetry.Runtime.minor_pause,
+          p99 s.Telemetry.Runtime.major_pause,
+          s.Telemetry.Runtime.lost_events )
   in
   Buffer.add_string buf
     (Printf.sprintf
-       ",\"sweep\":{\"jobs\":%d,\"cores\":%d,\"converged\":%b,\"wall_1\":%.6f,\"wall_2\":%.6f,\"wall_4\":%.6f,\"speedup_2\":%.3f,\"speedup_4\":%.3f,\"deterministic\":%b,\"alloc_job_minor_words_1\":%.0f,\"alloc_job_major_words_1\":%.0f,\"retries\":%d,\"degraded_jobs\":%d}"
-       jobs
-       (Engine.Sweep.default_domains ())
-       sweep_ok wall_1 wall_2 wall_4 speedup_2 speedup_4 deterministic
-       alloc_minor alloc_major retries degraded_jobs);
+       ",\"gc\":{\"minor_collections\":%d,\"major_slices\":%d,\"minor_pause_p99\":%.6e,\"major_pause_p99\":%.6e,\"lost_events\":%d}"
+       gc_mc gc_ms gc_p99_minor gc_p99_major gc_lost);
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);

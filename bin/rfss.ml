@@ -577,9 +577,137 @@ let emit_sweep_json ~no_wall (records : Engine.Checkpoint.record array) =
   Buffer.add_string buf "\n]\n";
   print_string (Buffer.contents buf)
 
+(* Live progress meter for --progress: one \r-rewritten stderr line.
+   [on_outcome] fires on whichever domain finished the job, so the
+   meter serializes internally. ETA is naive (mean rate so far), which
+   is the honest choice for jobs of wildly different cost. *)
+let progress_reporter ~total =
+  let m = Mutex.create () in
+  let finished = ref 0 in
+  let t0 = Telemetry.Clock.wall () in
+  fun (_ : Engine.Sweep.outcome) ->
+    Mutex.lock m;
+    incr finished;
+    let d = !finished in
+    let elapsed = Telemetry.Clock.wall () -. t0 in
+    let rate = if elapsed > 0.0 then float_of_int d /. elapsed else 0.0 in
+    let eta =
+      if rate > 0.0 then
+        Printf.sprintf "%.1fs" (float_of_int (total - d) /. rate)
+      else "?"
+    in
+    Printf.eprintf "\r[%d/%d] %3.0f%%  %.1fs elapsed  eta %s  %.2f jobs/s "
+      d total
+      (100.0 *. float_of_int d /. float_of_int total)
+      elapsed eta rate;
+    if d >= total then prerr_newline ();
+    flush stderr;
+    Mutex.unlock m
+
+let p99_or_zero (h : Telemetry.histogram) =
+  if h.Telemetry.count > 0 then Telemetry.quantile h 0.99 else 0.0
+
+(* One merged Chrome trace for the whole sweep: each worker domain gets
+   its own tid lane (real OS pid), plus an "rfss" top-level section —
+   ignored by trace viewers, read back by [rfss report] — carrying the
+   wall attribution the trace alone cannot express (measured sweep
+   wall, per-domain busy/utilization, retry counts, GC pause stats). *)
+let write_merged_trace ~file ~domains ~wall ~gc
+    (outcomes : Engine.Sweep.outcome array) =
+  let module J = Diagnostics.Json_min in
+  let pid = Unix.getpid () in
+  let parts =
+    Array.to_list outcomes
+    |> List.filter_map (fun (o : Engine.Sweep.outcome) ->
+           Option.map
+             (fun (base, snapshot) ->
+               {
+                 Telemetry.Merge.pid;
+                 tid = o.Engine.Sweep.worker + 1;
+                 thread_name = Printf.sprintf "domain-%d" o.Engine.Sweep.worker;
+                 label = Some o.Engine.Sweep.job.Engine.Sweep.label;
+                 base;
+                 snapshot;
+               })
+             o.Engine.Sweep.trace)
+  in
+  let busy = Array.make (max 1 domains) 0.0 in
+  let retries = ref 0 and degraded = ref 0 in
+  Array.iter
+    (fun (o : Engine.Sweep.outcome) ->
+      let w = o.Engine.Sweep.worker in
+      if w >= 0 && w < Array.length busy then
+        busy.(w) <- busy.(w) +. o.Engine.Sweep.wall_seconds;
+      retries := !retries + Engine.Sweep.retries o;
+      if o.Engine.Sweep.degraded then incr degraded)
+    outcomes;
+  let total_busy = Array.fold_left ( +. ) 0.0 busy in
+  let util b = if wall > 0.0 then b /. wall else 0.0 in
+  let per_domain =
+    Array.to_list
+      (Array.mapi
+         (fun k b ->
+           J.Obj
+             [
+               ("worker", J.Num (float_of_int k));
+               ("busy_seconds", J.Num b);
+               ("utilization", J.Num (util b));
+             ])
+         busy)
+  in
+  let gc_json =
+    match gc with
+    | None -> J.Null
+    | Some (s : Telemetry.Runtime.stats) ->
+        J.Obj
+          [
+            ("minor_collections", J.Num (float_of_int s.minor_collections));
+            ("major_slices", J.Num (float_of_int s.major_slices));
+            ("domains_seen", J.Num (float_of_int s.domains_seen));
+            ("lost_events", J.Num (float_of_int s.lost_events));
+            ("minor_pause_p99", J.Num (p99_or_zero s.minor_pause));
+            ("major_pause_p99", J.Num (p99_or_zero s.major_pause));
+          ]
+  in
+  let rfss_json =
+    J.Obj
+      [
+        ("schema", J.Str "rfss.sweep_trace/1");
+        ("wall_seconds", J.Num wall);
+        ("domains", J.Num (float_of_int domains));
+        ("jobs", J.Num (float_of_int (Array.length outcomes)));
+        ("retries", J.Num (float_of_int !retries));
+        ("degraded_jobs", J.Num (float_of_int !degraded));
+        ( "utilization",
+          J.Num
+            (if wall > 0.0 && domains > 0 then
+               total_busy /. (float_of_int domains *. wall)
+             else 0.0) );
+        ("per_domain", J.Arr per_domain);
+        ("gc", gc_json);
+      ]
+  in
+  let oc = open_out file in
+  Telemetry.Merge.write_chrome ~extra:[ ("rfss", J.to_string rfss_json) ] oc
+    parts;
+  close_out oc
+
 let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
     format n1 n2 steps tol budget_seconds max_newton per_job_telemetry
-    fault_plan checkpoint resume keep_going retries no_degrade =
+    progress fault_plan checkpoint resume keep_going retries no_degrade =
+  (* A Chrome-format --trace on a sweep means the cross-domain merged
+     trace, written from per-job snapshots captured on the executing
+     domains — not the caller-domain-only snapshot [with_telemetry]
+     would dump. Blank the option so the generic writer stays out of
+     the way; jsonl traces keep the historical single-recorder shape. *)
+  let merged_trace =
+    match (tele.trace, tele.trace_format) with
+    | Some file, Chrome -> Some file
+    | _ -> None
+  in
+  let tele =
+    match merged_trace with Some _ -> { tele with trace = None } | None -> tele
+  in
   with_telemetry tele @@ fun () ->
   match
     ( find_fixture circuit,
@@ -664,16 +792,54 @@ let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
              (Array.to_list jobs))
       in
       let on_outcome =
-        Option.map
-          (fun log o ->
-            Engine.Checkpoint.append log (Engine.Checkpoint.of_outcome o))
-          log
+        let checkpointer =
+          Option.map
+            (fun log o ->
+              Engine.Checkpoint.append log (Engine.Checkpoint.of_outcome o))
+            log
+        in
+        let reporter =
+          if progress && Array.length to_run > 0 then
+            Some (progress_reporter ~total:(Array.length to_run))
+          else None
+        in
+        match (checkpointer, reporter) with
+        | None, None -> None
+        | (Some _ as f), None -> f
+        | None, (Some _ as g) -> g
+        | Some f, Some g ->
+            Some
+              (fun o ->
+                f o;
+                g o)
       in
+      (* GC attribution for the merged trace: arm the runtime-events
+         monitor before any worker domain spawns so every ring is
+         covered from birth. *)
+      let monitor =
+        if merged_trace <> None then Telemetry.Runtime.start () else None
+      in
+      let sweep_t0 = Telemetry.Clock.wall () in
       let outcomes =
         Engine.Sweep.run ~domains ?wall_seconds:budget_seconds
-          ?max_newton_per_job:max_newton ~per_job_telemetry ~retry ?on_outcome
-          to_run
+          ?max_newton_per_job:max_newton ~per_job_telemetry
+          ~per_job_trace:(merged_trace <> None) ~retry ?on_outcome to_run
       in
+      let sweep_wall = Telemetry.Clock.wall () -. sweep_t0 in
+      let gc =
+        Option.map
+          (fun m ->
+            Telemetry.Runtime.poll m;
+            let s = Telemetry.Runtime.stats m in
+            Telemetry.Runtime.observe_into_telemetry m;
+            Telemetry.Runtime.stop m;
+            s)
+          monitor
+      in
+      (match merged_trace with
+      | Some file ->
+          write_merged_trace ~file ~domains ~wall:sweep_wall ~gc outcomes
+      | None -> ());
       (* Stitch cached and fresh records back into input job order. *)
       let records = Array.make (Array.length jobs) None in
       Array.iteri (fun i c -> records.(i) <- c) cached;
@@ -697,6 +863,197 @@ let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
           records
       in
       if bad && not keep_going then 1 else 0
+
+(* ---------- rfss report: wall attribution from a merged trace ---------- *)
+
+let format_seconds s =
+  if Float.is_nan s then "?"
+  else if Float.abs s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if Float.abs s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let report_cmd file top =
+  let module J = Diagnostics.Json_min in
+  match
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    J.parse s
+  with
+  | exception Sys_error e ->
+      prerr_endline e;
+      1
+  | exception J.Parse_error e ->
+      Printf.eprintf "%s: not a valid trace: %s\n" file e;
+      1
+  | json ->
+      let events =
+        match J.member "traceEvents" json with Some (J.Arr l) -> l | _ -> []
+      in
+      let fnum name ev = Option.bind (J.member name ev) J.num in
+      let fstr name ev = Option.bind (J.member name ev) J.str in
+      let fint name ev = Option.map int_of_float (fnum name ev) in
+      (* Lanes in document order; B/E events stay in emission order
+         within a lane, which is their nesting order — no re-sort. *)
+      let lanes : (int * int, J.t list ref) Hashtbl.t = Hashtbl.create 8 in
+      let lane_order = ref [] in
+      let thread_names = Hashtbl.create 8 in
+      let ts_min = ref infinity and ts_max = ref neg_infinity in
+      List.iter
+        (fun ev ->
+          let key =
+            ( Option.value ~default:0 (fint "pid" ev),
+              Option.value ~default:0 (fint "tid" ev) )
+          in
+          match fstr "ph" ev with
+          | Some "M" -> (
+              match (fstr "name" ev, J.member "args" ev) with
+              | Some "thread_name", Some args -> (
+                  match Option.bind (J.member "name" args) J.str with
+                  | Some n -> Hashtbl.replace thread_names key n
+                  | None -> ())
+              | _ -> ())
+          | Some (("B" | "E") as ph) ->
+              (match fnum "ts" ev with
+              | Some ts ->
+                  ts_min := Float.min !ts_min ts;
+                  ts_max := Float.max !ts_max ts
+              | None -> ());
+              let q =
+                match Hashtbl.find_opt lanes key with
+                | Some q -> q
+                | None ->
+                    let q = ref [] in
+                    Hashtbl.add lanes key q;
+                    lane_order := key :: !lane_order;
+                    q
+              in
+              ignore ph;
+              q := ev :: !q
+          | _ -> ())
+        events;
+      let lane_order = List.rev !lane_order in
+      (* Replay each lane's span stack: total = E.ts - B.ts, self =
+         total minus time inside children. Top-level totals sum to the
+         lane's busy time. *)
+      let spans = Hashtbl.create 32 in
+      let add_span name total self =
+        let c, t, s =
+          Option.value ~default:(0, 0.0, 0.0) (Hashtbl.find_opt spans name)
+        in
+        Hashtbl.replace spans name (c + 1, t +. total, s +. self)
+      in
+      let lane_busy =
+        List.map
+          (fun key ->
+            let evs = List.rev !(Hashtbl.find lanes key) in
+            let busy = ref 0.0 in
+            let stack = ref [] in
+            List.iter
+              (fun ev ->
+                let ts =
+                  Option.value ~default:0.0 (fnum "ts" ev) *. 1e-6
+                in
+                let name = Option.value ~default:"?" (fstr "name" ev) in
+                match fstr "ph" ev with
+                | Some "B" -> stack := (name, ts, ref 0.0) :: !stack
+                | Some "E" -> (
+                    match !stack with
+                    | (n, ts0, child) :: rest ->
+                        let total = ts -. ts0 in
+                        let self = Float.max 0.0 (total -. !child) in
+                        add_span n total self;
+                        (match rest with
+                        | (_, _, pchild) :: _ -> pchild := !pchild +. total
+                        | [] -> busy := !busy +. total);
+                        stack := rest
+                    | [] -> ())
+                | _ -> ())
+              evs;
+            (key, !busy))
+          lane_order
+      in
+      let rfss = J.member "rfss" json in
+      let rfss_num name =
+        Option.bind rfss (fun r -> Option.bind (J.member name r) J.num)
+      in
+      let inferred_wall =
+        if !ts_max > !ts_min then (!ts_max -. !ts_min) *. 1e-6 else 0.0
+      in
+      let wall, wall_src =
+        match rfss_num "wall_seconds" with
+        | Some w -> (w, "measured")
+        | None -> (inferred_wall, "inferred from trace extent")
+      in
+      let domains =
+        match rfss_num "domains" with
+        | Some d -> int_of_float d
+        | None -> max 1 (List.length lane_busy)
+      in
+      Printf.printf "trace: %s\n" file;
+      Printf.printf "wall:  %s (%s)" (format_seconds wall) wall_src;
+      (match (rfss_num "jobs", rfss_num "retries", rfss_num "degraded_jobs")
+       with
+      | Some j, Some r, Some d ->
+          Printf.printf "  jobs=%.0f retries=%.0f degraded=%.0f" j r d
+      | _ -> ());
+      print_newline ();
+      Printf.printf "lanes: %d\n" (List.length lane_busy);
+      List.iter
+        (fun ((pid, tid), busy) ->
+          let name =
+            Option.value ~default:"?" (Hashtbl.find_opt thread_names (pid, tid))
+          in
+          Printf.printf "  %-12s (pid %d, tid %d)  busy %-10s  utilization %3.0f%%\n"
+            name pid tid (format_seconds busy)
+            (if wall > 0.0 then 100.0 *. busy /. wall else 0.0))
+        lane_busy;
+      let all =
+        Hashtbl.fold
+          (fun name (c, t, s) acc -> (name, c, t, s) :: acc)
+          spans []
+        |> List.sort (fun (n1, _, _, s1) (n2, _, _, s2) ->
+               match compare s2 s1 with 0 -> compare n1 n2 | c -> c)
+      in
+      let total_busy = List.fold_left (fun a (_, b) -> a +. b) 0.0 lane_busy in
+      let total_self =
+        List.fold_left (fun a (_, _, _, s) -> a +. s) 0.0 all
+      in
+      Printf.printf "top %d spans by self time:\n"
+        (min top (List.length all));
+      Printf.printf "  %-28s %8s %12s %12s %7s\n" "span" "calls" "total"
+        "self" "share";
+      List.iteri
+        (fun i (name, calls, t, s) ->
+          if i < top then
+            Printf.printf "  %-28s %8d %12s %12s %6.1f%%\n" name calls
+              (format_seconds t) (format_seconds s)
+              (if total_busy > 0.0 then 100.0 *. s /. total_busy else 0.0))
+        all;
+      (match Option.bind rfss (J.member "gc") with
+      | Some (J.Obj _ as g) ->
+          let gnum name = Option.bind (J.member name g) J.num in
+          Printf.printf
+            "gc:    minor collections %.0f (p99 %s), major slices %.0f (p99 %s), lost events %.0f\n"
+            (Option.value ~default:0.0 (gnum "minor_collections"))
+            (format_seconds
+               (Option.value ~default:0.0 (gnum "minor_pause_p99")))
+            (Option.value ~default:0.0 (gnum "major_slices"))
+            (format_seconds
+               (Option.value ~default:0.0 (gnum "major_pause_p99")))
+            (Option.value ~default:0.0 (gnum "lost_events"))
+      | _ -> ());
+      Printf.printf
+        "accounting: span self %s = %.1f%% of lane busy %s; lane busy = %.1f%% of %d domains x wall\n"
+        (format_seconds total_self)
+        (if total_busy > 0.0 then 100.0 *. total_self /. total_busy else 0.0)
+        (format_seconds total_busy)
+        (if wall > 0.0 && domains > 0 then
+           100.0 *. total_busy /. (float_of_int domains *. wall)
+         else 0.0)
+        domains;
+      0
 
 let envelope_cmd tele circuit f_fast fd n1 steps periods =
   with_telemetry tele @@ fun () ->
@@ -1050,6 +1407,14 @@ let sweep_term =
              domain (recorders are domain-local; without this, worker domains \
              record nothing).")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print a live progress line to stderr as jobs finish: \
+             completed/total, percentage, elapsed, ETA and jobs/s.")
+  in
   let fault_plan =
     Arg.(
       value
@@ -1108,8 +1473,25 @@ let sweep_term =
   Term.(
     const sweep_cmd $ telemetry_arg $ circuit_arg $ engines $ param $ f_fast_arg
     $ fd_arg $ engine_period_arg $ domains $ no_wall $ format $ n1 $ n2 $ steps
-    $ tol $ budget_seconds_arg $ max_newton_arg $ per_job_telemetry
+    $ tol $ budget_seconds_arg $ max_newton_arg $ per_job_telemetry $ progress
     $ fault_plan $ checkpoint $ resume $ keep_going $ retries $ no_degrade)
+
+let report_term =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Chrome trace JSON written by $(b,--trace FILE --trace-format \
+             chrome) (a merged sweep trace or a single-solve trace).")
+  in
+  let top =
+    Arg.(
+      value & opt int 12
+      & info [ "top" ] ~docv:"K" ~doc:"Spans to list in the self-time table.")
+  in
+  Term.(const report_cmd $ file $ top)
 
 let mpde_term =
   let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
@@ -1183,6 +1565,14 @@ let cmds =
             (engine, parameter value) pair is one job; results are emitted \
             in deterministic job order (CSV or JSON).")
       sweep_term;
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Wall-time attribution from a recorded Chrome trace: per-lane \
+            (per-domain) busy time and utilization, top spans by self time, \
+            GC pause percentiles, and an accounting line tying span \
+            self-times back to the measured wall.")
+      report_term;
     Cmd.v
       (Cmd.info "mpde"
          ~doc:"Bi-periodic MPDE on sheared difference-frequency time scales (CSV).")

@@ -5,6 +5,7 @@ type check = {
   path : string list;
   direction : direction;
   tolerance : float;
+  absolute : float;
 }
 
 type verdict = {
@@ -35,18 +36,21 @@ let default_checks ?(overrides = []) tolerance =
       path = [ "mixer"; "wall_seconds" ];
       direction = Lower_better;
       tolerance = tol "mixer.wall_seconds";
+      absolute = 0.0;
     };
     {
       metric = "mixer.newton_iterations";
       path = [ "mixer"; "newton_iterations" ];
       direction = Lower_better;
       tolerance = tol "mixer.newton_iterations";
+      absolute = 0.0;
     };
     {
       metric = "mixer.gmres_iterations";
       path = [ "mixer"; "gmres_iterations" ];
       direction = Lower_better;
       tolerance = tol "mixer.gmres_iterations";
+      absolute = 0.0;
     };
     {
       (* Dense diagonal-block factorizations per mixer solve — the
@@ -56,24 +60,54 @@ let default_checks ?(overrides = []) tolerance =
       path = [ "mixer"; "telemetry"; "counters"; "lu.dense_factors" ];
       direction = Lower_better;
       tolerance = tol "mixer.lu_dense_factors";
+      absolute = 0.0;
     };
     {
       metric = "speedup.ratio";
       path = [ "speedup"; "ratio" ];
       direction = Higher_better;
       tolerance = tol "speedup.ratio";
+      absolute = 0.0;
     };
     {
       metric = "sweep.wall_1";
       path = [ "sweep"; "wall_1" ];
       direction = Lower_better;
       tolerance = tol "sweep.wall_1";
+      absolute = 0.0;
     };
     {
       metric = "sweep.speedup_2";
       path = [ "sweep"; "speedup_2" ];
       direction = Higher_better;
       tolerance = tol "sweep.speedup_2";
+      absolute = 0.0;
+    };
+    (* Utilization and GC pauses live near 0 and 1 respectively, where
+       relative drift is meaningless noise (a p99 pause moving from
+       0.2ms to 0.5ms is a 150% "regression" nobody cares about); the
+       [absolute] slack passes any change within a fixed band, so these
+       only trip on real, sustained shifts. *)
+    {
+      metric = "sweep.domain_utilization_2";
+      path = [ "sweep"; "domain_utilization_2" ];
+      direction = Higher_better;
+      tolerance = tol "sweep.domain_utilization_2";
+      absolute = 0.2;
+    };
+    {
+      metric = "sweep.domain_utilization_4";
+      path = [ "sweep"; "domain_utilization_4" ];
+      direction = Higher_better;
+      tolerance = tol "sweep.domain_utilization_4";
+      absolute = 0.2;
+    };
+    {
+      metric = "gc.major_pause_p99";
+      path = [ "gc"; "major_pause_p99" ];
+      direction = Lower_better;
+      tolerance = tol "gc.major_pause_p99";
+      absolute = 0.05;
     };
   ]
 
@@ -137,12 +171,18 @@ let evaluate ?checks ~baseline ~current () =
         | Some b, Some c ->
             let denom = Float.max (Float.abs b) 1e-30 in
             let change = (c -. b) /. denom in
-            let ok =
+            let rel_ok =
               match check.direction with
               | Lower_better -> change <= check.tolerance
               | Higher_better -> change >= -.check.tolerance
             in
-            Some { check; baseline = b; current = c; change; ok })
+            (* Absolute slack: a drift inside a fixed band passes even
+               when the relative change is huge — for metrics whose
+               baseline sits near zero. *)
+            let abs_ok =
+              check.absolute > 0.0 && Float.abs (c -. b) <= check.absolute
+            in
+            Some { check; baseline = b; current = c; change; ok = rel_ok || abs_ok })
       checks
   in
   let passed = !errors = [] && List.for_all (fun v -> v.ok) verdicts in

@@ -20,6 +20,12 @@ type check = {
   path : string list;  (** JSON path into the bench document *)
   direction : direction;
   tolerance : float;  (** allowed relative drift, e.g. [0.15] *)
+  absolute : float;
+      (** extra absolute slack: when [> 0], any change with
+          [|current - baseline| <= absolute] passes regardless of the
+          relative check — for metrics whose baseline sits near zero
+          (GC pause percentiles, utilization fractions), where relative
+          drift is numerically meaningless. [0.0] disables it. *)
 }
 
 type verdict = {
@@ -43,12 +49,15 @@ val default_checks : ?overrides:(string * float) list -> float -> check list
 (** The watched metrics — [mixer.wall_seconds], [mixer.newton_iterations],
     [mixer.gmres_iterations], [mixer.lu_dense_factors] (dense
     preconditioner factorizations per solve, read from the embedded
-    telemetry counters), [sweep.wall_1] (lower is better) and
-    [speedup.ratio], [sweep.speedup_2] (higher is better) — at the
-    given default tolerance, with optional per-metric overrides keyed
-    by display name. The [sweep.*] pair watches the parallel sweep
-    executor: serial wall time for the 8-job MPDE sweep, and the
-    2-domain speedup over it.
+    telemetry counters), [sweep.wall_1] (lower is better),
+    [speedup.ratio], [sweep.speedup_2] (higher is better), plus the
+    observability trio [sweep.domain_utilization_2] /
+    [sweep.domain_utilization_4] (higher is better, 0.2 absolute slack)
+    and [gc.major_pause_p99] (lower is better, 50ms absolute slack) —
+    at the given default tolerance, with optional per-metric overrides
+    keyed by display name. The [sweep.*] group watches the parallel
+    sweep executor: serial wall time for the 8-job MPDE sweep, the
+    2-domain speedup over it, and how evenly the domains stay busy.
 
     Independent of these relative checks, {!evaluate} enforces an
     absolute floor: when the current run reports [sweep.cores >= 2],

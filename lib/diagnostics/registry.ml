@@ -8,9 +8,19 @@ type sample = {
   help : string option;
 }
 
-type t = { table : (string, sample) Hashtbl.t }
+type hsample = {
+  h_name : string;
+  h_labels : (string * string) list;
+  h_help : string option;
+  h_hist : Telemetry.histogram;
+}
 
-let create () = { table = Hashtbl.create 64 }
+type t = {
+  table : (string, sample) Hashtbl.t;
+  hist_table : (string, hsample) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 64; hist_table = Hashtbl.create 8 }
 
 let key name labels =
   name ^ "\x00"
@@ -27,11 +37,29 @@ let counter ?help ?labels registry name value =
 let gauge ?help ?labels registry name value =
   add ?help ?labels registry Gauge name value
 
+let histogram ?help ?(labels = []) registry name hist =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  Hashtbl.replace registry.hist_table (key name labels)
+    { h_name = name; h_labels = labels; h_help = help; h_hist = hist }
+
 let samples registry =
   Hashtbl.fold (fun _ s acc -> s :: acc) registry.table []
   |> List.sort (fun a b ->
          match compare a.name b.name with
          | 0 -> compare a.labels b.labels
+         | c -> c)
+
+let histograms registry =
+  Hashtbl.fold
+    (fun _ h acc -> (h.h_name, h.h_labels, h.h_hist) :: acc)
+    registry.hist_table []
+  |> List.sort compare
+
+let sorted_hsamples registry =
+  Hashtbl.fold (fun _ h acc -> h :: acc) registry.hist_table []
+  |> List.sort (fun a b ->
+         match compare a.h_name b.h_name with
+         | 0 -> compare a.h_labels b.h_labels
          | c -> c)
 
 let of_telemetry ?registry snapshot =
@@ -40,13 +68,16 @@ let of_telemetry ?registry snapshot =
     (fun (name, v) -> counter r name (float_of_int v))
     snapshot.Telemetry.counters;
   List.iter (fun (name, v) -> gauge r name v) snapshot.Telemetry.gauges;
+  (* Real histogram families (bucket counts survive into Prometheus
+     exposition). min/max have no place in the Prometheus histogram
+     shape, so they ride along as sibling gauges under distinct family
+     names — a stat-labelled gauge under the histogram's own name would
+     collide with the [_bucket]/[_sum]/[_count] series. *)
   List.iter
     (fun (name, h) ->
-      let stat s v = gauge ~labels:[ ("stat", s) ] r name v in
-      stat "count" (float_of_int h.Telemetry.count);
-      stat "sum" h.Telemetry.sum;
-      stat "min" h.Telemetry.min;
-      stat "max" h.Telemetry.max)
+      histogram r name h;
+      gauge r (name ^ ".min") h.Telemetry.min;
+      gauge r (name ^ ".max") h.Telemetry.max)
     snapshot.Telemetry.histograms;
   (* Aggregate the span tree by span name: total wall/cpu and call
      counts, regardless of where in the hierarchy a span ran. *)
@@ -133,28 +164,58 @@ let render_labels labels =
              labels)
       ^ "}"
 
+(* Prometheus's own convention for the +Inf bucket bound. *)
+let render_le v = if v = infinity then "+Inf" else render_value v
+
 let to_prometheus registry =
   let buf = Buffer.create 1024 in
   let seen_family : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let header family ~help ~fallback type_str =
+    if not (Hashtbl.mem seen_family family) then begin
+      Hashtbl.add seen_family family ();
+      let help = Option.value ~default:fallback help in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" family
+           (String.map (fun c -> if c = '\n' then ' ' else c) help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family type_str)
+    end
+  in
   List.iter
     (fun s ->
       let family = sanitize_name ~kind:s.kind s.name in
-      if not (Hashtbl.mem seen_family family) then begin
-        Hashtbl.add seen_family family ();
-        (match s.help with
-        | Some h ->
-            Buffer.add_string buf
-              (Printf.sprintf "# HELP %s %s\n" family
-                 (String.map (fun c -> if c = '\n' then ' ' else c) h))
-        | None -> ());
-        Buffer.add_string buf
-          (Printf.sprintf "# TYPE %s %s\n" family
-             (match s.kind with Counter -> "counter" | Gauge -> "gauge"))
-      end;
+      let kind_str =
+        match s.kind with Counter -> "counter" | Gauge -> "gauge"
+      in
+      header family ~help:s.help
+        ~fallback:(Printf.sprintf "rfss %s %s" kind_str s.name)
+        kind_str;
       Buffer.add_string buf
         (Printf.sprintf "%s%s %s\n" family (render_labels s.labels)
            (render_value s.value)))
     (samples registry);
+  List.iter
+    (fun h ->
+      let family = sanitize_name h.h_name in
+      header family ~help:h.h_help
+        ~fallback:(Printf.sprintf "rfss histogram %s" h.h_name)
+        "histogram";
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i n ->
+          cumulative := !cumulative + n;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" family
+               (render_labels
+                  (h.h_labels @ [ ("le", render_le (Telemetry.bucket_le i)) ]))
+               !cumulative))
+        h.h_hist.Telemetry.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" family (render_labels h.h_labels)
+           (render_value h.h_hist.Telemetry.sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" family (render_labels h.h_labels)
+           h.h_hist.Telemetry.count))
+    (sorted_hsamples registry);
   Buffer.contents buf
 
 (* ---------- CSV ---------- *)
@@ -173,21 +234,44 @@ let csv_quote field =
   end
   else field
 
+(* Flatten a histogram into summary stats — the CSV and JSON formats
+   have no native bucket shape, and the quantiles are what a reader of
+   those formats actually wants. *)
+let hist_stats (h : Telemetry.histogram) =
+  [
+    ("count", float_of_int h.Telemetry.count);
+    ("sum", h.Telemetry.sum);
+    ("min", h.Telemetry.min);
+    ("max", h.Telemetry.max);
+    ("p50", Telemetry.quantile h 0.50);
+    ("p90", Telemetry.quantile h 0.90);
+    ("p99", Telemetry.quantile h 0.99);
+  ]
+
 let to_csv registry =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "name,labels,kind,value\n";
+  let row name labels kind value =
+    let labels =
+      String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%s\n"
+         (csv_quote (sanitize_name name))
+         (csv_quote labels) kind (render_value value))
+  in
   List.iter
     (fun s ->
-      let labels =
-        String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) s.labels)
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s\n"
-           (csv_quote (sanitize_name s.name))
-           (csv_quote labels)
-           (match s.kind with Counter -> "counter" | Gauge -> "gauge")
-           (render_value s.value)))
+      row s.name s.labels
+        (match s.kind with Counter -> "counter" | Gauge -> "gauge")
+        s.value)
     (samples registry);
+  List.iter
+    (fun h ->
+      List.iter
+        (fun (stat, v) -> row h.h_name (h.h_labels @ [ ("stat", stat) ]) "gauge" v)
+        (hist_stats h.h_hist))
+    (sorted_hsamples registry);
   Buffer.contents buf
 
 (* ---------- parsers (round-trip validation) ---------- *)
@@ -373,22 +457,38 @@ let parse_csv text =
             | _ -> failwith ("bad CSV row: " ^ row))
         rows
 
+(* Json_min prints floats with %.17g; a NaN quantile (empty histogram)
+   would break the document, so quote non-finite values. *)
+let json_num v =
+  if Float.is_finite v then Json_min.Num v
+  else Json_min.Str (if Float.is_nan v then "nan" else if v > 0.0 then "inf" else "-inf")
+
 let to_json_fragment registry =
+  let scalar s =
+    Json_min.Obj
+      [
+        ("name", Json_min.Str (sanitize_name s.name));
+        ( "labels",
+          Json_min.Obj (List.map (fun (k, v) -> (k, Json_min.Str v)) s.labels)
+        );
+        ( "kind",
+          Json_min.Str
+            (match s.kind with Counter -> "counter" | Gauge -> "gauge") );
+        ("value", json_num s.value);
+      ]
+  in
+  let hist h =
+    Json_min.Obj
+      ([
+         ("name", Json_min.Str (sanitize_name h.h_name));
+         ( "labels",
+           Json_min.Obj
+             (List.map (fun (k, v) -> (k, Json_min.Str v)) h.h_labels) );
+         ("kind", Json_min.Str "histogram");
+       ]
+      @ List.map (fun (stat, v) -> (stat, json_num v)) (hist_stats h.h_hist))
+  in
   Json_min.to_string
     (Json_min.Arr
-       (List.map
-          (fun s ->
-            Json_min.Obj
-              [
-                ("name", Json_min.Str (sanitize_name s.name));
-                ( "labels",
-                  Json_min.Obj
-                    (List.map (fun (k, v) -> (k, Json_min.Str v)) s.labels) );
-                ( "kind",
-                  Json_min.Str
-                    (match s.kind with
-                    | Counter -> "counter"
-                    | Gauge -> "gauge") );
-                ("value", Json_min.Num s.value);
-              ])
-          (samples registry)))
+       (List.map scalar (samples registry)
+       @ List.map hist (sorted_hsamples registry)))

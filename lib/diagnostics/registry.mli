@@ -38,24 +38,43 @@ val counter :
 val gauge :
   ?help:string -> ?labels:(string * string) list -> t -> string -> float -> unit
 
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  t ->
+  string ->
+  Telemetry.histogram ->
+  unit
+(** Register (or overwrite) a bucketed histogram family. In Prometheus
+    exposition it renders as cumulative [_bucket{le="..."}] series on
+    the fixed {!Telemetry.bucket_le} layout plus [_sum] and [_count];
+    in CSV and JSON it flattens to count/sum/min/max/p50/p90/p99. *)
+
 val samples : t -> sample list
-(** Sorted by (name, labels) for deterministic output. *)
+(** Scalar samples only, sorted by (name, labels) for deterministic
+    output. Histograms are listed by {!histograms}. *)
+
+val histograms : t -> (string * (string * string) list * Telemetry.histogram) list
+(** Registered histogram families, sorted. *)
 
 val of_telemetry : ?registry:t -> Telemetry.snapshot -> t
 (** Fold a telemetry snapshot into a registry ([registry] when given,
     a fresh one otherwise): counters map to counters; gauges to gauges;
-    each histogram [h] becomes gauges [h.count], [h.sum], [h.min],
-    [h.max] (labelled [stat]); the span tree is aggregated by span name
-    into [span.wall_seconds] / [span.cpu_seconds] gauges and a
-    [span.calls] counter, labelled [span="<name>"]. *)
+    each histogram becomes a real {!histogram} family plus sibling
+    [<name>.min] / [<name>.max] gauges (the Prometheus histogram shape
+    has no min/max); the span tree is aggregated by span name into
+    [span.wall_seconds] / [span.cpu_seconds] gauges and a [span.calls]
+    counter, labelled [span="<name>"]. *)
 
 val sanitize_name : ?kind:kind -> string -> string
 (** Prometheus-legal name: [rfss_] prefix, invalid chars to [_],
     [_total] appended for counters (unless already present). *)
 
 val to_prometheus : t -> string
-(** Text exposition format: optional [# HELP] and [# TYPE] lines per
-    metric family, then one sample line each. *)
+(** Text exposition format: [# HELP] and [# TYPE] lines for {e every}
+    metric family (a generated fallback when no help text was given),
+    then one sample line each. Histogram families emit the cumulative
+    [_bucket] series (ending in [le="+Inf"]), [_sum] and [_count]. *)
 
 val to_csv : t -> string
 (** Header [name,labels,kind,value]; labels rendered [k=v;k2=v2];

@@ -82,7 +82,14 @@ let run (problem : Problem.t) (engine : t) : Result.t =
   let o = engine.options in
   Telemetry.span "engine.run" @@ fun () ->
   let wall0 = Telemetry.Clock.wall () in
-  let alloc0 = if Telemetry.enabled () then Some (Gc.quick_stat ()) else None in
+  (* No allocation attribution in deterministic-replay mode: GC deltas
+     are not replayable, and recording them would make fake-clock
+     traces differ run to run. *)
+  let alloc0 =
+    if Telemetry.enabled () && not (Telemetry.Clock.overridden ()) then
+      Some (Gc.quick_stat ())
+    else None
+  in
   let tele_mark = Telemetry.mark () in
   let { Circuits.mna; _ } = problem.Problem.build () in
   let dae = Circuit.Mna.dae mna in

@@ -13,12 +13,22 @@ let tune_worker_gc () =
   if g.Gc.minor_heap_size < worker_minor_heap_words then
     Gc.set { g with Gc.minor_heap_size = worker_minor_heap_words }
 
-let map ?(chunk = 0) ~domains f items =
+(* Which worker of the pool the current domain is: the caller is
+   worker 0, spawned domains are 1..domains-1. Stable across nested
+   reads on the same domain; meaningful only while a [map] is live. *)
+let worker_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let worker_index () = !(Domain.DLS.get worker_key)
+
+let map ?(chunk = 0) ?(assign = `Dynamic) ~domains f items =
   let n = Array.length items in
   if n = 0 then [||]
   else
     let domains = max 1 (min domains n) in
-    if domains = 1 then Array.map f items
+    if domains = 1 then begin
+      Domain.DLS.get worker_key := 0;
+      Array.map f items
+    end
     else begin
       (* Chunked claiming: grabbing a run of items per fetch instead of
          one keeps the shared index off the coherence hot path (one
@@ -28,7 +38,7 @@ let map ?(chunk = 0) ~domains f items =
       let chunk = if chunk > 0 then chunk else max 1 (n / (domains * 4)) in
       let results = Array.make n None in
       let next = Atomic.make 0 in
-      let rec worker () =
+      let rec dynamic () =
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
           let stop = min n (start + chunk) in
@@ -37,16 +47,31 @@ let map ?(chunk = 0) ~domains f items =
           for i = start to stop - 1 do
             results.(i) <- Some (f items.(i))
           done;
-          worker ()
+          dynamic ()
         end
       in
+      (* Static round-robin: worker [k] owns items i ≡ k (mod domains).
+         No shared claiming index at all, so the job → worker placement
+         is a pure function of (index, domains) — what deterministic
+         per-domain tracing needs — at the price of no load balancing. *)
+      let static k =
+        let i = ref k in
+        while !i < n do
+          results.(!i) <- Some (f items.(!i));
+          i := !i + domains
+        done
+      in
+      let work k =
+        Domain.DLS.get worker_key := k;
+        match assign with `Dynamic -> dynamic () | `Static -> static k
+      in
       let spawned =
-        Array.init (domains - 1) (fun _ ->
+        Array.init (domains - 1) (fun j ->
             Domain.spawn (fun () ->
                 tune_worker_gc ();
-                worker ()))
+                work (j + 1)))
       in
-      worker ();
+      work 0;
       Array.iter Domain.join spawned;
       Array.map
         (function Some r -> r | None -> assert false (* queue drained *))

@@ -18,7 +18,13 @@
     [Domain.recommended_domain_count () = 1] — no domain is spawned at
     all and the pool degenerates to [Array.map]. *)
 
-val map : ?chunk:int -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?chunk:int ->
+  ?assign:[ `Dynamic | `Static ] ->
+  domains:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map ~domains f items] applies [f] to every item on at most
     [domains] concurrent domains (the calling domain participates as a
     worker, so [domains - 1] are spawned; the count is clamped to
@@ -29,6 +35,19 @@ val map : ?chunk:int -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
     traffic against load-balancing slack. Values [<= 0] select the
     default.
 
+    [assign] picks the scheduling policy. [`Dynamic] (the default) is
+    the chunked shared-queue claiming described above. [`Static] gives
+    worker [k] exactly the items with index ≡ k (mod domains): no load
+    balancing, but the job → worker placement is a pure function of
+    the index — the property cross-domain trace merging needs to be
+    run-to-run deterministic.
+
     [f] must not raise: an escaping exception tears down the whole
     pool ([Domain.join] re-raises it). Wrap fallible work in a
     [result] before mapping — {!Sweep} does exactly that. *)
+
+val worker_index : unit -> int
+(** Index of the pool worker running on the current domain: [0] for
+    the calling domain, [1 .. domains - 1] for spawned workers.
+    Meaningful only inside [f] during a {!map}; outside one it reads
+    the last value set on this domain (the caller's is [0]). *)

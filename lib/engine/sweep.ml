@@ -26,6 +26,8 @@ type outcome = {
   wall_seconds : float;
   attempts : int;
   degraded : bool;
+  worker : int;
+  trace : (float * Telemetry.snapshot) option;
 }
 
 let retries o = o.attempts - 1
@@ -45,8 +47,8 @@ let with_job_telemetry want f =
   end
 
 let run ?domains ?wall_seconds ?max_newton_per_job
-    ?(per_job_telemetry = false) ?(retry = Resilience.Retry.none) ?on_outcome
-    jobs =
+    ?(per_job_telemetry = false) ?(per_job_trace = false)
+    ?(retry = Resilience.Retry.none) ?on_outcome jobs =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -141,28 +143,54 @@ let run ?domains ?wall_seconds ?max_newton_per_job
       end
       else (result, n)
     in
-    let result, attempts = attempt_loop 1 0.0 in
-    (* Watchdog: a job that failed every regular attempt gets one final
-       try at degraded options instead of poisoning the sweep. The
-       demotion is only kept if it actually rescued the job. *)
-    let result, degraded =
-      if
-        retry.Resilience.Retry.degrade && failed result && deadline_open ()
-      then begin
-        let dj =
-          {
-            j with
-            engine =
-              {
-                j.engine with
-                Backend.options = Options.degrade j.engine.Backend.options;
-              };
-          }
-        in
-        let d_result = one_attempt ~scope_key:(j.label ^ "#d") dj in
-        if failed d_result then (result, false) else (d_result, true)
+    let compute () =
+      let result, attempts = attempt_loop 1 0.0 in
+      (* Watchdog: a job that failed every regular attempt gets one
+         final try at degraded options instead of poisoning the sweep.
+         The demotion is only kept if it actually rescued the job. *)
+      let result, degraded =
+        if
+          retry.Resilience.Retry.degrade && failed result && deadline_open ()
+        then begin
+          let dj =
+            {
+              j with
+              engine =
+                {
+                  j.engine with
+                  Backend.options = Options.degrade j.engine.Backend.options;
+                };
+            }
+          in
+          let d_result = one_attempt ~scope_key:(j.label ^ "#d") dj in
+          if failed d_result then (result, false) else (d_result, true)
+        end
+        else (result, false)
+      in
+      (result, attempts, degraded)
+    in
+    (* Trace capture spans the whole job — every attempt, backoff and
+       the degraded pass — on the executing domain. When a recorder is
+       already live there (serial sweep under [rfss --trace]) the job's
+       slice is windowed out of it with [mark]/[snapshot ~since];
+       otherwise a throwaway recorder wraps the job. Either way span
+       timestamps stay relative to that recorder's enable instant,
+       which [Telemetry.enabled_at] reports as the base for merging. *)
+    let (result, attempts, degraded), trace =
+      if not per_job_trace then (compute (), None)
+      else if Telemetry.enabled () then begin
+        let since = Telemetry.mark () in
+        let r = compute () in
+        let base = Option.value ~default:t0 (Telemetry.enabled_at ()) in
+        (r, Option.map (fun s -> (base, s)) (Telemetry.snapshot ~since ()))
       end
-      else (result, false)
+      else begin
+        Telemetry.enable ();
+        Fun.protect ~finally:Telemetry.disable (fun () ->
+            let r = compute () in
+            let base = Option.value ~default:t0 (Telemetry.enabled_at ()) in
+            (r, Option.map (fun s -> (base, s)) (Telemetry.snapshot ())))
+      end
     in
     let outcome =
       {
@@ -172,6 +200,8 @@ let run ?domains ?wall_seconds ?max_newton_per_job
         wall_seconds = Telemetry.Clock.wall () -. t0;
         attempts;
         degraded;
+        worker = Pool.worker_index ();
+        trace;
       }
     in
     (* Runs on the executing domain, concurrently across jobs: the
@@ -179,4 +209,7 @@ let run ?domains ?wall_seconds ?max_newton_per_job
     (match on_outcome with Some f -> f outcome | None -> ());
     outcome
   in
-  Pool.map ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)
+  (* Static placement under tracing: job → worker must be a pure
+     function of the index for two traced runs to merge identically. *)
+  let assign = if per_job_trace then `Static else `Dynamic in
+  Pool.map ~assign ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)

@@ -76,6 +76,14 @@ type outcome = {
   attempts : int;  (** regular attempts run (1 = no retry) *)
   degraded : bool;
       (** the result came from the watchdog's degraded attempt *)
+  worker : int;
+      (** {!Pool.worker_index} of the domain that ran the job (0 = the
+          calling domain) *)
+  trace : (float * Telemetry.snapshot) option;
+      (** with [per_job_trace]: [(base, snapshot)] where [base] is the
+          absolute {!Telemetry.Clock.wall} instant the snapshot's span
+          timestamps are relative to — ready for
+          {!Telemetry.Merge.write_chrome} *)
 }
 
 val retries : outcome -> int
@@ -90,6 +98,7 @@ val run :
   ?wall_seconds:float ->
   ?max_newton_per_job:int ->
   ?per_job_telemetry:bool ->
+  ?per_job_trace:bool ->
   ?retry:Resilience.Retry.policy ->
   ?on_outcome:(outcome -> unit) ->
   job array ->
@@ -98,6 +107,14 @@ val run :
     {!default_domains}; clamped to the job count; [1] means no domain
     is spawned at all). The result array is index-aligned with the
     input. Never raises on job failure.
+
+    [per_job_trace] captures a full telemetry snapshot per job — all
+    attempts, on the executing domain — into [outcome.trace] for
+    cross-domain merging ({!Telemetry.Merge}). It also switches
+    {!Pool.map} to [`Static] assignment so the job → worker placement
+    (and hence the merged trace) is run-to-run deterministic. An
+    already-live recorder on the executing domain is windowed, not
+    replaced, so serial sweeps under [rfss --trace] compose.
 
     [on_outcome] fires once per job as it completes, {e on the
     executing domain} and concurrently across domains — consumers that

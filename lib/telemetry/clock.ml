@@ -19,6 +19,8 @@ let uninstall () = current := monotonic
 
 let source () = !current
 
+let overridden () = !current != monotonic
+
 let wall () = (!current).wall ()
 
 let cpu () = (!current).cpu ()

@@ -29,6 +29,12 @@ val source : unit -> source
 (** The currently installed source (so wrappers — e.g. fault-injected
     slowdowns — can decorate rather than replace it). *)
 
+val overridden : unit -> bool
+(** [true] when a source other than [monotonic] is installed — i.e.
+    the process runs in deterministic-replay mode. Recorders use this
+    to suppress measurements that no fake source can replay (GC
+    allocation deltas), keeping fake-clock traces byte-reproducible. *)
+
 val wall : unit -> float
 (** Current wall time from the installed source. *)
 

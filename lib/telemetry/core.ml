@@ -8,7 +8,61 @@ type event =
     }
   | Span_end of { id : int; name : string; wall : float; cpu : float }
 
-type histogram = { count : int; sum : float; min : float; max : float }
+(* Fixed log-spaced buckets shared by every histogram: 3 per decade
+   from 1e-9 to 1e3 (covers nanosecond GC pauses through kilosecond
+   solves and dimensionless residual ratios alike), plus an underflow
+   bucket at the bottom and an overflow bucket at the top. A fixed
+   layout keeps [observe] allocation-free after the first sample and
+   makes histograms from different domains mergeable bucket-by-bucket. *)
+let buckets_per_decade = 3
+
+let bucket_decades = 12
+
+let bucket_lo = 1e-9
+
+let bucket_count = (buckets_per_decade * bucket_decades) + 2
+
+let bucket_le i =
+  if i >= bucket_count - 1 then infinity
+  else bucket_lo *. (10.0 ** (float_of_int i /. float_of_int buckets_per_decade))
+
+let bucket_index v =
+  if not (v > bucket_lo) (* incl. nan, zero, negatives *) then 0
+  else
+    let k =
+      int_of_float
+        (Float.ceil (float_of_int buckets_per_decade *. Float.log10 (v /. bucket_lo)))
+    in
+    if k < 1 then 1 else if k > bucket_count - 2 then bucket_count - 1 else k
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;
+}
+
+let quantile h q =
+  if h.count <= 0 then Float.nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
+    in
+    let b = ref 0 and cum = ref h.buckets.(0) in
+    while !cum < rank && !b < bucket_count - 1 do
+      incr b;
+      cum := !cum + h.buckets.(!b)
+    done;
+    (* Geometric bucket midpoint, clamped to the observed range so the
+       degenerate cases (single sample, under/overflow buckets) stay
+       honest. *)
+    let lo = if !b = 0 then h.min else bucket_le (!b - 1) in
+    let hi = if !b = bucket_count - 1 then h.max else bucket_le !b in
+    let mid = if lo > 0.0 && Float.is_finite hi then sqrt (lo *. hi) else hi in
+    Float.min h.max (Float.max h.min mid)
+  end
 
 type snapshot = {
   events : event array;
@@ -23,6 +77,7 @@ type hist_acc = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array;
 }
 
 type state = {
@@ -67,6 +122,9 @@ let enable () =
        }
 
 let disable () = state () := None
+
+let enabled_at () =
+  match !(state ()) with None -> None | Some st -> Some st.wall0
 
 let push st e =
   st.events_rev <- e :: st.events_rev;
@@ -136,7 +194,10 @@ let gauge name v =
    and [quick_stat] itself allocates nothing. Words, not bytes, so the
    numbers are word-size independent. *)
 let with_alloc_gauges prefix f =
-  if not (enabled ()) then f ()
+  (* GC deltas are environment measurements no fake clock can replay;
+     recording them under an overridden clock would break the byte-
+     reproducibility that deterministic traces promise. *)
+  if not (enabled ()) || Clock.overridden () then f ()
   else begin
     let s0 = Gc.quick_stat () in
     let finish () =
@@ -164,10 +225,37 @@ let observe name v =
           h.h_count <- h.h_count + 1;
           h.h_sum <- h.h_sum +. v;
           h.h_min <- Float.min h.h_min v;
-          h.h_max <- Float.max h.h_max v
+          h.h_max <- Float.max h.h_max v;
+          h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1
       | None ->
+          let b = Array.make bucket_count 0 in
+          b.(bucket_index v) <- 1;
           Hashtbl.add st.hists name
-            { h_count = 1; h_sum = v; h_min = v; h_max = v })
+            { h_count = 1; h_sum = v; h_min = v; h_max = v; h_buckets = b })
+
+let merge_histogram name (h : histogram) =
+  if h.count > 0 then
+    match !(state ()) with
+    | None -> ()
+    | Some st -> (
+        match Hashtbl.find_opt st.hists name with
+        | Some a ->
+            a.h_count <- a.h_count + h.count;
+            a.h_sum <- a.h_sum +. h.sum;
+            a.h_min <- Float.min a.h_min h.min;
+            a.h_max <- Float.max a.h_max h.max;
+            Array.iteri
+              (fun i n -> a.h_buckets.(i) <- a.h_buckets.(i) + n)
+              h.buckets
+        | None ->
+            Hashtbl.add st.hists name
+              {
+                h_count = h.count;
+                h_sum = h.sum;
+                h_min = h.min;
+                h_max = h.max;
+                h_buckets = Array.copy h.buckets;
+              })
 
 let mark () = match !(state ()) with None -> 0 | Some st -> st.len
 
@@ -219,5 +307,11 @@ let snapshot ?(since = 0) () =
           gauges = sorted_bindings st.gauges (fun r -> !r);
           histograms =
             sorted_bindings st.hists (fun h ->
-                { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max });
+                {
+                  count = h.h_count;
+                  sum = h.h_sum;
+                  min = h.h_min;
+                  max = h.h_max;
+                  buckets = Array.copy h.h_buckets;
+                });
         }

@@ -28,7 +28,32 @@ type event =
     }
   | Span_end of { id : int; name : string; wall : float; cpu : float }
 
-type histogram = { count : int; sum : float; min : float; max : float }
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;
+      (** per-bucket sample counts on the fixed log layout below;
+          length {!bucket_count} *)
+}
+
+val bucket_count : int
+(** Number of buckets in every histogram: an underflow bucket, 3 per
+    decade from 1e-9 to 1e3, and an overflow bucket. *)
+
+val bucket_le : int -> float
+(** Inclusive upper bound of bucket [i] ([infinity] for the last). *)
+
+val bucket_index : float -> int
+(** Index of the bucket a sample falls into (NaN, zero and negative
+    values land in the underflow bucket). *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0..1]) from the bucket
+    counts: geometric midpoint of the bucket holding the target rank,
+    clamped to [[h.min, h.max]]. NaN on an empty histogram. Resolution
+    is one bucket (≈2.2x in value at 3 buckets/decade). *)
 
 type snapshot = {
   events : event array;  (** well-nested: open spans are closed at capture *)
@@ -45,6 +70,12 @@ val disable : unit -> unit
 (** Stop recording and drop all recorded data. *)
 
 val enabled : unit -> bool
+
+val enabled_at : unit -> float option
+(** Absolute {!Clock.wall} reading captured by [enable] — the instant
+    all recorded span timestamps are relative to. Lets a merge step
+    place snapshots from different recorders (domains) on one time
+    axis. [None] when disabled. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] times [f ()] as a child of the innermost open span.
@@ -66,11 +97,19 @@ val gauge : string -> float -> unit
 val observe : string -> float -> unit
 (** Feed one sample into a named value histogram. *)
 
+val merge_histogram : string -> histogram -> unit
+(** Fold a pre-accumulated histogram (e.g. GC pauses from the
+    {!Runtime} monitor, or another domain's snapshot) into the named
+    accumulator, bucket by bucket. No-op when disabled or empty. *)
+
 val with_alloc_gauges : string -> (unit -> 'a) -> 'a
 (** [with_alloc_gauges prefix f] runs [f] and records the allocation it
     caused on this domain as gauges [prefix ^ ".minor_words"],
     [".major_words"] and [".promoted_words"] ([Gc.quick_stat] deltas,
-    in words). No-op overhead when recording is disabled. *)
+    in words). No-op overhead when recording is disabled, and skipped
+    entirely under an overridden clock ({!Clock.overridden}) — GC
+    deltas are not replayable, so deterministic-mode traces omit
+    them. *)
 
 val mark : unit -> int
 (** Position in the event log; pass to [snapshot ~since] to summarize

@@ -1,0 +1,36 @@
+(** Cross-domain trace aggregation: fold snapshots captured on
+    different recorders (one per OCaml 5 domain, or one per sweep job)
+    into a single Chrome [trace_event] document in which every domain
+    renders as its own named lane.
+
+    Recorders timestamp events relative to their own enable instant;
+    {!part.base} carries that instant on the shared absolute clock
+    ({!Core.enabled_at}), so the merge re-bases everything onto one
+    axis (the earliest part starts at ts 0). Emission order is
+    deterministic: parts sorted by (pid, tid, base, label), metadata
+    first — which makes merged traces byte-comparable across runs on
+    the fake clock. *)
+
+type part = {
+  pid : int;  (** Chrome process lane (usually the OS pid) *)
+  tid : int;  (** thread lane — one per domain/worker *)
+  thread_name : string;  (** rendered by Perfetto next to the lane *)
+  label : string option;
+      (** when set, a thread-scoped instant event ("i") marking the
+          part boundary — e.g. the sweep job label *)
+  base : float;
+      (** absolute wall seconds of the snapshot's t = 0
+          ({!Core.enabled_at} of the recorder that captured it) *)
+  snapshot : Core.snapshot;
+}
+
+val write_chrome :
+  ?process_name:string ->
+  ?extra:(string * string) list ->
+  out_channel ->
+  part list ->
+  unit
+(** Write one [{"traceEvents":[...]}] document. [process_name]
+    (default ["rfss"]) labels each pid; [extra] appends pre-rendered
+    JSON values as additional top-level keys (e.g. the ["rfss"] run
+    summary that [rfss report] reads) — trace viewers ignore them. *)

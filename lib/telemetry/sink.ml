@@ -22,42 +22,29 @@ let write_jsonl oc (s : Core.snapshot) =
   List.iter
     (fun (k, (h : Core.histogram)) ->
       line
-        "{\"ev\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+        "{\"ev\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
         (Json.escape k) h.count (Json.float h.sum) (Json.float h.min)
-        (Json.float h.max))
+        (Json.float h.max)
+        (Json.float (Core.quantile h 0.50))
+        (Json.float (Core.quantile h 0.90))
+        (Json.float (Core.quantile h 0.99)))
     s.histograms;
   line "{\"ev\":\"summary\",\"duration\":%s}" (Json.float s.duration)
 
-(* Chrome trace_event format: timestamps in microseconds relative to the
-   recorder's enable instant. *)
+(* Chrome trace_event format: timestamps in microseconds relative to
+   the recorder's enable instant. A single-snapshot trace is just the
+   degenerate one-part merge ({!Merge} is the full multi-domain
+   writer); names pass through the same JSON escaping as the merged
+   path, so quotes/backslashes in span names can't corrupt the file. *)
 let write_chrome oc (s : Core.snapshot) =
-  let us t = t *. 1e6 in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  out
-    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"rfss\"}}";
-  Array.iter
-    (fun ev ->
-      match ev with
-      | Core.Span_begin { name; wall; _ } ->
-          out
-            ",\n{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"cat\":\"solve\",\"name\":\"%s\",\"ts\":%s}"
-            (Json.escape name) (Json.float (us wall))
-      | Core.Span_end { name; wall; _ } ->
-          out
-            ",\n{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"cat\":\"solve\",\"name\":\"%s\",\"ts\":%s}"
-            (Json.escape name) (Json.float (us wall)))
-    s.events;
-  List.iter
-    (fun (k, v) ->
-      out
-        ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"ts\":%s,\"args\":{\"value\":%d}}"
-        (Json.escape k) (Json.float (us s.duration)) v)
-    s.counters;
-  List.iter
-    (fun (k, v) ->
-      out
-        ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"ts\":%s,\"args\":{\"value\":%s}}"
-        (Json.escape k) (Json.float (us s.duration)) (Json.float v))
-    s.gauges;
-  out "\n]}\n"
+  Merge.write_chrome oc
+    [
+      {
+        Merge.pid = 1;
+        tid = 1;
+        thread_name = "main";
+        label = None;
+        base = 0.0;
+        snapshot = s;
+      };
+    ]

@@ -125,9 +125,11 @@ let pp ppf t =
     fprintf ppf "histograms@,";
     List.iter
       (fun (k, (h : Core.histogram)) ->
-        fprintf ppf "  %-36s n=%d mean=%g min=%g max=%g@," k h.count
+        fprintf ppf
+          "  %-36s n=%d mean=%g min=%g max=%g p50=%g p90=%g p99=%g@," k h.count
           (if h.count > 0 then h.sum /. float_of_int h.count else 0.0)
-          h.min h.max)
+          h.min h.max (Core.quantile h 0.50) (Core.quantile h 0.90)
+          (Core.quantile h 0.99))
       t.histograms
   end;
   fprintf ppf "@]"
@@ -168,9 +170,13 @@ let add_json buf t =
   List.iteri
     (fun i (k, (h : Core.histogram)) ->
       if i > 0 then add ",";
-      add "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+      add
+        "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
         (Json.escape k) h.count (Json.float h.sum) (Json.float h.min)
-        (Json.float h.max))
+        (Json.float h.max)
+        (Json.float (Core.quantile h 0.50))
+        (Json.float (Core.quantile h 0.90))
+        (Json.float (Core.quantile h 0.99)))
     t.histograms;
   add "}}"
 

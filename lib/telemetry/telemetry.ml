@@ -6,3 +6,5 @@ include Core
 module Clock = Clock
 module Summary = Summary
 module Sink = Sink
+module Merge = Merge
+module Runtime = Runtime

@@ -204,10 +204,15 @@ let test_registry_of_telemetry () =
   in
   Alcotest.(check (float 0.0)) "counter" 3.0 (value "widgets");
   Alcotest.(check (float 0.0)) "gauge" 0.5 (value "level");
-  Alcotest.(check (float 0.0)) "histogram count" 2.0
-    (value ~labels:[ ("stat", "count") ] "res");
-  Alcotest.(check (float 0.0)) "histogram sum" 4.0
-    (value ~labels:[ ("stat", "sum") ] "res");
+  (* Histograms register as real bucketed families, with min/max riding
+     along as sibling gauges (no place for them in the histogram shape). *)
+  (match D.Registry.histograms reg with
+  | [ ("res", [], h) ] ->
+      Alcotest.(check int) "histogram count" 2 h.Telemetry.count;
+      Alcotest.(check (float 0.0)) "histogram sum" 4.0 h.Telemetry.sum
+  | _ -> Alcotest.fail "expected one histogram family 'res'");
+  Alcotest.(check (float 0.0)) "histogram min gauge" 1.0 (value "res.min");
+  Alcotest.(check (float 0.0)) "histogram max gauge" 3.0 (value "res.max");
   Alcotest.(check (float 0.0)) "span calls" 1.0
     (value ~labels:[ ("span", "outer") ] "span.calls")
 
@@ -244,7 +249,8 @@ let test_json_parse_errors () =
 let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
     ?(dense_factors = 1200.0) ?(ratio = 4.0) ?(sweep_wall = 2.0)
     ?(sweep_speedup = 1.6) ?(cores = 4.0) ?(retries = 0.0)
-    ?(degraded = 0.0) () =
+    ?(degraded = 0.0) ?(util_2 = 0.9) ?(util_4 = 0.8)
+    ?(gc_major_p99 = 0.001) () =
   let open D.Json_min in
   Obj
     [
@@ -268,7 +274,10 @@ let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
             ("cores", Num cores);
             ("retries", Num retries);
             ("degraded_jobs", Num degraded);
+            ("domain_utilization_2", Num util_2);
+            ("domain_utilization_4", Num util_4);
           ] );
+      ("gc", Obj [ ("major_pause_p99", Num gc_major_p99) ]);
     ]
 
 let test_gate_passes_identical () =
@@ -276,7 +285,7 @@ let test_gate_passes_identical () =
   let r = D.Gate.evaluate ~baseline:doc ~current:doc () in
   Alcotest.(check bool) "passes" true r.D.Gate.passed;
   Alcotest.(check int) "no errors" 0 (List.length r.D.Gate.errors);
-  Alcotest.(check int) "seven verdicts" 7 (List.length r.D.Gate.verdicts)
+  Alcotest.(check int) "ten verdicts" 10 (List.length r.D.Gate.verdicts)
 
 let test_gate_improvement_passes () =
   (* Faster wall clock and a better speedup ratio must never fail. *)
@@ -367,6 +376,42 @@ let test_gate_retry_floor () =
       ()
   in
   Alcotest.(check bool) "zero counters pass" true missing.D.Gate.passed
+
+let test_gate_absolute_slack () =
+  (* gc.major_pause_p99 has 50ms of absolute slack: a pause going from
+     1ms to 40ms is a +3900% relative "regression" but stays inside the
+     band, so it passes; 200ms exceeds the band and the huge relative
+     drift makes it fail. *)
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~gc_major_p99:0.04 ())
+      ()
+  in
+  Alcotest.(check bool) "inside the absolute band passes" true r.D.Gate.passed;
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~gc_major_p99:0.2 ())
+      ()
+  in
+  Alcotest.(check bool) "outside the band fails" false r.D.Gate.passed;
+  let bad = List.find (fun v -> not v.D.Gate.ok) r.D.Gate.verdicts in
+  Alcotest.(check string) "the gc check tripped" "gc.major_pause_p99"
+    bad.D.Gate.check.D.Gate.metric;
+  (* Utilization dropping 0.9 -> 0.75 is within the 0.2 band. *)
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~util_2:0.75 ())
+      ()
+  in
+  Alcotest.(check bool) "utilization wobble passes" true r.D.Gate.passed;
+  (* A collapse to 0.3 is both outside the band and past the relative
+     tolerance. *)
+  let r =
+    D.Gate.evaluate ~baseline:(bench_doc ())
+      ~current:(bench_doc ~util_2:0.3 ())
+      ()
+  in
+  Alcotest.(check bool) "utilization collapse fails" false r.D.Gate.passed
 
 let test_gate_overrides () =
   let checks = D.Gate.default_checks ~overrides:[ ("mixer.wall_seconds", 0.5) ] 0.15 in
@@ -499,6 +544,7 @@ let () =
           Alcotest.test_case "within tolerance" `Quick test_gate_within_tolerance_passes;
           Alcotest.test_case "hard errors" `Quick test_gate_hard_errors;
           Alcotest.test_case "overrides" `Quick test_gate_overrides;
+          Alcotest.test_case "absolute slack" `Quick test_gate_absolute_slack;
           Alcotest.test_case "retry floor" `Quick test_gate_retry_floor;
           Alcotest.test_case "speedup floor and factor watch" `Quick
             test_gate_speedup_floor;

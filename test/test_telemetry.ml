@@ -391,7 +391,8 @@ let test_chrome_roundtrip () =
   in
   let phase j = str_exn (member_exn "ph" j) in
   let count ph = List.length (List.filter (fun j -> phase j = ph) events) in
-  Alcotest.(check int) "one metadata event" 1 (count "M");
+  (* process_name + thread_name, both emitted by the Merge-backed writer. *)
+  Alcotest.(check int) "two metadata events" 2 (count "M");
   Alcotest.(check int) "begin/end balanced" (count "B") (count "E");
   Alcotest.(check int) "two spans" 2 (count "B");
   Alcotest.(check int) "counter + gauge samples" 2 (count "C");
