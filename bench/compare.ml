@@ -6,13 +6,13 @@
      --tolerance T          default relative tolerance (default 0.15)
      --tolerance-wall T     override for mixer.wall_seconds and sweep.wall_1
      --tolerance-speedup T  override for speedup.ratio
-     --tolerance-sweep T    override for sweep.speedup_2
+     --tolerance-sweep T    override for sweep.speedup_2 / sweep.speedup_4
 
    Wall-clock metrics are noisy across machines, so CI passes a loose
    --tolerance-wall while keeping iteration counts tight: an iteration
    regression is deterministic and always means the solver changed.
-   sweep.speedup_2 additionally depends on the runner's core count
-   (a single-core machine can only reach ~1.0), hence its own knob. *)
+   The sweep speedups additionally depend on the runner's core count
+   (a single-core machine can only reach ~1.0), hence their own knob. *)
 
 let usage () =
   prerr_endline
@@ -38,7 +38,9 @@ let parse_args () =
         overrides := ("speedup.ratio", float_of_string v) :: !overrides;
         go rest
     | "--tolerance-sweep" :: v :: rest ->
-        overrides := ("sweep.speedup_2", float_of_string v) :: !overrides;
+        let t = float_of_string v in
+        overrides :=
+          ("sweep.speedup_2", t) :: ("sweep.speedup_4", t) :: !overrides;
         go rest
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | arg :: rest ->

@@ -201,6 +201,26 @@ let with_telemetry opts f =
       f
   end
 
+(* Introspection plane: --listen ADDR arms Observe.Publish and serves
+   /metrics, /healthz and /events from a dedicated domain for the
+   duration of the command. Without the flag nothing is armed and the
+   engine hooks cost one atomic load each. *)
+let with_listen listen f =
+  match listen with
+  | None -> f ()
+  | Some spec -> (
+      match Observe.Addr.parse spec with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok addr -> (
+          match Observe.Server.start addr with
+          | Error e ->
+              prerr_endline e;
+              1
+          | Ok srv ->
+              Fun.protect ~finally:(fun () -> Observe.Server.stop srv) f))
+
 (* ---------- commands ---------- *)
 
 let list_cmd () =
@@ -311,8 +331,9 @@ let hb_cmd tele circuit f_fast fd harmonics budget_seconds max_newton =
 
 (* Generic single solve through the unified API: any engine, unified
    options, unified result rendering (metrics + health + report). *)
-let solve_cmd tele circuit engine_name f_fast fd period steps segments
+let solve_cmd tele listen circuit engine_name f_fast fd period steps segments
     harmonics points n1 n2 tol budget_seconds max_newton =
+  with_listen listen @@ fun () ->
   with_telemetry tele @@ fun () ->
   match find_fixture circuit with
   | Error e ->
@@ -340,7 +361,20 @@ let solve_cmd tele circuit engine_name f_fast fd period steps segments
               budget = make_budget budget_seconds max_newton;
             }
           in
+          Observe.Publish.run_started ~phase:"solve" ~total:1 ();
+          Observe.Publish.job_started ~job:problem.Engine.Problem.label
+            ~worker:0;
           let r = Engine.run problem (Engine.make ~options kind) in
+          if Observe.Publish.armed () then
+            Observe.Publish.job_finished ~job:problem.Engine.Problem.label
+              ~worker:0
+              ~status:(if r.Engine.Result.converged then "ok" else "failed")
+              ~health:
+                (Some
+                   (Engine.Sweep.health_class
+                      r.Engine.Result.health.Diagnostics.Health.convergence))
+              ~wall_seconds:r.Engine.Result.wall_seconds ~attempts:1;
+          Observe.Publish.run_finished ();
           Printf.printf "# engine=%s converged=%b newton=%d residual=%.2e wall=%.3fs\n"
             (Engine.kind_name r.Engine.Result.kind) r.Engine.Result.converged
             r.Engine.Result.newton_iterations r.Engine.Result.residual_norm
@@ -577,31 +611,62 @@ let emit_sweep_json ~no_wall (records : Engine.Checkpoint.record array) =
   Buffer.add_string buf "\n]\n";
   print_string (Buffer.contents buf)
 
-(* Live progress meter for --progress: one \r-rewritten stderr line.
-   [on_outcome] fires on whichever domain finished the job, so the
-   meter serializes internally. ETA is naive (mean rate so far), which
-   is the honest choice for jobs of wildly different cost. *)
+(* Live progress meter for --progress. [on_outcome] fires on whichever
+   domain finished the job, so the meter serializes internally. ETA is
+   naive (mean rate so far), which is the honest choice for jobs of
+   wildly different cost; before the first job completes both rate and
+   ETA render as "--" rather than 0/inf/nan.
+
+   On an interactive stderr the line is \r-rewritten in place. When
+   stderr is not a TTY — or NO_COLOR / CI asks for dumb output — each
+   update is its own newline-terminated line, so redirected logs and CI
+   consoles show real lines instead of one giant \r-glued blob. *)
+let progress_plain () =
+  (not (Unix.isatty Unix.stderr))
+  || Sys.getenv_opt "NO_COLOR" <> None
+  || Sys.getenv_opt "CI" <> None
+
 let progress_reporter ~total =
   let m = Mutex.create () in
+  let plain = progress_plain () in
   let finished = ref 0 in
   let t0 = Telemetry.Clock.wall () in
+  let render d =
+    let elapsed = Telemetry.Clock.wall () -. t0 in
+    let rate =
+      if d > 0 && elapsed > 0.0 then Some (float_of_int d /. elapsed)
+      else None
+    in
+    let rate_s =
+      match rate with Some r -> Printf.sprintf "%.2f" r | None -> "--"
+    in
+    let eta_s =
+      match rate with
+      | Some r when d < total ->
+          Printf.sprintf "%.1fs" (float_of_int (total - d) /. r)
+      | Some _ -> "0.0s"
+      | None -> "--"
+    in
+    let line =
+      Printf.sprintf "[%d/%d] %3.0f%%  %.1fs elapsed  eta %s  %s jobs/s" d
+        total
+        (100.0 *. float_of_int d /. float_of_int total)
+        elapsed eta_s rate_s
+    in
+    if plain then Printf.eprintf "%s\n" line
+    else begin
+      Printf.eprintf "\r%s " line;
+      if d >= total then prerr_newline ()
+    end;
+    flush stderr
+  in
+  (* The 0/total line shows the meter is live (and that rate/ETA are
+     honestly unknown) before any job lands. *)
+  render 0;
   fun (_ : Engine.Sweep.outcome) ->
     Mutex.lock m;
     incr finished;
-    let d = !finished in
-    let elapsed = Telemetry.Clock.wall () -. t0 in
-    let rate = if elapsed > 0.0 then float_of_int d /. elapsed else 0.0 in
-    let eta =
-      if rate > 0.0 then
-        Printf.sprintf "%.1fs" (float_of_int (total - d) /. rate)
-      else "?"
-    in
-    Printf.eprintf "\r[%d/%d] %3.0f%%  %.1fs elapsed  eta %s  %.2f jobs/s "
-      d total
-      (100.0 *. float_of_int d /. float_of_int total)
-      elapsed eta rate;
-    if d >= total then prerr_newline ();
-    flush stderr;
+    render !finished;
     Mutex.unlock m
 
 let p99_or_zero (h : Telemetry.histogram) =
@@ -692,8 +757,8 @@ let write_merged_trace ~file ~domains ~wall ~gc
     parts;
   close_out oc
 
-let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
-    format n1 n2 steps tol budget_seconds max_newton per_job_telemetry
+let sweep_cmd tele listen circuit engines param f_fast fd period domains
+    no_wall format n1 n2 steps tol budget_seconds max_newton per_job_telemetry
     progress fault_plan checkpoint resume keep_going retries no_degrade =
   (* A Chrome-format --trace on a sweep means the cross-domain merged
      trace, written from per-job snapshots captured on the executing
@@ -708,6 +773,7 @@ let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
   let tele =
     match merged_trace with Some _ -> { tele with trace = None } | None -> tele
   in
+  with_listen listen @@ fun () ->
   with_telemetry tele @@ fun () ->
   match
     ( find_fixture circuit,
@@ -794,8 +860,10 @@ let sweep_cmd tele circuit engines param f_fast fd period domains no_wall
       let on_outcome =
         let checkpointer =
           Option.map
-            (fun log o ->
-              Engine.Checkpoint.append log (Engine.Checkpoint.of_outcome o))
+            (fun log (o : Engine.Sweep.outcome) ->
+              Engine.Checkpoint.append log (Engine.Checkpoint.of_outcome o);
+              Observe.Publish.checkpoint_written
+                ~job:o.Engine.Sweep.job.Engine.Sweep.label)
             log
         in
         let reporter =
@@ -1187,6 +1255,174 @@ let deck_cmd tele file analysis node t_stop steps f_start f_stop =
             r.Circuit.Ac.freqs);
       0
 
+(* ---------- rfss scrape: one-shot fetch from a live server ---------- *)
+
+let scrape_cmd addr_spec path validate =
+  match Observe.Addr.parse addr_spec with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok addr -> (
+      match Observe.Client.get ~timeout:30.0 addr path with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok (200, _, body) ->
+          if validate then begin
+            match Diagnostics.Registry.parse_prometheus body with
+            | exception Failure e ->
+                Printf.eprintf "invalid Prometheus exposition: %s\n" e;
+                1
+            | samples ->
+                print_string body;
+                Printf.eprintf "# scrape validated: %d samples\n"
+                  (List.length samples);
+                0
+          end
+          else begin
+            print_string body;
+            0
+          end
+      | Ok (status, _, body) ->
+          Printf.eprintf "HTTP %d from %s%s\n%s" status addr_spec path body;
+          1)
+
+(* ---------- rfss top: live sweep dashboard ---------- *)
+
+let top_cmd addr_spec interval once =
+  let module J = Diagnostics.Json_min in
+  match Observe.Addr.parse addr_spec with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok addr ->
+      let tty = Unix.isatty Unix.stdout in
+      let fetched_once = ref false in
+      let recent = Queue.create () in
+      let stream = ref None in
+      let ensure_stream () =
+        match !stream with
+        | Some s when not (Observe.Client.closed s) -> Some s
+        | _ -> (
+            match Observe.Client.open_stream ~timeout:2.0 addr with
+            | Ok s ->
+                stream := Some s;
+                Some s
+            | Error _ -> None)
+      in
+      let drain_events () =
+        match ensure_stream () with
+        | None -> ()
+        | Some s ->
+            List.iter
+              (fun line ->
+                match J.parse line with
+                | exception J.Parse_error _ -> ()
+                | j ->
+                    if J.member "event" j <> None then begin
+                      Queue.add line recent;
+                      while Queue.length recent > 8 do
+                        ignore (Queue.pop recent)
+                      done
+                    end)
+              (Observe.Client.poll_lines s)
+      in
+      let fnum path j = Option.bind (J.path path j) J.num in
+      let fint path j =
+        match fnum path j with
+        | Some v -> Printf.sprintf "%.0f" v
+        | None -> "--"
+      in
+      let fsec path j =
+        match fnum path j with
+        | Some v -> Printf.sprintf "%.1fs" v
+        | None -> "--"
+      in
+      let render body =
+        match J.parse body with
+        | exception J.Parse_error _ -> print_endline (String.trim body)
+        | j ->
+            if tty then print_string "\027[2J\027[H";
+            Printf.printf "rfss top — %s\n" addr_spec;
+            Printf.printf
+              "phase %-8s elapsed %-9s worst %-12s budget-left %s\n"
+              (Option.value ~default:"?"
+                 (Option.bind (J.member "phase" j) J.str))
+              (fsec [ "elapsed_seconds" ] j)
+              (Option.value ~default:"--"
+                 (Option.bind (J.member "worst_health" j) J.str))
+              (fsec [ "budget_remaining_seconds" ] j);
+            Printf.printf
+              "jobs  %s/%s done  %s in flight  %s failed  %s degraded  %s \
+               retries  %s checkpoints\n"
+              (fint [ "jobs"; "finished" ] j)
+              (fint [ "jobs"; "total" ] j)
+              (fint [ "jobs"; "in_flight" ] j)
+              (fint [ "jobs"; "failed" ] j)
+              (fint [ "jobs"; "degraded" ] j)
+              (fint [ "jobs"; "retries" ] j)
+              (fint [ "jobs"; "checkpoints" ] j);
+            let rate =
+              match fnum [ "jobs_per_second" ] j with
+              | Some r -> Printf.sprintf "%.2f" r
+              | None -> "--"
+            in
+            Printf.printf "rate  %s jobs/s   eta %s\n" rate
+              (fsec [ "eta_seconds" ] j);
+            (match J.member "workers" j with
+            | Some (J.Arr ws) when ws <> [] ->
+                Printf.printf "%-7s %-5s %-9s %-8s %-8s %s\n" "worker" "busy"
+                  "done" "busy-s" "retries" "job";
+                List.iter
+                  (fun w ->
+                    Printf.printf "%-7s %-5s %-9s %-8s %-8s %s\n"
+                      (fint [ "worker" ] w)
+                      (match Option.bind (J.member "busy" w) J.bool with
+                      | Some true -> "yes"
+                      | Some false -> "no"
+                      | None -> "--")
+                      (fint [ "jobs_done" ] w)
+                      (match fnum [ "busy_seconds" ] w with
+                      | Some v -> Printf.sprintf "%.2f" v
+                      | None -> "--")
+                      (fint [ "retries" ] w)
+                      (Option.value ~default:"-"
+                         (Option.bind (J.member "job" w) J.str)))
+                  ws
+            | _ -> ());
+            if not (Queue.is_empty recent) then begin
+              print_endline "recent events:";
+              Queue.iter (fun l -> Printf.printf "  %s\n" l) recent
+            end;
+            flush stdout
+      in
+      let rec loop () =
+        match Observe.Client.get ~timeout:2.0 addr "/healthz" with
+        | Error e ->
+            (* A server that answered at least once and then went away
+               is a run that finished — normal exit, not an error. *)
+            if !fetched_once then 0
+            else begin
+              prerr_endline e;
+              1
+            end
+        | Ok (200, _, body) ->
+            fetched_once := true;
+            drain_events ();
+            render body;
+            if once then 0
+            else begin
+              Telemetry.Clock.sleep interval;
+              loop ()
+            end
+        | Ok (status, _, _) ->
+            Printf.eprintf "HTTP %d from %s/healthz\n" status addr_spec;
+            1
+      in
+      let code = loop () in
+      (match !stream with Some s -> Observe.Client.close_stream s | None -> ());
+      code
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -1266,6 +1502,19 @@ let telemetry_arg =
         { trace; trace_format; timings; metrics })
     $ trace $ trace_format $ timings $ metrics)
 
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve live introspection endpoints ($(b,/metrics), \
+           $(b,/healthz), $(b,/events)) for the duration of the run. \
+           $(docv) is a Unix socket path (contains $(b,/), or prefixed \
+           $(b,unix:)) or $(b,HOST:PORT) ($(b,PORT) $(b,0) picks an \
+           ephemeral port). Without this flag nothing is armed and the \
+           hooks cost one atomic load per job.")
+
 let list_term = Term.(const list_cmd $ const ())
 
 let dcop_term =
@@ -1342,9 +1591,9 @@ let solve_term =
     Arg.(value & opt float 1e-8 & info [ "tol" ] ~docv:"T" ~doc:"Residual infinity-norm target.")
   in
   Term.(
-    const solve_cmd $ telemetry_arg $ circuit_arg $ engine $ f_fast_arg $ fd_arg
-    $ engine_period_arg $ steps $ segments $ harmonics $ points $ n1 $ n2 $ tol
-    $ budget_seconds_arg $ max_newton_arg)
+    const solve_cmd $ telemetry_arg $ listen_arg $ circuit_arg $ engine
+    $ f_fast_arg $ fd_arg $ engine_period_arg $ steps $ segments $ harmonics
+    $ points $ n1 $ n2 $ tol $ budget_seconds_arg $ max_newton_arg)
 
 let sweep_term =
   let engines =
@@ -1471,10 +1720,11 @@ let sweep_term =
              final attempt at coarser grid / looser tolerance.")
   in
   Term.(
-    const sweep_cmd $ telemetry_arg $ circuit_arg $ engines $ param $ f_fast_arg
-    $ fd_arg $ engine_period_arg $ domains $ no_wall $ format $ n1 $ n2 $ steps
-    $ tol $ budget_seconds_arg $ max_newton_arg $ per_job_telemetry $ progress
-    $ fault_plan $ checkpoint $ resume $ keep_going $ retries $ no_degrade)
+    const sweep_cmd $ telemetry_arg $ listen_arg $ circuit_arg $ engines
+    $ param $ f_fast_arg $ fd_arg $ engine_period_arg $ domains $ no_wall
+    $ format $ n1 $ n2 $ steps $ tol $ budget_seconds_arg $ max_newton_arg
+    $ per_job_telemetry $ progress $ fault_plan $ checkpoint $ resume
+    $ keep_going $ retries $ no_degrade)
 
 let report_term =
   let file =
@@ -1534,6 +1784,50 @@ let deck_term =
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~docv:"HZ" ~doc:"AC sweep stop.") in
   Term.(const deck_cmd $ telemetry_arg $ file $ analysis $ node $ t_stop $ steps $ f_start $ f_stop)
 
+let top_addr_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:
+          "Address a running $(b,rfss sweep --listen)/$(b,rfss solve \
+           --listen) is serving on: a Unix socket path or $(b,HOST:PORT).")
+
+let top_term =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between refreshes.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Render one snapshot and exit (for scripts).")
+  in
+  Term.(const top_cmd $ top_addr_arg $ interval $ once)
+
+let scrape_term =
+  let path =
+    Arg.(
+      value
+      & opt string "/metrics"
+      & info [ "path" ] ~docv:"PATH"
+          ~doc:
+            "Endpoint to fetch: $(b,/metrics), $(b,/healthz) or \
+             $(b,/events) (the event stream is read until the server \
+             closes it).")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Re-parse the body with the strict Prometheus text parser \
+             and fail on any malformed line (only meaningful for \
+             $(b,/metrics)).")
+  in
+  Term.(const scrape_cmd $ top_addr_arg $ path $ validate)
+
 let health_term =
   let n1 = Arg.(value & opt int 40 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
   let n2 = Arg.(value & opt int 30 & info [ "n2" ] ~docv:"N" ~doc:"Slow-scale points.") in
@@ -1585,6 +1879,20 @@ let cmds =
             per-stage Newton iterations, Jacobian condition estimate, and \
             diagonal-consistency residual.")
       health_term;
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Live dashboard for a run served with $(b,--listen): per-domain \
+            utilization, job counts, retry/degrade totals, rate and ETA, \
+            refreshed from $(b,/healthz) and $(b,/events).")
+      top_term;
+    Cmd.v
+      (Cmd.info "scrape"
+         ~doc:
+           "Fetch one introspection endpoint from a live run and print the \
+            body to stdout; $(b,--validate) re-parses $(b,/metrics) with \
+            the strict Prometheus parser.")
+      scrape_term;
   ]
 
 let () =

@@ -83,6 +83,13 @@ let default_checks ?(overrides = []) tolerance =
       tolerance = tol "sweep.speedup_2";
       absolute = 0.0;
     };
+    {
+      metric = "sweep.speedup_4";
+      path = [ "sweep"; "speedup_4" ];
+      direction = Higher_better;
+      tolerance = tol "sweep.speedup_4";
+      absolute = 0.0;
+    };
     (* Utilization and GC pauses live near 0 and 1 respectively, where
        relative drift is meaningless noise (a p99 pause moving from
        0.2ms to 0.5ms is a 150% "regression" nobody cares about); the
@@ -128,19 +135,25 @@ let evaluate ?checks ~baseline ~current () =
       err "current benchmark did not converge (mixer.converged = false)"
   | _ -> err "current benchmark is missing mixer.converged");
   (* Absolute floor for the parallel sweep, independent of whatever the
-     baseline recorded: on a multi-core runner two domains must beat
-     serial outright. A single-core runner skips the floor (there is no
-     parallelism to win) but still reports the relative check below. *)
+     baseline recorded: on a multi-core runner extra domains must beat
+     serial outright (both the 2- and 4-domain configurations — a
+     4-domain slowdown with a healthy 2-domain one means contention,
+     not lack of cores). A single-core runner skips the floor (there is
+     no parallelism to win) but still reports the relative checks
+     below. *)
   (match lookup_num current [ "sweep"; "cores" ] with
-  | Some cores when cores >= 2.0 -> (
-      match lookup_num current [ "sweep"; "speedup_2" ] with
-      | Some sp when sp < 1.0 ->
-          err
-            "parallel sweep slower than serial: sweep.speedup_2 = %.2f < 1.0 \
-             on a %.0f-core runner"
-            sp cores
-      | Some _ -> ()
-      | None -> err "current benchmark is missing sweep.speedup_2")
+  | Some cores when cores >= 2.0 ->
+      List.iter
+        (fun name ->
+          match lookup_num current [ "sweep"; name ] with
+          | Some sp when sp < 1.0 ->
+              err
+                "parallel sweep slower than serial: sweep.%s = %.2f < 1.0 on \
+                 a %.0f-core runner"
+                name sp cores
+          | Some _ -> ()
+          | None -> err "current benchmark is missing sweep.%s" name)
+        [ "speedup_2"; "speedup_4" ]
   | Some _ -> ()
   | None -> err "current benchmark is missing sweep.cores");
   (* Clean-path resilience floor: the bench sweeps with retry armed, so

@@ -50,20 +50,23 @@ val default_checks : ?overrides:(string * float) list -> float -> check list
     [mixer.gmres_iterations], [mixer.lu_dense_factors] (dense
     preconditioner factorizations per solve, read from the embedded
     telemetry counters), [sweep.wall_1] (lower is better),
-    [speedup.ratio], [sweep.speedup_2] (higher is better), plus the
-    observability trio [sweep.domain_utilization_2] /
+    [speedup.ratio], [sweep.speedup_2] and [sweep.speedup_4] (higher is
+    better), plus the observability trio [sweep.domain_utilization_2] /
     [sweep.domain_utilization_4] (higher is better, 0.2 absolute slack)
     and [gc.major_pause_p99] (lower is better, 50ms absolute slack) —
     at the given default tolerance, with optional per-metric overrides
     keyed by display name. The [sweep.*] group watches the parallel
     sweep executor: serial wall time for the 8-job MPDE sweep, the
-    2-domain speedup over it, and how evenly the domains stay busy.
+    2- and 4-domain speedups over it, and how evenly the domains stay
+    busy.
 
     Independent of these relative checks, {!evaluate} enforces an
     absolute floor: when the current run reports [sweep.cores >= 2],
-    [sweep.speedup_2] must be [>= 1.0] — a multi-core runner whose
-    parallel sweep loses to serial fails the gate no matter how bad
-    the blessed baseline was. Single-core runners skip the floor. *)
+    [sweep.speedup_2] and [sweep.speedup_4] must be [>= 1.0] — a
+    multi-core runner whose parallel sweep loses to serial fails the
+    gate no matter how bad the blessed baseline was (a 4-domain
+    slowdown alongside a healthy 2-domain run means contention, not a
+    missing core). Single-core runners skip the floor. *)
 
 val evaluate :
   ?checks:check list -> baseline:Json_min.t -> current:Json_min.t -> unit -> result

@@ -27,7 +27,10 @@ let map ?(chunk = 0) ?(assign = `Dynamic) ~domains f items =
     let domains = max 1 (min domains n) in
     if domains = 1 then begin
       Domain.DLS.get worker_key := 0;
-      Array.map f items
+      Observe.Publish.worker_started ~worker:0;
+      Fun.protect
+        ~finally:(fun () -> Observe.Publish.worker_stopped ~worker:0)
+        (fun () -> Array.map f items)
     end
     else begin
       (* Chunked claiming: grabbing a run of items per fetch instead of
@@ -63,7 +66,11 @@ let map ?(chunk = 0) ?(assign = `Dynamic) ~domains f items =
       in
       let work k =
         Domain.DLS.get worker_key := k;
-        match assign with `Dynamic -> dynamic () | `Static -> static k
+        Observe.Publish.worker_started ~worker:k;
+        Fun.protect
+          ~finally:(fun () -> Observe.Publish.worker_stopped ~worker:k)
+          (fun () ->
+            match assign with `Dynamic -> dynamic () | `Static -> static k)
       in
       let spawned =
         Array.init (domains - 1) (fun j ->

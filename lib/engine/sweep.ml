@@ -46,6 +46,35 @@ let with_job_telemetry want f =
     Fun.protect ~finally:Telemetry.disable f
   end
 
+(* Plain class name for the introspection plane (Convergence.to_string
+   embeds the linear rate / rescue stage, which event consumers would
+   have to re-parse). *)
+let health_class = function
+  | Diagnostics.Convergence.Quadratic -> "quadratic"
+  | Diagnostics.Convergence.Linear _ -> "linear"
+  | Diagnostics.Convergence.Stagnating -> "stagnating"
+  | Diagnostics.Convergence.Diverging -> "diverging"
+  | Diagnostics.Convergence.Rescued _ -> "rescued"
+  | Diagnostics.Convergence.Insufficient_data -> "insufficient-data"
+
+(* Status/health of one outcome as published on the event stream.
+   Status follows checkpoint-record semantics, except that an
+   unconverged Ok is reported as "failed" (the checkpoint encodes that
+   in a separate [converged] column). *)
+let published_verdict (result : (Backend.Result.t, failure) Stdlib.result)
+    ~degraded =
+  match result with
+  | Error _ -> ("error", Some "failed")
+  | Ok r ->
+      let health =
+        health_class
+          (Diagnostics.Health.of_report r.Backend.Result.report)
+            .Diagnostics.Health.convergence
+      in
+      if not r.Backend.Result.converged then ("failed", Some health)
+      else if degraded then ("degraded", Some health)
+      else ("ok", Some health)
+
 let run ?domains ?wall_seconds ?max_newton_per_job
     ?(per_job_telemetry = false) ?(per_job_trace = false)
     ?(retry = Resilience.Retry.none) ?on_outcome jobs =
@@ -55,6 +84,8 @@ let run ?domains ?wall_seconds ?max_newton_per_job
   let deadline =
     Option.map (fun s -> Telemetry.Clock.wall () +. s) wall_seconds
   in
+  Observe.Publish.run_started ?deadline ~domains ~phase:"sweep"
+    ~total:(Array.length jobs) ();
   let deadline_open () =
     match deadline with None -> true | Some d -> Telemetry.Clock.wall () < d
   in
@@ -84,6 +115,8 @@ let run ?domains ?wall_seconds ?max_newton_per_job
   in
   let run_one (index, j) =
     let t0 = Telemetry.Clock.wall () in
+    let worker = Pool.worker_index () in
+    Observe.Publish.job_started ~job:j.label ~worker;
     (* One fault-injection scope per attempt: occurrence counters reset
        on retry (a [crash@job:1] fault is transient — it hits attempt 1
        and spares attempt 2), and the scope key lets a plan target one
@@ -138,6 +171,7 @@ let run ?domains ?wall_seconds ?max_newton_per_job
           Resilience.Retry.backoff retry ~salt:j.label ~attempt:n
             ~prev:prev_delay
         in
+        Observe.Publish.retry ~job:j.label ~worker ~attempt:n ~delay;
         Resilience.Retry.sleep delay;
         attempt_loop (n + 1) delay
       end
@@ -152,6 +186,7 @@ let run ?domains ?wall_seconds ?max_newton_per_job
         if
           retry.Resilience.Retry.degrade && failed result && deadline_open ()
         then begin
+          Observe.Publish.degraded ~job:j.label ~worker;
           let dj =
             {
               j with
@@ -200,10 +235,18 @@ let run ?domains ?wall_seconds ?max_newton_per_job
         wall_seconds = Telemetry.Clock.wall () -. t0;
         attempts;
         degraded;
-        worker = Pool.worker_index ();
+        worker;
         trace;
       }
     in
+    (* The armed check here (one atomic load when idle) also gates the
+       health classification, which is only worth computing when a
+       listener is watching. *)
+    if Observe.Publish.armed () then begin
+      let status, health = published_verdict result ~degraded in
+      Observe.Publish.job_finished ~job:j.label ~worker ~status ~health
+        ~wall_seconds:outcome.wall_seconds ~attempts
+    end;
     (* Runs on the executing domain, concurrently across jobs: the
        checkpoint writer (the intended consumer) serializes internally. *)
     (match on_outcome with Some f -> f outcome | None -> ());
@@ -212,4 +255,8 @@ let run ?domains ?wall_seconds ?max_newton_per_job
   (* Static placement under tracing: job → worker must be a pure
      function of the index for two traced runs to merge identically. *)
   let assign = if per_job_trace then `Static else `Dynamic in
-  Pool.map ~assign ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)
+  let outcomes =
+    Pool.map ~assign ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)
+  in
+  Observe.Publish.run_finished ();
+  outcomes

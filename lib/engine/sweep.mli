@@ -89,6 +89,19 @@ type outcome = {
 val retries : outcome -> int
 (** [attempts - 1]. *)
 
+val health_class : Diagnostics.Convergence.cls -> string
+(** Plain class name for the introspection plane ("quadratic",
+    "linear", …) — {!Diagnostics.Convergence.to_string} embeds rate or
+    rescue-stage detail that event consumers would have to re-parse. *)
+
+val published_verdict :
+  (Backend.Result.t, failure) Stdlib.result ->
+  degraded:bool ->
+  string * string option
+(** (status, health) of one outcome as published on the
+    {!Observe.Publish} event stream. Status follows checkpoint-record
+    semantics except that an unconverged [Ok] is ["failed"]. *)
+
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — 1 on a single-core host,
     which makes {!run} fall back to fully serial execution. *)

@@ -1,0 +1,49 @@
+type t = Unix_socket of string | Tcp of string * int
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" then Error "empty listen address"
+  else if String.length spec > 5 && String.sub spec 0 5 = "unix:" then
+    Ok (Unix_socket (String.sub spec 5 (String.length spec - 5)))
+  else if String.contains spec '/' then Ok (Unix_socket spec)
+  else
+    match String.rindex_opt spec ':' with
+    | None ->
+        Error
+          (Printf.sprintf
+             "bad address %S: expected HOST:PORT or a Unix socket path \
+              (containing '/')"
+             spec)
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "bad port %S in address %S" port spec))
+
+let to_string = function
+  | Unix_socket p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let sockaddr = function
+  | Unix_socket p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (
+      let inet =
+        if host = "localhost" then Some Unix.inet_addr_loopback
+        else
+          match Unix.inet_addr_of_string host with
+          | a -> Some a
+          | exception Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } -> None
+              | h -> Some h.Unix.h_addr_list.(0)
+              | exception Not_found -> None)
+      in
+      match inet with
+      | Some a -> Ok (Unix.ADDR_INET (a, port))
+      | None -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+let socket_domain = function
+  | Unix_socket _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET

@@ -1,0 +1,24 @@
+(** Listen/connect addresses for the introspection plane.
+
+    One string spec covers both transports: a spec containing a [/]
+    (or prefixed [unix:]) is a Unix-domain socket path; anything else
+    must be [HOST:PORT]. A TCP port of [0] asks the kernel for an
+    ephemeral port — {!Server.start} reports the actual one back. *)
+
+type t =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+val parse : string -> (t, string) result
+(** [parse "unix:/tmp/rfss.sock"], [parse "/tmp/rfss.sock"],
+    [parse "127.0.0.1:9100"], [parse "localhost:0"]. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse} (the [unix:] prefix is dropped). *)
+
+val sockaddr : t -> (Unix.sockaddr, string) result
+(** Resolve to a connectable/bindable address. [localhost] and
+    dotted-quad hosts resolve without DNS; other names go through
+    [gethostbyname]. *)
+
+val socket_domain : t -> Unix.socket_domain

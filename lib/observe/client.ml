@@ -1,0 +1,139 @@
+let connect ?(timeout = 5.0) addr =
+  match Addr.sockaddr addr with
+  | Error e -> Error e
+  | Ok sa -> (
+      let fd =
+        Unix.socket ~cloexec:true (Addr.socket_domain addr) SOCK_STREAM 0
+      in
+      (try Unix.setsockopt_float fd SO_RCVTIMEO timeout;
+           Unix.setsockopt_float fd SO_SNDTIMEO timeout
+       with _ -> ());
+      match Unix.connect fd sa with
+      | () -> Ok fd
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" (Addr.to_string addr)
+               (Unix.error_message err)))
+
+let send_request fd path =
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req))
+
+let get ?timeout addr path =
+  match connect ?timeout addr with
+  | Error e -> Error e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          match send_request fd path with
+          | exception Unix.Unix_error (err, _, _) ->
+              Error ("send failed: " ^ Unix.error_message err)
+          | () -> (
+              let buf = Bytes.create 8192 in
+              let acc = Buffer.create 8192 in
+              let rec read_all () =
+                match Unix.read fd buf 0 8192 with
+                | 0 -> ()
+                | n ->
+                    Buffer.add_subbytes acc buf 0 n;
+                    read_all ()
+                | exception Unix.Unix_error (EINTR, _, _) -> read_all ()
+                | exception
+                    Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                    (* SO_RCVTIMEO expired: treat what we have as the
+                       whole response (close-delimited streams). *)
+                    ()
+                | exception Unix.Unix_error (_, _, _) ->
+                    (* Reset mid-read (server shut down while we were
+                       draining /events): keep what arrived. *)
+                    ()
+              in
+              read_all ();
+              match Http.parse_response (Buffer.contents acc) with
+              | Ok r -> Ok r
+              | Error e -> Error e))
+
+type stream = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read, not yet split into lines *)
+  mutable is_closed : bool;
+}
+
+let open_stream ?timeout ?(since = 0) addr =
+  match connect ?timeout addr with
+  | Error e -> Error e
+  | Ok fd -> (
+      match send_request fd (Printf.sprintf "/events?since=%d" since) with
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error ("send failed: " ^ Unix.error_message err)
+      | () -> (
+          (* Blocking (timeout-capped) read until the header block is
+             complete, then go non-blocking for poll_lines. *)
+          let buf = Bytes.create 4096 in
+          let acc = Buffer.create 4096 in
+          let rec read_header () =
+            match Http.header_end (Buffer.contents acc) with
+            | Some stop -> Ok stop
+            | None -> (
+                match Unix.read fd buf 0 4096 with
+                | 0 -> Error "server closed before sending headers"
+                | n ->
+                    Buffer.add_subbytes acc buf 0 n;
+                    read_header ()
+                | exception Unix.Unix_error (EINTR, _, _) -> read_header ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _)
+                  ->
+                    Error "timed out waiting for stream headers")
+          in
+          match read_header () with
+          | Error e ->
+              (try Unix.close fd with _ -> ());
+              Error e
+          | Ok stop -> (
+              let raw = Buffer.contents acc in
+              match Http.parse_response raw with
+              | Error e ->
+                  (try Unix.close fd with _ -> ());
+                  Error e
+              | Ok (status, _, _) when status <> 200 ->
+                  (try Unix.close fd with _ -> ());
+                  Error (Printf.sprintf "stream refused: HTTP %d" status)
+              | Ok _ ->
+                  Unix.set_nonblock fd;
+                  let body = Buffer.create 4096 in
+                  Buffer.add_string body
+                    (String.sub raw stop (String.length raw - stop));
+                  Ok { fd; buf = body; is_closed = false })))
+
+let poll_lines s =
+  let buf = Bytes.create 4096 in
+  let rec pump () =
+    if not s.is_closed then
+      match Unix.read s.fd buf 0 4096 with
+      | 0 -> s.is_closed <- true
+      | n ->
+          Buffer.add_subbytes s.buf buf 0 n;
+          pump ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> pump ()
+      | exception _ -> s.is_closed <- true
+  in
+  pump ();
+  let data = Buffer.contents s.buf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear s.buf;
+      Buffer.add_string s.buf
+        (String.sub data (last + 1) (String.length data - last - 1));
+      String.sub data 0 last |> String.split_on_char '\n'
+      |> List.filter (fun l -> l <> "")
+
+let closed s = s.is_closed
+
+let close_stream s =
+  s.is_closed <- true;
+  try Unix.close s.fd with _ -> ()

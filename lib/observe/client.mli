@@ -1,0 +1,38 @@
+(** Blocking client for the introspection endpoints — used by
+    [rfss top], [rfss scrape], the CI smoke test, and the test suite.
+
+    Two shapes: {!get} for the fixed-length endpoints ([/metrics],
+    [/healthz]) reads to EOF and parses the response; {!open_stream} /
+    {!poll_lines} for [/events] hands back complete JSONL lines as
+    they arrive without ever blocking the caller's render loop. *)
+
+val get :
+  ?timeout:float ->
+  Addr.t ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** [get addr "/healthz"] → (status, headers, body). [timeout]
+    (default 5 s) is an inactivity cap on connect and each read, so a
+    wedged server yields an [Error] rather than a hang. Works on
+    [/events] too: the stream is read until the server closes or the
+    first [timeout] with no new bytes, and whatever arrived is the
+    body. *)
+
+type stream
+
+val open_stream :
+  ?timeout:float -> ?since:int -> Addr.t -> (stream, string) result
+(** Subscribe to [/events?since=N] (default 0 — everything retained).
+    Blocks up to [timeout] (default 5 s) for the response header, then
+    switches the socket to non-blocking for {!poll_lines}. *)
+
+val poll_lines : stream -> string list
+(** Complete lines received since the last call (the window-header
+    line included), never blocking. Empty list when nothing new; check
+    {!closed} to distinguish idle from gone. *)
+
+val closed : stream -> bool
+(** The server closed the stream (or the connection failed). Buffered
+    complete lines are still returned by {!poll_lines}. *)
+
+val close_stream : stream -> unit

@@ -1,0 +1,138 @@
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+}
+
+(* Find the end of the header block, accepting both CRLF and bare LF
+   line endings (curl and printf-built test requests differ here). *)
+let header_end raw =
+  let n = String.length raw in
+  let rec go i =
+    if i + 1 >= n then None
+    else if raw.[i] = '\n' && raw.[i + 1] = '\n' then Some (i + 2)
+    else if
+      i + 3 < n
+      && raw.[i] = '\r'
+      && raw.[i + 1] = '\n'
+      && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go 0
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let split_query target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some q ->
+      let path = String.sub target 0 q in
+      let qs = String.sub target (q + 1) (String.length target - q - 1) in
+      let pairs =
+        String.split_on_char '&' qs
+        |> List.filter_map (fun kv ->
+               if kv = "" then None
+               else
+                 match String.index_opt kv '=' with
+                 | None -> Some (kv, "")
+                 | Some e ->
+                     Some
+                       ( String.sub kv 0 e,
+                         String.sub kv (e + 1) (String.length kv - e - 1) ))
+      in
+      (path, pairs)
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      let line = strip_cr line in
+      if line = "" then None
+      else
+        match String.index_opt line ':' with
+        | None -> None (* tolerate junk header lines *)
+        | Some c ->
+            Some
+              ( String.lowercase_ascii (String.trim (String.sub line 0 c)),
+                String.trim
+                  (String.sub line (c + 1) (String.length line - c - 1)) ))
+    lines
+
+let parse_request raw =
+  match header_end raw with
+  | None -> Error "incomplete request (no blank line)"
+  | Some stop -> (
+      let head = String.sub raw 0 stop in
+      match String.split_on_char '\n' head with
+      | [] -> Error "empty request"
+      | request_line :: rest -> (
+          let request_line = strip_cr request_line in
+          match
+            String.split_on_char ' ' request_line
+            |> List.filter (fun s -> s <> "")
+          with
+          | [ meth; target; version ]
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+            ->
+              let path, query = split_query target in
+              Ok
+                {
+                  meth = String.uppercase_ascii meth;
+                  target;
+                  path;
+                  query;
+                  headers = parse_headers rest;
+                }
+          | _ -> Error ("bad request line: " ^ request_line)))
+
+let query_int req name =
+  List.find_map
+    (fun (k, v) -> if k = name then int_of_string_opt v else None)
+    req.query
+
+let status_reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
+    =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status (status_reason status) content_type (String.length body) body
+
+let stream_header ?(content_type = "application/jsonl") () =
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nConnection: close\r\n\r\n"
+    content_type
+
+let parse_response raw =
+  match header_end raw with
+  | None -> Error "incomplete response (no blank line)"
+  | Some stop -> (
+      let head = String.sub raw 0 stop in
+      let body = String.sub raw stop (String.length raw - stop) in
+      match String.split_on_char '\n' head with
+      | [] -> Error "empty response"
+      | status_line :: rest -> (
+          let status_line = strip_cr status_line in
+          match
+            String.split_on_char ' ' status_line
+            |> List.filter (fun s -> s <> "")
+          with
+          | version :: code :: _
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+            -> (
+              match int_of_string_opt code with
+              | Some c -> Ok (c, parse_headers rest, body)
+              | None -> Error ("bad status code: " ^ status_line))
+          | _ -> Error ("bad status line: " ^ status_line)))

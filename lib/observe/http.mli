@@ -1,0 +1,46 @@
+(** Minimal HTTP/1.0 subset shared by the introspection server, its
+    client, and the tests.
+
+    Deliberately tiny: GET request lines, header fields, fixed-length
+    responses with [Content-Length], and header-only responses for
+    streams that are delimited by connection close (the HTTP/1.0 way —
+    no chunked transfer coding, no keep-alive). Query strings are
+    split on [&]/[=] without percent-decoding; the endpoints only take
+    integer parameters. *)
+
+type request = {
+  meth : string;  (** uppercased, e.g. ["GET"] *)
+  target : string;  (** raw request-target, query included *)
+  path : string;  (** target up to the first [?] *)
+  query : (string * string) list;  (** in target order, not decoded *)
+  headers : (string * string) list;  (** names lowercased *)
+}
+
+val header_end : string -> int option
+(** Offset just past the blank line terminating the header block
+    ([\r\n\r\n] or [\n\n]), or [None] while the request is still
+    incomplete. *)
+
+val parse_request : string -> (request, string) result
+(** Parse a complete header block (body bytes after it are ignored —
+    GET requests have none). *)
+
+val query_int : request -> string -> int option
+(** First integer-valued occurrence of the query parameter. *)
+
+val status_reason : int -> string
+
+val response :
+  ?status:int -> ?content_type:string -> string -> string
+(** Full HTTP/1.0 response (status line, [Content-Type],
+    [Content-Length], [Connection: close], blank line, body).
+    [status] defaults to [200], [content_type] to [text/plain]. *)
+
+val stream_header : ?content_type:string -> unit -> string
+(** Status line and headers for a close-delimited stream: no
+    [Content-Length]; the body is whatever follows until the server
+    closes the connection. *)
+
+val parse_response :
+  string -> (int * (string * string) list * string, string) result
+(** Split a raw response into (status code, lowercased headers, body). *)

@@ -1,0 +1,9 @@
+(* Library entry point: the introspection plane. [Publish] is the
+   engine-facing hub; [Server]/[Client] speak the [Http] subset over an
+   [Addr]. *)
+
+module Addr = Addr
+module Http = Http
+module Publish = Publish
+module Server = Server
+module Client = Client

@@ -1,0 +1,33 @@
+(** The introspection server: one dedicated domain running a
+    [Unix.select] loop over non-blocking sockets.
+
+    Serves the {!Http} subset on a {!Addr.t}:
+
+    - [GET /metrics] — Prometheus text exposition from
+      {!Publish.registry_snapshot};
+    - [GET /healthz] — the {!Publish.healthz_json} document;
+    - [GET /events?since=N] — close-delimited JSONL stream: a header
+      line describing the window, then every retained event with
+      [seq > N], then live events as they are published.
+
+    [start] arms {!Publish} and installs its wake pipe as the publish
+    waker; [stop] tears all of that down, joins the domain, and (for
+    Unix sockets) unlinks the path. The loop itself never runs user
+    code from worker domains — publication crosses over only through
+    {!Publish}'s atomics, the event ring, and the self-pipe byte. *)
+
+type t
+
+val start : ?flush_interval:float -> Addr.t -> (t, string) result
+(** Bind, listen, arm {!Publish}, and spawn the serving domain.
+    [flush_interval] (default 1 s of {!Telemetry.Clock.wall}) is how
+    often the loop calls {!Publish.flush}. Fails with a message (not
+    an exception) when the address cannot be bound. *)
+
+val addr : t -> Addr.t
+(** The actual bound address: for [Tcp (host, 0)] the kernel-assigned
+    port is filled in. *)
+
+val stop : t -> unit
+(** Disarm {!Publish}, wake and join the serving domain, close every
+    connection, and remove a Unix socket path. Idempotent. *)

@@ -248,8 +248,8 @@ let test_json_parse_errors () =
 
 let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
     ?(dense_factors = 1200.0) ?(ratio = 4.0) ?(sweep_wall = 2.0)
-    ?(sweep_speedup = 1.6) ?(cores = 4.0) ?(retries = 0.0)
-    ?(degraded = 0.0) ?(util_2 = 0.9) ?(util_4 = 0.8)
+    ?(sweep_speedup = 1.6) ?(sweep_speedup_4 = 1.4) ?(cores = 4.0)
+    ?(retries = 0.0) ?(degraded = 0.0) ?(util_2 = 0.9) ?(util_4 = 0.8)
     ?(gc_major_p99 = 0.001) () =
   let open D.Json_min in
   Obj
@@ -271,6 +271,7 @@ let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
           [
             ("wall_1", Num sweep_wall);
             ("speedup_2", Num sweep_speedup);
+            ("speedup_4", Num sweep_speedup_4);
             ("cores", Num cores);
             ("retries", Num retries);
             ("degraded_jobs", Num degraded);
@@ -285,7 +286,7 @@ let test_gate_passes_identical () =
   let r = D.Gate.evaluate ~baseline:doc ~current:doc () in
   Alcotest.(check bool) "passes" true r.D.Gate.passed;
   Alcotest.(check int) "no errors" 0 (List.length r.D.Gate.errors);
-  Alcotest.(check int) "ten verdicts" 10 (List.length r.D.Gate.verdicts)
+  Alcotest.(check int) "eleven verdicts" 11 (List.length r.D.Gate.verdicts)
 
 let test_gate_improvement_passes () =
   (* Faster wall clock and a better speedup ratio must never fail. *)
@@ -347,9 +348,28 @@ let test_gate_speedup_floor () =
          (* the floor is a hard error, not a relative verdict *)
          String.length e > 0 && String.sub e 0 8 = "parallel")
        r.D.Gate.errors);
+  (* The 4-domain configuration has its own floor: a healthy 2-domain
+     speedup does not excuse a 4-domain slowdown (that is contention,
+     not a missing core). *)
+  let slow4 = bench_doc ~sweep_speedup_4:0.7 ~cores:4.0 () in
+  let r = D.Gate.evaluate ~baseline:slow4 ~current:slow4 () in
+  Alcotest.(check bool) "sub-serial speedup_4 on 4 cores fails" false
+    r.D.Gate.passed;
+  Alcotest.(check bool) "speedup_4 floor names the metric" true
+    (List.exists
+       (fun e ->
+         String.length e > 0
+         && String.sub e 0 8 = "parallel"
+         &&
+         let rec contains i =
+           i + 9 <= String.length e
+           && (String.sub e i 9 = "speedup_4" || contains (i + 1))
+         in
+         contains 0)
+       r.D.Gate.errors);
   (* Same numbers on a single-core runner: the floor is skipped (no
      parallelism to win) and the relative check carries the verdict. *)
-  let serial = bench_doc ~sweep_speedup:0.4 ~cores:1.0 () in
+  let serial = bench_doc ~sweep_speedup:0.4 ~sweep_speedup_4:0.4 ~cores:1.0 () in
   let r = D.Gate.evaluate ~baseline:serial ~current:serial () in
   Alcotest.(check bool) "single-core escape hatch passes" true r.D.Gate.passed;
   (* The growth in dense factorizations is watched too. *)
@@ -497,6 +517,122 @@ let test_health_of_solution () =
          && List.mem_assoc "class" s.D.Registry.labels)
        samples)
 
+(* ---------- Registry snapshot publishing (Observe.Publish) ---------- *)
+
+module P = Observe.Publish
+
+(* Hammer the publish hub from several writer domains while a reader
+   domain snapshots continuously: because one CAS swaps one immutable
+   record, every snapshot must be internally consistent — finished
+   never ahead of started, the job-wall histogram count equal to the
+   finished count, and the per-worker tallies summing to it. A torn
+   multi-cell implementation fails this immediately. *)
+let test_publish_snapshot_consistency () =
+  P.reset ();
+  P.arm ();
+  Fun.protect ~finally:(fun () ->
+      P.disarm ();
+      P.reset ())
+  @@ fun () ->
+  let writers = 4 and per_writer = 200 in
+  P.run_started ~domains:writers ~phase:"test"
+    ~total:(writers * per_writer) ();
+  let stop = Atomic.make false in
+  let violations = ref 0 and reads = ref 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let s = P.read_stats () in
+          let worker_done =
+            Array.fold_left (fun a w -> a + w.P.w_jobs_done) 0 s.P.workers
+          in
+          incr reads;
+          if
+            s.P.counts.P.finished > s.P.counts.P.started
+            || s.P.job_wall.Telemetry.count <> s.P.counts.P.finished
+            || worker_done <> s.P.counts.P.finished
+          then incr violations;
+          Domain.cpu_relax ()
+        done)
+  in
+  let spawned =
+    Array.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_writer do
+              let job = Printf.sprintf "w%d-%d" w i in
+              P.job_started ~job ~worker:w;
+              P.job_finished ~job ~worker:w ~status:"ok"
+                ~health:(Some "quadratic") ~wall_seconds:0.001 ~attempts:1
+            done))
+  in
+  Array.iter Domain.join spawned;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check bool) "reader actually read" true (!reads > 0);
+  Alcotest.(check int) "no torn snapshots" 0 !violations;
+  let s = P.read_stats () in
+  Alcotest.(check int) "all jobs finished" (writers * per_writer)
+    s.P.counts.P.finished;
+  Alcotest.(check int) "histogram saw every job" (writers * per_writer)
+    s.P.job_wall.Telemetry.count;
+  Alcotest.(check int) "worker array grew to every writer" writers
+    (Array.length s.P.workers)
+
+(* Under a frozen fake clock the /metrics rendering is a pure function
+   of the published stats: two scrapes are byte-identical, and the text
+   re-parses with the strict Prometheus parser to the published
+   numbers. *)
+let test_publish_prometheus_roundtrip () =
+  let src, _advance = Telemetry.Clock.manual () in
+  Telemetry.Clock.install src;
+  P.reset ();
+  P.arm ();
+  Fun.protect ~finally:(fun () ->
+      P.disarm ();
+      P.reset ();
+      Telemetry.Clock.uninstall ())
+  @@ fun () ->
+  P.run_started ~domains:2 ~phase:"test" ~total:3 ();
+  for i = 0 to 2 do
+    let job = Printf.sprintf "j%d" i in
+    P.job_started ~job ~worker:(i mod 2);
+    P.job_finished ~job ~worker:(i mod 2) ~status:"ok"
+      ~health:(Some "linear") ~wall_seconds:0.25 ~attempts:1
+  done;
+  P.run_finished ();
+  let text1 = D.Registry.to_prometheus (P.registry_snapshot ()) in
+  let text2 = D.Registry.to_prometheus (P.registry_snapshot ()) in
+  Alcotest.(check string) "scrape is deterministic under a frozen clock"
+    text1 text2;
+  let samples = D.Registry.parse_prometheus text1 in
+  let value name =
+    match List.find_opt (fun (n, _, _) -> n = name) samples with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.fail ("missing sample " ^ name)
+  in
+  Alcotest.(check (float 0.0)) "finished counter" 3.0
+    (value "rfss_sweep_jobs_finished_total");
+  Alcotest.(check (float 0.0)) "total gauge" 3.0
+    (value "rfss_sweep_jobs_total");
+  Alcotest.(check (float 0.0)) "histogram count" 3.0
+    (value "rfss_sweep_job_wall_seconds_count");
+  Alcotest.(check (float 1e-9)) "histogram sum" 0.75
+    (value "rfss_sweep_job_wall_seconds_sum");
+  let labelled name key v =
+    match
+      List.find_opt
+        (fun (n, ls, _) -> n = name && List.assoc_opt key ls = Some v)
+        samples
+    with
+    | Some (_, _, x) -> x
+    | None ->
+        Alcotest.fail (Printf.sprintf "missing %s{%s=\"%s\"}" name key v)
+  in
+  Alcotest.(check (float 0.0)) "per-worker jobs" 2.0
+    (labelled "rfss_sweep_worker_jobs_total" "worker" "0");
+  Alcotest.(check (float 0.0)) "phase marker" 1.0
+    (labelled "rfss_sweep_phase" "phase" "done")
+
 (* ---------- run ---------- *)
 
 let () =
@@ -548,6 +684,13 @@ let () =
           Alcotest.test_case "retry floor" `Quick test_gate_retry_floor;
           Alcotest.test_case "speedup floor and factor watch" `Quick
             test_gate_speedup_floor;
+        ] );
+      ( "publish",
+        [
+          Alcotest.test_case "concurrent snapshot consistency" `Quick
+            test_publish_snapshot_consistency;
+          Alcotest.test_case "prometheus scrape round-trip" `Quick
+            test_publish_prometheus_roundtrip;
         ] );
       ( "end-to-end",
         [
