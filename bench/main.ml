@@ -714,6 +714,52 @@ let sweep_bench () =
     sw_degraded_jobs = degraded_jobs;
   }
 
+(* Serve section: exercise the persistent solve service in-process —
+   the same job twice (the second must replay from the result cache)
+   plus a cache-near frequency point (warm-started from the first
+   solve's converged surface) — and record the cache and warm-start
+   counters so CI can track service behaviour across commits. *)
+let serve_bench () =
+  let fixture =
+    match Serve.Catalog.find "rc" with Ok f -> f | Error e -> failwith e
+  in
+  let options =
+    { Engine.Options.default with Engine.Options.n1 = 24; n2 = 16 }
+  in
+  let job fd =
+    {
+      Serve.Protocol.fixture;
+      engine = Engine.Mpde;
+      f_fast = fixture.Serve.Catalog.default_fast;
+      fd;
+      options;
+      wall_seconds = None;
+      max_newton_budget = None;
+      warm = true;
+    }
+  in
+  let jobs = Serve.Jobs.create ~workers:1 () in
+  let drain h =
+    let poll = Serve.Jobs.poll h in
+    let rec go () =
+      match poll () with
+      | `Data _ -> go ()
+      | `Wait ->
+          Unix.sleepf 0.005;
+          go ()
+      | `Eof -> ()
+    in
+    go ()
+  in
+  let fd = fixture.Serve.Catalog.default_fd in
+  drain (Serve.Jobs.submit jobs (job fd));
+  drain (Serve.Jobs.submit jobs (job fd));
+  drain (Serve.Jobs.submit jobs (job (fd *. 1.02)));
+  let stats = Serve.Cache.stats (Serve.Jobs.cache jobs) in
+  let warm_starts = Serve.Jobs.warm_starts jobs in
+  Serve.Jobs.stop jobs;
+  (stats, warm_starts)
+
 (* One telemetry-instrumented solve of the paper's balanced mixer plus
    an MPDE-vs-shooting comparison, dumped as BENCH_mpde.json so CI can
    archive and diff solver performance across commits. *)
@@ -812,6 +858,12 @@ let bench_json ?(file = "BENCH_mpde.json") () =
     (Printf.sprintf
        ",\"gc\":{\"minor_collections\":%d,\"major_slices\":%d,\"minor_pause_p99\":%.6e,\"major_pause_p99\":%.6e,\"lost_events\":%d}"
        gc_mc gc_ms gc_p99_minor gc_p99_major gc_lost);
+  let sv_stats, sv_warm = serve_bench () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"serve\":{\"cache_hits\":%d,\"cache_misses\":%d,\"cache_evictions\":%d,\"warm_starts\":%d}"
+       sv_stats.Serve.Cache.hits sv_stats.Serve.Cache.misses
+       sv_stats.Serve.Cache.evictions sv_warm);
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -821,6 +873,8 @@ let bench_json ?(file = "BENCH_mpde.json") () =
   pr "speedup at disparity %.0f: mpde=%.4fs shooting=%.4fs ratio=%.1fx\n" disparity
     mpde_t shoot_t
     (shoot_t /. Float.max mpde_t 1e-12);
+  pr "serve: cache hits=%d misses=%d warm_starts=%d\n" sv_stats.Serve.Cache.hits
+    sv_stats.Serve.Cache.misses sv_warm;
   pr "wrote %s\n" file
 
 let () =

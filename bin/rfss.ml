@@ -17,9 +17,10 @@
    [Engine] API (lib/engine, DESIGN.md §11); [sweep] fans jobs out
    over OCaml 5 domains via [Engine.Sweep]. *)
 
-module W = Circuit.Waveform
-
-type fixture = {
+(* The built-in circuits live in Serve.Catalog, shared with the solve
+   service's request validation; the record is re-exported here so the
+   subcommands keep their unqualified field access. *)
+type fixture = Serve.Catalog.t = {
   name : string;
   description : string;
   build : f_fast:float -> fd:float -> Circuits.built;
@@ -29,108 +30,14 @@ type fixture = {
   output_node_b : string option;  (** for differential outputs *)
 }
 
-let fixtures =
-  [
-    {
-      name = "rc";
-      description = "RC lowpass driven by two closely spaced tones";
-      build =
-        (fun ~f_fast ~fd ->
-          Circuits.rc_lowpass
-            ~drive:
-              (W.sum
-                 (W.sine ~amplitude:1.0 ~freq:f_fast ())
-                 (W.sine ~amplitude:1.0 ~freq:(f_fast +. fd) ()))
-            ());
-      default_fast = 1e6;
-      default_fd = 1e3;
-      output_node = "out";
-      output_node_b = None;
-    };
-    {
-      name = "rectifier";
-      description = "half-wave diode rectifier, single tone";
-      build =
-        (fun ~f_fast ~fd:_ ->
-          Circuits.diode_rectifier ~drive:(W.sine ~amplitude:2.0 ~freq:f_fast ()) ());
-      default_fast = 1e6;
-      default_fd = 1e4;
-      output_node = "out";
-      output_node_b = None;
-    };
-    {
-      name = "detector";
-      description = "diode envelope detector on a two-tone beat";
-      build =
-        (fun ~f_fast ~fd ->
-          Circuits.envelope_detector ~f1:f_fast ~f2:(f_fast +. fd) ~amplitude:1.0 ());
-      default_fast = 1e6;
-      default_fd = 2e4;
-      output_node = "out";
-      output_node_b = None;
-    };
-    {
-      name = "ideal-mixer";
-      description = "behavioural multiplying mixer (paper §2 ideal mixing)";
-      build =
-        (fun ~f_fast ~fd ->
-          Circuits.ideal_mixer
-            ~lo:(W.cosine ~amplitude:1.0 ~freq:f_fast ())
-            ~rf:(W.cosine ~amplitude:1.0 ~freq:(f_fast -. fd) ())
-            ());
-      default_fast = 1e9;
-      default_fd = 10e3;
-      output_node = "out";
-      output_node_b = None;
-    };
-    {
-      name = "unbalanced-mixer";
-      description = "single-MOSFET switching mixer";
-      build =
-        (fun ~f_fast ~fd ->
-          Circuits.unbalanced_mixer ~f_lo:f_fast
-            ~rf_signal:(W.cosine ~amplitude:1.0 ~freq:(f_fast +. fd) ())
-            ~rf_amplitude:0.05 ());
-      default_fast = 1e6;
-      default_fd = 1e4;
-      output_node = "out";
-      output_node_b = None;
-    };
-    {
-      name = "balanced-mixer";
-      description = "paper §3 balanced LO-doubling mixer, bit-modulated RF";
-      build =
-        (fun ~f_fast ~fd ->
-          let rf_signal, _ = Circuits.paper_rf_bitstream ~f_lo:f_fast ~fd () in
-          Circuits.balanced_mixer ~f_lo:f_fast ~rf_signal ());
-      default_fast = 450e6;
-      default_fd = 15e3;
-      output_node = Circuits.balanced_mixer_nodes.Circuits.out_plus;
-      output_node_b = Some Circuits.balanced_mixer_nodes.Circuits.out_minus;
-    };
-  ]
+let fixtures = Serve.Catalog.all
 
-let find_fixture name =
-  match List.find_opt (fun f -> f.name = name) fixtures with
-  | Some f -> Ok f
-  | None ->
-      Error
-        (Printf.sprintf "unknown circuit %S; try: %s" name
-           (String.concat ", " (List.map (fun f -> f.name) fixtures)))
+let find_fixture = Serve.Catalog.find
 
-let output_value fixture mna x =
-  match fixture.output_node_b with
-  | None -> Circuit.Mna.voltage mna x fixture.output_node
-  | Some b -> Circuit.Mna.differential_voltage mna x fixture.output_node b
+let output_value = Serve.Catalog.output_value
 
-(* Bridge a built-in fixture to the unified engine API. *)
-let problem_of_fixture ?(period = Engine.Problem.Fast_tone) ?label fixture
-    ~f_fast ~fd =
-  Engine.Problem.make
-    ~label:(Option.value label ~default:fixture.name)
-    ~period ~output:fixture.output_node ?output_b:fixture.output_node_b ~f_fast
-    ~fd
-    (fun () -> fixture.build ~f_fast ~fd)
+let problem_of_fixture ?period ?label fixture ~f_fast ~fd =
+  Serve.Catalog.problem_of ?period ?label fixture ~f_fast ~fd
 
 (* Optional work bound shared by the solve commands: --budget-seconds
    caps wall time, --max-newton caps total Newton iterations across
@@ -1255,6 +1162,97 @@ let deck_cmd tele file analysis node t_stop steps f_start f_stop =
             r.Circuit.Ac.freqs);
       0
 
+(* ---------- rfss serve: the persistent solve service ---------- *)
+
+let serve_cmd listen workers cache_capacity warm_capacity =
+  match Observe.Addr.parse listen with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok addr -> (
+      match
+        Serve.Service.start ~workers ~cache_capacity ~warm_capacity addr
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok svc ->
+          let stop = Atomic.make false in
+          let on_signal _ = Atomic.set stop true in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+          Printf.printf "rfssd (%s) listening on %s workers=%d cache=%d\n%!"
+            Serve.Protocol.version
+            (Observe.Addr.to_string (Serve.Service.addr svc))
+            workers cache_capacity;
+          while not (Atomic.get stop) do
+            Unix.sleepf 0.2
+          done;
+          prerr_endline "rfssd: shutting down";
+          Serve.Service.stop svc;
+          0)
+
+(* ---------- rfss submit: one job against a running rfssd ---------- *)
+
+let submit_cmd addr_spec circuit engine f_fast fd n1 n2 tol max_newton
+    budget_seconds no_warm =
+  match Observe.Addr.parse addr_spec with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok addr -> (
+      let b = Buffer.create 256 in
+      let esc = Diagnostics.Json_min.escape_string in
+      Buffer.add_string b
+        (Printf.sprintf "{\"v\":%s,\"circuit\":%s,\"engine\":%s"
+           (esc Serve.Protocol.version) (esc circuit) (esc engine));
+      let opt_num name = function
+        | None -> ()
+        | Some v ->
+            Buffer.add_string b (Printf.sprintf ",\"%s\":%.17g" name v)
+      in
+      opt_num "f_fast" f_fast;
+      opt_num "fd" fd;
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"options\":{\"n1\":%d,\"n2\":%d,\"tol\":%.17g,\"max_newton\":%d}"
+           n1 n2 tol max_newton);
+      (match budget_seconds with
+      | Some s ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"budget\":{\"wall_seconds\":%.17g}" s)
+      | None -> ());
+      if no_warm then Buffer.add_string b ",\"warm\":false";
+      Buffer.add_char b '}';
+      match Observe.Client.post ~timeout:600.0 addr "/jobs" (Buffer.contents b) with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok (200, _, body) ->
+          print_string body;
+          (* Exit status mirrors the stream: error event or a
+             non-converged result fails the submission. *)
+          let module J = Diagnostics.Json_min in
+          let lines =
+            String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+          in
+          let verdict line =
+            match J.parse line with
+            | exception J.Parse_error _ -> Some 1
+            | j -> (
+                match Option.bind (J.member "event" j) J.str with
+                | Some "error" -> Some 1
+                | Some "result" -> (
+                    match Option.bind (J.member "converged" j) J.bool with
+                    | Some true -> Some 0
+                    | _ -> Some 1)
+                | _ -> None)
+          in
+          Option.value (List.find_map verdict lines) ~default:1
+      | Ok (status, _, body) ->
+          Printf.eprintf "HTTP %d from %s/jobs\n%s" status addr_spec body;
+          1)
+
 (* ---------- rfss scrape: one-shot fetch from a live server ---------- *)
 
 let scrape_cmd addr_spec path validate =
@@ -1806,6 +1804,64 @@ let top_term =
   in
   Term.(const top_cmd $ top_addr_arg $ interval $ once)
 
+let serve_term =
+  let listen =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Address to serve rfss.jobs/1 on: a Unix socket path or \
+             $(b,HOST:PORT) (port $(b,0) picks a free one).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Solver worker domains.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Result-cache capacity (LRU entries).")
+  in
+  let warm =
+    Arg.(
+      value & opt int 16
+      & info [ "warm" ] ~docv:"N"
+          ~doc:"Warm-start store capacity (converged MPDE surfaces).")
+  in
+  Term.(const serve_cmd $ listen $ workers $ cache $ warm)
+
+let submit_term =
+  let engine =
+    Arg.(
+      value & opt string "mpde"
+      & info [ "engine" ] ~docv:"NAME"
+          ~doc:"Engine: shooting, multiple-shooting, hb, periodic-fd or mpde.")
+  in
+  let n1 = Arg.(value & opt int 32 & info [ "n1" ] ~docv:"N" ~doc:"Fast-scale points.") in
+  let n2 = Arg.(value & opt int 24 & info [ "n2" ] ~docv:"N" ~doc:"Slow-scale points.") in
+  let tol =
+    Arg.(value & opt float 1e-8 & info [ "tol" ] ~docv:"T" ~doc:"Residual target.")
+  in
+  let max_newton =
+    Arg.(
+      value & opt int 50
+      & info [ "max-newton" ] ~docv:"N" ~doc:"Outer Newton cap per solve.")
+  in
+  let no_warm =
+    Arg.(
+      value & flag
+      & info [ "no-warm" ]
+          ~doc:
+            "Do not seed this solve from (or contribute it to) the server's \
+             warm-start surface store.")
+  in
+  Term.(
+    const submit_cmd $ top_addr_arg $ circuit_arg $ engine $ f_fast_arg
+    $ fd_arg $ n1 $ n2 $ tol $ max_newton $ budget_seconds_arg $ no_warm)
+
 let scrape_term =
   let path =
     Arg.(
@@ -1893,6 +1949,21 @@ let cmds =
             body to stdout; $(b,--validate) re-parses $(b,/metrics) with \
             the strict Prometheus parser.")
       scrape_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run rfssd, the persistent solve service: accepts rfss.jobs/1 \
+            requests on $(b,POST /jobs), executes them on worker domains, \
+            replays repeated jobs from a canonical-key result cache, and \
+            warm-starts cache-near MPDE solves from converged surfaces.")
+      serve_term;
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:
+           "Submit one solve to a running $(b,rfss serve) instance and \
+            stream the JSONL response (accepted / result / done) to stdout. \
+            Exit status reflects convergence.")
+      submit_term;
   ]
 
 let () =

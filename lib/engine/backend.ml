@@ -211,8 +211,9 @@ let run (problem : Problem.t) (engine : t) : Result.t =
           ~slow_freq:problem.Problem.fd
       in
       let sol =
-        Mpde.Solver.solve_mna ~options:(Options.to_mpde o) ~shear
-          ~n1:o.Options.n1 ~n2:o.Options.n2 mna
+        Mpde.Solver.solve_mna ~options:(Options.to_mpde o)
+          ?seed:o.Options.initial_surface ~shear ~n1:o.Options.n1
+          ~n2:o.Options.n2 mna
       in
       let values_2d =
         match problem.Problem.output_b with

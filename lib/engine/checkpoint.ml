@@ -19,51 +19,20 @@ type record = {
   report : string option;
 }
 
-(* ---------- hashing (FNV-1a over bytes, same as the waveform
-   fingerprint the sweep CSV always printed) ---------- *)
+(* ---------- hashing ----------
 
-let fnv_basis = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
+   The job key is the versioned canonical identity from [Key]
+   (rfss.key/1); the waveform fingerprint and the per-record digest
+   reuse its FNV-1a primitives. *)
 
-let mix_byte h byte = Int64.mul (Int64.logxor h (Int64.of_int byte)) fnv_prime
-
-let mix_string h s =
-  let h = ref h in
-  String.iter (fun c -> h := mix_byte !h (Char.code c)) s;
-  (* Terminator so ("ab","c") and ("a","bc") hash differently. *)
-  mix_byte !h 0xFF
-
-let mix_float h v =
-  let bits = Int64.bits_of_float v in
-  let h = ref h in
-  for k = 0 to 7 do
-    h :=
-      mix_byte !h
-        (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL))
-  done;
-  !h
-
-let mix_int h i = mix_float h (float_of_int i)
-
-let hex h = Printf.sprintf "%016Lx" h
+let fnv_basis = Key.fnv_basis
+let mix_string = Key.mix_string
+let mix_float = Key.mix_float
+let mix_int = Key.mix_int
+let hex = Key.hex
 
 let job_key ~label ~engine ~f_fast ~fd ~options =
-  let o = (options : Options.t) in
-  let h = fnv_basis in
-  let h = mix_string h label in
-  let h = mix_string h engine in
-  let h = mix_float h f_fast in
-  let h = mix_float h fd in
-  let h = mix_int h o.Options.n1 in
-  let h = mix_int h o.Options.n2 in
-  let h = mix_int h o.Options.steps_per_period in
-  let h = mix_int h o.Options.segments in
-  let h = mix_int h o.Options.steps_per_segment in
-  let h = mix_int h o.Options.harmonics in
-  let h = mix_int h o.Options.points in
-  let h = mix_int h o.Options.max_newton in
-  let h = mix_float h o.Options.tol in
-  hex h
+  Key.hash ~label ~engine ~f_fast ~fd ~options
 
 let waveform_hash (w : Backend.Result.waveform) =
   let h = ref fnv_basis in

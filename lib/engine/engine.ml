@@ -18,26 +18,8 @@
 
 module Problem = Problem
 module Options = Options
+module Key = Key
 module Pool = Pool
 module Sweep = Sweep
 module Checkpoint = Checkpoint
 include Backend
-
-(* Per-engine entry points predating the unified API, kept as thin
-   wrappers for one deprecation cycle. *)
-
-let run_shooting ?options problem = run problem (make ?options Shooting)
-[@@deprecated "use Engine.run with Engine.make Engine.Shooting"]
-
-let run_multiple_shooting ?options problem =
-  run problem (make ?options Multiple_shooting)
-[@@deprecated "use Engine.run with Engine.make Engine.Multiple_shooting"]
-
-let run_hb ?options problem = run problem (make ?options Hb)
-[@@deprecated "use Engine.run with Engine.make Engine.Hb"]
-
-let run_periodic_fd ?options problem = run problem (make ?options Periodic_fd)
-[@@deprecated "use Engine.run with Engine.make Engine.Periodic_fd"]
-
-let run_mpde ?options problem = run problem (make ?options Mpde)
-[@@deprecated "use Engine.run with Engine.make Engine.Mpde"]

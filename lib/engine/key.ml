@@ -1,0 +1,93 @@
+(* Canonical, versioned job identity. The hash is FNV-1a 64 over the
+   typed fields (not over the printable form): strings are terminated,
+   floats contribute their full 8-byte IEEE image, so distinct field
+   tuples cannot collide by concatenation. The version tag is mixed
+   first — any change to the field set or encoding must bump it, which
+   invalidates every stored key at once instead of silently aliasing
+   old entries. *)
+
+let version = "rfss.key/1"
+
+(* ---------- FNV-1a primitives (shared with Checkpoint's digests) --- *)
+
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix_byte h byte = Int64.mul (Int64.logxor h (Int64.of_int byte)) fnv_prime
+
+let mix_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix_byte !h (Char.code c)) s;
+  (* Terminator so ("ab","c") and ("a","bc") hash differently. *)
+  mix_byte !h 0xFF
+
+let mix_float h v =
+  let bits = Int64.bits_of_float v in
+  let h = ref h in
+  for k = 0 to 7 do
+    h :=
+      mix_byte !h
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL))
+  done;
+  !h
+
+let mix_int h i = mix_float h (float_of_int i)
+
+let hex h = Printf.sprintf "%016Lx" h
+
+(* ---------- the job key ---------- *)
+
+(* The identity fields: what the solve computes, not how long it may
+   run. [budget] and [initial_surface] are deliberately excluded — a
+   warm start or a tighter deadline changes iteration counts and wall
+   time but not the fixed point being solved for, and including them
+   would make every warm-started request a cache miss. *)
+
+let scheme_name = function
+  | Mpde.Assemble.Backward -> "backward"
+  | Mpde.Assemble.Central_t1 -> "central-t1"
+  | Mpde.Assemble.Spectral_t1 -> "spectral-t1"
+  | Mpde.Assemble.Spectral_both -> "spectral-both"
+
+let scheme_tag = function
+  | Mpde.Assemble.Backward -> 0
+  | Mpde.Assemble.Central_t1 -> 1
+  | Mpde.Assemble.Spectral_t1 -> 2
+  | Mpde.Assemble.Spectral_both -> 3
+
+let canonical ~label ~engine ~f_fast ~fd ~options =
+  let o = (options : Options.t) in
+  Printf.sprintf
+    "%s|label=%s|engine=%s|f_fast=%.17g|fd=%.17g|n1=%d|n2=%d|steps_per_period=%d|segments=%d|steps_per_segment=%d|harmonics=%d|points=%d|max_newton=%d|tol=%.17g|warm_start=%b|scheme=%s|continuation=%b"
+    version label engine f_fast fd o.Options.n1 o.Options.n2
+    o.Options.steps_per_period o.Options.segments o.Options.steps_per_segment
+    o.Options.harmonics o.Options.points o.Options.max_newton o.Options.tol
+    o.Options.warm_start
+    (scheme_name o.Options.scheme)
+    o.Options.allow_continuation
+
+let hash ~label ~engine ~f_fast ~fd ~options =
+  let o = (options : Options.t) in
+  let h = fnv_basis in
+  let h = mix_string h version in
+  let h = mix_string h label in
+  let h = mix_string h engine in
+  let h = mix_float h f_fast in
+  let h = mix_float h fd in
+  let h = mix_int h o.Options.n1 in
+  let h = mix_int h o.Options.n2 in
+  let h = mix_int h o.Options.steps_per_period in
+  let h = mix_int h o.Options.segments in
+  let h = mix_int h o.Options.steps_per_segment in
+  let h = mix_int h o.Options.harmonics in
+  let h = mix_int h o.Options.points in
+  let h = mix_int h o.Options.max_newton in
+  let h = mix_float h o.Options.tol in
+  let h = mix_int h (if o.Options.warm_start then 1 else 0) in
+  let h = mix_int h (scheme_tag o.Options.scheme) in
+  let h = mix_int h (if o.Options.allow_continuation then 1 else 0) in
+  hex h
+
+let of_problem (p : Problem.t) ~engine ~options =
+  hash ~label:p.Problem.label ~engine ~f_fast:p.Problem.f_fast ~fd:p.Problem.fd
+    ~options

@@ -1,0 +1,66 @@
+(** Canonical, versioned job identity — the cache key of the solve
+    service and the resume key of {!Checkpoint}.
+
+    Two requests share a key exactly when they compute the same fixed
+    point: same circuit label, engine, tone frequencies and
+    discretization/convergence options. Fields that change *how fast*
+    a solve converges but not *what* it converges to — the
+    {!Options.t.budget} slice and the {!Options.t.initial_surface}
+    warm-start seed — are deliberately excluded, so a warm-started
+    resubmission still hits the cache entry its cold twin populated.
+
+    The encoding is tagged ["rfss.key/1"]; the tag is mixed into the
+    hash first, so any change to the field set or encoding must bump
+    the version, invalidating all stored keys at once rather than
+    silently aliasing old entries. A regression test pins a literal
+    key value to catch accidental drift. *)
+
+val version : string
+(** ["rfss.key/1"] *)
+
+val canonical :
+  label:string ->
+  engine:string ->
+  f_fast:float ->
+  fd:float ->
+  options:Options.t ->
+  string
+(** Human-readable one-line serialization of the identity fields
+    (floats as [%.17g], round-trip exact). For logs and debugging; the
+    hash is computed over the typed fields, not over this string. *)
+
+val hash :
+  label:string ->
+  engine:string ->
+  f_fast:float ->
+  fd:float ->
+  options:Options.t ->
+  string
+(** 16-hex-digit FNV-1a 64 key of the identity fields. *)
+
+val of_problem : Problem.t -> engine:string -> options:Options.t -> string
+(** {!hash} with label and tones taken from the problem; [engine] is
+    the {!Backend.kind_name} string. *)
+
+val scheme_name : Mpde.Assemble.scheme -> string
+
+(** {1 Hashing primitives}
+
+    FNV-1a 64 over bytes, shared with {!Checkpoint}'s record digest and
+    waveform fingerprint so one implementation serves all three. *)
+
+val fnv_basis : int64
+
+val mix_byte : int64 -> int -> int64
+
+val mix_string : int64 -> string -> int64
+(** Mixes every byte, then a [0xFF] terminator so [("ab","c")] and
+    [("a","bc")] hash differently. *)
+
+val mix_float : int64 -> float -> int64
+(** Mixes the full 8-byte IEEE-754 image, little-endian byte order. *)
+
+val mix_int : int64 -> int -> int64
+
+val hex : int64 -> string
+(** [%016Lx] rendering of the accumulated hash. *)

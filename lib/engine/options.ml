@@ -14,6 +14,7 @@ type t = {
   linear_solver : Mpde.Solver.linear_solver;
   allow_continuation : bool;
   condition_estimate : bool;
+  initial_surface : Linalg.Vec.t option;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     linear_solver = Mpde.Solver.default_gmres;
     allow_continuation = true;
     condition_estimate = false;
+    initial_surface = None;
   }
 
 let with_budget budget o = { o with budget }

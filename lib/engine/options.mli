@@ -39,6 +39,13 @@ type t = {
   condition_estimate : bool;
       (** compute the Jacobian κ estimate in the health assessment
           (MPDE only; costs an extra factorization); default [false] *)
+  initial_surface : Linalg.Vec.t option;
+      (** full flattened MPDE grid state used as the Newton initial
+          guess instead of the replicated DC point (MPDE only) —
+          typically a converged surface from a nearby parameter point,
+          shared by the solve service's warm-start store. Excluded
+          from {!Key}: it changes iteration counts, not the fixed
+          point being solved for. Default [None]. *)
 }
 
 val default : t

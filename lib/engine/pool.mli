@@ -46,6 +46,13 @@ val map :
     pool ([Domain.join] re-raises it). Wrap fallible work in a
     [result] before mapping — {!Sweep} does exactly that. *)
 
+val tune_worker_gc : unit -> unit
+(** Enlarge the current domain's minor heap to the pool's worker
+    setting (4M words) if it is smaller. [map] applies this to every
+    domain it spawns; long-lived worker domains created elsewhere (the
+    solve service's job executors) call it once at startup so a solve
+    behaves the same wherever it runs. *)
+
 val worker_index : unit -> int
 (** Index of the pool worker running on the current domain: [0] for
     the calling domain, [1 .. domains - 1] for spawned workers.

@@ -853,15 +853,26 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
     report;
   }
 
-let solve_mna ?options ~shear ~n1 ~n2 mna =
+let solve_mna ?options ?seed ~shear ~n1 ~n2 mna =
   (match Shear.validate_sources shear mna with
   | Ok () -> ()
   | Error f -> raise (Shear.Off_lattice f));
   let grid = Grid.make ~shear ~n1 ~n2 in
   let sys = Assemble.of_mna ~shear mna in
   let seed =
-    let r = Circuit.Dcop.solve mna in
-    if r.Circuit.Dcop.converged then Some r.Circuit.Dcop.x else None
+    (* A caller-supplied seed (single state or full grid surface from a
+       warm-start cache) wins over the DC point, but only when its
+       length actually fits this grid — a surface from different (n1,
+       n2) would silently corrupt the Newton start. *)
+    let fits v =
+      let n = Linalg.Vec.dim v in
+      n = sys.Assemble.size || n = Grid.points grid * sys.Assemble.size
+    in
+    match seed with
+    | Some v when fits v -> Some v
+    | _ ->
+        let r = Circuit.Dcop.solve mna in
+        if r.Circuit.Dcop.converged then Some r.Circuit.Dcop.x else None
   in
   solve ?options ?seed sys grid
 

@@ -115,6 +115,7 @@ val solve :
 
 val solve_mna :
   ?options:options ->
+  ?seed:Linalg.Vec.t ->
   shear:Shear.t ->
   n1:int ->
   n2:int ->
@@ -122,6 +123,10 @@ val solve_mna :
   solution
 (** Convenience: validates source frequencies against the shear
     lattice, computes the DC operating point as seed, and solves.
+    An explicit [seed] (single circuit state or full flattened grid
+    surface, e.g. a converged [big_x] from a nearby parameter point)
+    overrides the DC point when its length fits the grid; otherwise it
+    is ignored and the DC seed is used.
     @raise Shear.Off_lattice on inconsistent source frequencies. *)
 
 val state_at : solution -> i:int -> j:int -> Linalg.Vec.t

@@ -16,18 +16,36 @@ let connect ?(timeout = 5.0) addr =
             (Printf.sprintf "cannot connect to %s: %s" (Addr.to_string addr)
                (Unix.error_message err)))
 
-let send_request fd path =
-  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
-  ignore (Unix.write_substring fd req 0 (String.length req))
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | 0 -> off := n
+    | w -> off := !off + w
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
 
-let get ?timeout addr path =
+let send_request ?(meth = "GET") ?body fd path =
+  let req =
+    match body with
+    | None -> Printf.sprintf "%s %s HTTP/1.0\r\n\r\n" meth path
+    | Some b ->
+        Printf.sprintf
+          "%s %s HTTP/1.0\r\nContent-Type: application/json\r\nContent-Length: \
+           %d\r\n\r\n%s"
+          meth path (String.length b) b
+  in
+  write_all fd req
+
+let request ?timeout ?meth ?body addr path =
   match connect ?timeout addr with
   | Error e -> Error e
   | Ok fd ->
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with _ -> ())
         (fun () ->
-          match send_request fd path with
+          match send_request ?meth ?body fd path with
           | exception Unix.Unix_error (err, _, _) ->
               Error ("send failed: " ^ Unix.error_message err)
           | () -> (
@@ -54,6 +72,10 @@ let get ?timeout addr path =
               match Http.parse_response (Buffer.contents acc) with
               | Ok r -> Ok r
               | Error e -> Error e))
+
+let get ?timeout addr path = request ?timeout addr path
+
+let post ?timeout addr path body = request ?timeout ~meth:"POST" ~body addr path
 
 type stream = {
   fd : Unix.file_descr;

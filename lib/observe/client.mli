@@ -18,6 +18,18 @@ val get :
     first [timeout] with no new bytes, and whatever arrived is the
     body. *)
 
+val post :
+  ?timeout:float ->
+  Addr.t ->
+  string ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** [post addr "/jobs" body] — same read-to-EOF shape as {!get} with a
+    JSON request body ([Content-Type: application/json],
+    [Content-Length] framing). The solve service answers with a
+    close-delimited JSONL stream, which arrives here as the response
+    body. *)
+
 type stream
 
 val open_stream :

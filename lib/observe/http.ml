@@ -95,20 +95,64 @@ let query_int req name =
     (fun (k, v) -> if k = name then int_of_string_opt v else None)
     req.query
 
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let content_length req =
+  match header req "content-length" with
+  | None -> None
+  | Some v -> int_of_string_opt (String.trim v)
+
+(* Hard framing caps. The header cap matches the server's historical
+   per-connection input bound; the body cap bounds what a single job
+   submission may carry — far above any legitimate rfss.jobs request,
+   far below anything that could pressure the server's memory. *)
+let max_header_bytes = 16 * 1024
+let max_body_bytes = 1024 * 1024
+
+type framed =
+  | Incomplete
+  | Too_large
+  | Malformed of string
+  | Complete of request * string
+
+let parse_framed ?(max_body = max_body_bytes) raw =
+  match header_end raw with
+  | None -> if String.length raw > max_header_bytes then Too_large else Incomplete
+  | Some stop -> (
+      match parse_request raw with
+      | Error e -> Malformed e
+      | Ok req -> (
+          match Option.value (content_length req) ~default:0 with
+          | len when len < 0 -> Malformed "negative content-length"
+          | len when len > max_body -> Too_large
+          | len ->
+              if String.length raw - stop < len then Incomplete
+              else Complete (req, String.sub raw stop len)))
+
 let status_reason = function
   | 200 -> "OK"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
   | 500 -> "Internal Server Error"
   | _ -> "Unknown"
 
-let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
-    =
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    ?(extra_headers = []) body =
   Printf.sprintf
-    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: \
      close\r\n\r\n%s"
-    status (status_reason status) content_type (String.length body) body
+    status (status_reason status) content_type (String.length body)
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers))
+    body
+
+let method_not_allowed ~allow =
+  response ~status:405
+    ~extra_headers:[ ("Allow", String.concat ", " allow) ]
+    (Printf.sprintf "method not allowed; allowed: %s\n"
+       (String.concat ", " allow))
 
 let stream_header ?(content_type = "application/jsonl") () =
   Printf.sprintf

@@ -1,6 +1,16 @@
 (* Single-domain select() loop. Every fd is non-blocking; per-connection
    state is a pair of buffers. Streaming connections additionally carry
-   the next event seq they owe the subscriber. *)
+   the next event seq they owe the subscriber, or — for routes that
+   stream — the poll thunk that produces their lines. *)
+
+type reply =
+  | Response of string
+  | Stream of {
+      header : string;
+      poll : unit -> [ `Data of string | `Wait | `Eof ];
+    }
+
+type route = Http.request -> string -> reply option
 
 type conn = {
   fd : Unix.file_descr;
@@ -9,6 +19,7 @@ type conn = {
   mutable out_off : int;  (* bytes of [out] already written *)
   mutable streaming : bool;
   mutable next_seq : int;  (* first event seq not yet queued *)
+  mutable custom : (unit -> [ `Data of string | `Wait | `Eof ]) option;
   mutable close_after_flush : bool;
   mutable dead : bool;
 }
@@ -16,6 +27,7 @@ type conn = {
 type t = {
   listen_fd : Unix.file_descr;
   bound : Addr.t;
+  routes : route;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   stop_flag : bool Atomic.t;
@@ -55,24 +67,49 @@ let feed_stream c =
   | [] -> if slice.oldest_seq > c.next_seq then c.next_seq <- slice.oldest_seq);
   if Buffer.length c.out - c.out_off > max_out_buffer then c.dead <- true
 
-let handle_request c raw =
-  match Http.parse_request raw with
-  | Error e -> respond c (Http.response ~status:400 (e ^ "\n"))
-  | Ok req when req.Http.meth <> "GET" ->
-      respond c (Http.response ~status:405 "only GET is served\n")
-  | Ok req -> (
-      match req.Http.path with
-      | "/metrics" ->
+(* Pump a route's stream into the connection's output buffer until it
+   yields [`Wait] (poll again next loop iteration) or [`Eof] (flush
+   what is queued, then close — the HTTP/1.0 end-of-stream signal). *)
+let feed_custom c =
+  match c.custom with
+  | None -> ()
+  | Some poll ->
+      let rec go () =
+        if Buffer.length c.out - c.out_off > max_out_buffer then c.dead <- true
+        else
+          match poll () with
+          | `Data s ->
+              Buffer.add_string c.out s;
+              go ()
+          | `Wait -> ()
+          | `Eof ->
+              c.custom <- None;
+              c.close_after_flush <- true
+      in
+      go ()
+
+let builtin_paths = [ "/metrics"; "/healthz"; "/events" ]
+
+let handle_request routes c (req : Http.request) body =
+  match routes req body with
+  | Some (Response raw) -> respond c raw
+  | Some (Stream { header; poll }) ->
+      Buffer.add_string c.out header;
+      c.custom <- Some poll;
+      feed_custom c
+  | None -> (
+      match (req.Http.meth, req.Http.path) with
+      | "GET", "/metrics" ->
           let body =
             Diagnostics.Registry.to_prometheus (Publish.registry_snapshot ())
           in
           respond c
             (Http.response ~content_type:"text/plain; version=0.0.4" body)
-      | "/healthz" ->
+      | "GET", "/healthz" ->
           respond c
             (Http.response ~content_type:"application/json"
                (Publish.healthz_json () ^ "\n"))
-      | "/events" ->
+      | "GET", "/events" ->
           let since = Option.value (Http.query_int req "since") ~default:0 in
           Buffer.add_string c.out (Http.stream_header ());
           Buffer.add_string c.out (Publish.events_header ~since);
@@ -80,24 +117,34 @@ let handle_request c raw =
           c.streaming <- true;
           c.next_seq <- since + 1;
           feed_stream c
-      | p -> respond c (Http.response ~status:404 ("no such endpoint: " ^ p)))
+      | _, p when List.mem p builtin_paths ->
+          respond c (Http.method_not_allowed ~allow:[ "GET" ])
+      | _, p -> respond c (Http.response ~status:404 ("no such endpoint: " ^ p)))
 
-let read_conn c =
+let read_conn routes c =
   let buf = Bytes.create 4096 in
   match Unix.read c.fd buf 0 4096 with
   | 0 ->
       (* EOF: the peer is gone (half-close is not worth supporting —
          leaving the fd selectable at EOF would spin the loop). *)
       c.dead <- true
-  | n ->
+  | n -> (
       Buffer.add_subbytes c.inbuf buf 0 n;
-      if Buffer.length c.inbuf > 16384 then c.dead <- true
-      else
-        let raw = Buffer.contents c.inbuf in
-        if Option.is_some (Http.header_end raw) then begin
+      match Http.parse_framed (Buffer.contents c.inbuf) with
+      | Http.Incomplete ->
+          (* Belt and braces: the framer caps declared sizes, this caps
+             a peer that never finishes a request at all. *)
+          if Buffer.length c.inbuf > Http.max_header_bytes + Http.max_body_bytes
+          then c.dead <- true
+      | Http.Too_large ->
           Buffer.clear c.inbuf;
-          handle_request c raw
-        end
+          respond c (Http.response ~status:413 "request too large\n")
+      | Http.Malformed e ->
+          Buffer.clear c.inbuf;
+          respond c (Http.response ~status:400 (e ^ "\n"))
+      | Http.Complete (req, body) ->
+          Buffer.clear c.inbuf;
+          handle_request routes c req body)
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception _ -> c.dead <- true
 
@@ -131,7 +178,7 @@ let serve t ~flush_interval =
           Unix.set_nonblock fd;
           conns :=
             { fd; inbuf = Buffer.create 256; out = Buffer.create 1024;
-              out_off = 0; streaming = false; next_seq = 1;
+              out_off = 0; streaming = false; next_seq = 1; custom = None;
               close_after_flush = false; dead = false }
             :: !conns;
           go ()
@@ -143,6 +190,8 @@ let serve t ~flush_interval =
   while not (Atomic.get t.stop_flag) do
     (* Feed live events to streaming subscribers before sleeping. *)
     List.iter (fun c -> if c.streaming && not c.dead then feed_stream c) !conns;
+    (* Poll route-owned streams (job result feeds) the same way. *)
+    List.iter (fun c -> if not c.dead then feed_custom c) !conns;
     let now = Telemetry.Clock.wall () in
     if now -. !last_flush >= flush_interval then begin
       Publish.flush ();
@@ -165,7 +214,7 @@ let serve t ~flush_interval =
         if List.mem t.listen_fd rs then accept_all ();
         List.iter
           (fun c ->
-            if (not c.dead) && List.mem c.fd rs then read_conn c;
+            if (not c.dead) && List.mem c.fd rs then read_conn t.routes c;
             if (not c.dead) && List.mem c.fd ws then write_conn c)
           !conns
     | exception Unix.Unix_error (EINTR, _, _) -> ()
@@ -180,6 +229,7 @@ let serve t ~flush_interval =
      short, bounded best-effort flush so close-delimited subscribers
      receive the complete stream rather than a truncated one. *)
   List.iter (fun c -> if c.streaming && not c.dead then feed_stream c) !conns;
+  List.iter (fun c -> if not c.dead then feed_custom c) !conns;
   let pending c = (not c.dead) && Buffer.length c.out - c.out_off > 0 in
   let deadline = Unix.gettimeofday () +. 0.5 in
   while List.exists pending !conns && Unix.gettimeofday () < deadline do
@@ -196,7 +246,7 @@ let serve t ~flush_interval =
   done;
   List.iter (fun c -> close_quietly c.fd) !conns
 
-let start ?(flush_interval = 1.0) addr =
+let start ?(flush_interval = 1.0) ?(routes = fun _ _ -> None) addr =
   match Addr.sockaddr addr with
   | Error e -> Error e
   | Ok sa -> (
@@ -230,7 +280,7 @@ let start ?(flush_interval = 1.0) addr =
           Unix.set_nonblock wake_r;
           Unix.set_nonblock wake_w;
           let t =
-            { listen_fd = fd; bound; wake_r; wake_w;
+            { listen_fd = fd; bound; routes; wake_r; wake_w;
               stop_flag = Atomic.make false; dom = None; stopped = false }
           in
           Publish.set_wake (Some (fun () -> wake wake_w));

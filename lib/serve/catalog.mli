@@ -1,0 +1,33 @@
+(** The built-in circuit fixtures, shared by the CLI subcommands and
+    the solve service's request validation. Each fixture knows how to
+    build its circuit for a given (f_fast, fd) tone pair, its default
+    tones, and which node (or node pair) is the reported output. *)
+
+type t = {
+  name : string;
+  description : string;
+  build : f_fast:float -> fd:float -> Circuits.built;
+  default_fast : float;
+  default_fd : float;
+  output_node : string;
+  output_node_b : string option;  (** second node of a differential output *)
+}
+
+val all : t list
+
+val find : string -> (t, string) result
+(** Fixture by name, or an error message listing the valid names. *)
+
+val output_value : t -> Circuit.Mna.t -> Linalg.Vec.t -> float
+(** The fixture's output voltage (differential when [output_node_b] is
+    set) extracted from one circuit state. *)
+
+val problem_of :
+  ?period:Engine.Problem.period_choice ->
+  ?label:string ->
+  t ->
+  f_fast:float ->
+  fd:float ->
+  Engine.Problem.t
+(** Bridge to the unified engine API; [label] defaults to the fixture
+    name (which is what {!Engine.Key} hashes). *)

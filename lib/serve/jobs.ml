@@ -1,0 +1,250 @@
+(* The async job executor behind the service: accept → cache probe →
+   queue → solve on a persistent worker domain → stream result lines.
+
+   Threading contract: [submit], [poll] and [status_json] run on the
+   Observe server domain (they must never block beyond a mutex held
+   for O(queue) work); the solves run on this module's worker domains,
+   tuned like Engine.Pool workers. Results cross domains through each
+   job's handle (a mutex-guarded line queue) and the shared
+   cache/warm-start stores; the server loop polls handles every tick,
+   so no wake plumbing is needed beyond its existing 50 ms cadence. *)
+
+type handle = {
+  hm : Mutex.t;
+  lines : string Queue.t;
+  mutable finished : bool;
+}
+
+type pending = {
+  id : int;
+  job : Protocol.job;
+  key : string;
+  handle : handle;
+}
+
+type t = {
+  cache : Cache.t;
+  warm : Warm.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : pending Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  workers : int;
+  next_id : int Atomic.t;
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  warm_solves : int Atomic.t;
+}
+
+(* ---------- handles ---------- *)
+
+let handle_make () =
+  { hm = Mutex.create (); lines = Queue.create (); finished = false }
+
+let push h line =
+  Mutex.protect h.hm (fun () -> Queue.push line h.lines)
+
+let finish h = Mutex.protect h.hm (fun () -> h.finished <- true)
+
+let poll h () =
+  Mutex.protect h.hm (fun () ->
+      match Queue.take_opt h.lines with
+      | Some line -> `Data (line ^ "\n")
+      | None -> if h.finished then `Eof else `Wait)
+
+(* ---------- metrics ---------- *)
+
+let queue_depth t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+
+let registry t =
+  let r = Diagnostics.Registry.create () in
+  let cs = Cache.stats t.cache in
+  let c name v help =
+    Diagnostics.Registry.counter ~help r name (float_of_int v)
+  in
+  let g name v help =
+    Diagnostics.Registry.gauge ~help r name (float_of_int v)
+  in
+  c "serve.jobs_submitted" (Atomic.get t.submitted) "Jobs accepted by rfssd";
+  c "serve.jobs_completed" (Atomic.get t.completed)
+    "Jobs answered (cache hits included)";
+  c "serve.jobs_failed" (Atomic.get t.failed)
+    "Jobs whose solve raised instead of returning a result";
+  c "serve.cache_hits" cs.Cache.hits "Result-cache hits";
+  c "serve.cache_misses" cs.Cache.misses "Result-cache misses";
+  c "serve.cache_evictions" cs.Cache.evictions "Result-cache LRU evictions";
+  g "serve.cache_entries" cs.Cache.entries "Result-cache current size";
+  c "serve.warm_starts" (Atomic.get t.warm_solves)
+    "Solves seeded from a cached nearby surface";
+  g "serve.warm_entries" (Warm.size t.warm) "Warm-start surfaces retained";
+  g "serve.queue_depth" (queue_depth t) "Jobs accepted but not yet solving";
+  g "serve.workers" t.workers "Solver worker domains";
+  r
+
+let publish_metrics t = Observe.Publish.set_metrics (registry t)
+
+(* ---------- execution ---------- *)
+
+let execute t (p : pending) =
+  let job = p.job in
+  let o = job.Protocol.options in
+  let label = job.Protocol.fixture.Catalog.name in
+  let budget =
+    match (job.Protocol.wall_seconds, job.Protocol.max_newton_budget) with
+    | None, None -> None
+    | wall_seconds, max_newton ->
+        Some (Resilience.Budget.make ?wall_seconds ?max_newton ())
+  in
+  let warm_surface =
+    if job.Protocol.warm && job.Protocol.engine = Engine.Mpde then
+      Warm.nearest t.warm ~label ~n1:o.Engine.Options.n1
+        ~n2:o.Engine.Options.n2 ~f_fast:job.Protocol.f_fast
+        ~fd:job.Protocol.fd
+    else None
+  in
+  let warm_started = warm_surface <> None in
+  if warm_started then Atomic.incr t.warm_solves;
+  let options =
+    { o with Engine.Options.budget; initial_surface = warm_surface }
+  in
+  let problem =
+    Catalog.problem_of job.Protocol.fixture ~f_fast:job.Protocol.f_fast
+      ~fd:job.Protocol.fd
+  in
+  (match Engine.run problem (Engine.make ~options job.Protocol.engine) with
+  | r ->
+      let line = Protocol.result_line ~key:p.key ~warm_started job r in
+      Cache.add t.cache p.key line;
+      (if r.Engine.Result.converged && job.Protocol.warm then
+         match r.Engine.Result.mpde_solution with
+         | Some sol ->
+             Warm.offer t.warm ~label ~n1:o.Engine.Options.n1
+               ~n2:o.Engine.Options.n2 ~f_fast:job.Protocol.f_fast
+               ~fd:job.Protocol.fd sol.Mpde.Solver.big_x
+         | None -> ());
+      push p.handle line;
+      Atomic.incr t.completed
+  | exception e ->
+      push p.handle (Protocol.error_line (Printexc.to_string e));
+      Atomic.incr t.failed);
+  push p.handle (Protocol.done_line ~id:p.id);
+  finish p.handle;
+  publish_metrics t
+
+let rec worker_loop t w =
+  let next =
+    Mutex.protect t.mutex (fun () ->
+        let rec wait () =
+          if t.stopping then None
+          else
+            match Queue.take_opt t.queue with
+            | Some p -> Some p
+            | None ->
+                Condition.wait t.cond t.mutex;
+                wait ()
+        in
+        wait ())
+  in
+  match next with
+  | None -> ()
+  | Some p ->
+      Observe.Publish.job_started ~job:p.key ~worker:w;
+      let wall0 = Telemetry.Clock.wall () in
+      execute t p;
+      Observe.Publish.job_finished ~job:p.key ~worker:w ~status:"ok"
+        ~health:None
+        ~wall_seconds:(Telemetry.Clock.wall () -. wall0)
+        ~attempts:1;
+      worker_loop t w
+
+(* ---------- lifecycle ---------- *)
+
+let create ?(workers = 2) ?(cache_capacity = 64) ?(warm_capacity = 16) () =
+  if workers < 1 then invalid_arg "Jobs.create: workers must be >= 1";
+  let t =
+    {
+      cache = Cache.create ~capacity:cache_capacity;
+      warm = Warm.create ~capacity:warm_capacity;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+      workers;
+      next_id = Atomic.make 1;
+      submitted = Atomic.make 0;
+      completed = Atomic.make 0;
+      failed = Atomic.make 0;
+      warm_solves = Atomic.make 0;
+    }
+  in
+  t.domains <-
+    List.init workers (fun w ->
+        Domain.spawn (fun () ->
+            Engine.Pool.tune_worker_gc ();
+            Observe.Publish.worker_started ~worker:w;
+            Fun.protect
+              ~finally:(fun () -> Observe.Publish.worker_stopped ~worker:w)
+              (fun () -> worker_loop t w)));
+  t
+
+let submit t job =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let key = Protocol.key_of_job job in
+  Atomic.incr t.submitted;
+  let h = handle_make () in
+  (match Cache.find t.cache key with
+  | Some payload ->
+      push h (Protocol.accepted_line ~id ~key ~cache_hit:true);
+      push h payload;
+      push h (Protocol.done_line ~id);
+      finish h;
+      Atomic.incr t.completed
+  | None ->
+      push h (Protocol.accepted_line ~id ~key ~cache_hit:false);
+      Mutex.protect t.mutex (fun () ->
+          Queue.push { id; job; key; handle = h } t.queue;
+          Condition.signal t.cond));
+  publish_metrics t;
+  h
+
+let stop t =
+  Mutex.protect t.mutex (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.cond);
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  (* Anything still queued will never be solved; error-finish its
+     stream so a connected client sees a terminated protocol rather
+     than a hang. *)
+  let abandoned =
+    Mutex.protect t.mutex (fun () ->
+        let l = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        l)
+  in
+  List.iter
+    (fun p ->
+      push p.handle (Protocol.error_line "service stopping");
+      push p.handle (Protocol.done_line ~id:p.id);
+      finish p.handle;
+      Atomic.incr t.failed)
+    abandoned;
+  publish_metrics t
+
+let cache t = t.cache
+
+let warm t = t.warm
+
+let warm_starts t = Atomic.get t.warm_solves
+
+let status_json t =
+  let cs = Cache.stats t.cache in
+  Printf.sprintf
+    "{\"v\":%s,\"workers\":%d,\"queue_depth\":%d,\"submitted\":%d,\"completed\":%d,\"failed\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d},\"warm\":{\"starts\":%d,\"entries\":%d}}"
+    (Diagnostics.Json_min.escape_string Protocol.version)
+    t.workers (queue_depth t) (Atomic.get t.submitted) (Atomic.get t.completed)
+    (Atomic.get t.failed) cs.Cache.hits cs.Cache.misses cs.Cache.evictions
+    cs.Cache.entries (Atomic.get t.warm_solves) (Warm.size t.warm)

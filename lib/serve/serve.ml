@@ -1,0 +1,11 @@
+(* Library entry point: the persistent solve service. [Catalog] is the
+   shared circuit registry; [Protocol] speaks rfss.jobs/1; [Cache] and
+   [Warm] are the cross-request stores; [Jobs] executes; [Service]
+   mounts it all on the Observe HTTP stack. *)
+
+module Catalog = Catalog
+module Protocol = Protocol
+module Cache = Cache
+module Warm = Warm
+module Jobs = Jobs
+module Service = Service

@@ -1,0 +1,28 @@
+(** Warm-start store: converged MPDE surfaces shared across requests.
+
+    A converged flattened grid state ([big_x]) from one parameter
+    point is offered back as the Newton initial guess for later
+    requests on the same circuit and grid shape; the nearest stored
+    point in log-frequency distance wins. Bounded (newest retained),
+    thread-safe. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val offer : t -> label:string -> n1:int -> n2:int -> f_fast:float -> fd:float -> Linalg.Vec.t -> unit
+(** Retain a converged surface (deduplicating an identical parameter
+    point, evicting the oldest beyond capacity). *)
+
+val nearest :
+  t -> label:string -> n1:int -> n2:int -> f_fast:float -> fd:float ->
+  Linalg.Vec.t option
+(** Best matching surface for a request: exact (label, n1, n2) match,
+    minimal [|ln Δf_fast| + |ln Δfd|]. Counts toward {!served} when
+    one is found. *)
+
+val served : t -> int
+(** How many warm starts have been handed out. *)
+
+val size : t -> int

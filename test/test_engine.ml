@@ -4,7 +4,7 @@
    arrays identical to serial, waveforms bitwise), crash isolation
    (a raising build thunk errors its own job only), budget propagation
    from the sweep deadline into per-job budgets, per-domain telemetry
-   isolation, and the deprecated per-engine wrappers. *)
+   isolation, and run determinism for identical inputs. *)
 
 module W = Circuit.Waveform
 
@@ -300,22 +300,24 @@ let test_sweep_per_job_telemetry () =
       | None -> Alcotest.failf "job %d: no telemetry" o.Engine.Sweep.index)
     outcomes
 
-(* ---------- deprecated wrappers ---------- *)
+(* ---------- run determinism ---------- *)
 
-let test_deprecated_wrappers () =
+(* Replaced the deprecated run_<method> wrapper test when the wrappers
+   were removed: the property worth keeping is that Engine.run is
+   deterministic for identical inputs — the invariant the serve-layer
+   result cache relies on. *)
+let test_run_deterministic () =
   let problem = rc_problem () in
   let r =
-    (Engine.run_shooting [@alert "-deprecated"]) ~options:small_options problem
+    Engine.run problem (Engine.make ~options:small_options Engine.Shooting)
   in
-  Alcotest.(check bool) "wrapper converged" true r.Engine.Result.converged;
-  Alcotest.(check bool) "wrapper kind" true
-    (r.Engine.Result.kind = Engine.Shooting);
-  (* The wrapper and the unified entry point are the same code path. *)
-  let direct =
+  Alcotest.(check bool) "converged" true r.Engine.Result.converged;
+  Alcotest.(check bool) "kind" true (r.Engine.Result.kind = Engine.Shooting);
+  let again =
     Engine.run problem (Engine.make ~options:small_options Engine.Shooting)
   in
   Alcotest.(check bool) "same waveform" true
-    (r.Engine.Result.waveform = direct.Engine.Result.waveform)
+    (r.Engine.Result.waveform = again.Engine.Result.waveform)
 
 let () =
   Alcotest.run "engine"
@@ -352,7 +354,7 @@ let () =
         ] );
       ( "compat",
         [
-          Alcotest.test_case "deprecated wrappers" `Quick
-            test_deprecated_wrappers;
+          Alcotest.test_case "run is deterministic" `Quick
+            test_run_deterministic;
         ] );
     ]

@@ -108,6 +108,50 @@ let test_http_response_round_trip () =
         "no content-length on stream" true
         (List.assoc_opt "content-length" headers = None)
 
+(* POST framing: Content-Length-bounded bodies with a hard cap, and
+   405 (with an Allow header) for unsupported methods on known paths. *)
+let test_http_framed_and_405 () =
+  let post body =
+    Printf.sprintf "POST /jobs HTTP/1.0\r\nContent-Length: %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  (match O.Http.parse_framed (post "{\"v\":1}") with
+  | O.Http.Complete (r, body) ->
+      Alcotest.(check string) "framed method" "POST" r.O.Http.meth;
+      Alcotest.(check string) "framed body" "{\"v\":1}" body
+  | _ -> Alcotest.fail "complete POST not framed");
+  (* Body shorter than Content-Length: keep reading. *)
+  (match
+     O.Http.parse_framed "POST /jobs HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc"
+   with
+  | O.Http.Incomplete -> ()
+  | _ -> Alcotest.fail "short body should be Incomplete");
+  (* Declared length beyond the cap is rejected before buffering. *)
+  (match
+     O.Http.parse_framed ~max_body:8
+       "POST /jobs HTTP/1.0\r\nContent-Length: 9\r\n\r\n"
+   with
+  | O.Http.Too_large -> ()
+  | _ -> Alcotest.fail "over-cap body should be Too_large");
+  (match
+     O.Http.parse_framed "POST /jobs HTTP/1.0\r\nContent-Length: -1\r\n\r\n"
+   with
+  | O.Http.Malformed _ -> ()
+  | _ -> Alcotest.fail "negative Content-Length should be Malformed");
+  (* GET keeps framing with an implicit zero-length body. *)
+  (match O.Http.parse_framed "GET /metrics HTTP/1.0\r\n\r\n" with
+  | O.Http.Complete (r, "") ->
+      Alcotest.(check string) "GET path" "/metrics" r.O.Http.path
+  | _ -> Alcotest.fail "bodyless GET not framed");
+  let raw = O.Http.method_not_allowed ~allow:[ "GET"; "POST" ] in
+  match O.Http.parse_response raw with
+  | Error e -> Alcotest.fail e
+  | Ok (status, headers, _) ->
+      Alcotest.(check int) "405 status" 405 status;
+      Alcotest.(check bool)
+        "Allow header" true
+        (List.assoc_opt "allow" headers = Some "GET, POST")
+
 (* ---------- Event ring: retention and gap detection ---------- *)
 
 let test_event_ring_gap () =
@@ -454,6 +498,8 @@ let () =
           Alcotest.test_case "request parsing" `Quick test_http_request;
           Alcotest.test_case "response round trip" `Quick
             test_http_response_round_trip;
+          Alcotest.test_case "POST framing and 405" `Quick
+            test_http_framed_and_405;
         ] );
       ( "events",
         [ Alcotest.test_case "ring retention and gaps" `Quick test_event_ring_gap ] );

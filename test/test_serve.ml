@@ -1,0 +1,408 @@
+(* Tests for the persistent solve service (lib/serve) and the public
+   Engine.Key it is built on: canonical key stability (a pinned
+   literal catches encoding drift) and sensitivity, LRU result-cache
+   semantics, rfss.jobs/1 request parsing, byte identity between a
+   served waveform CSV and a direct Engine.run, cache-hit replay of an
+   identical resubmission, and warm-start sharing (a cache-near point
+   must converge in fewer Newton iterations than a cold solve). *)
+
+module J = Diagnostics.Json_min
+
+let default = Engine.Options.default
+
+let fixture_exn name =
+  match Serve.Catalog.find name with Ok f -> f | Error e -> failwith e
+
+(* ---------- Engine.Key ---------- *)
+
+(* Pinned literal: if this changes, the encoding changed and the key
+   version must be bumped (see lib/engine/key.mli). *)
+let test_key_stability () =
+  Alcotest.(check string) "key version" "rfss.key/1" Engine.Key.version;
+  Alcotest.(check string)
+    "pinned key literal" "b414458d45afe627"
+    (Engine.Key.hash ~label:"balanced-mixer" ~engine:"mpde" ~f_fast:450e6
+       ~fd:15e3 ~options:default)
+
+let test_key_sensitivity () =
+  let base = Engine.Key.hash ~label:"rc" ~engine:"mpde" ~f_fast:1e6 ~fd:1e3 in
+  let k0 = base ~options:default in
+  let differs what k =
+    Alcotest.(check bool) (what ^ " changes the key") false (k = k0)
+  in
+  differs "label"
+    (Engine.Key.hash ~label:"rc2" ~engine:"mpde" ~f_fast:1e6 ~fd:1e3
+       ~options:default);
+  differs "engine"
+    (Engine.Key.hash ~label:"rc" ~engine:"hb" ~f_fast:1e6 ~fd:1e3
+       ~options:default);
+  differs "f_fast"
+    (Engine.Key.hash ~label:"rc" ~engine:"mpde" ~f_fast:(1e6 +. 1.0) ~fd:1e3
+       ~options:default);
+  differs "fd"
+    (Engine.Key.hash ~label:"rc" ~engine:"mpde" ~f_fast:1e6 ~fd:1001.0
+       ~options:default);
+  differs "tol" (base ~options:{ default with Engine.Options.tol = 1e-6 });
+  differs "max_newton"
+    (base ~options:{ default with Engine.Options.max_newton = 49 });
+  differs "warm_start"
+    (base ~options:{ default with Engine.Options.warm_start = false });
+  differs "n1" (base ~options:{ default with Engine.Options.n1 = 33 });
+  differs "n2" (base ~options:{ default with Engine.Options.n2 = 25 });
+  differs "points" (base ~options:{ default with Engine.Options.points = 65 });
+  differs "harmonics"
+    (base ~options:{ default with Engine.Options.harmonics = 9 });
+  differs "scheme"
+    (base
+       ~options:{ default with Engine.Options.scheme = Mpde.Assemble.Central_t1 });
+  differs "allow_continuation"
+    (base ~options:{ default with Engine.Options.allow_continuation = false });
+  (* Budget and warm-start seed change how fast a solve converges, not
+     what it converges to: same key, so a warm resubmission hits the
+     entry its cold twin populated. *)
+  let same what k =
+    Alcotest.(check string) (what ^ " does not change the key") k0 k
+  in
+  same "budget"
+    (base
+       ~options:
+         {
+           default with
+           Engine.Options.budget =
+             Some (Resilience.Budget.make ~wall_seconds:1.0 ());
+         });
+  same "initial_surface"
+    (base
+       ~options:
+         {
+           default with
+           Engine.Options.initial_surface = Some (Array.make 8 0.1);
+         })
+
+(* ---------- Cache: LRU semantics ---------- *)
+
+let test_cache_lru () =
+  let c = Serve.Cache.create ~capacity:2 in
+  Serve.Cache.add c "k1" "v1";
+  Serve.Cache.add c "k2" "v2";
+  (* A hit promotes k1 to most-recently-used... *)
+  Alcotest.(check bool) "k1 hit" true (Serve.Cache.find c "k1" = Some "v1");
+  (* ...so inserting k3 over capacity evicts k2, not k1. *)
+  Serve.Cache.add c "k3" "v3";
+  Alcotest.(check (list string)) "MRU order" [ "k3"; "k1" ] (Serve.Cache.keys c);
+  Alcotest.(check bool) "k2 evicted" true (Serve.Cache.find c "k2" = None);
+  Alcotest.(check bool) "k1 kept" true (Serve.Cache.find c "k1" = Some "v1");
+  (* mem probes without touching recency or the counters. *)
+  Alcotest.(check bool) "mem" true (Serve.Cache.mem c "k3");
+  let s = Serve.Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Serve.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Serve.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Serve.Cache.evictions;
+  Alcotest.(check int) "entries" 2 s.Serve.Cache.entries;
+  (* Refreshing an existing key replaces in place. *)
+  Serve.Cache.add c "k1" "v1'";
+  Alcotest.(check int) "refresh keeps size" 2
+    (Serve.Cache.stats c).Serve.Cache.entries;
+  Alcotest.(check bool) "refreshed value" true
+    (Serve.Cache.find c "k1" = Some "v1'")
+
+(* ---------- Protocol: request parsing ---------- *)
+
+let test_parse_job () =
+  (match
+     Serve.Protocol.parse_job
+       "{\"v\":\"rfss.jobs/1\",\"circuit\":\"rc\",\"engine\":\"mpde\",\"fd\":2e3,\"options\":{\"n1\":16,\"n2\":12,\"tol\":1e-7},\"budget\":{\"wall_seconds\":5},\"warm\":false}"
+   with
+  | Error e -> Alcotest.fail e
+  | Ok job ->
+      Alcotest.(check string) "circuit" "rc"
+        job.Serve.Protocol.fixture.Serve.Catalog.name;
+      Alcotest.(check bool) "engine" true (job.Serve.Protocol.engine = Engine.Mpde);
+      Alcotest.(check (float 0.0)) "default f_fast" 1e6 job.Serve.Protocol.f_fast;
+      Alcotest.(check (float 0.0)) "fd" 2e3 job.Serve.Protocol.fd;
+      Alcotest.(check int) "n1" 16 job.Serve.Protocol.options.Engine.Options.n1;
+      Alcotest.(check (float 0.0)) "tol" 1e-7
+        job.Serve.Protocol.options.Engine.Options.tol;
+      Alcotest.(check bool) "budget wall" true
+        (job.Serve.Protocol.wall_seconds = Some 5.0);
+      Alcotest.(check bool) "warm off" false job.Serve.Protocol.warm);
+  let rejected what body =
+    match Serve.Protocol.parse_job body with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should be rejected" what
+  in
+  rejected "missing version" "{\"circuit\":\"rc\"}";
+  rejected "wrong version" "{\"v\":\"rfss.jobs/2\",\"circuit\":\"rc\"}";
+  rejected "unknown circuit" "{\"v\":\"rfss.jobs/1\",\"circuit\":\"nope\"}";
+  rejected "unknown option"
+    "{\"v\":\"rfss.jobs/1\",\"circuit\":\"rc\",\"options\":{\"n3\":4}}";
+  rejected "non-positive tol"
+    "{\"v\":\"rfss.jobs/1\",\"circuit\":\"rc\",\"options\":{\"tol\":0}}";
+  rejected "bad budget"
+    "{\"v\":\"rfss.jobs/1\",\"circuit\":\"rc\",\"budget\":{\"wall_seconds\":-1}}";
+  rejected "invalid JSON" "{\"v\":"
+
+(* ---------- service helpers ---------- *)
+
+(* Drain a handle's JSONL stream (with a deadline so a wedged worker
+   fails the test instead of hanging it). *)
+let drain h =
+  let poll = Serve.Jobs.poll h in
+  let deadline = Unix.gettimeofday () +. 120.0 in
+  let rec go acc =
+    match poll () with
+    | `Data line -> go (String.trim line :: acc)
+    | `Wait ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "job stream stalled";
+        Unix.sleepf 0.005;
+        go acc
+    | `Eof -> List.rev acc
+  in
+  go []
+
+let line_with_event lines event =
+  match
+    List.find_opt
+      (fun l ->
+        match J.parse l with
+        | j -> Option.bind (J.member "event" j) J.str = Some event
+        | exception J.Parse_error _ -> false)
+      lines
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no %S line in stream: %s" event (String.concat " | " lines)
+
+let member_str line name =
+  match Option.bind (J.member name (J.parse line)) J.str with
+  | Some s -> s
+  | None -> Alcotest.failf "no string member %S in %s" name line
+
+let member_bool line name =
+  match Option.bind (J.member name (J.parse line)) J.bool with
+  | Some b -> b
+  | None -> Alcotest.failf "no bool member %S in %s" name line
+
+let member_int line name =
+  match Option.bind (J.member name (J.parse line)) J.num with
+  | Some v -> int_of_float v
+  | None -> Alcotest.failf "no numeric member %S in %s" name line
+
+let rc_job ?(warm = false) ?(fd = 1e3) () =
+  let fixture = fixture_exn "rc" in
+  {
+    Serve.Protocol.fixture;
+    engine = Engine.Mpde;
+    f_fast = fixture.Serve.Catalog.default_fast;
+    fd;
+    options = { default with Engine.Options.n1 = 16; n2 = 12 };
+    wall_seconds = None;
+    max_newton_budget = None;
+    warm;
+  }
+
+(* ---------- served vs direct: byte-identical waveform CSV ---------- *)
+
+let test_served_vs_direct () =
+  let jobs = Serve.Jobs.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Jobs.stop jobs) @@ fun () ->
+  let job = rc_job () in
+  let lines = drain (Serve.Jobs.submit jobs job) in
+  let result = line_with_event lines "result" in
+  Alcotest.(check bool) "served converged" true (member_bool result "converged");
+  let served_csv = member_str result "waveform_csv" in
+  let fixture = job.Serve.Protocol.fixture in
+  let direct =
+    Engine.run
+      (Serve.Catalog.problem_of fixture
+         ~f_fast:job.Serve.Protocol.f_fast ~fd:job.Serve.Protocol.fd)
+      (Engine.make ~options:job.Serve.Protocol.options Engine.Mpde)
+  in
+  let direct_csv =
+    Serve.Protocol.waveform_csv
+      ~output_node:fixture.Serve.Catalog.output_node
+      direct.Engine.Result.waveform
+  in
+  Alcotest.(check string) "served CSV = direct CSV" direct_csv served_csv
+
+(* ---------- identical resubmission: cache hit, byte-identical ---------- *)
+
+let test_resubmission_cache_hit () =
+  let jobs = Serve.Jobs.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Jobs.stop jobs) @@ fun () ->
+  let job = rc_job () in
+  let lines1 = drain (Serve.Jobs.submit jobs job) in
+  let lines2 = drain (Serve.Jobs.submit jobs job) in
+  let a1 = line_with_event lines1 "accepted" in
+  let a2 = line_with_event lines2 "accepted" in
+  Alcotest.(check string) "first is a miss" "miss" (member_str a1 "cache");
+  Alcotest.(check string) "second is a hit" "hit" (member_str a2 "cache");
+  Alcotest.(check string) "same key" (member_str a1 "key") (member_str a2 "key");
+  Alcotest.(check bool) "distinct job ids" false
+    (member_int a1 "id" = member_int a2 "id");
+  (* The hit replays the stored result line byte for byte. *)
+  Alcotest.(check string) "byte-identical result line"
+    (line_with_event lines1 "result")
+    (line_with_event lines2 "result");
+  let s = Serve.Cache.stats (Serve.Jobs.cache jobs) in
+  Alcotest.(check int) "one miss" 1 s.Serve.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Serve.Cache.hits;
+  (* A perturbed option is a different key: miss, not hit. *)
+  let perturbed =
+    {
+      job with
+      Serve.Protocol.options =
+        { job.Serve.Protocol.options with Engine.Options.tol = 1e-7 };
+    }
+  in
+  let lines3 = drain (Serve.Jobs.submit jobs perturbed) in
+  Alcotest.(check string) "perturbed option misses" "miss"
+    (member_str (line_with_event lines3 "accepted") "cache")
+
+(* ---------- warm start: fewer Newton iterations than cold ---------- *)
+
+let test_warm_start_fewer_newton () =
+  let jobs = Serve.Jobs.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Jobs.stop jobs) @@ fun () ->
+  let fixture = fixture_exn "detector" in
+  let options = { default with Engine.Options.n1 = 16; n2 = 12 } in
+  let job fd =
+    {
+      Serve.Protocol.fixture;
+      engine = Engine.Mpde;
+      f_fast = fixture.Serve.Catalog.default_fast;
+      fd;
+      options;
+      wall_seconds = None;
+      max_newton_budget = None;
+      warm = true;
+    }
+  in
+  let fd0 = fixture.Serve.Catalog.default_fd in
+  let fd1 = fd0 *. 1.02 in
+  (* First solve is cold (empty warm store) and seeds the store. *)
+  let r0 = line_with_event (drain (Serve.Jobs.submit jobs (job fd0))) "result" in
+  Alcotest.(check bool) "seed solve converged" true (member_bool r0 "converged");
+  Alcotest.(check bool) "seed solve was cold" false (member_bool r0 "warm_started");
+  (* Cold reference for the nearby point: a direct run, no seed. *)
+  let cold =
+    Engine.run
+      (Serve.Catalog.problem_of fixture
+         ~f_fast:fixture.Serve.Catalog.default_fast ~fd:fd1)
+      (Engine.make ~options Engine.Mpde)
+  in
+  Alcotest.(check bool) "cold reference converged" true
+    cold.Engine.Result.converged;
+  (* The served nearby point starts from the stored surface. *)
+  let r1 = line_with_event (drain (Serve.Jobs.submit jobs (job fd1))) "result" in
+  Alcotest.(check bool) "warm solve converged" true (member_bool r1 "converged");
+  Alcotest.(check bool) "warm-started" true (member_bool r1 "warm_started");
+  Alcotest.(check int) "one warm start counted" 1 (Serve.Jobs.warm_starts jobs);
+  let warm_newton = member_int r1 "newton" in
+  let cold_newton = cold.Engine.Result.newton_iterations in
+  if warm_newton >= cold_newton then
+    Alcotest.failf "warm start did not help: warm=%d cold=%d" warm_newton
+      cold_newton
+
+(* ---------- routes: protocol over the HTTP layer, no socket ---------- *)
+
+let test_routes () =
+  let jobs = Serve.Jobs.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Jobs.stop jobs) @@ fun () ->
+  let routes = Serve.Service.routes jobs in
+  let req meth =
+    match
+      Observe.Http.parse_request
+        (Printf.sprintf "%s /jobs HTTP/1.0\r\n\r\n" meth)
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  (* Invalid body: immediate 400 carrying a protocol error line. *)
+  (match routes (req "POST") "not json" with
+  | Some (Observe.Server.Response raw) -> (
+      match Observe.Http.parse_response raw with
+      | Ok (status, _, body) ->
+          Alcotest.(check int) "bad job is 400" 400 status;
+          Alcotest.(check string) "error event" "error"
+            (member_str (String.trim body) "event")
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "POST /jobs with a bad body should answer directly");
+  (* Valid body: a close-delimited JSONL stream. *)
+  (match
+     routes (req "POST")
+       "{\"v\":\"rfss.jobs/1\",\"circuit\":\"rc\",\"options\":{\"n1\":16,\"n2\":12},\"warm\":false}"
+   with
+  | Some (Observe.Server.Stream { header; poll }) ->
+      Alcotest.(check bool) "stream header is HTTP" true
+        (String.length header > 0 && String.sub header 0 4 = "HTTP");
+      let deadline = Unix.gettimeofday () +. 120.0 in
+      let buf = Buffer.create 256 in
+      let rec go () =
+        match poll () with
+        | `Data s ->
+            Buffer.add_string buf s;
+            go ()
+        | `Wait ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "route stream stalled";
+            Unix.sleepf 0.005;
+            go ()
+        | `Eof -> ()
+      in
+      go ();
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      ignore (line_with_event lines "accepted");
+      ignore (line_with_event lines "result");
+      ignore (line_with_event lines "done")
+  | _ -> Alcotest.fail "POST /jobs should stream");
+  (* GET /jobs is the status document. *)
+  (match routes (req "GET") "" with
+  | Some (Observe.Server.Response raw) -> (
+      match Observe.Http.parse_response raw with
+      | Ok (status, _, body) ->
+          Alcotest.(check int) "status is 200" 200 status;
+          Alcotest.(check string) "status version" "rfss.jobs/1"
+            (member_str (String.trim body) "v")
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "GET /jobs should answer");
+  (* Unsupported method on the endpoint: 405 with Allow. *)
+  match routes (req "DELETE") "" with
+  | Some (Observe.Server.Response raw) -> (
+      match Observe.Http.parse_response raw with
+      | Ok (status, headers, _) ->
+          Alcotest.(check int) "405" 405 status;
+          Alcotest.(check bool) "Allow lists GET and POST" true
+            (List.assoc_opt "allow" headers = Some "GET, POST")
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "DELETE /jobs should be 405"
+
+(* ---------- run ---------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "pinned literal stability" `Quick test_key_stability;
+          Alcotest.test_case "sensitivity and exclusions" `Quick
+            test_key_sensitivity;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "LRU hit/miss/eviction" `Quick test_cache_lru ] );
+      ( "protocol",
+        [ Alcotest.test_case "request parsing" `Quick test_parse_job ] );
+      ( "service",
+        [
+          Alcotest.test_case "served CSV = direct CSV" `Quick
+            test_served_vs_direct;
+          Alcotest.test_case "resubmission is a byte-identical hit" `Quick
+            test_resubmission_cache_hit;
+          Alcotest.test_case "warm start beats cold Newton count" `Quick
+            test_warm_start_fewer_newton;
+          Alcotest.test_case "routes speak the protocol" `Quick test_routes;
+        ] );
+    ]
