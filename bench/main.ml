@@ -638,7 +638,14 @@ let domain_utilization ~domains ~wall outcomes =
   else 0.0
 
 let sweep_bench () =
-  header "SWEEP - 8-job MPDE disparity sweep on 1/2/4 domains (Engine.Sweep)";
+  (* The host's core count belongs in the headline: every speedup below
+     is meaningless without it (a 1-core runner can't speed anything
+     up, and the gate skips the speedup floors there). *)
+  header
+    (Printf.sprintf
+       "SWEEP - 8-job MPDE disparity sweep on 1/2/4 domains (Engine.Sweep) \
+        [host cores: %d]"
+       (Engine.Sweep.default_domains ()));
   pr "recommended domains on this machine: %d\n"
     (Engine.Sweep.default_domains ());
   let run ?(telemetry = false) domains =
@@ -713,6 +720,83 @@ let sweep_bench () =
     sw_retries = retries;
     sw_degraded_jobs = degraded_jobs;
   }
+
+(* KERNEL micro-benchmarks: the two hot kernels the mixer solve leans
+   on, timed in isolation so a regression is attributable to the kernel
+   rather than to solver iteration counts. [spmv_mflops] applies the
+   assembled mixer-grid Jacobian (the matrix the CSR Bigarray SpMV
+   route sees); [block_solve_cols_per_s] applies one n=13 dense LU
+   factor to a 30-column panel — the widest wavefront level of the
+   40x30 sweep — through {!Linalg.Lu.solve_many_into}. Both report the
+   best of three timed batches. *)
+type kernel_results = { spmv_mflops : float; block_solve_cols_per_s : float }
+
+let kernel_bench () =
+  header "KERNEL - hot-kernel micro-benchmarks (Bigarray SpMV, blocked panel solve)";
+  let f_lo = 450e6 and fd = 15e3 in
+  let rf_signal, _ = Circuits.paper_rf_bitstream ~f_lo ~fd () in
+  let { Circuits.mna; _ } = Circuits.balanced_mixer ~f_lo ~rf_signal () in
+  let shear = Mpde.Shear.make ~fast_freq:f_lo ~slow_freq:fd in
+  let sys = Mpde.Assemble.of_mna ~shear mna in
+  let grid = Mpde.Grid.make ~shear ~n1:40 ~n2:30 in
+  let n = sys.Mpde.Assemble.size in
+  let np = Mpde.Grid.points grid in
+  let big = np * n in
+  let state = Array.init big (fun i -> 0.01 *. sin (float_of_int i)) in
+  let jacs = Mpde.Assemble.point_jacobians sys grid state in
+  let jac = Mpde.Assemble.jacobian_csr Mpde.Assemble.Backward grid ~size:n ~jacs in
+  let best_of_3 f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Telemetry.Clock.wall () in
+      f ();
+      best := Float.min !best (Telemetry.Clock.wall () -. t0)
+    done;
+    !best
+  in
+  (* SpMV: y <- A x on the big mixer Jacobian, batched to ~tens of ms. *)
+  let x = Linalg.Kernel.create big and y = Linalg.Kernel.create big in
+  for i = 0 to big - 1 do
+    Linalg.Kernel.set x i (sin (float_of_int i))
+  done;
+  let spmv_reps = 400 in
+  let spmv_t =
+    best_of_3 (fun () ->
+        for _ = 1 to spmv_reps do
+          Sparse.Csr.mul_vec_ba_into jac x y
+        done)
+  in
+  let nnz = Sparse.Csr.nnz jac in
+  let spmv_mflops =
+    2.0 *. float_of_int nnz *. float_of_int spmv_reps
+    /. Float.max spmv_t 1e-12 /. 1e6
+  in
+  (* Panel solve: one dense factor applied to a 30-column panel (the
+     widest anti-diagonal of the 40x30 sweep). *)
+  let cols = 30 in
+  let d = Linalg.Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Linalg.Mat.set d i j (if i = j then 4.0 else 1.0 /. float_of_int (1 + abs (i - j)))
+    done
+  done;
+  let f = Linalg.Lu.factor d in
+  let pb = Array.init (cols * n) (fun i -> cos (float_of_int i)) in
+  let px = Array.make (cols * n) 0.0 in
+  let panel_reps = 4000 in
+  let panel_t =
+    best_of_3 (fun () ->
+        for _ = 1 to panel_reps do
+          Linalg.Lu.solve_many_into f ~cols pb px
+        done)
+  in
+  let block_solve_cols_per_s =
+    float_of_int (cols * panel_reps) /. Float.max panel_t 1e-12
+  in
+  pr "spmv (big mixer Jacobian, %d nnz): %.1f MFLOP/s\n" nnz spmv_mflops;
+  pr "blocked panel solve (n=%d, %d cols): %.3g columns/s\n" n cols
+    block_solve_cols_per_s;
+  { spmv_mflops; block_solve_cols_per_s }
 
 (* Serve section: exercise the persistent solve service in-process —
    the same job twice (the second must replay from the result cache)
@@ -825,6 +909,11 @@ let bench_json ?(file = "BENCH_mpde.json") () =
        ",\"speedup\":{\"disparity\":%.0f,\"mpde_wall_seconds\":%.6f,\"shooting_wall_seconds\":%.6f,\"ratio\":%.3f}"
        disparity mpde_t shoot_t
        (shoot_t /. Float.max mpde_t 1e-12));
+  let kr = kernel_bench () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"kernel\":{\"spmv_mflops\":%.3f,\"block_solve_cols_per_s\":%.1f}"
+       kr.spmv_mflops kr.block_solve_cols_per_s);
   let sw = sweep_bench () in
   Buffer.add_string buf
     (Printf.sprintf

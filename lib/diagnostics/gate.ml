@@ -25,10 +25,10 @@ type result = {
 let default_tolerance = 0.15
 
 let default_checks ?(overrides = []) tolerance =
-  let tol metric =
+  let tol ?default metric =
     match List.assoc_opt metric overrides with
     | Some t -> t
-    | None -> tolerance
+    | None -> Option.value default ~default:tolerance
   in
   [
     {
@@ -63,10 +63,37 @@ let default_checks ?(overrides = []) tolerance =
       absolute = 0.0;
     };
     {
+      (* Dense triangular-solve calls per mixer solve (one per blocked
+         panel call) — the multi-RHS clustering win; creeping back up
+         means the sweep fell back to point-at-a-time solves. *)
+      metric = "mixer.lu_dense_solves";
+      path = [ "mixer"; "telemetry"; "counters"; "lu.dense_solves" ];
+      direction = Lower_better;
+      tolerance = tol "mixer.lu_dense_solves";
+      absolute = 0.0;
+    };
+    {
       metric = "speedup.ratio";
       path = [ "speedup"; "ratio" ];
       direction = Higher_better;
       tolerance = tol "speedup.ratio";
+      absolute = 0.0;
+    };
+    (* Kernel micro-benchmarks are isolated hot loops: noisier than
+       end-to-end walls on shared runners, hence the wider default
+       tolerance (still overridable by name). *)
+    {
+      metric = "kernel.spmv_mflops";
+      path = [ "kernel"; "spmv_mflops" ];
+      direction = Higher_better;
+      tolerance = tol ~default:0.5 "kernel.spmv_mflops";
+      absolute = 0.0;
+    };
+    {
+      metric = "kernel.block_solve_cols_per_s";
+      path = [ "kernel"; "block_solve_cols_per_s" ];
+      direction = Higher_better;
+      tolerance = tol ~default:0.5 "kernel.block_solve_cols_per_s";
       absolute = 0.0;
     };
     {

@@ -47,11 +47,15 @@ val default_tolerance : float
 
 val default_checks : ?overrides:(string * float) list -> float -> check list
 (** The watched metrics — [mixer.wall_seconds], [mixer.newton_iterations],
-    [mixer.gmres_iterations], [mixer.lu_dense_factors] (dense
-    preconditioner factorizations per solve, read from the embedded
+    [mixer.gmres_iterations], [mixer.lu_dense_factors] and
+    [mixer.lu_dense_solves] (dense preconditioner factorizations and
+    blocked triangular-solve calls per solve, read from the embedded
     telemetry counters), [sweep.wall_1] (lower is better),
     [speedup.ratio], [sweep.speedup_2] and [sweep.speedup_4] (higher is
-    better), plus the observability trio [sweep.domain_utilization_2] /
+    better), the kernel micro-benchmarks [kernel.spmv_mflops] and
+    [kernel.block_solve_cols_per_s] (higher is better, 50% default
+    tolerance — isolated hot loops are noisier than end-to-end walls),
+    plus the observability trio [sweep.domain_utilization_2] /
     [sweep.domain_utilization_4] (higher is better, 0.2 absolute slack)
     and [gc.major_pause_p99] (lower is better, 50ms absolute slack) —
     at the given default tolerance, with optional per-metric overrides
@@ -67,6 +71,12 @@ val default_checks : ?overrides:(string * float) list -> float -> check list
     gate no matter how bad the blessed baseline was (a 4-domain
     slowdown alongside a healthy 2-domain run means contention, not a
     missing core). Single-core runners skip the floor. *)
+
+val lookup_num : Json_min.t -> string list -> float option
+(** Fetch a numeric leaf from a bench document — exposed so callers
+    (e.g. [compare.exe]) can inspect the same fields the gate reads,
+    such as [sweep.cores] when reporting why the speedup floor was
+    waived. *)
 
 val evaluate :
   ?checks:check list -> baseline:Json_min.t -> current:Json_min.t -> unit -> result

@@ -47,6 +47,18 @@ type t = { kind : kind; options : Options.t }
 let make ?(options = Options.default) kind = { kind; options }
 let options e = e.options
 
+(* One retained MPDE solver workspace per domain: sweep pools run many
+   same-shaped jobs per domain, and the workspace's multi-megabyte
+   numeric buffers (dense block staging, Krylov basis, Bigarray
+   vectors) dominate each job's allocation profile. The solver rebinds
+   or rejects the retained workspace per job, so reuse never changes
+   results. *)
+let mpde_workspace_slot :
+    Mpde.Solver.workspace option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let reset_workspace_slot () = Domain.DLS.get mpde_workspace_slot := None
+
 let output_values mna (p : Problem.t) states =
   match p.Problem.output_b with
   | None -> Array.map (fun x -> Circuit.Mna.voltage mna x p.Problem.output) states
@@ -212,8 +224,9 @@ let run (problem : Problem.t) (engine : t) : Result.t =
       in
       let sol =
         Mpde.Solver.solve_mna ~options:(Options.to_mpde o)
-          ?seed:o.Options.initial_surface ~shear ~n1:o.Options.n1
-          ~n2:o.Options.n2 mna
+          ?seed:o.Options.initial_surface
+          ~workspace_slot:(Domain.DLS.get mpde_workspace_slot) ~shear
+          ~n1:o.Options.n1 ~n2:o.Options.n2 mna
       in
       let values_2d =
         match problem.Problem.output_b with

@@ -58,6 +58,15 @@ val make : ?options:Options.t -> kind -> t
 
 val options : t -> Options.t
 
+val reset_workspace_slot : unit -> unit
+(** Clear the calling domain's retained MPDE solver workspace. The
+    backend keeps one workspace per domain (DLS) so repeated solves
+    reuse the large numeric buffers; sweeps call this at the start of a
+    run so worker 0 — the calling domain, whose slot outlives previous
+    runs — starts as cold as the freshly spawned workers, keeping
+    traced runs byte-identical. Reuse never changes solver results,
+    only allocation behaviour. *)
+
 val run : Problem.t -> t -> Result.t
 (** Build the problem's circuit, seed from the DC operating point
     (when [options.warm_start]), dispatch to the chosen backend, and

@@ -15,6 +15,7 @@ type t = {
   allow_continuation : bool;
   condition_estimate : bool;
   initial_surface : Linalg.Vec.t option;
+  krylov_recycle : bool;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     allow_continuation = true;
     condition_estimate = false;
     initial_surface = None;
+    krylov_recycle = true;
   }
 
 let with_budget budget o = { o with budget }
@@ -58,4 +60,4 @@ let degrade o =
 let to_mpde o =
   Mpde.Solver.make_options ~max_newton:o.max_newton ~tol:o.tol ~scheme:o.scheme
     ~linear_solver:o.linear_solver ~allow_continuation:o.allow_continuation
-    ?budget:o.budget ()
+    ?budget:o.budget ~krylov_recycle:o.krylov_recycle ()

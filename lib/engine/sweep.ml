@@ -255,6 +255,13 @@ let run ?domains ?wall_seconds ?max_newton_per_job
   (* Static placement under tracing: job → worker must be a pure
      function of the index for two traced runs to merge identically. *)
   let assign = if per_job_trace then `Static else `Dynamic in
+  (* Spawned workers always start with an empty per-domain solver
+     workspace slot, but worker 0 is the calling domain, whose slot
+     survives from whatever ran before. Clearing it makes every worker
+     start the sweep cold — two identical sweeps produce identical
+     reuse counters (and therefore identical traces) regardless of what
+     the caller solved earlier. *)
+  Backend.reset_workspace_slot ();
   let outcomes =
     Pool.map ~assign ~domains run_one (Array.mapi (fun i j -> (i, j)) jobs)
   in

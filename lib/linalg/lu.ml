@@ -41,11 +41,41 @@ let factor_in_place ?pivot_tol a = factor_into ?pivot_tol a
 
 let size f = f.lu.Mat.rows
 
+(* Fused forward/backward substitution over one column stored at
+   offset [xb] of [y]. The factor data is accessed unchecked — the
+   caller validated the panel dimensions — and the arithmetic order per
+   column is the canonical one every solve entry point shares, so
+   single-column and panel solves are bitwise identical. *)
+let substitute_column (data : float array) n (y : float array) xb =
+  (* Forward substitution with unit L. *)
+  for i = 1 to n - 1 do
+    let ib = i * n in
+    let s = ref (Array.unsafe_get y (xb + i)) in
+    for j = 0 to i - 1 do
+      s :=
+        !s
+        -. (Array.unsafe_get data (ib + j) *. Array.unsafe_get y (xb + j))
+    done;
+    Array.unsafe_set y (xb + i) !s
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let ib = i * n in
+    let s = ref (Array.unsafe_get y (xb + i)) in
+    for j = i + 1 to n - 1 do
+      s :=
+        !s
+        -. (Array.unsafe_get data (ib + j) *. Array.unsafe_get y (xb + j))
+    done;
+    Array.unsafe_set y (xb + i) (!s /. Array.unsafe_get data (ib + i))
+  done
+
 let solve_into f b x =
   let n = size f in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Lu.solve_into: dimension mismatch";
   Telemetry.count "lu.dense_solves";
+  Telemetry.count "lu.dense_solve_columns";
   (* Apply the permutation straight into [x] when it does not alias
      [b]; the scratch allocation only survives for the aliased case.
      This is the sweep preconditioner's innermost call (np dense solves
@@ -59,23 +89,42 @@ let solve_into f b x =
       x
     end
   in
-  (* Forward substitution with unit L. *)
-  for i = 1 to n - 1 do
-    let s = ref y.(i) in
-    for j = 0 to i - 1 do
-      s := !s -. (Mat.get f.lu i j *. y.(j))
-    done;
-    y.(i) <- !s
-  done;
-  (* Back substitution with U. *)
-  for i = n - 1 downto 0 do
-    let s = ref y.(i) in
-    for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get f.lu i j *. y.(j))
-    done;
-    y.(i) <- !s /. Mat.get f.lu i i
-  done;
+  substitute_column f.lu.Mat.data n y 0;
   if y != x then Array.blit y 0 x 0 n
+
+(* Panel width processed per blocked pass: small enough that the block
+   of columns and the factor both stay cache-resident during the fused
+   sweeps. *)
+let panel_block = 16
+
+let solve_many_into f ?(off = 0) ~cols b x =
+  let n = size f in
+  if
+    off < 0 || cols < 0
+    || Array.length b < (off + cols) * n
+    || Array.length x < (off + cols) * n
+  then invalid_arg "Lu.solve_many_into: panel dimension mismatch";
+  if x == b then invalid_arg "Lu.solve_many_into: aliased panels";
+  Telemetry.count "lu.dense_solves";
+  Telemetry.count ~by:cols "lu.dense_solve_columns";
+  let data = f.lu.Mat.data and perm = f.perm in
+  (* Permutation applied once over the whole panel... *)
+  for c = off to off + cols - 1 do
+    let xb = c * n in
+    for i = 0 to n - 1 do
+      Array.unsafe_set x (xb + i)
+        (Array.unsafe_get b (xb + Array.unsafe_get perm i))
+    done
+  done;
+  (* ...then fused forward/backward sweeps, blocked over columns. *)
+  let c0 = ref off in
+  while !c0 < off + cols do
+    let c1 = min (off + cols) (!c0 + panel_block) in
+    for c = !c0 to c1 - 1 do
+      substitute_column data n x (c * n)
+    done;
+    c0 := c1
+  done
 
 let solve f b =
   let x = Array.make (size f) 0.0 in

@@ -29,6 +29,19 @@ val solve_into : t -> Vec.t -> Vec.t -> unit
 (** [solve_into lu b x] stores the solution in [x]; [b] is left intact.
     [b] and [x] may be the same array. *)
 
+val solve_many_into : t -> ?off:int -> cols:int -> Vec.t -> Vec.t -> unit
+(** [solve_many_into lu ~off ~cols b x] applies one factor to a
+    contiguous panel of right-hand-side columns: column [c] of the
+    panel lives at offset [(off + c) * n] of [b] and the solutions land
+    at the same offsets of [x] ([off] defaults to 0). The permutation
+    is applied once over the whole panel, then the forward/backward
+    substitutions run fused and cache-blocked over the columns. Each
+    column's arithmetic is performed in exactly the order of
+    {!solve_into}, so the results are bitwise identical to [cols]
+    single-column solves. [b] and [x] must not alias. Counts one
+    [lu.dense_solves] telemetry tick per call and [cols] ticks of
+    [lu.dense_solve_columns]. *)
+
 val solve_transposed : t -> Vec.t -> Vec.t
 (** [solve_transposed lu b] returns [x] with [aᵀ x = b]. *)
 

@@ -25,6 +25,8 @@ type options = {
   allow_continuation : bool;
   budget : Budget.t option;
   precond_lag : bool;
+  precond_cluster : bool;
+  krylov_recycle : bool;
 }
 
 let default_options =
@@ -36,14 +38,28 @@ let default_options =
     allow_continuation = true;
     budget = None;
     precond_lag = true;
+    precond_cluster = true;
+    krylov_recycle = true;
   }
 
 let make_options ?(max_newton = default_options.max_newton)
     ?(tol = default_options.tol) ?(scheme = default_options.scheme)
     ?(linear_solver = default_options.linear_solver)
     ?(allow_continuation = default_options.allow_continuation) ?budget
-    ?(precond_lag = default_options.precond_lag) () =
-  { max_newton; tol; scheme; linear_solver; allow_continuation; budget; precond_lag }
+    ?(precond_lag = default_options.precond_lag)
+    ?(precond_cluster = default_options.precond_cluster)
+    ?(krylov_recycle = default_options.krylov_recycle) () =
+  {
+    max_newton;
+    tol;
+    scheme;
+    linear_solver;
+    allow_continuation;
+    budget;
+    precond_lag;
+    precond_cluster;
+    krylov_recycle;
+  }
 
 type stats = {
   newton_iterations : int;
@@ -76,22 +92,59 @@ let t1_in_diag = function
    per-point diagonal factors and the apply buffers. The staging
    matrices are owned by their factorizations after a build
    ([Lu.factor_in_place]); a rebuild restamps and refactors them in
-   place, so the np dense blocks are allocated exactly once per solve. *)
+   place, so the np dense blocks are allocated exactly once per solve.
+
+   The apply runs over precomputed wavefront [levels] of the sweep's
+   dependency DAG — for the backward scheme the anti-diagonals i+j = l
+   (every point's lower neighbours live on level l−1), otherwise whole
+   t2-rows. Points inside a level are independent, so their right-hand
+   sides are gathered into a contiguous column panel and each distinct
+   dense factor is applied to its run of columns in one blocked
+   multi-RHS call. [factor_id.(p)] names the point whose factorization
+   block [p] uses ([p] itself when unshared); [exact] records whether
+   every factor was built from its own point's Jacobian (as opposed to
+   a drift-clustered representative's). *)
 type sweep_cache = {
   sc_n : int;
   sc_np : int;
+  sc_n1 : int;
+  sc_t1d : bool;  (* t1 coupling inside the diagonal (backward scheme) *)
   mats : Linalg.Mat.t array;
   mutable factors : Linalg.Lu.t array;  (* [||] until first build *)
-  sx : Vec.t;  (* np*n sweep result, returned to GMRES *)
-  srhs : Vec.t;
-  sxp : Vec.t;
-  cw : Vec.t;  (* np*n scratch: per-point C_p v_p for the matrix-free op *)
+  factor_id : int array;  (* np: representative point of block p's factor *)
+  mutable exact : bool;
+  levels : int array array;  (* wavefront levels of point indices *)
+  level_order : int array array;
+  (* the same levels with each level's points stably reordered so
+     points sharing a factor sit adjacent — the panel grouping order;
+     recomputed at every factor (re)build. Points inside a level are
+     mutually independent, so any order is bitwise equivalent. *)
+  sx : Linalg.Kernel.vec;  (* np*n sweep result, returned to GMRES *)
+  panel_b : Vec.t;  (* max-width*n gathered right-hand-side columns *)
+  panel_x : Vec.t;  (* max-width*n panel solutions *)
+  cw : Linalg.Kernel.vec;  (* np*n scratch: C_p v_p for the matrix-free op *)
   mutable built_gvals : float array array;  (* G values at last (re)factor *)
   mutable built_cvals : float array array;  (* C values at last (re)factor *)
   row_scale : float array;  (* np*n: max |D_p row| at last (re)factor *)
   mutable built_extra_diag : float;  (* nan until first build *)
   mutable stale : bool;  (* some factors lag the current Jacobian *)
 }
+
+(* Wavefront levels: for the backward scheme point (i,j) depends on
+   (i−1,j) and (i,j−1) (periodic wraps dropped), so the anti-diagonals
+   i+j = l are mutually independent and level l only reads level l−1;
+   the other schemes couple only through (i,j−1) and the levels are
+   whole t2-rows. Points inside a level are listed in increasing i,
+   i.e. in increasing lexicographic point index. *)
+let sweep_levels (g : Grid.t) ~t1d =
+  let n1 = g.Grid.n1 and n2 = g.Grid.n2 in
+  if t1d then
+    Array.init (n1 + n2 - 1) (fun l ->
+        let i_lo = max 0 (l - n2 + 1) and i_hi = min (n1 - 1) l in
+        Array.init (i_hi - i_lo + 1) (fun k ->
+            let i = i_lo + k in
+            ((l - i) * n1) + i))
+  else Array.init n2 (fun j -> Array.init n1 (fun i -> (j * n1) + i))
 
 let csr_values_equal (a : Sparse.Csr.t) (b : Sparse.Csr.t) =
   let va = a.Sparse.Csr.values and vb = b.Sparse.Csr.values in
@@ -136,10 +189,11 @@ let refresh_tol = 0.5
    refreshed numerically on their frozen patterns). Owned by exactly
    one solve on one domain. *)
 type workspace = {
-  asm : Assemble.workspace;
+  mutable asm : Assemble.workspace;
   mutable gmres_ws : Sparse.Krylov.workspace option;
   mutable gmres_restart : int;
   op_buf : Vec.t;  (* shared operator output (GMRES buffer contract) *)
+  op_ba : Linalg.Kernel.vec;  (* same, for the Bigarray GMRES hot path *)
   ilu_buf : Vec.t;  (* shared preconditioner output *)
   sweep : sweep_cache;
   mutable ilu : Sparse.Ilu0.t option;
@@ -150,22 +204,34 @@ let make_workspace scheme sys (g : Grid.t) =
   let n = sys.Assemble.size in
   let np = Grid.points g in
   let big = np * n in
+  let t1d = t1_in_diag scheme in
+  let levels = sweep_levels g ~t1d in
+  let max_width =
+    Array.fold_left (fun acc l -> max acc (Array.length l)) 1 levels
+  in
   {
     asm = Assemble.workspace scheme sys g;
     gmres_ws = None;
     gmres_restart = 0;
     op_buf = Array.make big 0.0;
+    op_ba = Linalg.Kernel.create big;
     ilu_buf = Array.make big 0.0;
     sweep =
       {
         sc_n = n;
         sc_np = np;
+        sc_n1 = g.Grid.n1;
+        sc_t1d = t1d;
         mats = Array.init np (fun _ -> Linalg.Mat.create n n);
         factors = [||];
-        sx = Array.make big 0.0;
-        srhs = Array.make n 0.0;
-        sxp = Array.make n 0.0;
-        cw = Array.make big 0.0;
+        factor_id = Array.make np 0;
+        exact = false;
+        levels;
+        level_order = Array.map Array.copy levels;
+        sx = Linalg.Kernel.create big;
+        panel_b = Array.make (max_width * n) 0.0;
+        panel_x = Array.make (max_width * n) 0.0;
+        cw = Linalg.Kernel.create big;
         built_gvals = [||];  (* sized at the first build (nnz unknown here) *)
         built_cvals = [||];
         row_scale = Array.make big 0.0;
@@ -175,6 +241,35 @@ let make_workspace scheme sys (g : Grid.t) =
     ilu = None;
     splu = None;
   }
+
+(* Can a retained workspace serve a new solve of this shape? The big
+   buffers, dense staging matrices and wavefront levels all depend only
+   on (n, np, n1, scheme-diagonal-structure). *)
+let workspace_fits ws scheme sys (g : Grid.t) =
+  let c = ws.sweep in
+  c.sc_n = sys.Assemble.size
+  && c.sc_np = Grid.points g
+  && c.sc_n1 = g.Grid.n1
+  && c.sc_t1d = t1_in_diag scheme
+
+(* Rebind a retained workspace to a new solve job: fresh assembly
+   workspace (it is bound to the system/grid and cheap — the big COO is
+   lazy), dropped numeric caches, kept big allocations. Forgetting the
+   GMRES recycle state matters for determinism: a recycled seed from an
+   unrelated job would change iteration counts depending on which jobs
+   previously ran on this domain. *)
+let rebind_workspace ws scheme sys (g : Grid.t) =
+  ws.asm <- Assemble.workspace scheme sys g;
+  ws.sweep.factors <- [||];
+  ws.sweep.exact <- false;
+  ws.sweep.built_extra_diag <- nan;
+  ws.sweep.stale <- false;
+  ws.ilu <- None;
+  ws.splu <- None;
+  (match ws.gmres_ws with
+  | Some k -> Sparse.Krylov.forget_recycle k
+  | None -> ());
+  ws
 
 let gmres_workspace ws ~restart ~n =
   match ws.gmres_ws with
@@ -216,59 +311,30 @@ let factor_sweep_point cache scheme (g : Grid.t) ~jacs ~extra_diag p =
   done;
   Linalg.Lu.factor_in_place d
 
-(* Full (re)build of the sweep's dense factors from the current
-   per-point Jacobian values. *)
-let build_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag =
-  Telemetry.span "mpde.precond.build" @@ fun () ->
-  if Array.length cache.built_gvals = 0 then begin
-    cache.built_gvals <- Array.make cache.sc_np [||];
-    cache.built_cvals <- Array.make cache.sc_np [||]
-  end;
-  let factor_point = factor_sweep_point cache scheme g ~jacs ~extra_diag in
-  if blocks_uniform jacs then begin
-    (* Replicated iterate: one dense factorization shared by all np
-       points ([Lu.solve_into] never mutates the factors). The built
-       value snapshots and row scales are replicated too; sharing the
-       snapshot arrays is sound because a later refactor replaces them
-       with fresh copies instead of mutating. *)
-    Telemetry.count "mpde.precond.shared_builds";
-    let f0 = factor_point 0 in
-    cache.factors <- Array.make cache.sc_np f0;
-    for p = 1 to cache.sc_np - 1 do
-      cache.built_gvals.(p) <- cache.built_gvals.(0);
-      cache.built_cvals.(p) <- cache.built_cvals.(0)
-    done;
-    let n = cache.sc_n in
-    for p = 1 to cache.sc_np - 1 do
-      Array.blit cache.row_scale 0 cache.row_scale (p * n) n
-    done
-  end
-  else cache.factors <- Array.init cache.sc_np factor_point;
-  cache.built_extra_diag <- extra_diag;
-  cache.stale <- false
-
-(* Has block [p]'s Jacobian moved, relative to what its dense factor
-   was built from? Entry-wise against the built snapshot, scaled by the
-   magnitude of the stamped dense row the entry lands in. Phrased as
-   "keep only when provably close" so a NaN entry reads as drifted, and
-   a pattern change (the per-point rebuild fallback swapped the CSR)
-   reads as drifted too. *)
-let block_drifted cache scheme (g : Grid.t) ~jacs p =
+(* Is point [p]'s Jacobian within the refresh tolerance of the build
+   snapshot stored at index [snap]? Entry-wise against the snapshot
+   values, scaled by the magnitude of the stamped dense row the entry
+   lands in. Phrased as "keep only when provably close" so a NaN entry
+   reads as drifted, and a pattern change (the per-point rebuild
+   fallback swapped the CSR) reads as drifted too. With [snap = p] this
+   is the classic lagged-factor drift test; with [snap] a cluster
+   representative it is the clustering criterion. *)
+let drifted_vs ?(tol = refresh_tol) cache scheme (g : Grid.t) ~jacs ~snap p =
   let gp, cp = jacs.(p) in
-  let bg = cache.built_gvals.(p) and bc = cache.built_cvals.(p) in
+  let bg = cache.built_gvals.(snap) and bc = cache.built_cvals.(snap) in
   let gv = gp.Sparse.Csr.values and cv = cp.Sparse.Csr.values in
   if Array.length bg <> Array.length gv || Array.length bc <> Array.length cv
   then true
   else begin
     let n = cache.sc_n in
     let scale_c = sweep_scale_c scheme g in
-    let base = p * n in
+    let base = snap * n in
     let close = ref true in
     let scan (m : Sparse.Csr.t) built coeff =
       let row_ptr = m.Sparse.Csr.row_ptr and v = m.Sparse.Csr.values in
       let i = ref 0 in
       while !close && !i < n do
-        let lim = refresh_tol *. cache.row_scale.(base + !i) in
+        let lim = tol *. cache.row_scale.(base + !i) in
         let k = ref row_ptr.(!i) and stop = row_ptr.(!i + 1) in
         while !close && !k < stop do
           if not (Float.abs (coeff *. (v.(!k) -. built.(!k))) <= lim) then
@@ -283,12 +349,161 @@ let block_drifted cache scheme (g : Grid.t) ~jacs p =
     not !close
   end
 
+(* Has block [p]'s Jacobian moved, relative to what its dense factor
+   was built from? Under clustering, [p]'s snapshot *is* its
+   representative's build state (the snapshot arrays are shared and the
+   row scales copied), so the same test covers both lag drift and
+   cluster-membership drift. *)
+let block_drifted cache scheme (g : Grid.t) ~jacs p =
+  drifted_vs cache scheme g ~jacs ~snap:p p
+
+(* How many recent cluster representatives each point is compared
+   against before it is declared a new representative. The converged
+   mixer grid clusters into a handful of factors, so a small window
+   keeps the scan linear while still catching spatially coherent
+   clusters that interleave along the scan order. *)
+let cluster_window = 64
+
+(* Cluster-membership tolerance — deliberately much tighter than
+   [refresh_tol]. Lagging keeps a point's *own* factor, exact at build
+   time and drifting gradually; clustering hands a point a *different*
+   point's factor, so the full tolerance is an immediate, spatially
+   correlated perturbation of the whole sweep. At 0.5 the clustered
+   preconditioner visibly costs GMRES iterations and Newton
+   backtracks; at a few percent it is indistinguishable from exact
+   while the mixer grid still collapses to a handful of
+   representatives. *)
+let cluster_tol = 0.05
+
+(* Full (re)build of the sweep's dense factors from the current
+   per-point Jacobian values.
+
+   [cluster = false] builds one factor per point (bitwise the classic
+   preconditioner). [cluster = true] additionally shares factors
+   between points whose Jacobians agree within the drift tolerance: the
+   grid is scanned in point order, each point compared against the most
+   recent representatives, and matching points adopt the
+   representative's factor, snapshot and row scales. The sweep then
+   applies each distinct factor to a whole panel of columns per
+   wavefront level instead of one dense solve per point. Clustered
+   factors are a (slightly) weaker preconditioner, so the cache is
+   marked non-exact and stale — the stall path rebuilds exact. The
+   uniform replicated-seed fast path is unchanged and exact. *)
+let build_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag ~cluster =
+  if Array.length cache.built_gvals = 0 then begin
+    cache.built_gvals <- Array.make cache.sc_np [||];
+    cache.built_cvals <- Array.make cache.sc_np [||]
+  end;
+  let factor_point = factor_sweep_point cache scheme g ~jacs ~extra_diag in
+  let np = cache.sc_np in
+  (if blocks_uniform jacs then begin
+     (* Replicated iterate: one dense factorization shared by all np
+        points ([Lu.solve_into] never mutates the factors). The built
+        value snapshots and row scales are replicated too; sharing the
+        snapshot arrays is sound because a later refactor replaces them
+        with fresh copies instead of mutating. *)
+     Telemetry.count "mpde.precond.shared_builds";
+     let f0 = factor_point 0 in
+     cache.factors <- Array.make np f0;
+     Array.fill cache.factor_id 0 np 0;
+     for p = 1 to np - 1 do
+       cache.built_gvals.(p) <- cache.built_gvals.(0);
+       cache.built_cvals.(p) <- cache.built_cvals.(0)
+     done;
+     let n = cache.sc_n in
+     for p = 1 to np - 1 do
+       Array.blit cache.row_scale 0 cache.row_scale (p * n) n
+     done;
+     cache.exact <- true;
+     cache.stale <- false
+   end
+   else if not cluster then begin
+     cache.factors <- Array.init np factor_point;
+     for p = 0 to np - 1 do
+       cache.factor_id.(p) <- p
+     done;
+     cache.exact <- true;
+     cache.stale <- false
+   end
+   else begin
+     let n = cache.sc_n in
+     let recent = Array.make cluster_window 0 in
+     let head = ref 0 and count = ref 0 in
+     let push r =
+       recent.(!head) <- r;
+       head := (!head + 1) mod cluster_window;
+       if !count < cluster_window then incr count
+     in
+     let find_rep p =
+       let found = ref (-1) and k = ref 0 in
+       while !found < 0 && !k < !count do
+         let idx = (!head - 1 - !k + (2 * cluster_window)) mod cluster_window in
+         let r = recent.(idx) in
+         if not (drifted_vs ~tol:cluster_tol cache scheme g ~jacs ~snap:r p)
+         then found := r;
+         incr k
+       done;
+       !found
+     in
+     let reps = ref 1 in
+     let f0 = factor_point 0 in
+     cache.factors <- Array.make np f0;
+     cache.factor_id.(0) <- 0;
+     push 0;
+     for p = 1 to np - 1 do
+       let r = find_rep p in
+       if r >= 0 then begin
+         cache.factors.(p) <- cache.factors.(r);
+         cache.built_gvals.(p) <- cache.built_gvals.(r);
+         cache.built_cvals.(p) <- cache.built_cvals.(r);
+         Array.blit cache.row_scale (r * n) cache.row_scale (p * n) n;
+         cache.factor_id.(p) <- cache.factor_id.(r)
+       end
+       else begin
+         cache.factors.(p) <- factor_point p;
+         cache.factor_id.(p) <- p;
+         push p;
+         incr reps
+       end
+     done;
+     Telemetry.gauge "mpde.precond.cluster_reps" (float_of_int !reps);
+     cache.exact <- false;
+     cache.stale <- true
+   end);
+  (* Regroup each wavefront level so columns sharing a factor are
+     adjacent: one blocked panel call per distinct factor per level.
+     The sort is stable, so unshared builds (factor_id.(p) = p,
+     already increasing within a level) keep the lexicographic order
+     and uniform builds (all ids 0) are untouched. *)
+  let fid = cache.factor_id in
+  Array.iteri
+    (fun l level ->
+      let order = cache.level_order.(l) in
+      Array.blit level 0 order 0 (Array.length level);
+      Array.stable_sort (fun a b -> compare fid.(a) fid.(b)) order)
+    cache.levels;
+  cache.built_extra_diag <- extra_diag
+
 (* Selective refresh under [precond_lag]: refactor only the blocks
    that drifted since they were last factored; quiet blocks keep their
    (slightly stale) dense factors. *)
-let refresh_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag =
+let refresh_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag ~cluster =
   Telemetry.span "mpde.precond.refresh" @@ fun () ->
-  if cache.sc_np > 1 && cache.factors.(1) == cache.factors.(0) then begin
+  if not cache.exact then begin
+    (* Clustered factors: each point's snapshot is its representative's
+       build state, so drifting against it means the point left its
+       cluster. Refactoring a member in place would corrupt the factor
+       the rest of its cluster still shares, so the first drift
+       anywhere forces a full re-clustered rebuild. *)
+    let drifted = ref false and p = ref 0 in
+    while (not !drifted) && !p < cache.sc_np do
+      if block_drifted cache scheme g ~jacs !p then drifted := true;
+      incr p
+    done;
+    if !drifted then build_sweep_factors cache scheme g ~jacs ~extra_diag ~cluster
+    (* otherwise the cache stays stale by construction (clustered) *)
+  end
+  else if cache.sc_np > 1 && cache.factors.(1) == cache.factors.(0) then begin
     (* The last build shared one factorization (replicated iterate)
        backed by [mats.(0)]; refactoring any single block in place
        would corrupt the factor the others still reference, so the
@@ -298,7 +513,7 @@ let refresh_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag =
       if block_drifted cache scheme g ~jacs !p then drifted := true;
       incr p
     done;
-    if !drifted then build_sweep_factors cache scheme g ~jacs ~extra_diag
+    if !drifted then build_sweep_factors cache scheme g ~jacs ~extra_diag ~cluster
     else cache.stale <- true
   end
   else begin
@@ -321,17 +536,21 @@ let refresh_sweep_factors cache scheme (g : Grid.t) ~jacs ~extra_diag =
    lower-triangular, solvable in one pass with the cached dense
    factors. Returns the cache's shared output buffer (GMRES copies what
    it keeps). *)
-let sweep_apply cache scheme (g : Grid.t) ~jacs (r : Vec.t) =
+let sweep_apply cache scheme (g : Grid.t) ~jacs (r : Linalg.Kernel.vec) =
   Telemetry.count "mpde.precond.sweeps";
   let n = cache.sc_n in
   let t1_in_diag = t1_in_diag scheme in
+  let n1 = g.Grid.n1 in
   let inv_h1 = 1.0 /. g.Grid.h1 and inv_h2 = 1.0 /. g.Grid.h2 in
-  let x = cache.sx and rhs = cache.srhs and xp = cache.sxp in
-  (* Accumulate one lower-neighbour coupling, rhs += inv_h · C_q x_q,
-     reading the CSR arrays directly — this runs n·nnz(C) times per
-     sweep, too hot for the iter_row closure (and the reciprocal is
-     hoisted to a multiply). *)
-  let couple (c : Sparse.Csr.t) inv_h q =
+  let x = cache.sx in
+  let pb = cache.panel_b and px = cache.panel_x in
+  let fid = cache.factor_id in
+  (* Accumulate one lower-neighbour coupling into panel column [dst],
+     pb += inv_h · C_q x_q, reading the CSR arrays directly — this runs
+     n·nnz(C) times per sweep, too hot for the iter_row closure (and
+     the reciprocal is hoisted to a multiply). The neighbour state
+     lives on an earlier wavefront level, already scattered into [x]. *)
+  let couple (c : Sparse.Csr.t) inv_h q dst =
     let rp = c.Sparse.Csr.row_ptr
     and ci = c.Sparse.Csr.col_idx
     and cv = c.Sparse.Csr.values in
@@ -339,20 +558,55 @@ let sweep_apply cache scheme (g : Grid.t) ~jacs (r : Vec.t) =
     for row = 0 to n - 1 do
       let s = ref 0.0 in
       for k = rp.(row) to rp.(row + 1) - 1 do
-        s := !s +. (cv.(k) *. x.(xb + ci.(k)))
+        s :=
+          !s
+          +. (Array.unsafe_get cv k
+              *. Bigarray.Array1.unsafe_get x (xb + Array.unsafe_get ci k))
       done;
-      rhs.(row) <- rhs.(row) +. (inv_h *. !s)
+      pb.(dst + row) <- pb.(dst + row) +. (inv_h *. !s)
     done
   in
-  for p = 0 to cache.sc_np - 1 do
-    let i = p mod g.Grid.n1 and j = p / g.Grid.n1 in
-    Array.blit r (p * n) rhs 0 n;
-    (* Move the lower-neighbour couplings (−C/h) to the right side. *)
-    if t1_in_diag && i > 0 then couple (snd jacs.(p - 1)) inv_h1 (p - 1);
-    if j > 0 then
-      couple (snd jacs.(p - g.Grid.n1)) inv_h2 (p - g.Grid.n1);
-    Linalg.Lu.solve_into cache.factors.(p) rhs xp;
-    Array.blit xp 0 x (p * n) n
+  (* Wavefront sweep: gather every level's right-hand sides into a
+     contiguous column panel, then apply each distinct dense factor to
+     its whole run of columns in one blocked multi-RHS solve. Per
+     column the arithmetic (gather order, coupling order, substitution)
+     is exactly the lexicographic single-point sweep's, so the result
+     is bitwise identical — only the solve granularity changes. *)
+  let nlev = Array.length cache.level_order in
+  for l = 0 to nlev - 1 do
+    let level = cache.level_order.(l) in
+    let w = Array.length level in
+    for c = 0 to w - 1 do
+      let p = level.(c) in
+      let dst = c * n in
+      let src = p * n in
+      for row = 0 to n - 1 do
+        Array.unsafe_set pb (dst + row) (Bigarray.Array1.unsafe_get r (src + row))
+      done;
+      let i = p mod n1 and j = p / n1 in
+      (* Move the lower-neighbour couplings (−C/h) to the right side. *)
+      if t1_in_diag && i > 0 then couple (snd jacs.(p - 1)) inv_h1 (p - 1) dst;
+      if j > 0 then couple (snd jacs.(p - n1)) inv_h2 (p - n1) dst
+    done;
+    let c = ref 0 in
+    while !c < w do
+      let f = fid.(level.(!c)) in
+      let c2 = ref (!c + 1) in
+      while !c2 < w && fid.(level.(!c2)) = f do
+        incr c2
+      done;
+      Linalg.Lu.solve_many_into cache.factors.(level.(!c)) ~off:!c
+        ~cols:(!c2 - !c) pb px;
+      c := !c2
+    done;
+    for c = 0 to w - 1 do
+      let p = level.(c) in
+      let src = c * n in
+      let dst = p * n in
+      for row = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set x (dst + row) (Array.unsafe_get px (src + row))
+      done
+    done
   done;
   x
 
@@ -365,8 +619,8 @@ let sweep_apply cache scheme (g : Grid.t) ~jacs (r : Vec.t) =
    costs nnz(C) + nnz(G) multiplies per point — cheaper than the SpMV
    on the assembled big CSR, and it removes the big-Jacobian assembly
    from the GMRES hot path entirely. *)
-let sweep_op_apply cache (g : Grid.t) ~jacs ~extra_diag (v : Vec.t)
-    (out : Vec.t) =
+let sweep_op_apply cache (g : Grid.t) ~jacs ~extra_diag
+    (v : Linalg.Kernel.vec) (out : Linalg.Kernel.vec) =
   let n = cache.sc_n in
   let inv_h1 = 1.0 /. g.Grid.h1 and inv_h2 = 1.0 /. g.Grid.h2 in
   let scale_c = inv_h1 +. inv_h2 in
@@ -383,14 +637,21 @@ let sweep_op_apply cache (g : Grid.t) ~jacs ~extra_diag (v : Vec.t)
     for i = 0 to n - 1 do
       let s = ref 0.0 in
       for k = crp.(i) to crp.(i + 1) - 1 do
-        s := !s +. (cv.(k) *. v.(base + cci.(k)))
+        s :=
+          !s
+          +. (Array.unsafe_get cv k
+              *. Bigarray.Array1.unsafe_get v (base + Array.unsafe_get cci k))
       done;
-      w.(base + i) <- !s;
+      Bigarray.Array1.unsafe_set w (base + i) !s;
       let t = ref (scale_c *. !s) in
       for k = grp.(i) to grp.(i + 1) - 1 do
-        t := !t +. (gv.(k) *. v.(base + gci.(k)))
+        t :=
+          !t
+          +. (Array.unsafe_get gv k
+              *. Bigarray.Array1.unsafe_get v (base + Array.unsafe_get gci k))
       done;
-      out.(base + i) <- !t +. (extra_diag *. v.(base + i))
+      Bigarray.Array1.unsafe_set out (base + i)
+        (!t +. (extra_diag *. Bigarray.Array1.unsafe_get v (base + i)))
     done
   done;
   for p = 0 to cache.sc_np - 1 do
@@ -399,8 +660,10 @@ let sweep_op_apply cache (g : Grid.t) ~jacs ~extra_diag (v : Vec.t)
     let bj = Grid.point_index g i (j - 1) * n in
     let base = p * n in
     for r = 0 to n - 1 do
-      out.(base + r) <-
-        out.(base + r) -. (inv_h1 *. w.(bi + r)) -. (inv_h2 *. w.(bj + r))
+      Bigarray.Array1.unsafe_set out (base + r)
+        (Bigarray.Array1.unsafe_get out (base + r)
+        -. (inv_h1 *. Bigarray.Array1.unsafe_get w (bi + r))
+        -. (inv_h2 *. Bigarray.Array1.unsafe_get w (bj + r)))
     done
   done
 
@@ -408,8 +671,8 @@ let with_extra_diag jac extra_diag =
   if extra_diag = 0.0 then jac
   else Sparse.Csr.add jac (Sparse.Csr.scale extra_diag (Sparse.Csr.identity jac.Sparse.Csr.rows))
 
-let solve_linear ~ws ~linear_solver ~scheme ~precond_lag ~budget (g : Grid.t) ~jacs
-    ~extra_diag ~rhs ~linear_iters =
+let solve_linear ~ws ~linear_solver ~scheme ~precond_lag ~precond_cluster
+    ~krylov_recycle ~budget (g : Grid.t) ~jacs ~extra_diag ~rhs ~linear_iters =
   (* Numeric-refresh path: with [extra_diag = 0] this returns the same
      CSR instance every Newton iteration, which keeps the ILU0/sparse-LU
      pattern caches below valid. *)
@@ -418,6 +681,15 @@ let solve_linear ~ws ~linear_solver ~scheme ~precond_lag ~budget (g : Grid.t) ~j
     let workspace = gmres_workspace ws ~restart ~n:(Array.length rhs) in
     let result =
       Sparse.Krylov.gmres ~restart ~max_iter ~tol ~precond ?budget ~workspace op rhs
+    in
+    linear_iters := !linear_iters + result.Sparse.Krylov.iterations;
+    result
+  in
+  let run_gmres_ba ~restart ~max_iter ~tol ~precond op =
+    let workspace = gmres_workspace ws ~restart ~n:(Array.length rhs) in
+    let result =
+      Sparse.Krylov.gmres_ba ~restart ~max_iter ~tol ~precond ?budget ~workspace
+        ~recycle:krylov_recycle op rhs
     in
     linear_iters := !linear_iters + result.Sparse.Krylov.iterations;
     result
@@ -463,16 +735,25 @@ let solve_linear ~ws ~linear_solver ~scheme ~precond_lag ~budget (g : Grid.t) ~j
       (* For the backward scheme the operator is applied matrix-free
          from the per-point blocks, so the big Jacobian is never
          assembled on this path; the other schemes have long-range t1
-         couplings and keep the assembled SpMV. *)
+         couplings and keep the assembled SpMV. Both run on the
+         Bigarray kernels through the staging-free GMRES core. *)
       let op =
         match scheme with
         | Assemble.Backward ->
             fun v ->
-              sweep_op_apply cache g ~jacs ~extra_diag v ws.op_buf;
-              ws.op_buf
+              sweep_op_apply cache g ~jacs ~extra_diag v ws.op_ba;
+              ws.op_ba
         | Assemble.Central_t1 | Assemble.Spectral_t1 | Assemble.Spectral_both
           ->
-            op_of (jac ())
+            let m = jac () in
+            fun v ->
+              Sparse.Csr.mul_vec_ba_into m v ws.op_ba;
+              ws.op_ba
+      in
+      let build () =
+        Telemetry.span "mpde.precond.build" @@ fun () ->
+        build_sweep_factors cache scheme g ~jacs ~extra_diag
+          ~cluster:precond_cluster
       in
       (* Preconditioner lagging: keep the dense diagonal factors across
          Newton iterations and selectively refactor only the blocks
@@ -483,18 +764,22 @@ let solve_linear ~ws ~linear_solver ~scheme ~precond_lag ~budget (g : Grid.t) ~j
         Array.length cache.factors = 0
         || (not precond_lag)
         || cache.built_extra_diag <> extra_diag
-      then build_sweep_factors cache scheme g ~jacs ~extra_diag
-      else refresh_sweep_factors cache scheme g ~jacs ~extra_diag;
+      then build ()
+      else
+        refresh_sweep_factors cache scheme g ~jacs ~extra_diag
+          ~cluster:precond_cluster;
       let precond = sweep_apply cache scheme g ~jacs in
-      let result = run_gmres ~restart ~max_iter ~tol ~precond op in
+      let result = run_gmres_ba ~restart ~max_iter ~tol ~precond op in
       if result.Sparse.Krylov.converged then result.Sparse.Krylov.x
       else if cache.stale then begin
-        (* The lagged factors may have fallen too far behind the
-           iterate: rebuild at the current Jacobian and retry once
-           before declaring a stall. *)
+        (* The lagged (or clustered) factors may have fallen too far
+           behind the iterate: rebuild exact — one factor per point at
+           the current Jacobian — and retry once before declaring a
+           stall. *)
         Telemetry.count "mpde.precond.lag_rebuilds";
-        build_sweep_factors cache scheme g ~jacs ~extra_diag;
-        let result = run_gmres ~restart ~max_iter ~tol ~precond op in
+        (Telemetry.span "mpde.precond.build" @@ fun () ->
+         build_sweep_factors cache scheme g ~jacs ~extra_diag ~cluster:false);
+        let result = run_gmres_ba ~restart ~max_iter ~tol ~precond op in
         if result.Sparse.Krylov.converged then result.Sparse.Krylov.x
         else stalled result
       end
@@ -606,15 +891,18 @@ let newton_problem ~options ~linear_solver ~ws ?ptc ~sys ~g ~sources ~linear_ite
            on_residual_violation v;
            raise e);
         solve_linear ~ws ~linear_solver ~scheme:options.scheme
-          ~precond_lag:options.precond_lag ~budget:options.budget g ~jacs ~extra_diag
-          ~rhs:r ~linear_iters);
+          ~precond_lag:options.precond_lag
+          ~precond_cluster:options.precond_cluster
+          ~krylov_recycle:options.krylov_recycle ~budget:options.budget g ~jacs
+          ~extra_diag ~rhs:r ~linear_iters);
   }
 
 let is_direct = function Direct -> true | _ -> false
 
 let is_ilu0 = function Gmres_ilu0 _ -> true | _ -> false
 
-let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t) =
+let solve ?(options = default_options) ?seed ?workspace_slot
+    (sys : Assemble.system) (g : Grid.t) =
   let t_start = Telemetry.Clock.wall () in
   let tele_mark = Telemetry.mark () in
   Telemetry.span "mpde.solve" @@ fun () ->
@@ -635,7 +923,24 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
     x
   in
   let sources = Assemble.sources_on_grid sys g in
-  let ws = make_workspace options.scheme sys g in
+  (* Sweep-scale solves reuse one workspace per domain through the
+     caller-held slot: the multi-megabyte numeric buffers (dense
+     staging matrices, Krylov basis, Bigarray vectors) survive from job
+     to job, while everything bound to the previous system is rebound
+     or dropped. A shape mismatch falls back to a fresh workspace. *)
+  let ws =
+    match workspace_slot with
+    | Some slot -> (
+        match !slot with
+        | Some w when workspace_fits w options.scheme sys g ->
+            Telemetry.count "mpde.workspace.reuses";
+            rebind_workspace w options.scheme sys g
+        | _ ->
+            let w = make_workspace options.scheme sys g in
+            slot := Some w;
+            w)
+    | None -> make_workspace options.scheme sys g
+  in
   let linear_iters = ref 0 in
   let newton_total = ref 0 in
   let continuation_steps = ref 0 and continuation_rejected = ref 0 in
@@ -853,7 +1158,7 @@ let solve ?(options = default_options) ?seed (sys : Assemble.system) (g : Grid.t
     report;
   }
 
-let solve_mna ?options ?seed ~shear ~n1 ~n2 mna =
+let solve_mna ?options ?seed ?workspace_slot ~shear ~n1 ~n2 mna =
   (match Shear.validate_sources shear mna with
   | Ok () -> ()
   | Error f -> raise (Shear.Off_lattice f));
@@ -874,7 +1179,7 @@ let solve_mna ?options ?seed ~shear ~n1 ~n2 mna =
         let r = Circuit.Dcop.solve mna in
         if r.Circuit.Dcop.converged then Some r.Circuit.Dcop.x else None
   in
-  solve ?options ?seed sys grid
+  solve ?options ?seed ?workspace_slot sys grid
 
 let state_at sol ~i ~j =
   let p = Grid.point_index sol.grid i j in

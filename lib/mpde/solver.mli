@@ -61,6 +61,22 @@ type options = {
           rebuilds once and retries before escalating. Affects only
           preconditioning (GMRES iteration counts), never the converged
           answer. Default true. *)
+  precond_cluster : bool;
+      (** share one dense factor between grid points whose Jacobians
+          agree within the lag drift tolerance (drift-clustered build).
+          The sweep then applies each distinct factor to whole panels
+          of right-hand-side columns per wavefront level — on the mixer
+          the converged grid clusters to a handful of factors, cutting
+          both factorizations and dense-solve calls by orders of
+          magnitude. On a GMRES stall the solver rebuilds exact
+          (unclustered) and retries before escalating. Affects only
+          preconditioning, never the converged answer. Default true. *)
+  krylov_recycle : bool;
+      (** seed each GMRES solve from a projection of the previous
+          Newton iteration's converged Krylov subspace; a drift test on
+          the true residual falls back to a cold start when the
+          operator moved too far. Affects only iteration counts, never
+          the converged answer. Default true. *)
 }
 
 val default_options : options
@@ -73,6 +89,8 @@ val make_options :
   ?allow_continuation:bool ->
   ?budget:Resilience.Budget.t ->
   ?precond_lag:bool ->
+  ?precond_cluster:bool ->
+  ?krylov_recycle:bool ->
   unit ->
   options
 (** Smart constructor under the *normalized* option vocabulary shared
@@ -101,9 +119,16 @@ type solution = {
   report : Resilience.Report.t;  (** structured machine-readable outcome *)
 }
 
+type workspace
+(** Per-solve numeric state: assembly scratch, the sweep
+    preconditioner's dense staging matrices and factors, the GMRES
+    Krylov basis, and the Bigarray operator buffers. Owned by exactly
+    one solve on one domain at a time. *)
+
 val solve :
   ?options:options ->
   ?seed:Linalg.Vec.t ->
+  ?workspace_slot:workspace option ref ->
   Assemble.system ->
   Grid.t ->
   solution
@@ -111,11 +136,21 @@ val solve :
     point (typically the DC operating point), or a full flattened grid
     state (e.g. from {!quasi_static_start}); default is the zero
     state. Never raises on solver failure: inspect
-    [solution.stats.converged] / [solution.report]. *)
+    [solution.stats.converged] / [solution.report].
+
+    [workspace_slot] is an in-out slot for cross-job workspace reuse
+    (one slot per domain in sweep pools): when the retained workspace
+    fits this solve's shape (same unknown count, grid points, and
+    scheme diagonal structure) its large numeric buffers are reused and
+    every cache bound to the previous job — factors, recycled Krylov
+    state, pattern caches — is dropped, so results are identical to a
+    fresh workspace; otherwise a fresh workspace is stored into the
+    slot. *)
 
 val solve_mna :
   ?options:options ->
   ?seed:Linalg.Vec.t ->
+  ?workspace_slot:workspace option ref ->
   shear:Shear.t ->
   n1:int ->
   n2:int ->

@@ -161,6 +161,12 @@ let mul_vec m x =
   mul_vec_into m x y;
   y
 
+let mul_vec_ba_into m x y =
+  if Linalg.Kernel.dim x <> m.cols || Linalg.Kernel.dim y <> m.rows then
+    invalid_arg "Csr.mul_vec_ba_into: dimension mismatch";
+  Linalg.Kernel.spmv ~rows:m.rows ~row_ptr:m.row_ptr ~col_idx:m.col_idx
+    ~values:m.values x y
+
 let tmul_vec m x =
   if Array.length x <> m.rows then invalid_arg "Csr.tmul_vec: dimension mismatch";
   let y = Array.make m.cols 0.0 in

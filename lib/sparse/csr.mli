@@ -43,6 +43,11 @@ val mul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
 
 val mul_vec_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
 
+val mul_vec_ba_into : t -> Linalg.Kernel.vec -> Linalg.Kernel.vec -> unit
+(** [mul_vec_ba_into m x y] computes [y <- m x] on Bigarray vectors via
+    the unchecked {!Linalg.Kernel.spmv} hot loop; accumulation order
+    (and hence every bit of the result) matches {!mul_vec_into}. *)
+
 val tmul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** Transposed product [mᵀ x]. *)
 

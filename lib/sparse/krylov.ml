@@ -1,6 +1,8 @@
 module Vec = Linalg.Vec
+module Kernel = Linalg.Kernel
 
 type operator = Vec.t -> Vec.t
+type ba_operator = Kernel.vec -> Kernel.vec
 
 type stop_reason =
   | Tolerance
@@ -33,18 +35,31 @@ let identity v = Array.copy v
    Hessenberg, the Givens rotation coefficients, and the residual /
    update vectors. Sized for a (restart, n) pair and reused across
    restart cycles, Newton iterations, and whole solves — nothing is
-   allocated inside the restart loop when one is supplied. *)
+   allocated inside the restart loop when one is supplied.
+
+   The O(n) vectors are Float64 Bigarrays driven by the {!Kernel}
+   hot loops; the O(restart) rotation machinery stays in plain float
+   arrays. After a clean solve the workspace additionally retains the
+   final Krylov cycle ([rec_k] basis columns, their rotated Hessenberg
+   R and the Givens coefficients) so the next call on this workspace
+   can seed itself from a projection of the previous subspace. *)
 type workspace = {
   ws_n : int;
   ws_restart : int;
-  basis : Vec.t array;  (* restart+1 vectors of length n *)
+  basis : Kernel.vec array;  (* restart+1 vectors of length n *)
   hcols : Vec.t array;  (* Hessenberg columns; hcols.(j) has length j+2 *)
   cs : Vec.t;
   sn : Vec.t;
   g : Vec.t;  (* restart+1 *)
   y : Vec.t;
-  r : Vec.t;
-  update : Vec.t;
+  r : Kernel.vec;
+  update : Kernel.vec;
+  xv : Kernel.vec;  (* the iterate *)
+  bv : Kernel.vec;  (* right-hand side staged once per call *)
+  rec_g : Vec.t;  (* recycle projection scratch, restart+1 *)
+  conv_arr : float array;  (* float-array operator boundary staging *)
+  conv_vec : Kernel.vec;
+  mutable rec_k : int;  (* retained basis columns from the last clean cycle *)
 }
 
 let workspace ~restart ~n =
@@ -52,18 +67,62 @@ let workspace ~restart ~n =
   {
     ws_n = n;
     ws_restart = restart;
-    basis = Array.init (restart + 1) (fun _ -> Array.make n 0.0);
+    basis = Array.init (restart + 1) (fun _ -> Kernel.create n);
     hcols = Array.init restart (fun j -> Array.make (j + 2) 0.0);
     cs = Array.make restart 0.0;
     sn = Array.make restart 0.0;
     g = Array.make (restart + 1) 0.0;
     y = Array.make restart 0.0;
-    r = Array.make n 0.0;
-    update = Array.make n 0.0;
+    r = Kernel.create n;
+    update = Kernel.create n;
+    xv = Kernel.create n;
+    bv = Kernel.create n;
+    rec_g = Array.make (restart + 1) 0.0;
+    conv_arr = Array.make n 0.0;
+    conv_vec = Kernel.create n;
+    rec_k = 0;
   }
 
+let forget_recycle ws = ws.rec_k <- 0
+
+(* A recycled seed must shrink the initial residual by at least this
+   factor, or the cycle falls back to a cold start — the retained
+   subspace has drifted too far from the current operator to help. *)
+let recycle_accept = 0.9
+
+(* Seed the iterate from the retained Krylov cycle: project the new
+   right-hand side onto the stored orthonormal basis, reuse the stored
+   Givens rotations and triangular R to solve the least-squares
+   problem in O(k²), and map through the (current) preconditioner.
+   Leaves [ws.xv] holding [precond (V y)]; the caller validates the
+   seed by the first true residual. *)
+let recycle_seed ws ~precond =
+  let k = ws.rec_k in
+  let gb = ws.rec_g in
+  for i = 0 to k do
+    gb.(i) <- Kernel.dot ws.basis.(i) ws.bv
+  done;
+  for i = 0 to k - 1 do
+    let t = (ws.cs.(i) *. gb.(i)) +. (ws.sn.(i) *. gb.(i + 1)) in
+    gb.(i + 1) <- (-.ws.sn.(i) *. gb.(i)) +. (ws.cs.(i) *. gb.(i + 1));
+    gb.(i) <- t
+  done;
+  let y = ws.y in
+  for i = k - 1 downto 0 do
+    let s = ref gb.(i) in
+    for j = i + 1 to k - 1 do
+      s := !s -. (ws.hcols.(j).(i) *. y.(j))
+    done;
+    y.(i) <- (if Float.abs ws.hcols.(i).(i) > 0.0 then !s /. ws.hcols.(i).(i) else 0.0)
+  done;
+  Kernel.fill ws.update 0.0;
+  for j = 0 to k - 1 do
+    Kernel.axpy y.(j) ws.basis.(j) ws.update
+  done;
+  Kernel.blit (precond ws.update) ws.xv
+
 (* Restarted GMRES with right preconditioning and Givens-rotation QR of
-   the Hessenberg matrix.
+   the Hessenberg matrix, on Bigarray vectors.
 
    Breakdown handling: a vanishing Hessenberg subdiagonal ("happy
    breakdown" — the Krylov space became invariant) finishes the inner
@@ -75,9 +134,15 @@ let workspace ~restart ~n =
 
    Buffer contract: [op] and [precond] may return a shared internal
    buffer — every value GMRES keeps across calls is copied into its own
-   (workspace) storage before the next operator application. *)
-let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
-    ?budget ?x0 ?workspace:ws op b =
+   (workspace) storage before the next operator application.
+
+   [recycle] (off by default, ignored when [x0] is given) seeds the
+   first cycle from the workspace's retained previous Krylov subspace;
+   the seed is discarded — a plain cold start, at the cost of one extra
+   operator and preconditioner application — unless it shrinks the
+   initial residual below [recycle_accept]·‖b‖. *)
+let gmres_ba ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?precond ?budget
+    ?x0 ?workspace:ws ?(recycle = false) op b =
   Telemetry.span "gmres" @@ fun () ->
   let n = Array.length b in
   if Resilience.Faultinject.gmres_stall () then begin
@@ -102,14 +167,38 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
     | Some w when w.ws_n = n && w.ws_restart >= restart -> w
     | _ -> workspace ~restart ~n
   in
-  let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
-  let bnorm = Vec.norm2 b in
+  let precond =
+    match precond with
+    | Some p -> p
+    | None ->
+        (* Identity through the staging buffer: the caller may mutate
+           the returned vector, so never hand back the argument. *)
+        fun v ->
+          Kernel.blit v ws.conv_vec;
+          ws.conv_vec
+  in
+  let x = ws.xv in
+  Kernel.blit_from_array b ws.bv;
+  let bv = ws.bv in
+  (match x0 with
+  | Some x0 -> Kernel.blit_from_array x0 x
+  | None -> Kernel.fill x 0.0);
+  let bnorm = Kernel.nrm2 bv in
   let target = if bnorm > 0.0 then tol *. bnorm else tol in
+  (* Recycled seed: tentative until the first residual validates it. *)
+  let seed_pending = ref false in
+  if recycle && x0 = None && ws.rec_k > 0 && bnorm > 0.0 then begin
+    recycle_seed ws ~precond;
+    seed_pending := true
+  end;
+  let cold_head () = x0 = None && not !seed_pending in
   let total_iters = ref 0 in
   let final_res = ref infinity in
   let converged = ref false in
   let restarts = ref 0 in
   let stop = ref Max_iterations in
+  let last_k = ref 0 in
+  let poisoned_solve = ref false in
   (try
      while (not !converged) && !total_iters < max_iter do
        (match budget with
@@ -120,14 +209,26 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        incr restarts;
        Telemetry.count "gmres.restarts";
        let r = ws.r in
-       if !total_iters = 0 && x0 = None then Array.blit b 0 r 0 n
+       if !total_iters = 0 && cold_head () then Kernel.blit bv r
        else begin
          let ax = op x in
-         for i = 0 to n - 1 do
-           r.(i) <- b.(i) -. ax.(i)
-         done
+         Kernel.sub_into bv ax r
        end;
-       let beta = Vec.norm2 r in
+       let beta = ref (Kernel.nrm2 r) in
+       if !seed_pending then begin
+         (* Validate the recycled seed by its true residual: keep it
+            only when the projection genuinely shrank the residual. *)
+         if Float.is_finite !beta && !beta < recycle_accept *. bnorm then
+           Telemetry.count "gmres.recycle_seeded"
+         else begin
+           Telemetry.count "gmres.recycle_rejected";
+           Kernel.fill x 0.0;
+           Kernel.blit bv r;
+           beta := bnorm
+         end;
+         seed_pending := false
+       end;
+       let beta = !beta in
        final_res := beta;
        (* Per-restart residual curve: the true (unpreconditioned-side)
           residual at the head of each restart cycle. *)
@@ -143,10 +244,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        let m = min restart (max_iter - !total_iters) in
        let basis = ws.basis in
        let inv_beta = 1.0 /. beta in
-       let b0 = basis.(0) in
-       for i = 0 to n - 1 do
-         b0.(i) <- inv_beta *. r.(i)
-       done;
+       Kernel.scale_into inv_beta r basis.(0);
        (* Hessenberg stored column-wise: h.(j) has length j+2. *)
        let h = ws.hcols in
        let cs = ws.cs and sn = ws.sn in
@@ -163,10 +261,10 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
             buffer — mutating it in place is fine, the normalized copy
             below is what survives the next operator call). *)
          for i = 0 to j do
-           hj.(i) <- Vec.dot basis.(i) w;
-           Vec.axpy (-.hj.(i)) basis.(i) w
+           hj.(i) <- Kernel.dot basis.(i) w;
+           Kernel.axpy (-.hj.(i)) basis.(i) w
          done;
-         hj.(j + 1) <- Vec.norm2 w;
+         hj.(j + 1) <- Kernel.nrm2 w;
          if not (Float.is_finite hj.(j + 1)) then begin
            (* Poisoned column: solve with the j columns accepted so far. *)
            poisoned := true;
@@ -176,12 +274,10 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          else begin
            let happy = hj.(j + 1) <= 1e-300 in
            let bj1 = basis.(j + 1) in
-           if happy then Vec.fill bj1 0.0
+           if happy then Kernel.fill bj1 0.0
            else begin
              let inv = 1.0 /. hj.(j + 1) in
-             for i = 0 to n - 1 do
-               bj1.(i) <- inv *. w.(i)
-             done
+             Kernel.scale_into inv w bj1
            end;
            (* Apply previous Givens rotations to the new column. *)
            for i = 0 to j - 1 do
@@ -223,6 +319,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
            end
          end
        done;
+       if !poisoned then poisoned_solve := true;
        if !poisoned && !k = 0 then
          (* No finite direction at all: updating x is impossible and the
             next restart would recompute the identical poisoned column —
@@ -230,6 +327,7 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          raise Exit;
        (* Solve the triangular system for the Krylov coefficients. *)
        let k = !k in
+       last_k := k;
        let y = ws.y in
        for i = k - 1 downto 0 do
          let s = ref g.(i) in
@@ -241,11 +339,11 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
          y.(i) <- (if Float.abs h.(i).(i) > 0.0 then !s /. h.(i).(i) else 0.0)
        done;
        let update = ws.update in
-       Vec.fill update 0.0;
+       Kernel.fill update 0.0;
        for j = 0 to k - 1 do
-         Vec.axpy y.(j) basis.(j) update
+         Kernel.axpy y.(j) basis.(j) update
        done;
-       Vec.add_ip x (precond update);
+       Kernel.add_ip x (precond update);
        if !final_res <= target then converged := true;
        if !poisoned then raise Exit;
        (match budget with
@@ -255,6 +353,11 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
        | _ -> ())
      done
    with Exit -> ());
+  (* Retain the final cycle for the next call's recycled seed — unless
+     it was poisoned, or this call never built one (keep whatever the
+     workspace already holds). *)
+  if !poisoned_solve || !stop = Poisoned then ws.rec_k <- 0
+  else if !last_k > 0 then ws.rec_k <- !last_k;
   let stop = if !converged && !stop <> Happy_breakdown then Tolerance else !stop in
   Telemetry.count ~by:!total_iters "gmres.iterations";
   if not !converged then Telemetry.count "gmres.stalls";
@@ -268,13 +371,35 @@ let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
   | Max_iterations when not !converged -> Telemetry.count "gmres.max_iter_stops"
   | _ -> ());
   {
-    x;
+    x = Kernel.to_array x;
     converged = !converged;
     iterations = !total_iters;
     residual_norm = !final_res;
     restarts = !restarts;
     stop;
   }
+
+(* Float-array front end: stages the operator and preconditioner across
+   the Bigarray core through the workspace's boundary buffers. The
+   accumulation order of every float operation is preserved, so the
+   results are bitwise identical to running the kernels on
+   [float array] directly. *)
+let gmres ?(restart = 50) ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity)
+    ?budget ?x0 ?workspace:ws ?recycle op b =
+  let n = Array.length b in
+  let ws =
+    match ws with
+    | Some w when w.ws_n = n && w.ws_restart >= restart -> w
+    | _ -> workspace ~restart ~n
+  in
+  let stage f v =
+    Kernel.blit_to_array v ws.conv_arr;
+    let out = f ws.conv_arr in
+    Kernel.blit_from_array out ws.conv_vec;
+    ws.conv_vec
+  in
+  gmres_ba ~restart ~max_iter ~tol ~precond:(stage precond) ?budget ?x0
+    ~workspace:ws ?recycle (stage op) b
 
 let bicgstab ?(max_iter = 500) ?(tol = 1e-10) ?(precond = identity) ?x0 op b =
   let n = Array.length b in

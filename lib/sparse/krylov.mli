@@ -6,6 +6,11 @@
 
 type operator = Linalg.Vec.t -> Linalg.Vec.t
 
+type ba_operator = Linalg.Kernel.vec -> Linalg.Kernel.vec
+(** Operator over the unboxed Float64 {!Linalg.Kernel.vec}s the GMRES
+    core runs on. The {!gmres_ba} hot path avoids the
+    [float array] staging copies of {!gmres}. *)
+
 type stop_reason =
   | Tolerance  (** residual met the convergence target *)
   | Happy_breakdown  (** Krylov subspace became invariant (exact solve) *)
@@ -30,11 +35,21 @@ type workspace
     rotation coefficients, residual/update vectors) for a fixed
     [(restart, n)] shape. Reusing one across calls removes every
     allocation inside the restart loop. A workspace belongs to one
-    solve stream on one domain — it must not be shared concurrently. *)
+    solve stream on one domain — it must not be shared concurrently.
+
+    After a clean solve the workspace also retains the final Krylov
+    cycle (basis columns plus the rotated Hessenberg), which
+    {!gmres_ba} with [~recycle:true] uses to seed the next solve on a
+    nearby operator. *)
 
 val workspace : restart:int -> n:int -> workspace
 (** Allocate scratch for systems of size [n] solved with up to
     [restart] inner iterations per cycle. *)
+
+val forget_recycle : workspace -> unit
+(** Drop the retained Krylov cycle so the next recycled call starts
+    cold. Call when the workspace is handed to an unrelated operator
+    sequence (a new solve job). *)
 
 val gmres :
   ?restart:int ->
@@ -44,6 +59,7 @@ val gmres :
   ?budget:Resilience.Budget.t ->
   ?x0:Linalg.Vec.t ->
   ?workspace:workspace ->
+  ?recycle:bool ->
   operator ->
   Linalg.Vec.t ->
   result
@@ -63,7 +79,40 @@ val gmres :
     locally if its shape does not cover [(restart, n)]). Buffer
     contract: [op] and [precond] may return a shared internal buffer —
     GMRES copies anything it keeps before the next call, and may mutate
-    the returned vector in place. *)
+    the returned vector in place.
+
+    This entry point stages the [float array] closures across the
+    Bigarray core of {!gmres_ba} with the accumulation order of every
+    float operation preserved — results are bitwise identical to the
+    historical [float array] implementation. *)
+
+val gmres_ba :
+  ?restart:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?precond:ba_operator ->
+  ?budget:Resilience.Budget.t ->
+  ?x0:Linalg.Vec.t ->
+  ?workspace:workspace ->
+  ?recycle:bool ->
+  ba_operator ->
+  Linalg.Vec.t ->
+  result
+(** {!gmres} with the operator and preconditioner over
+    {!Linalg.Kernel.vec} — the allocation- and staging-free hot path.
+    Same semantics and defaults as {!gmres}.
+
+    [recycle] (default [false], ignored when [x0] is given) seeds the
+    first cycle from the workspace's retained previous Krylov subspace:
+    the new right-hand side is projected onto the stored orthonormal
+    basis and solved against the stored triangular factor in O(k²) plus
+    k+1 dot products. The seed is validated against the true residual
+    and discarded — falling back to a cold start at the cost of one
+    extra operator and preconditioner application — unless it shrinks
+    the initial residual below 0.9·‖b‖ (counted as
+    [gmres.recycle_seeded] / [gmres.recycle_rejected]). With
+    [recycle = false] the iteration is bitwise identical to a fresh
+    workspace. *)
 
 val bicgstab :
   ?max_iter:int ->

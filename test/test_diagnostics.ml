@@ -247,7 +247,8 @@ let test_json_parse_errors () =
 (* ---------- Gate ---------- *)
 
 let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
-    ?(dense_factors = 1200.0) ?(ratio = 4.0) ?(sweep_wall = 2.0)
+    ?(dense_factors = 1200.0) ?(dense_solves = 6000.0) ?(ratio = 4.0)
+    ?(spmv_mflops = 800.0) ?(block_cols = 2.0e6) ?(sweep_wall = 2.0)
     ?(sweep_speedup = 1.6) ?(sweep_speedup_4 = 1.4) ?(cores = 4.0)
     ?(retries = 0.0) ?(degraded = 0.0) ?(util_2 = 0.9) ?(util_4 = 0.8)
     ?(gc_major_p99 = 0.001) () =
@@ -262,10 +263,23 @@ let bench_doc ?(converged = true) ?(wall = 1.0) ?(newton = 10.0) ?(gmres = 50.0)
             ("newton_iterations", Num newton);
             ("gmres_iterations", Num gmres);
             ( "telemetry",
-              Obj [ ("counters", Obj [ ("lu.dense_factors", Num dense_factors) ]) ]
-            );
+              Obj
+                [
+                  ( "counters",
+                    Obj
+                      [
+                        ("lu.dense_factors", Num dense_factors);
+                        ("lu.dense_solves", Num dense_solves);
+                      ] );
+                ] );
           ] );
       ("speedup", Obj [ ("ratio", Num ratio) ]);
+      ( "kernel",
+        Obj
+          [
+            ("spmv_mflops", Num spmv_mflops);
+            ("block_solve_cols_per_s", Num block_cols);
+          ] );
       ( "sweep",
         Obj
           [
@@ -286,7 +300,7 @@ let test_gate_passes_identical () =
   let r = D.Gate.evaluate ~baseline:doc ~current:doc () in
   Alcotest.(check bool) "passes" true r.D.Gate.passed;
   Alcotest.(check int) "no errors" 0 (List.length r.D.Gate.errors);
-  Alcotest.(check int) "eleven verdicts" 11 (List.length r.D.Gate.verdicts)
+  Alcotest.(check int) "fourteen verdicts" 14 (List.length r.D.Gate.verdicts)
 
 let test_gate_improvement_passes () =
   (* Faster wall clock and a better speedup ratio must never fail. *)

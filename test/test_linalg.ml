@@ -172,6 +172,109 @@ let test_lu_solve_mat () =
   check_float "inv00" 0.5 (Mat.get x 0 0);
   check_float "inv11" 0.25 (Mat.get x 1 1)
 
+(* ---------- blocked multi-RHS solves ---------- *)
+
+let bits_equal name a b =
+  Alcotest.(check bool) name true
+    (Array.length a = Array.length b
+    && Array.for_all2
+         (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+         a b)
+
+(* Deterministic pseudo-random stream so the panel fixtures are
+   reproducible without seeding the global RNG. *)
+let lcg seed =
+  let s = ref seed in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !s /. float_of_int 0x3FFFFFFF) -. 0.5
+
+let test_lu_solve_many_bitwise () =
+  (* A panel solve must reproduce column-by-column [solve_into] down to
+     the last bit (same substitution order per column), and must leave
+     columns outside [off, off+cols) untouched in both buffers. The
+     panel is wider than [panel_block] = 16 to exercise the cache
+     blocking. *)
+  let n = 9 and total = 24 and off = 3 and cols = 19 in
+  let rand = lcg 42 in
+  let a =
+    Mat.init n n (fun i j ->
+        (10.0 *. rand ()) +. if i = j then 25.0 else 0.0)
+  in
+  let f = Lu.factor a in
+  let b = Array.init (total * n) (fun _ -> rand ()) in
+  let x = Array.make (total * n) nan in
+  Lu.solve_many_into f ~off ~cols b x;
+  let x_ref = Array.make (total * n) nan in
+  let bc = Vec.create n and xc = Vec.create n in
+  for c = off to off + cols - 1 do
+    Array.blit b (c * n) bc 0 n;
+    Lu.solve_into f bc xc;
+    Array.blit xc 0 x_ref (c * n) n
+  done;
+  bits_equal "panel columns bitwise"
+    (Array.sub x (off * n) (cols * n))
+    (Array.sub x_ref (off * n) (cols * n));
+  for c = 0 to total - 1 do
+    if c < off || c >= off + cols then
+      for r = 0 to n - 1 do
+        if not (Float.is_nan x.((c * n) + r)) then
+          Alcotest.failf "column %d outside the panel was written" c
+      done
+  done
+
+let test_lu_solve_many_validates () =
+  let f = Lu.factor (Mat.identity 3) in
+  let b = Vec.create 6 in
+  Alcotest.check_raises "aliased"
+    (Invalid_argument "Lu.solve_many_into: aliased panels") (fun () ->
+      Lu.solve_many_into f ~cols:2 b b);
+  Alcotest.check_raises "short panel"
+    (Invalid_argument "Lu.solve_many_into: panel dimension mismatch")
+    (fun () -> Lu.solve_many_into f ~cols:3 b (Vec.create 9))
+
+(* ---------- Bigarray kernels ---------- *)
+
+module Kernel = Linalg.Kernel
+
+let test_kernel_roundtrip () =
+  let a = [| 1.5; -2.25; 0.0; 3.125 |] in
+  let v = Kernel.of_array a in
+  Alcotest.(check int) "dim" 4 (Kernel.dim v);
+  bits_equal "roundtrip" a (Kernel.to_array v);
+  let w = Kernel.create 4 in
+  Kernel.blit v w;
+  check_float "blit" (-2.25) (Kernel.get w 1);
+  Kernel.set w 1 7.0;
+  check_float "set" 7.0 (Kernel.get w 1);
+  Kernel.fill w 0.5;
+  check_float "fill" 0.5 (Kernel.get w 3)
+
+let test_kernel_bitwise_vs_vec () =
+  (* The Bigarray kernels promise the same accumulation order as the
+     float-array reference, so equality is bitwise, not approximate. *)
+  let rand = lcg 7 in
+  let n = 129 in
+  let xa = Array.init n (fun _ -> 100.0 *. rand ()) in
+  let ya = Array.init n (fun _ -> 100.0 *. rand ()) in
+  let x = Kernel.of_array xa and y = Kernel.of_array ya in
+  bits_equal "dot" [| Vec.dot xa ya |] [| Kernel.dot x y |];
+  bits_equal "nrm2" [| Vec.norm2 xa |] [| Kernel.nrm2 x |];
+  let ya' = Array.copy ya in
+  Vec.axpy 1.75 xa ya';
+  Kernel.axpy 1.75 x y;
+  bits_equal "axpy" ya' (Kernel.to_array y);
+  Kernel.scale_ip 0.3 y;
+  Vec.scale_ip 0.3 ya';
+  bits_equal "scale_ip" ya' (Kernel.to_array y);
+  let za = Vec.sub xa ya' in
+  let z = Kernel.create n in
+  Kernel.sub_into x y z;
+  bits_equal "sub_into" za (Kernel.to_array z);
+  Alcotest.(check bool) "is_finite" true (Kernel.is_finite z);
+  Kernel.set z 5 Float.nan;
+  Alcotest.(check bool) "is_finite nan" false (Kernel.is_finite z)
+
 (* ---------- complex ---------- *)
 
 let test_cvec_roundtrip () =
@@ -249,6 +352,43 @@ let prop_vec_cauchy_schwarz =
             (array_size (return 6) (float_range (-50.0) 50.0))))
     (fun (a, b) -> Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-9)
 
+let prop_solve_many_bitwise =
+  QCheck.Test.make ~count:60 ~name:"lu: solve_many_into ≡ per-column solve_into"
+    QCheck.(
+      make
+        Gen.(
+          pair (random_matrix_gen 5)
+            (array_size (return (4 * 5)) (float_range (-5.0) 5.0))))
+    (fun (a, b) ->
+      let n = 5 and cols = 4 in
+      let f = Lu.factor a in
+      let x1 = Array.make (cols * n) 0.0 in
+      Lu.solve_many_into f ~cols b x1;
+      let x2 = Array.make (cols * n) 0.0 in
+      let bc = Array.make n 0.0 and xc = Array.make n 0.0 in
+      for c = 0 to cols - 1 do
+        Array.blit b (c * n) bc 0 n;
+        Lu.solve_into f bc xc;
+        Array.blit xc 0 x2 (c * n) n
+      done;
+      Array.for_all2
+        (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v)
+        x1 x2)
+
+let prop_kernel_dot_bitwise =
+  QCheck.Test.make ~count:100 ~name:"kernel: dot/nrm2 bitwise vs Vec"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (array_size (return 17) (float_range (-50.0) 50.0))
+            (array_size (return 17) (float_range (-50.0) 50.0))))
+    (fun (a, b) ->
+      let x = Kernel.of_array a and y = Kernel.of_array b in
+      Int64.bits_of_float (Kernel.dot x y) = Int64.bits_of_float (Vec.dot a b)
+      && Int64.bits_of_float (Kernel.nrm2 x)
+         = Int64.bits_of_float (Vec.norm2 a))
+
 let prop_mat_mul_assoc =
   QCheck.Test.make ~count:40 ~name:"mat: (ab)c = a(bc)"
     QCheck.(
@@ -295,6 +435,15 @@ let () =
           Alcotest.test_case "transposed solve" `Quick test_lu_transposed;
           Alcotest.test_case "rcond" `Quick test_lu_rcond;
           Alcotest.test_case "solve_mat" `Quick test_lu_solve_mat;
+          Alcotest.test_case "solve_many_into bitwise" `Quick
+            test_lu_solve_many_bitwise;
+          Alcotest.test_case "solve_many_into validates" `Quick
+            test_lu_solve_many_validates;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_kernel_roundtrip;
+          Alcotest.test_case "bitwise vs Vec" `Quick test_kernel_bitwise_vs_vec;
         ] );
       ( "complex",
         [
@@ -308,6 +457,8 @@ let () =
           [
             prop_lu_solves;
             prop_lu_det_transpose;
+            prop_solve_many_bitwise;
+            prop_kernel_dot_bitwise;
             prop_vec_triangle;
             prop_vec_cauchy_schwarz;
             prop_mat_mul_assoc;

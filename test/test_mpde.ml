@@ -575,6 +575,51 @@ let test_solver_precond_lag_matches_eager () =
   Alcotest.(check bool) "same solution" true
     (Linalg.Vec.dist2 eager.Mpde.Solver.big_x lagged.Mpde.Solver.big_x < 1e-5)
 
+let test_solver_krylov_recycle_matches_cold () =
+  (* Krylov recycling and factor clustering only steer the linear
+     iterations across the mixer's Newton sequence; the converged
+     surface must satisfy the same equations to the same residual as
+     the cold-start, unclustered configuration. *)
+  let mna, shear = mixer_fixture () in
+  let solve recycle =
+    Mpde.Solver.solve_mna
+      ~options:
+        {
+          Mpde.Solver.default_options with
+          krylov_recycle = recycle;
+          precond_cluster = recycle;
+        }
+      ~shear ~n1:16 ~n2:10 mna
+  in
+  let recycled = solve true and cold = solve false in
+  Alcotest.(check bool) "both converged" true
+    (recycled.Mpde.Solver.stats.converged && cold.Mpde.Solver.stats.converged);
+  Alcotest.(check bool) "same residual tolerance" true
+    (Mpde.Solver.residual_norm_check recycled < 1e-7
+    && Mpde.Solver.residual_norm_check cold < 1e-7);
+  Alcotest.(check bool) "same solution" true
+    (Linalg.Vec.dist2 recycled.Mpde.Solver.big_x cold.Mpde.Solver.big_x < 1e-5)
+
+let test_solver_workspace_slot_reuse () =
+  (* A retained workspace slot (the per-domain sweep cache) must be
+     invisible in the results: the second solve through the slot rebinds
+     the retained buffers and must reproduce the fresh-workspace
+     surface bitwise. *)
+  let mna, shear = mixer_fixture () in
+  let solve ?workspace_slot () =
+    Mpde.Solver.solve_mna ?workspace_slot ~shear ~n1:16 ~n2:10 mna
+  in
+  let slot = ref None in
+  let first = solve ~workspace_slot:slot () in
+  Alcotest.(check bool) "slot populated" true (Option.is_some !slot);
+  let second = solve ~workspace_slot:slot () in
+  let fresh = solve () in
+  Alcotest.(check bool) "all converged" true
+    (first.Mpde.Solver.stats.converged && second.Mpde.Solver.stats.converged
+   && fresh.Mpde.Solver.stats.converged);
+  Alcotest.(check bool) "reused slot bitwise matches fresh" true
+    (float_array_bits_equal second.Mpde.Solver.big_x fresh.Mpde.Solver.big_x)
+
 (* ---------- properties ---------- *)
 
 let prop_shear_diagonal =
@@ -664,6 +709,10 @@ let () =
           Alcotest.test_case "nonlinear detector" `Quick test_solver_nonlinear_detector;
           Alcotest.test_case "lagged preconditioner = eager" `Quick
             test_solver_precond_lag_matches_eager;
+          Alcotest.test_case "krylov recycle matches cold" `Quick
+            test_solver_krylov_recycle_matches_cold;
+          Alcotest.test_case "workspace slot reuse" `Quick
+            test_solver_workspace_slot_reuse;
           Alcotest.test_case "grid refinement" `Slow test_solver_grid_refinement_converges;
           Alcotest.test_case "central-t1 accuracy" `Slow test_solver_central_scheme_more_accurate;
         ] );
